@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``test_figNN_*`` benchmark regenerates one paper figure (at a
+reduced horizon — see DESIGN.md §4), prints the series so the output is
+directly comparable with the paper's plot, and asserts the figure's
+*shape* properties.  ``pytest benchmarks/ --benchmark-only`` therefore
+doubles as the reproduction report generator.
+
+Figure benchmarks run exactly once (``pedantic`` with one round): the
+simulations are deterministic, so repeated rounds would only measure
+the same work again.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Horizon scale used by the figure benchmarks (1.0 = the paper's 10 min).
+BENCH_SCALE = 0.02
+#: Seed shared by the whole benchmark suite.
+BENCH_SEED = 11
+
+
+@pytest.fixture
+def run_figure(benchmark):
+    """Benchmark a figure module's ``run`` once and print the result."""
+
+    def _run(figure_fn, **kwargs):
+        kwargs.setdefault("scale", BENCH_SCALE)
+        kwargs.setdefault("seed", BENCH_SEED)
+        result = benchmark.pedantic(
+            figure_fn, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+        )
+        print()
+        print(result.to_text())
+        return result
+
+    return _run

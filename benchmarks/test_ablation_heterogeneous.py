@@ -1,0 +1,42 @@
+"""Ablation: GE on heterogeneous (big.LITTLE-style) machines.
+
+The paper's future work points at "different hardware platforms (such
+as many-core processors)".  This bench runs GE on three 16-core
+machines with the same budget — all-performance, mixed 8+8, and
+all-efficient — and checks that the hybrid power distribution exploits
+the efficient cores without violating the quality target.
+"""
+
+from __future__ import annotations
+
+from repro.core.ge import make_ge
+from repro.experiments.runner import run_single, scaled_config
+
+MACHINES = {
+    "performance": None,
+    "big.LITTLE": tuple([0.6] * 8 + [1.0] * 8),
+    "efficient": tuple([0.6] * 16),
+}
+
+
+def test_ablation_heterogeneous_machines(benchmark):
+    def sweep():
+        out = {}
+        for name, scales in MACHINES.items():
+            cfg = scaled_config(
+                0.02, 11, arrival_rate=140.0, core_power_scales=scales
+            )
+            out[name] = run_single(cfg, make_ge)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for name, r in results.items():
+        print(f"  {name:<12} {r.row()}")
+    for r in results.values():
+        assert r.quality > 0.87
+    assert (
+        results["efficient"].energy
+        < results["big.LITTLE"].energy
+        < results["performance"].energy
+    )

@@ -1,0 +1,39 @@
+"""Ablation: the paper's static-power caveat made quantitative.
+
+§IV-G-3 notes "we ignore the effect of static power here" when arguing
+that more cores are always better.  With per-core static power enabled
+(an extension of this implementation), the core-count sweep develops an
+energy optimum: dynamic energy falls with m (convexity) while static
+energy rises linearly, so total energy is U-shaped.
+"""
+
+from __future__ import annotations
+
+from repro.core.ge import make_ge
+from repro.experiments.runner import run_single, scaled_config
+
+
+def test_ablation_static_power_core_sweep(benchmark):
+    def sweep():
+        out = {}
+        for m in (4, 16, 64):
+            cfg = scaled_config(
+                0.01, 11, arrival_rate=150.0, m=m, static_power_per_core=5.0
+            )
+            out[m] = run_single(cfg, make_ge)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for m, r in results.items():
+        print(
+            f"  m={m:<3} Q={r.quality:6.4f}  dynamic={r.energy:9.1f} J  "
+            f"static={r.static_energy:9.1f} J  total={r.total_energy:9.1f} J"
+        )
+    # Dynamic-only energy keeps falling with m (the paper's claim) ...
+    assert results[64].energy < results[4].energy
+    # ... but with static power the 64-core machine is no longer the
+    # cheapest in total: the U-shape appears.
+    assert results[64].total_energy > results[16].total_energy
+    # Static accounting is exactly linear in m and time.
+    assert results[64].static_energy > results[16].static_energy > results[4].static_energy

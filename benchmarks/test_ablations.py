@@ -1,0 +1,131 @@
+"""Ablation benchmarks for GE's design choices (DESIGN.md §4).
+
+The paper motivates several design decisions without isolating all of
+them; these benches quantify each one on the default workload:
+
+* **C-RR vs RR vs least-loaded** batch assignment (§III-E);
+* **batch-local vs history-subsidized** LF cutting (DESIGN.md §5);
+* **hybrid vs pinned** power distribution (the Fig. 6/7 pair, summarized
+  as a single three-arm comparison here);
+* **trigger sensitivity**: quantum length and counter threshold.
+"""
+
+from __future__ import annotations
+
+from repro.core.assignment import LeastLoaded, RoundRobin
+from repro.core.ge import GEScheduler, make_ge
+from repro.experiments.runner import run_single, scaled_config
+
+SCALE = 0.02
+SEED = 11
+
+
+def _run(benchmark, factories, rate=150.0, **overrides):
+    cfg = scaled_config(SCALE, SEED, arrival_rate=rate, **overrides)
+
+    def sweep():
+        return {name: run_single(cfg, f) for name, f in factories.items()}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for name, r in results.items():
+        print(f"  {name:<12} {r.row()}")
+    return results
+
+
+def test_ablation_assignment_policy(benchmark):
+    m = scaled_config(SCALE, SEED).m
+    results = _run(
+        benchmark,
+        {
+            "C-RR": make_ge,
+            "RR": lambda: GEScheduler(name="GE-RR", assignment=RoundRobin(m)),
+            "LeastLoaded": lambda: GEScheduler(
+                name="GE-LL", assignment=LeastLoaded(m)
+            ),
+        },
+    )
+    # C-RR matches the load-aware greedy on both axes, at zero state
+    # beyond one pointer — the §III-E design point.
+    assert results["C-RR"].quality > 0.85
+    assert results["LeastLoaded"].quality > 0.85
+    assert results["C-RR"].energy < results["LeastLoaded"].energy * 1.15
+    # Plain RR (pointer reset each batch) collapses: GE's frequent small
+    # batches all land on the first cores, starving the rest.  This is
+    # the strongest justification for the *cumulative* pointer.
+    assert results["RR"].quality < results["C-RR"].quality
+
+
+def test_ablation_cut_history(benchmark):
+    results = _run(
+        benchmark,
+        {
+            "batch-local": make_ge,
+            "with-history": lambda: GEScheduler(
+                name="GE-hist", cut_with_history=True
+            ),
+        },
+        rate=120.0,
+    )
+    # Both hold the quality target; the history-subsidized cut rides the
+    # cumulative surplus, cutting deeper per AES round and compensating
+    # more often — visible as a lower AES-mode share for ~equal volume.
+    assert results["with-history"].quality > 0.85
+    assert results["batch-local"].quality > 0.85
+    assert results["with-history"].aes_fraction < results["batch-local"].aes_fraction
+    volume_ratio = (
+        results["with-history"].completed_volume
+        / results["batch-local"].completed_volume
+    )
+    assert 0.9 < volume_ratio < 1.1
+
+
+def test_ablation_distribution(benchmark):
+    results = _run(
+        benchmark,
+        {
+            "hybrid": make_ge,
+            "es-only": lambda: GEScheduler(name="GE-ES", distribution="es"),
+            "wf-only": lambda: GEScheduler(name="GE-WF", distribution="wf"),
+        },
+        rate=120.0,
+    )
+    # At light load the hybrid behaves like ES (cheap), not WF.
+    assert results["hybrid"].energy <= results["wf-only"].energy * 1.05
+
+
+def test_ablation_quantum_length(benchmark):
+    cfg_fast = scaled_config(SCALE, SEED, arrival_rate=150.0, quantum=0.25)
+    cfg_slow = scaled_config(SCALE, SEED, arrival_rate=150.0, quantum=1.0)
+
+    def sweep():
+        return {
+            "quantum=0.25": run_single(cfg_fast, make_ge),
+            "quantum=1.0": run_single(cfg_slow, make_ge),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for name, r in results.items():
+        print(f"  {name:<12} {r.row()}")
+    # GE's quality guarantee must be robust to the quantum choice.
+    for r in results.values():
+        assert r.quality > 0.85
+
+
+def test_ablation_counter_threshold(benchmark):
+    cfg_small = scaled_config(SCALE, SEED, arrival_rate=150.0, counter_threshold=2)
+    cfg_large = scaled_config(SCALE, SEED, arrival_rate=150.0, counter_threshold=32)
+
+    def sweep():
+        return {
+            "counter=2": run_single(cfg_small, make_ge),
+            "counter=32": run_single(cfg_large, make_ge),
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for name, r in results.items():
+        print(f"  {name:<12} {r.row()}")
+    for r in results.values():
+        assert r.quality > 0.85

@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 1 — AES-mode time share vs arrival rate."""
+
+from __future__ import annotations
+
+from repro.experiments import fig01_aes_fraction
+
+
+def test_fig01_aes_fraction(run_figure):
+    fig = run_figure(fig01_aes_fraction.run)
+    s = fig.series("aes_fraction", "GE")
+    # Paper shape: high AES share at light load, collapsing by overload.
+    assert s.y[0] > 0.5
+    assert s.y[-1] < 0.3
+    assert s.y[-1] < s.y[0]

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 2 — the LF job-cutting illustration."""
+
+from __future__ import annotations
+
+from repro.experiments import fig02_job_cutting
+
+
+def test_fig02_job_cutting(run_figure):
+    fig = run_figure(fig02_job_cutting.run, scale=1.0)
+    before = fig.series("volumes", "demand p_j")
+    after = fig.series("volumes", "cut target c_j")
+    # Longest jobs levelled to a common value, shortest untouched.
+    assert after.y[0] == after.y[1]
+    assert after.y[2] == before.y[2]
+    assert after.y[3] == before.y[3]
+    assert sum(after.y) < sum(before.y)

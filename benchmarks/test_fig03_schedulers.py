@@ -1,0 +1,32 @@
+"""Bench: regenerate Fig. 3 — six schedulers, fixed deadlines.
+
+Also checks the paper's headline: GE saves a large fraction of BE's
+energy (paper: up to 23.9 %) while holding the quality target.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig03_schedulers
+
+
+def test_fig03_schedulers(run_figure):
+    fig = run_figure(fig03_schedulers.run)
+    light = fig.series("quality", "GE").x[0]
+
+    q = {name: fig.series("quality", name) for name in fig03_schedulers.FACTORIES}
+    e = {name: fig.series("energy", name) for name in fig03_schedulers.FACTORIES}
+
+    # GE pins ~Q_GE at light load; BE has the best quality.
+    assert abs(q["GE"].y_at(light) - 0.9) < 0.03
+    assert q["BE"].y_at(light) == max(s.y_at(light) for s in q.values())
+
+    # Headline: GE uses at least 15 % less energy than BE at light load.
+    assert e["GE"].y_at(light) < 0.85 * e["BE"].y_at(light)
+
+    # LJF and SJF have the worst quality under load; SJF is the floor.
+    heavy = q["GE"].x[-1]
+    assert q["SJF"].y_at(heavy) == min(s.y_at(heavy) for s in q.values())
+    assert q["LJF"].y_at(heavy) < q["FCFS"].y_at(heavy)
+
+    # SJF's energy decreases (or stays flat) as overload grows.
+    assert e["SJF"].y[-1] <= e["SJF"].y[0] * 1.5

@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 4 — random deadline windows (150–500 ms)."""
+
+from __future__ import annotations
+
+from repro.experiments import fig04_random_deadlines
+
+
+def test_fig04_random_deadlines(run_figure):
+    fig = run_figure(fig04_random_deadlines.run)
+    q = {name: fig.series("quality", name) for name in fig04_random_deadlines.FACTORIES}
+    mid = q["GE"].x[1]
+
+    # GE still pins the target with non-agreeable deadlines.
+    assert abs(q["GE"].y_at(mid) - 0.9) < 0.04
+    # FDFS (deadline order) dominates the other one-at-a-time baselines.
+    for other in ("FCFS", "LJF", "SJF"):
+        assert q["FDFS"].y_at(mid) > q[other].y_at(mid)
+    # FCFS degrades much more than with agreeable deadlines (paper:
+    # 'FCFS performs extremely bad in this case').
+    assert q["FCFS"].y_at(mid) < 0.8

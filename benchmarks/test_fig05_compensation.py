@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 5 — compensation-policy ablation."""
+
+from __future__ import annotations
+
+from repro.experiments import fig05_compensation
+
+
+def test_fig05_compensation(run_figure):
+    fig = run_figure(fig05_compensation.run)
+    comp_q = fig.series("quality", "Compensation")
+    nocomp_q = fig.series("quality", "No-Compensation")
+    comp_e = fig.series("energy", "Compensation")
+    nocomp_e = fig.series("energy", "No-Compensation")
+
+    # Compensation never yields lower quality, and buys its guarantee
+    # with a little extra energy (paper Fig. 5b).
+    pre_overload = [x for x in comp_q.x if x <= 180.0]
+    assert pre_overload, "sweep must include pre-overload rates"
+    for x in pre_overload:
+        assert comp_q.y_at(x) >= nocomp_q.y_at(x) - 5e-3
+        assert comp_e.y_at(x) >= nocomp_e.y_at(x) * 0.98
+    # Somewhere before overload the gap is visible.
+    gaps = [comp_q.y_at(x) - nocomp_q.y_at(x) for x in pre_overload]
+    assert max(gaps) > 0.003

@@ -1,0 +1,27 @@
+"""Bench: regenerate Fig. 6 — WF vs ES core-speed statistics."""
+
+from __future__ import annotations
+
+from repro.experiments import fig06_speed_stats
+
+
+def test_fig06_speed_stats(run_figure):
+    fig = run_figure(fig06_speed_stats.run)
+    wf_mean = fig.series("average_speed", "Water-Filling")
+    es_mean = fig.series("average_speed", "Equal-Sharing")
+    wf_var = fig.series("speed_variance", "Water-Filling")
+    es_var = fig.series("speed_variance", "Equal-Sharing")
+    light = wf_mean.x[0]
+
+    # Mean speeds nearly equal under light load (paper Fig. 6a) ...
+    assert wf_mean.y_at(light) / es_mean.y_at(light) < 1.1
+    # ... but WF's speed variance dominates ES's at every load (Fig. 6b),
+    # and clearly so (>1.2x) somewhere before overload: the
+    # core-speed-thrashing signature.
+    for x in wf_var.x:
+        assert wf_var.y_at(x) > es_var.y_at(x)
+    pre_overload = [x for x in wf_var.x if x <= 180.0]
+    assert max(wf_var.y_at(x) / es_var.y_at(x) for x in pre_overload) > 1.2
+    # WF's mean is >= ES's once the load is heavy (WF uses the budget).
+    heavy = wf_mean.x[-1]
+    assert wf_mean.y_at(heavy) >= es_mean.y_at(heavy) - 1e-6

@@ -1,0 +1,24 @@
+"""Bench: regenerate Fig. 7 — WF vs ES quality and energy."""
+
+from __future__ import annotations
+
+from repro.experiments import fig07_power_policies
+
+
+def test_fig07_power_policies(run_figure):
+    fig = run_figure(fig07_power_policies.run)
+    wf_q = fig.series("quality", "Water-Filling")
+    es_q = fig.series("quality", "Equal-Sharing")
+    wf_e = fig.series("energy", "Water-Filling")
+    es_e = fig.series("energy", "Equal-Sharing")
+    light = wf_q.x[0]
+    heavy = wf_q.x[-2]  # heavy but not absurdly overloaded
+
+    # Light load: same quality, ES cheaper (justifies ES below the
+    # critical load).
+    assert es_q.y_at(light) == wf_q.y_at(light) or abs(
+        es_q.y_at(light) - wf_q.y_at(light)
+    ) < 0.02
+    assert es_e.y_at(light) <= wf_e.y_at(light)
+    # Heavy load: WF's quality is at least ES's (justifies WF above it).
+    assert wf_q.y_at(heavy) >= es_q.y_at(heavy) - 5e-3

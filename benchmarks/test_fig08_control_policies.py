@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig. 8 — GE vs BE-P vs BE-S control policies.
+
+The heaviest figure (each point bisects a calibration), so it runs at a
+smaller scale and a thinner rate axis than the rest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig08_control_policies
+
+
+def test_fig08_control_policies(run_figure):
+    fig = run_figure(
+        fig08_control_policies.run,
+        scale=0.01,
+        rates=(110.0, 170.0, 240.0),
+        iterations=4,
+    )
+    ge_q = fig.series("quality", "GE")
+    bep_q = fig.series("quality", "BE-P")
+    bes_q = fig.series("quality", "BE-S")
+
+    # All three meet the target at light load.
+    for s in (ge_q, bep_q, bes_q):
+        assert s.y_at(110.0) > 0.85
+    # Under overload the three policies converge (paper §IV-F).
+    assert abs(ge_q.y_at(240.0) - bep_q.y_at(240.0)) < 0.03
+    assert abs(ge_q.y_at(240.0) - bes_q.y_at(240.0)) < 0.03

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 9 — quality-function concavity sweep."""
+
+from __future__ import annotations
+
+from repro.experiments import fig09_quality_function
+
+
+def test_fig09_quality_function(run_figure):
+    fig = run_figure(fig09_quality_function.run)
+    rate = fig.series("service_quality", "c=0.003").x[-1]
+    qualities = [
+        fig.series("service_quality", f"c={c:g}").y_at(rate)
+        for c in fig09_quality_function.C_VALUES
+    ]
+    # Paper: GE's achieved quality under stress increases with c.
+    assert qualities == sorted(qualities), qualities
+    # The analytic curves are ordered at every sampled x < x_max.
+    f_mid = [
+        fig.series("quality_function", f"c={c:g}").y_at(500.0)
+        for c in fig09_quality_function.C_VALUES
+    ]
+    assert f_mid == sorted(f_mid)

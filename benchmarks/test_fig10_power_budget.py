@@ -1,0 +1,31 @@
+"""Bench: regenerate Fig. 10 — power-budget sensitivity."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_power_budget
+
+
+def test_fig10_power_budget(run_figure):
+    fig = run_figure(fig10_power_budget.run)
+    heavy = fig.series("quality", "budget=320").x[-1]
+    light = fig.series("quality", "budget=320").x[0]
+
+    # Quality is monotone in the budget under load.
+    q_heavy = [
+        fig.series("quality", f"budget={b:g}").y_at(heavy)
+        for b in fig10_power_budget.BUDGETS
+    ]
+    assert q_heavy == sorted(q_heavy)
+
+    # A small budget saturates: its energy barely grows past mid-load,
+    # while the large budget's energy keeps climbing.
+    e80 = fig.series("energy", "budget=80")
+    e480 = fig.series("energy", "budget=480")
+    assert e80.y[-1] < e80.y[1] * 1.3
+    assert e480.y[-1] > e480.y[0] * 1.5
+
+    # Light load: raising the budget does not meaningfully raise energy
+    # (paper: 'High power budget is not at all necessary when load is light').
+    e320_light = fig.series("energy", "budget=320").y_at(light)
+    e480_light = e480.y_at(light)
+    assert e480_light < e320_light * 1.1

@@ -1,0 +1,22 @@
+"""Bench: regenerate Fig. 11 — core-count sensitivity."""
+
+from __future__ import annotations
+
+from repro.experiments import fig11_core_count
+
+
+def test_fig11_core_count(run_figure):
+    fig = run_figure(fig11_core_count.run)
+    q = fig.series("quality", "GE")
+    e = fig.series("energy", "GE")
+
+    # Few cores: poor quality at high energy; 16 cores: target quality
+    # at much lower energy (paper Fig. 11).
+    assert q.y_at(0) < 0.6
+    assert q.y_at(4) > 0.85
+    assert e.y_at(4) < e.y_at(0)
+
+    # The WF arm shows the saturation plateau at very high core counts
+    # (see EXPERIMENTS.md on the ES-capping dip).
+    q_wf = fig.series("quality", "GE-WF")
+    assert q_wf.y_at(6) > 0.85

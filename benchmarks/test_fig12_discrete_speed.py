@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 12 — continuous vs discrete speed scaling."""
+
+from __future__ import annotations
+
+from repro.experiments import fig12_discrete_speed
+
+
+def test_fig12_discrete_speed(run_figure):
+    fig = run_figure(fig12_discrete_speed.run)
+    cont_q = fig.series("quality", "Continuous")
+    disc_q = fig.series("quality", "Discrete")
+    cont_e = fig.series("energy", "Continuous")
+    disc_e = fig.series("energy", "Discrete")
+
+    for x in cont_q.x:
+        # Discrete tracks continuous closely, losing at most a little
+        # quality (paper Fig. 12a).
+        assert disc_q.y_at(x) > cont_q.y_at(x) - 0.05
+        assert disc_q.y_at(x) < cont_q.y_at(x) + 0.02
+        # ... and never uses meaningfully more energy (Fig. 12b).
+        assert disc_e.y_at(x) < cont_e.y_at(x) * 1.05

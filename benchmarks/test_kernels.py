@@ -1,0 +1,83 @@
+"""Microbenchmarks of the algorithmic kernels.
+
+These measure the per-call cost of the pieces that run on every
+scheduling round (LF cut, water-filling, Quality-OPT, YDS) and the raw
+event-loop throughput — the quantities that bound how far the
+simulation scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cutting import lf_cut_waterline
+from repro.core.energy_opt import yds_schedule
+from repro.core.quality_opt import quality_opt
+from repro.power.distribution import water_fill
+from repro.quality.functions import ExponentialQuality
+from repro.sim.engine import Simulator
+
+F = ExponentialQuality(c=0.003, x_max=1000.0)
+RNG = np.random.default_rng(0)
+
+DEMANDS_64 = RNG.uniform(130.0, 1000.0, 64)
+DEADLINES_64 = np.sort(RNG.uniform(0.01, 0.15, 64))
+POWER_DEMANDS_16 = RNG.uniform(0.0, 60.0, 16)
+
+
+def test_bench_lf_cut_64_jobs(benchmark):
+    out = benchmark(lf_cut_waterline, F, DEMANDS_64, 0.9)
+    assert out.shape == (64,)
+
+
+def test_bench_water_fill_16_cores(benchmark):
+    out = benchmark(water_fill, POWER_DEMANDS_16, 320.0)
+    assert out.sum() <= 320.0 + 1e-6
+
+
+def test_bench_quality_opt_32_jobs(benchmark):
+    bounds = DEMANDS_64[:32]
+    dls = DEADLINES_64[:32]
+    out = benchmark(quality_opt, bounds, dls, 0.0, 2000.0)
+    assert out.shape == (32,)
+
+
+def test_bench_yds_32_jobs(benchmark):
+    vols = DEMANDS_64[:32]
+    dls = np.sort(RNG.uniform(0.05, 2.0, 32))
+    blocks = benchmark(yds_schedule, vols, dls, 0.0)
+    assert sum(len(b.jobs) for b in blocks) == 32
+
+
+def test_bench_event_loop_throughput(benchmark):
+    """Events per second of the bare DES kernel (chained timers)."""
+
+    def run_10k_events():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_bench_ge_simulated_second(benchmark):
+    """Wall-clock cost of one simulated second of GE at λ=150."""
+    from repro.config import SimulationConfig
+    from repro.core.ge import make_ge
+    from repro.server.harness import SimulationHarness
+
+    def run_one_second():
+        cfg = SimulationConfig(arrival_rate=150.0, horizon=1.0, seed=5)
+        return SimulationHarness(cfg, make_ge()).run()
+
+    result = benchmark.pedantic(run_one_second, rounds=3, iterations=1)
+    assert result.jobs > 100

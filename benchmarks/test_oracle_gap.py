@@ -1,0 +1,47 @@
+"""Bench: the price of online operation (GE vs the clairvoyant oracle).
+
+GE-Oracle computes the LF cut offline over the whole workload and never
+compensates; comparing it with online GE isolates what batch-local
+cutting + compensation cost in energy and how close online GE's quality
+tracking is to the ideal.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.clairvoyant import make_oracle
+from repro.core.ge import make_be, make_ge
+from repro.experiments.runner import run_single, scaled_config
+
+
+def test_oracle_gap(benchmark):
+    rates = (110.0, 150.0, 190.0)
+
+    def sweep():
+        out = {}
+        for rate in rates:
+            cfg = scaled_config(0.02, 11, arrival_rate=rate)
+            out[rate] = {
+                "GE": run_single(cfg, make_ge),
+                "Oracle": run_single(cfg, make_oracle),
+                "BE": run_single(cfg, make_be),
+            }
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"  {'λ':>5} {'GE Q':>7} {'Orc Q':>7} {'GE E':>9} {'Orc E':>9} {'online cost':>12}")
+    for rate, row in results.items():
+        ge, oracle = row["GE"], row["Oracle"]
+        cost = ge.energy / oracle.energy - 1.0
+        print(
+            f"  {rate:5.0f} {ge.quality:7.4f} {oracle.quality:7.4f} "
+            f"{ge.energy:8.0f}J {oracle.energy:8.0f}J {cost:11.1%}"
+        )
+    for rate, row in results.items():
+        ge, oracle, be = row["GE"], row["Oracle"], row["BE"]
+        # The oracle never spends more than online GE (beyond noise),
+        # and both stay far below BE.
+        assert oracle.energy <= ge.energy * 1.03
+        assert oracle.energy < be.energy
+        # Online GE's quality tracking stays close to the ideal cut.
+        assert abs(ge.quality - oracle.quality) < 0.05

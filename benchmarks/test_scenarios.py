@@ -1,0 +1,44 @@
+"""Bench: GE's energy saving across the paper's motivating domains.
+
+The paper evaluates web search only; its introduction claims the
+approach generalizes to video rendering, financial analytics, process
+monitoring and GPS tracking.  This bench runs GE vs BE on the stylized
+preset of each domain (``repro/workload/scenarios.py``) and reports the
+saving at the scenario's quality target.
+"""
+
+from __future__ import annotations
+
+from repro.core.ge import make_be, make_ge
+from repro.server.harness import SimulationHarness
+from repro.workload.scenarios import SCENARIOS, scenario_config
+
+
+def test_scenario_savings(benchmark):
+    def sweep():
+        out = {}
+        for name in sorted(SCENARIOS):
+            cfg = scenario_config(name, horizon=10.0, seed=11)
+            ge = SimulationHarness(cfg, make_ge()).run()
+            be = SimulationHarness(cfg, make_be()).run()
+            out[name] = (ge, be)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"  {'scenario':<20} {'GE Q':>7} {'BE Q':>7} {'GE E':>9} {'BE E':>9} {'saving':>7}")
+    for name, (ge, be) in results.items():
+        saving = 1.0 - ge.energy / be.energy
+        print(
+            f"  {name:<20} {ge.quality:7.4f} {be.quality:7.4f} "
+            f"{ge.energy:8.0f}J {be.energy:8.0f}J {saving:7.1%}"
+        )
+    for name, (ge, be) in results.items():
+        # GE meets the target on every domain shape...
+        assert ge.quality > 0.86, name
+        # ... and never spends more energy than Best-Effort.
+        assert ge.energy <= be.energy * 1.02, name
+    # On the strongly concave domains the saving is substantial.
+    for name in ("web_search", "video_rendering"):
+        ge, be = results[name]
+        assert ge.energy < 0.85 * be.energy, name

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Fluid-limit analysis vs. discrete-event simulation, side by side.
+
+The :mod:`repro.analysis` package predicts GE's behaviour without
+simulating: the LF cut converges to a waterline L on the demand
+distribution, from which the kept volume and an energy lower bound
+follow.  This example runs the real simulator across arrival rates and
+prints the prediction error — a self-check any user can run, and a fast
+way to answer what-if questions before paying for a simulation.
+
+Run:  python examples/analysis_vs_simulation.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, SimulationHarness, make_ge
+from repro.analysis import (
+    energy_rate_lower_bound,
+    predict_cut_stats,
+)
+
+RATES = (100.0, 120.0, 140.0)
+
+
+def main() -> None:
+    config = SimulationConfig(horizon=20.0, seed=8)
+    f = config.quality_function()
+    dist = config.demand_distribution()
+    model = config.power_model()
+
+    stats = predict_cut_stats(f, dist, config.q_ge)
+    print("Fluid predictions for Q_GE = 0.9 on the paper's workload:")
+    print(f"  cut waterline L         : {stats.waterline:7.1f} units")
+    print(f"  kept volume per job     : {stats.kept_volume:7.1f} units "
+          f"({stats.kept_fraction:.1%} of the mean demand)")
+    print()
+
+    print(f"{'λ':>6} | {'sim volume/job':>14} {'fluid':>7} | "
+          f"{'sim W':>8} {'bound W':>8} {'ratio':>6}")
+    for rate in RATES:
+        cfg = config.with_overrides(arrival_rate=rate)
+        result = SimulationHarness(cfg, make_ge()).run()
+        sim_volume = result.completed_volume / result.jobs
+        sim_watts = result.energy / result.duration
+        bound = energy_rate_lower_bound(
+            rate, dist, stats.waterline, model, cfg.window_low
+        )
+        print(
+            f"{rate:6.0f} | {sim_volume:14.1f} {stats.kept_volume:7.1f} | "
+            f"{sim_watts:8.1f} {bound:8.1f} {sim_watts / bound:6.2f}"
+        )
+    print()
+    print("The simulated volume per job tracks the fluid waterline, and the")
+    print("measured power sits above (but within ~2x of) the no-contention")
+    print("lower bound — the gap is queueing contention plus compensation.")
+
+
+if __name__ == "__main__":
+    main()

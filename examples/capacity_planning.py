@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Capacity planning with GE: how many cores / how much power budget?
+
+Uses the Fig. 10/11 machinery to answer two provisioning questions for
+a target load:
+
+1. For a fixed 320 W budget, how many cores does the quality target
+   need?  (More, weaker cores win — until a single core's equal power
+   share can no longer serve one job by its deadline.)
+2. For a fixed 16-core server, how small can the power budget get
+   before the 0.9 target is lost?
+
+Run:  python examples/capacity_planning.py [rate]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import SimulationConfig, SimulationHarness, make_ge
+
+
+def run(rate: float, **overrides):
+    config = SimulationConfig(arrival_rate=rate, horizon=15.0, seed=4).with_overrides(
+        **overrides
+    )
+    return SimulationHarness(config, make_ge()).run()
+
+
+def main(rate: float | None = None) -> None:
+    if rate is None:
+        rate = 150.0
+
+    print(f"== Core-count sweep at λ={rate:.0f} req/s, H=320 W ==")
+    print(f"{'cores':>6} {'ES speed':>9} {'quality':>8} {'energy':>9} {'verdict':>10}")
+    for m in (2, 4, 8, 16, 32, 64):
+        result = run(rate, m=m)
+        cfg = SimulationConfig(m=m)
+        verdict = "OK" if result.quality >= 0.88 else "too few" if m < 16 else "too weak"
+        print(
+            f"{m:>6} {cfg.equal_share_speed():8.2f}G {result.quality:8.4f} "
+            f"{result.energy:8.0f}J {verdict:>10}"
+        )
+    print("(the 2^x sweep is Fig. 11; 'too weak' marks the ES-capping regime,")
+    print(" where one core's equal share cannot finish a big job in 150 ms)\n")
+
+    print(f"== Budget sweep at λ={rate:.0f} req/s, m=16 ==")
+    print(f"{'budget':>7} {'quality':>8} {'energy':>9} {'verdict':>9}")
+    for budget in (80.0, 120.0, 160.0, 240.0, 320.0, 480.0):
+        result = run(rate, budget=budget)
+        verdict = "OK" if result.quality >= 0.88 else "starved"
+        print(f"{budget:6.0f}W {result.quality:8.4f} {result.energy:8.0f}J {verdict:>9}")
+    print("(Fig. 10: past the knee, extra budget buys nothing at this load)")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else None)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Fig. 2 as runnable code: Longest-First job cutting, step by step.
+
+Reproduces the paper's four-job cutting schematic with the real
+implementation, printing an ASCII bar per job before and after the cut
+and the quality accounting that drives the stopping rule.
+
+Run:  python examples/job_cutting_demo.py [Q_GE]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core.cutting import lf_cut_stepwise, lf_cut_waterline
+from repro.quality.functions import ExponentialQuality
+
+DEMANDS = np.array([900.0, 620.0, 380.0, 180.0])
+
+
+def bar(volume: float, cut_to: float | None = None, width: int = 50) -> str:
+    """Render a job as a bar; '#' kept volume, '.' discarded tail."""
+    total = int(round(volume / 1000.0 * width))
+    if cut_to is None:
+        return "#" * total
+    kept = int(round(cut_to / 1000.0 * width))
+    return "#" * kept + "." * (total - kept)
+
+
+def main(q_target: float | None = None) -> None:
+    if q_target is None:
+        q_target = 0.9
+    f = ExponentialQuality(c=0.003, x_max=1000.0)
+
+    print(f"LF job cutting to Q_GE = {q_target}")
+    print(f"quality function: f(x) = (1-e^-0.003x)/(1-e^-3)\n")
+
+    targets = lf_cut_waterline(f, DEMANDS, q_target)
+    stepwise = lf_cut_stepwise(f, DEMANDS, q_target)
+    assert np.allclose(targets, stepwise, atol=0.5), "implementations disagree"
+
+    print(f"{'job':>4} {'demand':>8} {'target':>8} {'f(p)':>7} {'f(c)':>7}  volume")
+    for i, (p, c) in enumerate(zip(DEMANDS, targets), start=1):
+        print(
+            f"{i:>4} {p:8.1f} {c:8.1f} {float(f(p)):7.4f} {float(f(c)):7.4f}  {bar(p, c)}"
+        )
+
+    q = float(np.sum(f(targets))) / float(np.sum(f(DEMANDS)))
+    kept = float(np.sum(targets)) / float(np.sum(DEMANDS))
+    print()
+    print(f"aggregate quality after cut : {q:.4f}  (target {q_target})")
+    print(f"volume kept                 : {kept:.1%}")
+    print(f"energy leverage             : {1-kept:.1%} of the work removed for "
+          f"{1-q:.1%} quality loss")
+    print()
+    print("Note how the two longest jobs are levelled to a common value while")
+    print("the short jobs are untouched — the diminishing-returns tail of the")
+    print("long jobs is the cheapest quality to give up.")
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else None)

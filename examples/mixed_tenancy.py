@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Mixed tenancy: two error-tolerant services sharing one server.
+
+The paper evaluates one application per server; this example uses the
+``repro.mixed`` extension to host a sharply-saturating search service
+(c=0.009 — the first 20 % of a scan carries most of the quality) next
+to a linear-quality analytics service (every record counts equally),
+50/50 on the same 16 cores.
+
+It contrasts three operating modes on identical arrivals and shows why
+class-awareness matters: a class-blind cutter cannot place the shared
+quality target correctly when the classes' shapes differ.
+
+Run:  python examples/mixed_tenancy.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, SimulationHarness, make_be, make_ge
+from repro.mixed import ClassAwareMonitor, MixedClassWorkload, make_mixed_ge
+from repro.quality.functions import ExponentialQuality, LinearQuality
+from repro.sim.rng import RandomStreams
+
+FUNCTIONS = [
+    ExponentialQuality(c=0.009, x_max=1000.0),  # class 0: web search
+    LinearQuality(x_max=1000.0),  # class 1: exact analytics
+]
+CLASS_NAMES = ["search (concave)", "analytics (linear)"]
+
+
+def class_quality(jobs, klass):
+    f = FUNCTIONS[klass]
+    mine = [j for j in jobs if j.klass == klass]
+    achieved = sum(float(f(j.processed)) for j in mine)
+    potential = sum(float(f(j.demand)) for j in mine)
+    return achieved / potential if potential else 1.0
+
+
+def main() -> None:
+    config = SimulationConfig(arrival_rate=130.0, horizon=20.0, seed=6)
+
+    def workload():
+        return MixedClassWorkload(
+            config.workload(), [0.5, 0.5], streams=RandomStreams(seed=42)
+        )
+
+    arms = {}
+    aware_sched, aware_mon = make_mixed_ge(FUNCTIONS)
+    arms["GE-Mixed"] = SimulationHarness(
+        config, aware_sched, workload=workload(), monitor=aware_mon
+    )
+    arms["GE-blind"] = SimulationHarness(
+        config, make_ge(), workload=workload(), monitor=ClassAwareMonitor(FUNCTIONS)
+    )
+    arms["BE"] = SimulationHarness(
+        config, make_be(), workload=workload(), monitor=ClassAwareMonitor(FUNCTIONS)
+    )
+
+    print("Two services, one server, Q_GE = 0.9 on the mixed aggregate\n")
+    print(f"{'policy':>9} {'mixed Q':>8} {'energy':>9}   per-class quality")
+    for name, harness in arms.items():
+        result = harness.run()
+        jobs = harness.workload.materialize()
+        per_class = ", ".join(
+            f"{CLASS_NAMES[k]}={class_quality(jobs, k):.3f}" for k in (0, 1)
+        )
+        print(f"{name:>9} {result.quality:8.4f} {result.energy:8.0f}J   {per_class}")
+
+    print()
+    print("GE-Mixed hits the mixed target by cutting the concave class deep")
+    print("(its tails are cheap) while barely touching the linear class;")
+    print("the class-blind cutter treats both alike and over-delivers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario: an interactive web-search server.
+
+Simulates a day-night load pattern by sweeping the arrival rate across
+a morning ramp, a lunchtime peak, and an evening tail, and shows how GE
+adapts: deep cutting and high AES share when traffic is light, more
+compensation and Water-Filling as the peak approaches.
+
+Run:  python examples/websearch_server.py
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, SimulationHarness, make_be, make_ge
+from repro.experiments.report import Series, ascii_plot
+
+#: (label, requests/second) — a stylized daily traffic profile.
+TRAFFIC = [
+    ("03:00 night", 100.0),
+    ("08:00 ramp", 130.0),
+    ("12:00 peak", 185.0),
+    ("15:00 high", 160.0),
+    ("21:00 tail", 115.0),
+]
+
+
+def main() -> None:
+    print("Web-search server: 16 cores, 320 W budget, 150 ms deadlines, Q_GE=0.9")
+    print(f"{'period':>12} {'λ':>6} | {'GE quality':>10} {'GE energy':>10} "
+          f"{'AES %':>6} | {'BE energy':>10} {'saving':>7}")
+
+    ge_series = Series(label="GE energy")
+    be_series = Series(label="BE energy")
+    for i, (label, rate) in enumerate(TRAFFIC):
+        config = SimulationConfig(arrival_rate=rate, horizon=20.0, seed=9)
+        ge = SimulationHarness(config, make_ge()).run()
+        be = SimulationHarness(config, make_be()).run()
+        saving = 1.0 - ge.energy / be.energy
+        print(
+            f"{label:>12} {rate:6.0f} | {ge.quality:10.4f} {ge.energy:9.0f}J "
+            f"{ge.aes_fraction:6.1%} | {be.energy:9.0f}J {saving:7.1%}"
+        )
+        ge_series.add(i, ge.energy)
+        be_series.add(i, be.energy)
+
+    print()
+    print("Energy across the day (o = GE, x = BE):")
+    print(ascii_plot([ge_series, be_series], width=50, height=10))
+    print()
+    print("GE tracks the 0.9 quality target all day; the energy saving is")
+    print("largest off-peak, where aggressive cutting runs uncontested.")
+
+
+if __name__ == "__main__":
+    main()

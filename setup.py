@@ -1,0 +1,12 @@
+"""Setup shim for offline environments.
+
+The canonical metadata lives in ``pyproject.toml``.  This shim exists
+only because PEP 660 editable installs require the ``wheel`` package,
+which may be unavailable in air-gapped environments; there
+``python setup.py develop`` (or ``pip install -e . --no-build-isolation``
+once wheel is present) installs the package in editable mode.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""repro — reproduction of *"When Good Enough Is Better: Energy-Aware
+Scheduling for Multicore Servers"* (Hui, Du, Liu, Sun, He, Bader —
+IPDPSW 2017).
+
+The package provides:
+
+* the **GE (Good Enough)** online scheduler — approximate computing via
+  Longest-First job cutting, an AES↔BQ quality compensation policy,
+  and a hybrid Equal-Sharing / Water-Filling power distribution —
+  together with every substrate it needs (a discrete-event simulation
+  kernel, a DVFS multicore server model, Energy-OPT/YDS speed scaling,
+  and the Quality-OPT partial-processing allocator);
+* all the paper's baselines (BE, OQ, FCFS, FDFS, LJF, SJF, BE-P, BE-S);
+* an experiment harness regenerating every figure of the evaluation
+  (see :mod:`repro.experiments` and the ``repro-cli`` entry point).
+
+Quickstart
+----------
+>>> from repro import SimulationConfig, SimulationHarness, make_ge
+>>> config = SimulationConfig(arrival_rate=120.0, horizon=20.0)
+>>> result = SimulationHarness(config, make_ge()).run()
+>>> 0.8 < result.quality <= 1.0
+True
+"""
+
+from repro.baselines import (
+    FCFS,
+    FDFS,
+    LJF,
+    SJF,
+    calibrate_power_control,
+    calibrate_speed_control,
+)
+from repro.config import PAPER_DEFAULTS, SimulationConfig
+from repro.core import GEScheduler, make_be, make_ge, make_oq
+from repro.errors import (
+    ConfigurationError,
+    InfeasibleError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.metrics import MetricsCollector, RunResult
+from repro.power import PowerModel
+from repro.quality import ExponentialQuality, QualityFunction, QualityMonitor
+from repro.server import SimulationHarness
+from repro.sim import Simulator
+from repro.workload import BoundedPareto, Job, JobOutcome, PoissonWorkloadGenerator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FCFS",
+    "FDFS",
+    "LJF",
+    "SJF",
+    "BoundedPareto",
+    "ConfigurationError",
+    "ExponentialQuality",
+    "GEScheduler",
+    "InfeasibleError",
+    "Job",
+    "JobOutcome",
+    "MetricsCollector",
+    "PAPER_DEFAULTS",
+    "PoissonWorkloadGenerator",
+    "PowerModel",
+    "QualityFunction",
+    "QualityMonitor",
+    "ReproError",
+    "RunResult",
+    "SchedulingError",
+    "SimulationConfig",
+    "SimulationError",
+    "SimulationHarness",
+    "Simulator",
+    "calibrate_power_control",
+    "calibrate_speed_control",
+    "make_be",
+    "make_ge",
+    "make_oq",
+]

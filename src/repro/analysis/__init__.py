@@ -1,0 +1,33 @@
+"""Analytical (fluid-limit) models that cross-validate the simulator.
+
+In the limit of many jobs, GE's Longest-First cut behaves like a
+deterministic *waterline* on the demand distribution: every job is
+processed to ``min(X, L)`` where ``L`` solves
+``E[f(min(X, L))] = Q_GE · E[f(X)]``.  From that waterline the expected
+kept volume, the expected quality, and a lower bound on the energy rate
+all follow in closed or quadrature form.
+
+These predictions are used three ways:
+
+* as oracle tests — the simulator must converge to them as the horizon
+  grows (``tests/analysis/``);
+* as fast what-if answers (``examples/capacity_planning.py`` scale
+  questions without running a simulation);
+* as the energy *lower bound* every measured run is checked against.
+"""
+
+from repro.analysis.fluid import (
+    energy_rate_lower_bound,
+    expected_kept_volume,
+    expected_quality_at_level,
+    predict_cut_stats,
+    waterline_for_quality,
+)
+
+__all__ = [
+    "energy_rate_lower_bound",
+    "expected_kept_volume",
+    "expected_quality_at_level",
+    "predict_cut_stats",
+    "waterline_for_quality",
+]

@@ -1,0 +1,32 @@
+"""Baseline schedulers the paper compares against (§IV-A-1, §IV-F).
+
+* :mod:`repro.baselines.queue_order` — FCFS, FDFS, LJF, SJF: one job
+  per idle core, ES power split, slowest-feasible speed.
+* :mod:`repro.baselines.control` — the BE-P (power control) and BE-S
+  (speed control) policies: BE calibrated by bisection to the least
+  budget / speed cap meeting the quality target.
+
+The OQ and BE baselines are parameterizations of the GE machinery and
+live in :mod:`repro.core.ge` (:func:`make_oq`, :func:`make_be`).
+"""
+
+from repro.baselines.clairvoyant import ClairvoyantGE, make_oracle
+from repro.baselines.control import (
+    CalibrationResult,
+    calibrate_power_control,
+    calibrate_speed_control,
+)
+from repro.baselines.queue_order import FCFS, FDFS, LJF, SJF, QueueOrderScheduler
+
+__all__ = [
+    "FCFS",
+    "FDFS",
+    "LJF",
+    "SJF",
+    "CalibrationResult",
+    "ClairvoyantGE",
+    "QueueOrderScheduler",
+    "calibrate_power_control",
+    "calibrate_speed_control",
+    "make_oracle",
+]

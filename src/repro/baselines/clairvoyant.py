@@ -1,0 +1,66 @@
+"""GE-Oracle: a clairvoyant reference for GE's online machinery.
+
+GE's online loop pays for not knowing the future twice: the LF cut is
+recomputed per batch (so targets wobble around the ideal waterline),
+and quality dips must be repaired by switching to BQ mode (expensive
+bursts).  This scheduler removes both costs by computing **one global
+LF cut over the entire workload offline** and never compensating; the
+per-round power distribution, Quality-OPT and Energy-OPT stages are
+unchanged.
+
+It is *not* the true offline optimum (assignment and speed planning
+remain online heuristics), but it upper-bounds what better prediction
+could buy GE — the gap it exposes is the price of online operation,
+reported by ``benchmarks/test_oracle_gap.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.cutting import lf_cut_waterline
+from repro.core.ge import GEScheduler
+from repro.core.modes import ExecutionMode
+from repro.workload.job import Job
+
+__all__ = ["ClairvoyantGE", "make_oracle"]
+
+
+class ClairvoyantGE(GEScheduler):
+    """GE with an offline (whole-workload) LF cut and no compensation."""
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("name", "GE-Oracle")
+        kwargs.setdefault("compensated", False)
+        super().__init__(**kwargs)
+        self._offline_targets: Dict[int, float] = {}
+
+    def bind(self, harness) -> None:
+        super().bind(harness)
+        jobs = harness.workload.materialize()
+        if jobs:
+            demands = np.array([j.demand for j in jobs])
+            targets = lf_cut_waterline(
+                harness.quality_function, demands, self._q_target
+            )
+            self._offline_targets = {
+                job.jid: float(t) for job, t in zip(jobs, targets)
+            }
+
+    def _targets_for(
+        self, all_jobs: List[Job], mode: ExecutionMode
+    ) -> Dict[int, float]:
+        # Mode is always AES here (compensation disabled); targets come
+        # from the precomputed global cut.  Jobs outside the table (only
+        # possible with a tampered workload) fall back to full demand.
+        return {
+            job.jid: self._offline_targets.get(job.jid, job.demand)
+            for job in all_jobs
+        }
+
+
+def make_oracle(**kwargs) -> ClairvoyantGE:
+    """The clairvoyant reference with default knobs."""
+    return ClairvoyantGE(**kwargs)

@@ -1,0 +1,136 @@
+"""Power-control (BE-P) and speed-control (BE-S) policies (§IV-F).
+
+The paper contrasts GE's *quality control* with two alternative knobs
+applied to the Best-Effort scheduler:
+
+* **BE-P** "allocates the power according to the users' quality
+  demands": find the *least total power budget* with which BE still
+  delivers the target quality.
+* **BE-S** "sets the maximum core speed according to the users' quality
+  demands": find the *least per-core speed cap* with which BE (at the
+  full budget) delivers the target quality.
+
+The paper does not specify how the least budget/speed is found; we
+bisect over short calibration runs (documented substitution, DESIGN.md
+§2).  Quality is monotone (up to simulation noise) in both knobs, so
+bisection converges to the same operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.config import SimulationConfig
+from repro.core.ge import make_be
+from repro.metrics.collector import RunResult
+from repro.server.harness import SimulationHarness
+
+__all__ = ["CalibrationResult", "calibrate_power_control", "calibrate_speed_control"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of a bisection calibration.
+
+    Attributes
+    ----------
+    value:
+        The calibrated knob (watts for BE-P, GHz for BE-S).
+    result:
+        The final full-horizon run at the calibrated value.
+    probes:
+        Each bisection probe as ``(knob value, quality)``.
+    """
+
+    value: float
+    result: RunResult
+    probes: Tuple[Tuple[float, float], ...]
+
+
+def _run_be(config: SimulationConfig, name: str) -> RunResult:
+    scheduler = make_be()
+    scheduler.name = name
+    return SimulationHarness(config, scheduler).run()
+
+
+def _bisect_least_knob(
+    probe: Callable[[float], float],
+    lo: float,
+    hi: float,
+    target: float,
+    *,
+    iterations: int,
+) -> Tuple[float, List[Tuple[float, float]]]:
+    """Least knob value in [lo, hi] whose probed quality meets ``target``.
+
+    Assumes quality is (noisily) non-decreasing in the knob.  If even
+    ``hi`` misses the target, returns ``hi`` (the overloaded regime —
+    the paper's three control policies coincide there).
+    """
+    probes: List[Tuple[float, float]] = []
+    q_hi = probe(hi)
+    probes.append((hi, q_hi))
+    if q_hi < target:
+        return hi, probes
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        q_mid = probe(mid)
+        probes.append((mid, q_mid))
+        if q_mid >= target:
+            hi = mid
+        else:
+            lo = mid
+    return hi, probes
+
+
+def calibrate_power_control(
+    config: SimulationConfig,
+    *,
+    calibration_horizon: Optional[float] = None,
+    iterations: int = 7,
+) -> CalibrationResult:
+    """BE-P: least total power budget meeting ``config.q_ge``.
+
+    ``calibration_horizon`` shortens the probe runs (default: a quarter
+    of the full horizon, at least 30 s); the final measurement always
+    uses the full horizon.
+    """
+    horizon = calibration_horizon or max(30.0, config.horizon / 4)
+    probe_cfg = config.with_overrides(horizon=horizon)
+
+    def probe(budget: float) -> float:
+        return _run_be(probe_cfg.with_overrides(budget=budget), "BE-P").quality
+
+    least, probes = _bisect_least_knob(
+        probe, lo=config.budget * 0.05, hi=config.budget,
+        target=config.q_ge, iterations=iterations,
+    )
+    final = _run_be(config.with_overrides(budget=least), "BE-P")
+    return CalibrationResult(value=least, result=final, probes=tuple(probes))
+
+
+def calibrate_speed_control(
+    config: SimulationConfig,
+    *,
+    calibration_horizon: Optional[float] = None,
+    iterations: int = 7,
+) -> CalibrationResult:
+    """BE-S: least per-core speed cap meeting ``config.q_ge``.
+
+    The search upper bound is the speed a single core could sustain on
+    the whole budget — above that the cap can never bind.
+    """
+    horizon = calibration_horizon or max(30.0, config.horizon / 4)
+    probe_cfg = config.with_overrides(horizon=horizon)
+    top = config.power_model().speed(config.budget)
+
+    def probe(speed_cap: float) -> float:
+        return _run_be(probe_cfg.with_overrides(top_speed=speed_cap), "BE-S").quality
+
+    least, probes = _bisect_least_knob(
+        probe, lo=top * 0.02, hi=top,
+        target=config.q_ge, iterations=iterations,
+    )
+    final = _run_be(config.with_overrides(top_speed=least), "BE-S")
+    return CalibrationResult(value=least, result=final, probes=tuple(probes))

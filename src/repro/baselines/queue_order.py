@@ -1,0 +1,136 @@
+"""Queue-order baselines: FCFS, FDFS, LJF, SJF (paper §IV-A-1).
+
+These policies are "triggered whenever a core becomes idle, and a job
+in the waiting queue ... is assigned to the core":
+
+* **FCFS** — earliest release (arrival) time first;
+* **FDFS** — earliest deadline first (only distinct from FCFS when
+  deadlines are not agreeable, i.e. the Fig. 4 random-window variant);
+* **LJF** — largest service demand first;
+* **SJF** — smallest service demand first.
+
+All four use the Equal-Sharing power split (every core capped at
+``H/m``) and run each job "with the slowest possible speed to finish
+before the deadline"; when even the cap speed cannot finish in time,
+the job runs at the cap until its deadline and keeps the partial volume.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.server.core import Segment
+from repro.server.scheduler import Scheduler
+from repro.workload.job import Job
+
+__all__ = ["QueueOrderScheduler", "FCFS", "FDFS", "LJF", "SJF"]
+
+#: Ignore leftovers below this volume (float-noise guard).
+_WORK_EPS = 1e-9
+
+
+class QueueOrderScheduler(Scheduler):
+    """One-job-per-idle-core scheduling with a fixed queue order.
+
+    Parameters
+    ----------
+    name:
+        Reported policy name.
+    key:
+        Job sort key; the *minimum* is picked next (ties by jid, i.e.
+        arrival order).
+    """
+
+    quantum = None  # idle-core triggered only
+
+    def __init__(self, name: str, key: Callable[[Job], float]) -> None:
+        super().__init__()
+        self.name = name
+        self._key = key
+        self._cap_speeds: list = []
+
+    def bind(self, harness) -> None:
+        super().bind(harness)
+        cfg = harness.config
+        share = cfg.budget / cfg.m
+        self._cap_speeds = [
+            scale.max_speed_at_power(share) for scale in harness.machine.scales
+        ]
+        if min(self._cap_speeds) <= 0:
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                "equal power share supports no DVFS level — raise the budget "
+                "or lower the discrete ladder"
+            )
+
+    # ------------------------------------------------------------------
+    def on_arrival(self, job: Job) -> None:
+        self._dispatch()
+
+    def on_core_idle(self, core_index: int) -> None:
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    def _pick(self) -> Optional[Job]:
+        queue = self.harness.queue
+        if not queue:
+            return None
+        return min(queue, key=lambda j: (self._key(j), j.jid))
+
+    def _dispatch(self) -> None:
+        """Fill every idle core with the next job in policy order."""
+        harness = self.harness
+        now = harness.sim.now
+        for core in harness.machine.cores:
+            if core.has_work:
+                continue
+            while True:
+                job = self._pick()
+                if job is None:
+                    return
+                harness.take_from_queue(job)
+                window = job.deadline - now
+                if window <= 0 or job.remaining <= _WORK_EPS:
+                    # Expiring this instant; its deadline event settles it.
+                    continue
+                job.assign(core.index)
+                core.enqueue(self._segment_for(job, window, core.index))
+                break
+
+    def _segment_for(self, job: Job, window: float, core_index: int) -> Segment:
+        machine = self.harness.machine
+        model = machine.models[core_index]
+        scale = machine.scales[core_index]
+        cap = self._cap_speeds[core_index]
+        needed = model.speed_for_throughput(job.remaining / window)
+        if needed <= cap:
+            # Slowest speed that exactly meets the deadline (rounded up
+            # to the DVFS ladder when speeds are discrete).
+            speed = scale.ceil(needed)
+            if speed <= cap:
+                return Segment(job=job, volume=job.remaining, speed=speed)
+        # Cap-bound: run at the cap until the deadline (partial result);
+        # the deadline event will credit the progress and settle EXPIRED.
+        volume = min(job.remaining, model.throughput(cap) * window)
+        return Segment(job=job, volume=volume, speed=cap, final=False)
+
+
+def FCFS() -> QueueOrderScheduler:
+    """First-Come First-Served: earliest release time next."""
+    return QueueOrderScheduler("FCFS", key=lambda j: j.arrival)
+
+
+def FDFS() -> QueueOrderScheduler:
+    """First-Deadline First-Served: earliest deadline next."""
+    return QueueOrderScheduler("FDFS", key=lambda j: j.deadline)
+
+
+def LJF() -> QueueOrderScheduler:
+    """Longest Job First: largest service demand next."""
+    return QueueOrderScheduler("LJF", key=lambda j: -j.demand)
+
+
+def SJF() -> QueueOrderScheduler:
+    """Shortest Job First: smallest service demand next."""
+    return QueueOrderScheduler("SJF", key=lambda j: j.demand)

@@ -1,0 +1,240 @@
+"""Command-line interface: regenerate paper figures and run single sims.
+
+Examples
+--------
+List the reproducible figures::
+
+    repro-cli list
+
+Regenerate Fig. 3 at bench scale, or at the paper's full 10-minute
+horizon::
+
+    repro-cli fig 3
+    repro-cli fig 3 --paper-scale
+
+Run one scheduler once and print its summary row::
+
+    repro-cli run --scheduler GE --rate 150 --horizon 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines.clairvoyant import make_oracle
+from repro.baselines.queue_order import FCFS, FDFS, LJF, SJF
+from repro.config import SimulationConfig
+from repro.core.ge import GEScheduler, make_be, make_ge, make_oq
+from repro.experiments.registry import get_figure, list_figures
+from repro.server.harness import SimulationHarness
+
+__all__ = ["main"]
+
+_SCHEDULERS = {
+    "GE": make_ge,
+    "BE": make_be,
+    "OQ": make_oq,
+    "GE-NOCOMP": lambda: GEScheduler(name="GE-NoComp", compensated=False),
+    "GE-ORACLE": make_oracle,
+    "GE-ES": lambda: GEScheduler(name="GE-ES", distribution="es"),
+    "GE-WF": lambda: GEScheduler(name="GE-WF", distribution="wf"),
+    "FCFS": FCFS,
+    "FDFS": FDFS,
+    "LJF": LJF,
+    "SJF": SJF,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cli",
+        description="Reproduce 'When Good Enough Is Better' (IPDPSW 2017)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible figures")
+
+    fig = sub.add_parser("fig", help="regenerate one paper figure")
+    fig.add_argument("figure", help="figure id (e.g. 3 or fig03)")
+    fig.add_argument("--scale", type=float, default=None,
+                     help="horizon scale (1.0 = the paper's 10 minutes)")
+    fig.add_argument("--paper-scale", action="store_true",
+                     help="run at the paper's full scale (scale=1.0)")
+    fig.add_argument("--seed", type=int, default=1)
+    fig.add_argument("--csv", metavar="PATH", default=None,
+                     help="also write the figure's series as CSV")
+
+    run = sub.add_parser("run", help="run one scheduler once")
+    run.add_argument("--scheduler", default="GE", choices=sorted(_SCHEDULERS))
+    run.add_argument("--rate", type=float, default=150.0, help="arrival rate (req/s)")
+    run.add_argument("--horizon", type=float, default=60.0, help="seconds of arrivals")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--cores", type=int, default=16)
+    run.add_argument("--budget", type=float, default=320.0, help="power budget (W)")
+    run.add_argument("--q-ge", type=float, default=0.9, help="good-enough quality")
+
+    sweep = sub.add_parser("sweep", help="sweep schedulers across arrival rates")
+    sweep.add_argument("--schedulers", default="GE,BE",
+                       help="comma-separated scheduler names")
+    sweep.add_argument("--rates", default="100,150,200,250",
+                       help="comma-separated arrival rates (req/s)")
+    sweep.add_argument("--horizon", type=float, default=20.0)
+    sweep.add_argument("--seed", type=int, default=1)
+
+    scen = sub.add_parser("scenario", help="run a named application scenario")
+    scen.add_argument("name", nargs="?", default=None,
+                      help="scenario name; omit to list the presets")
+    scen.add_argument("--scheduler", default="GE", choices=sorted(_SCHEDULERS))
+    scen.add_argument("--rate", type=float, default=None,
+                      help="arrival rate (default: the scenario's nominal rate)")
+    scen.add_argument("--horizon", type=float, default=30.0)
+    scen.add_argument("--seed", type=int, default=1)
+
+    report = sub.add_parser("report", help="regenerate figures into a markdown report")
+    report.add_argument("--scale", type=float, default=None,
+                        help="horizon scale for every figure (default: per-figure)")
+    report.add_argument("--seed", type=int, default=1)
+    report.add_argument("--out", metavar="PATH", default=None,
+                        help="write to a file instead of stdout")
+    report.add_argument("--figures", nargs="*", default=None,
+                        help="subset of figure ids (default: all twelve)")
+
+    rep = sub.add_parser("replicate", help="replicate one scheduler across seeds")
+    rep.add_argument("--scheduler", default="GE", choices=sorted(_SCHEDULERS))
+    rep.add_argument("--rate", type=float, default=150.0)
+    rep.add_argument("--horizon", type=float, default=30.0)
+    rep.add_argument("--seed", type=int, default=1, help="first seed of the ladder")
+    rep.add_argument("--n", type=int, default=5, help="number of replications")
+
+    trace = sub.add_parser("trace", help="record or replay workload traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    save = trace_sub.add_parser("save", help="materialize a workload to CSV")
+    save.add_argument("path", help="output CSV file")
+    save.add_argument("--rate", type=float, default=150.0)
+    save.add_argument("--horizon", type=float, default=60.0)
+    save.add_argument("--seed", type=int, default=1)
+    replay = trace_sub.add_parser("replay", help="run a scheduler on a saved trace")
+    replay.add_argument("path", help="input CSV file")
+    replay.add_argument("--scheduler", default="GE", choices=sorted(_SCHEDULERS))
+    replay.add_argument("--q-ge", type=float, default=0.9)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for spec in list_figures():
+            print(f"{spec.figure_id}  (default scale {spec.default_scale:g})  {spec.title}")
+        return 0
+
+    if args.command == "fig":
+        spec = get_figure(args.figure)
+        scale = 1.0 if args.paper_scale else (args.scale or spec.default_scale)
+        result = spec.run(scale=scale, seed=args.seed)
+        print(result.to_text())
+        if args.csv:
+            from pathlib import Path
+
+            Path(args.csv).write_text(result.to_csv())
+            print(f"wrote CSV to {args.csv}")
+        return 0
+
+    if args.command == "run":
+        config = SimulationConfig(
+            arrival_rate=args.rate,
+            horizon=args.horizon,
+            seed=args.seed,
+            m=args.cores,
+            budget=args.budget,
+            q_ge=args.q_ge,
+        )
+        result = SimulationHarness(config, _SCHEDULERS[args.scheduler]()).run()
+        print(result.row())
+        return 0
+
+    if args.command == "sweep":
+        names = [n.strip().upper() for n in args.schedulers.split(",") if n.strip()]
+        unknown = [n for n in names if n not in _SCHEDULERS]
+        if unknown:
+            print(f"unknown scheduler(s): {', '.join(unknown)}; "
+                  f"available: {', '.join(sorted(_SCHEDULERS))}")
+            return 2
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+        for rate in rates:
+            config = SimulationConfig(
+                arrival_rate=rate, horizon=args.horizon, seed=args.seed
+            )
+            for name in names:
+                result = SimulationHarness(config, _SCHEDULERS[name]()).run()
+                print(result.row())
+        return 0
+
+    if args.command == "scenario":
+        from repro.workload.scenarios import SCENARIOS, scenario_config
+
+        if args.name is None:
+            for name in sorted(SCENARIOS):
+                s = SCENARIOS[name]
+                print(f"{name:<22} nominal λ={s.nominal_rate:g} r/s")
+                print(f"    {s.description}")
+            return 0
+        config = scenario_config(
+            args.name, arrival_rate=args.rate, horizon=args.horizon, seed=args.seed
+        )
+        result = SimulationHarness(config, _SCHEDULERS[args.scheduler]()).run()
+        print(result.row())
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.paper_report import generate_report
+
+        text = generate_report(scale=args.scale, seed=args.seed, figures=args.figures)
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(text)
+            print(f"wrote report to {args.out}")
+        else:
+            print(text)
+        return 0
+
+    if args.command == "replicate":
+        from repro.experiments.replication import replicate
+
+        config = SimulationConfig(
+            arrival_rate=args.rate, horizon=args.horizon, seed=args.seed
+        )
+        summary = replicate(config, _SCHEDULERS[args.scheduler], n=args.n)
+        print(summary.row())
+        return 0
+
+    if args.command == "trace":
+        from repro.workload.generator import StaticWorkload
+        from repro.workload.traces import load_trace, save_trace
+
+        if args.trace_command == "save":
+            config = SimulationConfig(
+                arrival_rate=args.rate, horizon=args.horizon, seed=args.seed
+            )
+            count = save_trace(config.workload().materialize(), args.path)
+            print(f"wrote {count} jobs to {args.path}")
+            return 0
+        if args.trace_command == "replay":
+            jobs = load_trace(args.path)
+            horizon = max((j.deadline for j in jobs), default=1.0)
+            config = SimulationConfig(horizon=horizon, q_ge=args.q_ge)
+            harness = SimulationHarness(
+                config, _SCHEDULERS[args.scheduler](), workload=StaticWorkload(jobs)
+            )
+            print(harness.run().row())
+            return 0
+
+    return 2  # pragma: no cover - argparse guards commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

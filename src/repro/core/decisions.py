@@ -1,0 +1,91 @@
+"""Structured logging of GE's scheduling decisions.
+
+Attach a :class:`DecisionLog` to a :class:`repro.core.ge.GEScheduler`
+to record one :class:`Decision` per scheduling round: when it ran, what
+triggered it, the mode chosen, the power policy used, the batch size
+and the resulting per-core caps.  The log is bounded (ring buffer) so
+long runs stay cheap, and renders to rows for offline inspection —
+``examples/diurnal_load.py``-style debugging without print statements.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterator, List, Optional, Tuple
+
+__all__ = ["Decision", "DecisionLog"]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One scheduling round's summary."""
+
+    time: float
+    mode: str  # "aes" | "bq"
+    policy: str  # "ES" | "WF"
+    batch_size: int  # jobs taken from the queue this round
+    active_jobs: int  # unsettled jobs across all cores after assignment
+    monitor_quality: float
+    caps: Tuple[float, ...]  # per-core power caps (W)
+
+    @property
+    def total_cap(self) -> float:
+        """Sum of per-core caps (≤ the budget)."""
+        return float(sum(self.caps))
+
+    def row(self) -> str:
+        """One formatted log line."""
+        return (
+            f"t={self.time:9.4f}  {self.mode:>3}/{self.policy:<2}  "
+            f"batch={self.batch_size:<3} active={self.active_jobs:<4} "
+            f"Q={self.monitor_quality:6.4f}  ΣP={self.total_cap:7.2f} W"
+        )
+
+
+class DecisionLog:
+    """Bounded ring buffer of :class:`Decision` records."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity!r}")
+        self._records: Deque[Decision] = deque(maxlen=capacity)
+        self._total = 0
+
+    def record(self, decision: Decision) -> None:
+        """Append one round's record."""
+        self._records.append(decision)
+        self._total += 1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Decision]:
+        return iter(self._records)
+
+    @property
+    def total_recorded(self) -> int:
+        """Rounds recorded over the whole run (including evicted ones)."""
+        return self._total
+
+    @property
+    def last(self) -> Optional[Decision]:
+        """Most recent record, if any."""
+        return self._records[-1] if self._records else None
+
+    def mode_changes(self) -> List[Tuple[float, str]]:
+        """Times at which the retained records switch mode."""
+        out: List[Tuple[float, str]] = []
+        prev: Optional[str] = None
+        for d in self._records:
+            if d.mode != prev:
+                out.append((d.time, d.mode))
+                prev = d.mode
+        return out
+
+    def to_rows(self, limit: Optional[int] = None) -> List[str]:
+        """Render the (tail of the) log as formatted lines."""
+        records = list(self._records)
+        if limit is not None:
+            records = records[-limit:]
+        return [d.row() for d in records]

@@ -1,0 +1,214 @@
+"""Energy-OPT: minimum-energy speed scheduling (Yao–Demers–Shenker).
+
+The paper's final per-core step "executes the jobs in order of their
+deadlines by the existing Energy-OPT algorithm [28] to achieve the
+least power consumption".  [28] is the classic YDS result: with a
+convex power function, the minimum-energy feasible schedule runs each
+*critical interval* at its constant intensity.
+
+Two implementations are provided:
+
+* :func:`yds_schedule` — the specialization GE actually needs: all jobs
+  are available *now* (a core plans only work already in hand) and are
+  executed sequentially in EDF order.  The optimal speed profile is a
+  non-increasing staircase found by repeatedly taking the prefix with
+  the maximum intensity ``Σ volume / (deadline − now)``.  O(n²) worst
+  case, linear in practice for agreeable batches.
+* :func:`yds_schedule_general` — the textbook algorithm for arbitrary
+  release times and deadlines (preemptive EDF), used to cross-validate
+  the specialization in tests and available as library functionality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InfeasibleError
+
+__all__ = ["BlockSpeed", "yds_schedule", "yds_schedule_general"]
+
+
+@dataclass(frozen=True)
+class BlockSpeed:
+    """One staircase step of the YDS profile.
+
+    ``jobs`` are indices into the input arrays; every job in the block
+    runs at the same constant ``speed`` (units/second).
+    """
+
+    jobs: Tuple[int, ...]
+    speed: float
+
+
+def yds_schedule(
+    volumes: Sequence[float],
+    deadlines: Sequence[float],
+    now: float,
+    *,
+    max_speed: float = float("inf"),
+) -> List[BlockSpeed]:
+    """Minimum-energy speeds for jobs all released at ``now``.
+
+    Parameters
+    ----------
+    volumes:
+        Remaining volume of each job (units), in EDF order.
+    deadlines:
+        Absolute deadlines, non-decreasing, all > ``now``.
+    now:
+        Current time.
+    max_speed:
+        Cap in units/second; intensities above it raise
+        :class:`InfeasibleError` (callers run Quality-OPT first to
+        guarantee feasibility).  A 1e-9 relative slack absorbs float
+        noise.
+
+    Returns
+    -------
+    list of :class:`BlockSpeed` with strictly decreasing speeds.
+
+    Notes
+    -----
+    Correctness: with every job released at ``now`` and agreeable
+    deadlines, the YDS critical interval is always a prefix
+    ``[now, d_k]`` maximizing ``Σ_{i≤k} v_i / (d_k − now)``; jobs of the
+    prefix run at exactly that intensity and finish at ``d_k``, after
+    which the argument repeats on the suffix starting at ``d_k``.
+    """
+    vols = np.asarray(volumes, dtype=float)
+    dls = np.asarray(deadlines, dtype=float)
+    if vols.shape != dls.shape:
+        raise ValueError("volumes and deadlines must have equal length")
+    if np.any(vols <= 0):
+        raise ValueError("volumes must be positive (filter zero work before calling)")
+    if np.any(np.diff(dls) < 0):
+        raise ValueError("deadlines must be non-decreasing (EDF order)")
+    if vols.size and dls[0] <= now:
+        raise InfeasibleError(f"first deadline {dls[0]!r} is not after now={now!r}")
+
+    if vols.size == 1:
+        # Single-job fast path: one block at the exact intensity.
+        speed = float(vols[0]) / (float(dls[0]) - now)
+        if speed > max_speed * (1.0 + 1e-9):
+            raise InfeasibleError(
+                f"required speed {speed:.6g} exceeds cap {max_speed:.6g} units/s"
+            )
+        return [BlockSpeed(jobs=(0,), speed=min(speed, max_speed))]
+
+    blocks: List[BlockSpeed] = []
+    start = 0
+    t = now
+    n = vols.size
+    prefix = np.concatenate([[0.0], np.cumsum(vols)])
+    while start < n:
+        # Intensity of each candidate prefix of the remaining jobs.
+        cumulative = prefix[start + 1 :] - prefix[start]
+        spans = dls[start:] - t
+        if np.any(spans <= 0):
+            raise InfeasibleError("deadline at or before block start — infeasible batch")
+        intensity = cumulative / spans
+        peak = float(np.max(intensity))
+        # Prefer the longest prefix achieving the peak so equal-intensity
+        # jobs merge into one maximal critical block (canonical YDS).
+        k = int(np.nonzero(intensity >= peak * (1.0 - 1e-12))[0][-1])
+        speed = float(intensity[k])
+        if speed > max_speed * (1.0 + 1e-9):
+            raise InfeasibleError(
+                f"required speed {speed:.6g} exceeds cap {max_speed:.6g} units/s"
+            )
+        speed = min(speed, max_speed)
+        jobs = tuple(range(start, start + k + 1))
+        blocks.append(BlockSpeed(jobs=jobs, speed=speed))
+        t = t + float(cumulative[k]) / speed
+        start = start + k + 1
+    return blocks
+
+
+def per_job_speeds(
+    blocks: List[BlockSpeed], n: int
+) -> np.ndarray:
+    """Flatten a staircase into a per-job speed array of length ``n``."""
+    speeds = np.zeros(n)
+    for block in blocks:
+        for j in block.jobs:
+            speeds[j] = block.speed
+    return speeds
+
+
+def yds_schedule_general(
+    releases: Sequence[float],
+    deadlines: Sequence[float],
+    volumes: Sequence[float],
+) -> List[Tuple[float, float, float]]:
+    """Textbook YDS for arbitrary release times (preemptive, one core).
+
+    Returns the optimal speed profile as ``(start, end, speed)``
+    critical intervals in the order they were peeled off (speeds are
+    non-increasing).  O(n³) — intended for validation and small inputs,
+    not the simulation hot path.
+    """
+    rel = [float(r) for r in releases]
+    dls = [float(d) for d in deadlines]
+    vols = [float(v) for v in volumes]
+    if not len(rel) == len(dls) == len(vols):
+        raise ValueError("releases, deadlines, volumes must have equal length")
+    for r, d, v in zip(rel, dls, vols):
+        if d <= r:
+            raise ValueError(f"deadline {d} not after release {r}")
+        if v <= 0:
+            raise ValueError("volumes must be positive")
+
+    jobs = list(range(len(vols)))
+    profile: List[Tuple[float, float, float]] = []
+    while jobs:
+        # Candidate interval endpoints are the remaining jobs' releases
+        # and deadlines.
+        points = sorted({rel[j] for j in jobs} | {dls[j] for j in jobs})
+        best = None  # (speed, z, d, members)
+        for zi, z in enumerate(points):
+            for d in points[zi + 1 :]:
+                members = [j for j in jobs if rel[j] >= z and dls[j] <= d]
+                if not members:
+                    continue
+                speed = sum(vols[j] for j in members) / (d - z)
+                if best is None or speed > best[0] + 1e-15:
+                    best = (speed, z, d, members)
+        assert best is not None
+        speed, z, d, members = best
+        profile.append((z, d, speed))
+        member_set = set(members)
+        jobs = [j for j in jobs if j not in member_set]
+        # Collapse the critical interval: times inside [z, d] are no
+        # longer available, so shift the remaining jobs' windows.
+        span = d - z
+        for j in jobs:
+            if rel[j] >= d:
+                rel[j] -= span
+            elif rel[j] > z:
+                rel[j] = z
+            if dls[j] >= d:
+                dls[j] -= span
+            elif dls[j] > z:
+                dls[j] = z
+    return profile
+
+
+def energy_of_blocks(
+    blocks: List[BlockSpeed],
+    volumes: Sequence[float],
+    power_of_speed,
+) -> float:
+    """Energy of a staircase given ``power_of_speed`` in units/second.
+
+    Each job contributes ``P(s) · v / s`` at its block speed; helper for
+    tests comparing YDS against alternatives.
+    """
+    vols = np.asarray(volumes, dtype=float)
+    total = 0.0
+    for block in blocks:
+        for j in block.jobs:
+            total += power_of_speed(block.speed) * vols[j] / block.speed
+    return total

@@ -1,0 +1,297 @@
+"""The Good Enough (GE) scheduler (paper §III) and its siblings.
+
+:class:`GEScheduler` implements the full §III-E loop.  At every trigger
+(quantum / idle-core / counter, §III-E):
+
+1. drain the waiting queue and pin the jobs to cores with Cumulative
+   Round-Robin;
+2. decide AES vs BQ from the monitored quality (compensation, §III-C);
+3. in AES, apply the Longest-First cut across all active jobs so the
+   projected cumulative quality lands on the target (§III-B);
+4. estimate the load and distribute the power budget — Equal-Sharing
+   below the critical load, Water-Filling above it (§III-D);
+5. per core, run Quality-OPT (second cut under the power cap) and
+   Energy-OPT (YDS speeds), then install the segment plan.
+
+The BE and OQ evaluation baselines are parameterizations of the same
+class (§IV-A-1) and are exposed via :func:`make_be` / :func:`make_oq`;
+:func:`make_ge` builds the paper's default GE.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Literal, Optional
+
+import numpy as np
+
+from repro.core.assignment import AssignmentPolicy, CumulativeRoundRobin
+from repro.core.cutting import lf_cut_waterline
+from repro.core.load import ArrivalRateEstimator
+from repro.core.modes import ExecutionMode, ModeController
+from repro.core.planner import build_core_plan, core_power_demand, edf_sort
+from repro.power.distribution import EqualSharing, HybridDistribution, WaterFilling
+from repro.server.scheduler import Scheduler
+from repro.workload.job import Job
+
+__all__ = ["GEScheduler", "make_ge", "make_be", "make_oq"]
+
+DistributionMode = Literal["hybrid", "es", "wf"]
+
+
+class GEScheduler(Scheduler):
+    """The Good Enough scheduler and its BE/OQ/no-compensation variants.
+
+    Parameters
+    ----------
+    q_offset:
+        Added to the configured ``Q_GE`` to form the controller target
+        (0.02 for the OQ baseline, 0 for GE).
+    compensated:
+        Enable the AES↔BQ compensation policy (§III-C).  ``False``
+        pins the scheduler to AES (OQ, and Fig. 5's no-compensation
+        arm).
+    cutting:
+        Enable the AES job cutting at all.  ``False`` forces BQ mode
+        permanently — that is the BE baseline.
+    distribution:
+        "hybrid" (paper default), or pin to "es" / "wf" for the Fig. 6/7
+        ablation arms.
+    cut_with_history:
+        When True the LF cut subsidizes the batch with the monitor's
+        cumulative surplus, cutting deeper after good stretches.  The
+        paper's cut is batch-local (history off): deficits are repaired
+        only by the BQ compensation switch, which is what makes the
+        Fig. 5 ablation meaningful.  The history variant is kept as an
+        ablation (see ``benchmarks/test_ablation_cut_history.py``).
+    assignment:
+        Batch assignment policy; defaults to C-RR.
+    name:
+        Reported name; defaults to "GE".
+    """
+
+    def __init__(
+        self,
+        *,
+        q_offset: float = 0.0,
+        compensated: bool = True,
+        cutting: bool = True,
+        distribution: DistributionMode = "hybrid",
+        assignment: Optional[AssignmentPolicy] = None,
+        cut_with_history: bool = False,
+        decision_log=None,
+        name: str = "GE",
+    ) -> None:
+        super().__init__()
+        if distribution not in ("hybrid", "es", "wf"):
+            raise ValueError(f"unknown distribution mode {distribution!r}")
+        self.name = name
+        self.q_offset = float(q_offset)
+        self.compensated = bool(compensated)
+        self.cutting = bool(cutting)
+        self.cut_with_history = bool(cut_with_history)
+        #: Optional repro.core.decisions.DecisionLog for observability.
+        self.decision_log = decision_log
+        #: Optional second-cut allocator override (see planner.build_core_plan).
+        self._allocator = None
+        self.distribution_mode: DistributionMode = distribution
+        self._assignment = assignment
+        # Bound in bind():
+        self.controller: Optional[ModeController] = None
+        self.estimator = ArrivalRateEstimator()
+        self._hybrid = HybridDistribution(light=EqualSharing(), heavy=WaterFilling())
+        self._active: List[List[Job]] = []
+        self._critical_rate = float("inf")
+        self._q_target = 1.0
+        self._reschedules = 0
+
+    # ------------------------------------------------------------------
+    def bind(self, harness) -> None:
+        super().bind(harness)
+        cfg = harness.config
+        self.quantum = cfg.quantum
+        self._q_target = min(1.0, cfg.q_ge + self.q_offset)
+        self._critical_rate = cfg.critical_load_rate()
+        self.controller = ModeController(
+            harness.monitor,
+            self._q_target,
+            compensated=self.compensated,
+            start_time=harness.sim.now,
+        )
+        if self._assignment is None:
+            self._assignment = CumulativeRoundRobin(cfg.m)
+        self._active = [[] for _ in range(cfg.m)]
+
+    # ------------------------------------------------------------------
+    # Triggers (paper §III-E)
+    # ------------------------------------------------------------------
+    def on_arrival(self, job: Job) -> None:
+        self.estimator.observe(job.arrival)
+        harness = self.harness
+        if len(harness.queue) >= harness.config.counter_threshold:
+            self.reschedule()  # counter trigger
+        elif any(not core.has_work for core in harness.machine.cores):
+            # A job arrived while at least one core sits idle: treat as
+            # the idle-core trigger so short deadlines are not lost
+            # waiting for the quantum (see DESIGN.md §5).
+            self.reschedule()
+
+    def on_core_idle(self, core_index: int) -> None:
+        if self.harness.queue:
+            self.reschedule()
+
+    def on_quantum(self) -> None:
+        self.reschedule()
+
+    # ------------------------------------------------------------------
+    # The scheduling round
+    # ------------------------------------------------------------------
+    def reschedule(self) -> None:
+        """Run one full §III-E scheduling round at the current instant."""
+        harness = self.harness
+        now = harness.sim.now
+        machine = harness.machine
+        self._reschedules += 1
+
+        # Freeze in-flight progress so 'processed' is current everywhere.
+        for core in machine.cores:
+            core.checkpoint()
+
+        # 1. Batch-assign the queue with C-RR (jobs stay pinned forever).
+        batch = harness.take_all_queued()
+        for job, core_idx in self._assignment.assign(batch, self._core_loads()):
+            job.assign(core_idx)
+            self._active[core_idx].append(job)
+
+        # Refresh active sets: drop settled jobs and jobs whose deadline
+        # has passed (their expiry event settles them this instant).
+        per_core: List[List[Job]] = []
+        for idx in range(machine.m):
+            live = [j for j in self._active[idx] if not j.settled and j.deadline > now]
+            self._active[idx] = [j for j in self._active[idx] if not j.settled]
+            per_core.append(edf_sort(live))
+
+        # 2. Mode decision (compensation policy).
+        if not self.cutting:
+            mode = ExecutionMode.BQ
+            self.controller.force(mode, now)
+        else:
+            mode = self.controller.decide(now)
+
+        # 3. Targets: LF cut in AES, full demands in BQ.
+        all_jobs = [j for jobs in per_core for j in jobs]
+        target_of = self._targets_for(all_jobs, mode)
+
+        # 4. Power demands and distribution (per-core models support the
+        # heterogeneous-machine extension; identical when homogeneous).
+        extras_per_core: List[np.ndarray] = []
+        demands_w = np.zeros(machine.m)
+        for idx, jobs in enumerate(per_core):
+            extras = np.array(
+                [max(0.0, target_of[j.jid] - j.processed) for j in jobs]
+            )
+            extras_per_core.append(extras)
+            demands_w[idx] = core_power_demand(jobs, extras, now, machine.models[idx])
+        distribution = self._distribute(demands_w, machine.budget, now)
+        caps = distribution.caps
+
+        if self.decision_log is not None:
+            from repro.core.decisions import Decision
+
+            self.decision_log.record(
+                Decision(
+                    time=now,
+                    mode=mode.value,
+                    policy=distribution.policy,
+                    batch_size=len(batch),
+                    active_jobs=len(all_jobs),
+                    monitor_quality=harness.monitor.quality,
+                    caps=tuple(float(c) for c in caps),
+                )
+            )
+
+        # 5. Per-core planning and installation.
+        for idx, jobs in enumerate(per_core):
+            plan = build_core_plan(
+                jobs,
+                [target_of[j.jid] for j in jobs],
+                now,
+                float(caps[idx]) if len(caps) else 0.0,
+                machine.models[idx],
+                machine.scales[idx],
+                allocator=self._allocator,
+            )
+            machine.cores[idx].set_plan(plan.segments)
+            for job, outcome in plan.settle_now:
+                harness.settle_job(job, outcome)
+
+    # ------------------------------------------------------------------
+    def _targets_for(
+        self, all_jobs: List[Job], mode: ExecutionMode
+    ) -> Dict[int, float]:
+        """Per-job total target volumes for this round.
+
+        The default is the paper's behaviour: a global LF waterline cut
+        across the active jobs in AES mode, full demands in BQ mode.
+        Subclasses may override (e.g. the clairvoyant reference computes
+        targets offline over the whole workload).
+        """
+        harness = self.harness
+        if mode is ExecutionMode.AES and all_jobs:
+            demands = np.array([j.demand for j in all_jobs])
+            base_achieved = harness.monitor.achieved if self.cut_with_history else 0.0
+            base_potential = harness.monitor.potential if self.cut_with_history else 0.0
+            targets = lf_cut_waterline(
+                harness.quality_function,
+                demands,
+                self._q_target,
+                base_achieved=base_achieved,
+                base_potential=base_potential,
+            )
+        else:
+            targets = np.array([j.demand for j in all_jobs])
+        return {job.jid: float(t) for job, t in zip(all_jobs, targets)}
+
+    def _distribute(self, demands_w: np.ndarray, budget: float, now: float):
+        if self.distribution_mode == "es":
+            return self._hybrid.light.distribute(demands_w, budget)
+        if self.distribution_mode == "wf":
+            return self._hybrid.heavy.distribute(demands_w, budget)
+        heavy = self.estimator.is_heavy(now, self._critical_rate)
+        return self._hybrid.distribute_for_load(demands_w, budget, heavy)
+
+    def _core_loads(self) -> List[float]:
+        return [
+            sum(j.remaining for j in jobs if not j.settled) for jobs in self._active
+        ]
+
+    # -- reporting ---------------------------------------------------------
+    def aes_fraction(self) -> Optional[float]:
+        """Fraction of time in AES mode (Fig. 1); None before binding."""
+        if self.controller is None:
+            return None
+        return self.controller.aes_fraction(self.harness.sim.now)
+
+    @property
+    def reschedules(self) -> int:
+        """Number of scheduling rounds executed."""
+        return self._reschedules
+
+    def describe(self) -> str:
+        comp = "comp" if self.compensated else "no-comp"
+        cut = "cut" if self.cutting else "no-cut"
+        return f"{self.name} (target={self._q_target}, {comp}, {cut}, {self.distribution_mode})"
+
+
+def make_ge(**kwargs) -> GEScheduler:
+    """The paper's GE with default knobs."""
+    return GEScheduler(name=kwargs.pop("name", "GE"), **kwargs)
+
+
+def make_be() -> GEScheduler:
+    """BE baseline: always Best-Quality mode, always Water-Filling."""
+    return GEScheduler(name="BE", cutting=False, distribution="wf")
+
+
+def make_oq() -> GEScheduler:
+    """OQ baseline: target Q_GE + 2 %, no compensation policy."""
+    return GEScheduler(name="OQ", q_offset=0.02, compensated=False)

@@ -1,0 +1,118 @@
+"""Execution modes and the quality compensation policy (paper §III-C).
+
+GE runs in **AES** (Aggressive Energy Saving — cut jobs to the target
+quality) while the monitored cumulative quality is at or above the user
+target, and switches to **BQ** (Best Quality — no cutting, run
+everything) the moment it dips below.  Once the quality recovers, it
+switches back.  :class:`ModeController` makes that decision at every
+trigger and records the mode as a step timeline so Fig. 1's "percent of
+time in AES mode" is an exact time integral.
+
+Disabling compensation (``compensated=False``) pins the controller to
+AES regardless of quality — this is the "No-Compensation" arm of
+Fig. 5 and, with a +2 % target, the OQ baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.quality.monitor import QualityMonitor
+from repro.sim.timeline import StepTimeline
+
+__all__ = ["ExecutionMode", "ModeController"]
+
+
+class ExecutionMode(enum.Enum):
+    """The two service-providing regimes of §III."""
+
+    AES = "aes"
+    BQ = "bq"
+
+
+class ModeController:
+    """Decides AES vs BQ from the monitored quality.
+
+    Parameters
+    ----------
+    monitor:
+        The online quality monitor (cumulative Σf ratios).
+    q_target:
+        The quality the controller defends (``Q_GE``, or
+        ``Q_GE + 0.02`` for OQ).
+    compensated:
+        When False the controller never leaves AES (§IV-A-2's
+        no-compensation arm).
+    start_time:
+        Simulation time of the first decision (timeline origin).
+    """
+
+    def __init__(
+        self,
+        monitor: QualityMonitor,
+        q_target: float,
+        *,
+        compensated: bool = True,
+        start_time: float = 0.0,
+    ) -> None:
+        if not 0.0 < q_target <= 1.0:
+            raise ValueError(f"q_target must be in (0, 1], got {q_target!r}")
+        self.monitor = monitor
+        self.q_target = float(q_target)
+        self.compensated = bool(compensated)
+        self._mode = ExecutionMode.AES
+        self._timeline = StepTimeline(start_time=start_time, initial_value=1.0)
+        self._switches = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def mode(self) -> ExecutionMode:
+        """Mode chosen by the most recent :meth:`decide`."""
+        return self._mode
+
+    @property
+    def switches(self) -> int:
+        """Number of AES↔BQ transitions so far."""
+        return self._switches
+
+    def decide(self, now: float) -> ExecutionMode:
+        """Pick the mode for the trigger happening at ``now``.
+
+        AES iff the cumulative quality is at or above the target (the
+        compensation policy of §III-C); always AES when compensation is
+        disabled.
+        """
+        if self.compensated and self.monitor.quality < self.q_target:
+            new = ExecutionMode.BQ
+        else:
+            new = ExecutionMode.AES
+        if new is not self._mode:
+            self._switches += 1
+        self._mode = new
+        self._timeline.set_value(now, 1.0 if new is ExecutionMode.AES else 0.0)
+        return new
+
+    def force(self, mode: ExecutionMode, now: float) -> None:
+        """Pin the controller to ``mode`` at ``now`` (BE's permanent BQ)."""
+        if mode is not self._mode:
+            self._switches += 1
+        self._mode = mode
+        self._timeline.set_value(now, 1.0 if mode is ExecutionMode.AES else 0.0)
+
+    def aes_fraction(self, until: Optional[float] = None) -> float:
+        """Fraction of time spent in AES mode up to ``until``.
+
+        This is the Fig. 1 statistic.  ``until`` defaults to the last
+        decision time.
+        """
+        end = self._timeline.last_time if until is None else until
+        if end <= self._timeline.start_time:
+            return 1.0
+        return self._timeline.time_average(end)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModeController(mode={self._mode.value}, target={self.q_target}, "
+            f"switches={self._switches})"
+        )

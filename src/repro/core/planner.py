@@ -1,0 +1,165 @@
+"""Per-core plan construction for the GE scheduler family (§III-E).
+
+Given the jobs pinned to one core and their *target* total volumes
+(full demands in BQ mode; LF-cut targets in AES mode), this module
+produces the executable segment list:
+
+1. jobs whose target is already reached are settled immediately
+   (their tails are discarded — the first cut);
+2. **Quality-OPT** trims the batch to what the core's power cap can
+   actually deliver before each deadline (the second cut);
+3. **Energy-OPT** (YDS) assigns the minimum-energy speed staircase to
+   the surviving volumes, quantized onto the DVFS ladder when the
+   machine uses discrete speed scaling.
+
+The module also computes the per-core *power demand* used by the
+Water-Filling distribution: the power of the critical YDS intensity,
+i.e. the smallest constant speed at which the core meets every
+deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.energy_opt import yds_schedule
+from repro.core.quality_opt import quality_opt
+from repro.power.dvfs import DiscreteSpeedScale, SpeedScale
+from repro.power.models import PowerModel
+from repro.server.core import Segment
+from repro.workload.job import Job, JobOutcome
+
+__all__ = ["CorePlan", "build_core_plan", "core_power_demand", "edf_sort"]
+
+#: Work below this volume (units) is considered "no work".
+_WORK_EPS = 1e-6
+
+
+def edf_sort(jobs: Sequence[Job]) -> List[Job]:
+    """Jobs in Earliest-Deadline-First order (jid tie-break)."""
+    return sorted(jobs, key=lambda j: (j.deadline, j.jid))
+
+
+def core_power_demand(
+    jobs: Sequence[Job],
+    extras: Sequence[float],
+    now: float,
+    model: PowerModel,
+) -> float:
+    """Power (W) this core needs to deliver ``extras`` by the deadlines.
+
+    The need is the *critical intensity* ``max_k Σ_{i≤k} v_i/(d_k−now)``
+    over EDF prefixes — exactly the top step of the YDS staircase, and
+    therefore the smallest constant-speed power that keeps the plan
+    feasible.  Jobs must already be EDF-sorted and have deadlines > now.
+    """
+    extras_arr = np.asarray(extras, dtype=float)
+    mask = extras_arr > _WORK_EPS
+    if not np.any(mask):
+        return 0.0
+    vols = extras_arr[mask]
+    dls = np.array([j.deadline for j, keep in zip(jobs, mask) if keep])
+    intensity = float(np.max(np.cumsum(vols) / (dls - now)))
+    return model.power(model.speed_for_throughput(intensity))
+
+
+@dataclass
+class CorePlan:
+    """Outcome of planning one core at one trigger.
+
+    Attributes
+    ----------
+    segments:
+        Ordered executable segments for :meth:`Core.set_plan`.
+    settle_now:
+        ``(job, outcome)`` pairs the scheduler must settle immediately
+        (first- or second-cut discards and already-finished targets).
+    """
+
+    segments: List[Segment] = field(default_factory=list)
+    settle_now: List[Tuple[Job, JobOutcome]] = field(default_factory=list)
+
+
+def _immediate_outcome(job: Job) -> JobOutcome:
+    """Outcome for a job whose planning target is already reached."""
+    if job.remaining <= max(1e-9, 1e-7 * job.demand):
+        return JobOutcome.COMPLETED
+    if job.processed > _WORK_EPS:
+        return JobOutcome.CUT
+    return JobOutcome.DROPPED
+
+
+def build_core_plan(
+    jobs: Sequence[Job],
+    targets: Sequence[float],
+    now: float,
+    power_cap: float,
+    model: PowerModel,
+    scale: SpeedScale,
+    allocator=None,
+) -> CorePlan:
+    """Plan one core: first cut → Quality-OPT → Energy-OPT → segments.
+
+    Parameters
+    ----------
+    jobs:
+        Unsettled jobs pinned to this core, EDF-sorted, deadlines > now.
+    targets:
+        Per-job *total* target volume (same order as ``jobs``).  BQ mode
+        passes full demands, AES passes LF-cut targets.
+    power_cap:
+        The core's power allocation from the distribution policy (W).
+    allocator:
+        The second-cut routine; signature of
+        :func:`repro.core.quality_opt.quality_opt` plus a leading
+        ``jobs`` argument.  Defaults to the shared-quality-function
+        Quality-OPT; the mixed-class extension substitutes a
+        marginal-levelling variant (see :mod:`repro.mixed`).
+    """
+    plan = CorePlan()
+    if not jobs:
+        return plan
+    targets_arr = np.asarray(targets, dtype=float)
+    processed = np.array([j.processed for j in jobs])
+    extras = np.maximum(0.0, targets_arr - processed)
+
+    speed_cap = scale.max_speed_at_power(power_cap)
+    capacity = model.throughput(speed_cap)  # units/second at the cap
+
+    # Second cut: fit the extras into the capacity before each deadline.
+    deadlines = np.array([j.deadline for j in jobs])
+    if allocator is None:
+        granted = quality_opt(extras, deadlines, now, capacity, offsets=processed)
+    else:
+        granted = allocator(jobs, extras, deadlines, now, capacity, processed)
+
+    live_idx = [i for i in range(len(jobs)) if granted[i] > _WORK_EPS]
+    for i in range(len(jobs)):
+        if granted[i] <= _WORK_EPS:
+            plan.settle_now.append((jobs[i], _immediate_outcome(jobs[i])))
+    if not live_idx:
+        return plan
+
+    live_vols = granted[live_idx]
+    live_dls = deadlines[live_idx]
+    blocks = yds_schedule(live_vols, live_dls, now, max_speed=capacity * (1 + 1e-9))
+
+    discrete = isinstance(scale, DiscreteSpeedScale)
+    for block in blocks:
+        speed_ghz = model.speed_for_throughput(block.speed)
+        if discrete:
+            # Round the staircase step up to the ladder (finishing early
+            # is always deadline-safe) but never beyond the rectified cap.
+            speed_ghz = min(scale.ceil(speed_ghz), speed_cap)
+            speed_ghz = max(speed_ghz, 1e-12)
+        else:
+            speed_ghz = min(speed_ghz, speed_cap)
+        for local_j in block.jobs:
+            job = jobs[live_idx[local_j]]
+            plan.segments.append(
+                Segment(job=job, volume=float(live_vols[local_j]), speed=speed_ghz)
+            )
+    return plan

@@ -1,0 +1,185 @@
+"""Quality-OPT: best quality under a per-core capacity limit.
+
+The paper (§III-E) applies "the existing Quality-OPT algorithm [14] ...
+to calculate the most efficient part of the jobs to achieve the highest
+possible quality with limited power (a second cut)".  [14] is Tians
+scheduling (He, Elnikety, Sun — ICDCS'11): given jobs that may be
+partially processed and a limited processing capacity, choose per-job
+volumes maximizing total quality.
+
+Formally, for one core at time ``now`` with speed cap ``s`` running its
+jobs sequentially in EDF order, a volume vector ``(x_1..x_n)`` is
+feasible iff every prefix fits the capacity available before its
+deadline:
+
+    Σ_{i≤k} x_i ≤ C_k := s·(d_k − now)        for all k,
+    0 ≤ x_i ≤ bound_i.
+
+Maximizing ``Σ f(offset_i + x_i)`` for one shared concave ``f`` (where
+``offset_i`` is volume already processed) is solved exactly by a
+*nested water-filling*: the binding prefix is the one whose waterline
+is lowest; its jobs are levelled at that waterline and the procedure
+recurses on the suffix with the consumed capacity subtracted.  This is
+the quality-domain mirror of YDS's critical-interval argument and runs
+in O(n² log n) worst case (batches per core are small).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import InfeasibleError
+
+__all__ = ["quality_opt", "prefix_feasible"]
+
+_EPS = 1e-12
+
+
+def prefix_feasible(
+    volumes: np.ndarray, capacities: np.ndarray, rel_tol: float = 1e-9
+) -> bool:
+    """Check ``Σ_{i≤k} volumes_i ≤ capacities_k`` for every prefix k."""
+    prefix = np.cumsum(volumes)
+    slack = capacities - prefix
+    return bool(np.all(slack >= -rel_tol * np.maximum(1.0, capacities)))
+
+
+def _waterline_for_budget(
+    offsets: np.ndarray, bounds: np.ndarray, budget: float
+) -> float:
+    """Water level ``w`` with ``Σ clip(w − offset_i, 0, bound_i) = budget``.
+
+    Returns ``inf`` when even ``w = max(offset+bound)`` does not exhaust
+    the budget (i.e. every job can be fully processed).
+    """
+    tops = offsets + bounds
+    if float(np.sum(bounds)) <= budget + _EPS:
+        return float("inf")
+    # The allocation Σ clip(w − o_i, 0, b_i) is piecewise linear and
+    # non-decreasing in w with breakpoints at offsets and tops.
+    points = np.unique(np.concatenate([offsets, tops]))
+
+    def allocated(w: float) -> float:
+        return float(np.sum(np.clip(w - offsets, 0.0, bounds)))
+
+    # Find the bracketing breakpoints, then solve the linear piece.
+    lo = float(points[0])
+    hi = float(points[-1])
+    for p in points:
+        if allocated(float(p)) >= budget - _EPS:
+            hi = float(p)
+            break
+        lo = float(p)
+    alloc_lo = allocated(lo)
+    # On (lo, hi] the slope is the number of jobs with offset <= lo < top.
+    active = np.sum((offsets <= lo + _EPS) & (tops > lo + _EPS))
+    if active <= 0:
+        return hi
+    return lo + (budget - alloc_lo) / float(active)
+
+
+def quality_opt(
+    bounds: Sequence[float],
+    deadlines: Sequence[float],
+    now: float,
+    capacity_per_second: float,
+    offsets: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """Optimal extra volumes under prefix capacity constraints.
+
+    Parameters
+    ----------
+    bounds:
+        Maximum extra volume each job may receive (remaining demand, or
+        the AES cut target minus already-processed volume), EDF order.
+    deadlines:
+        Absolute deadlines, non-decreasing.
+    now:
+        Current time; capacity before deadline k is
+        ``capacity_per_second · (deadlines[k] − now)``.
+    capacity_per_second:
+        The core's throughput at its power cap (units/second).
+    offsets:
+        Volume already processed per job (shifts the marginal quality);
+        defaults to zero.
+
+    Returns
+    -------
+    Extra-volume vector ``x`` with ``0 ≤ x ≤ bounds``, prefix-feasible,
+    maximizing ``Σ f(offset + x)`` for any common concave ``f``.
+
+    Notes
+    -----
+    The returned allocation is *f-independent*: levelling total volumes
+    is optimal simultaneously for every shared non-decreasing concave
+    quality function, so the caller does not pass ``f`` at all.  (With
+    per-job quality functions this would no longer hold.)
+    """
+    bounds_arr = np.asarray(bounds, dtype=float)
+    dls = np.asarray(deadlines, dtype=float)
+    if bounds_arr.shape != dls.shape:
+        raise ValueError("bounds and deadlines must have equal length")
+    n = bounds_arr.size
+    if n == 0:
+        return np.zeros(0)
+    if np.any(bounds_arr < 0):
+        raise ValueError("bounds must be non-negative")
+    if np.any(np.diff(dls) < 0):
+        raise ValueError("deadlines must be non-decreasing (EDF order)")
+    if capacity_per_second < 0:
+        raise InfeasibleError(f"negative capacity {capacity_per_second!r}")
+    offs = (
+        np.zeros(n)
+        if offsets is None
+        else np.asarray(offsets, dtype=float)
+    )
+    if offs.shape != bounds_arr.shape or np.any(offs < 0):
+        raise ValueError("offsets must be non-negative and match bounds")
+
+    capacities = capacity_per_second * (dls - now)
+    if np.any(capacities < -_EPS):
+        raise InfeasibleError("a deadline lies in the past")
+    capacities = np.maximum(capacities, 0.0)
+
+    if n == 1:
+        # Single-job fast path (the common case on lightly loaded cores):
+        # the objective is monotone, so grant everything that fits.
+        return np.array([min(bounds_arr[0], capacities[0])])
+
+    result = np.zeros(n)
+    start = 0
+    consumed = 0.0
+    while start < n:
+        # Waterline for every candidate prefix of the remaining jobs.
+        best_k = None
+        best_w = float("inf")
+        sub_off = offs[start:]
+        sub_bnd = bounds_arr[start:]
+        for k in range(n - start):
+            budget = capacities[start + k] - consumed
+            if budget <= _EPS:
+                # No capacity before this deadline: its prefix gets 0.
+                w = -float("inf") if np.any(sub_bnd[: k + 1] > _EPS) else float("inf")
+                if w < best_w:
+                    best_w = w
+                    best_k = k
+                continue
+            w = _waterline_for_budget(sub_off[: k + 1], sub_bnd[: k + 1], budget)
+            if w < best_w - _EPS:
+                best_w = w
+                best_k = k
+        if best_k is None or best_w == float("inf"):
+            # No prefix binds: every remaining job is fully served.
+            result[start:] = bounds_arr[start:]
+            break
+        block = slice(start, start + best_k + 1)
+        if best_w == -float("inf"):
+            alloc = np.zeros(best_k + 1)
+        else:
+            alloc = np.clip(best_w - offs[block], 0.0, bounds_arr[block])
+        result[block] = alloc
+        consumed += float(np.sum(alloc))
+        start = start + best_k + 1
+    return result

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel detected an inconsistency.
+
+    Examples: scheduling an event in the past, running a stopped
+    simulator, or a process yielding an unsupported value.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling policy produced or received an invalid plan.
+
+    Raised for internal contract violations such as assigning a job to a
+    core twice or planning a segment that ends after its job's deadline.
+    """
+
+
+class InfeasibleError(SchedulingError):
+    """An optimization sub-problem has no feasible solution.
+
+    Raised e.g. when Quality-OPT is asked to fit work into a core whose
+    deadline capacity is zero, or when a water-filling budget is negative.
+    """

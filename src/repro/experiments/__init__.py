@@ -1,0 +1,33 @@
+"""Experiment harness: every figure of the paper's evaluation (§IV).
+
+Each ``figNN_*`` module exposes ``run(scale=..., seed=...) -> FigureResult``
+regenerating the corresponding paper figure.  ``scale`` shrinks the
+simulated horizon (1.0 = the paper's 10 minutes) so the benchmark suite
+finishes on a laptop; the shapes are stable from ``scale≈0.03`` up.
+
+See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+paper-vs-measured numbers.
+"""
+
+from repro.experiments.registry import FIGURES, get_figure, list_figures
+from repro.experiments.replication import ReplicationSummary, replicate
+from repro.experiments.report import FigureResult, Series, format_table
+from repro.experiments.runner import (
+    quality_energy_series,
+    run_single,
+    sweep_rates,
+)
+
+__all__ = [
+    "FIGURES",
+    "FigureResult",
+    "ReplicationSummary",
+    "Series",
+    "format_table",
+    "get_figure",
+    "list_figures",
+    "quality_energy_series",
+    "replicate",
+    "run_single",
+    "sweep_rates",
+]

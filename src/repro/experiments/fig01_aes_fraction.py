@@ -1,0 +1,35 @@
+"""Figure 1: execution-time percentage of the AES mode vs arrival rate.
+
+Paper shape: the AES share is high (~0.7–0.8) at light load and falls
+towards zero as the load approaches the overload point — GE can only
+afford aggressive cutting while the compensation policy rarely fires.
+"""
+
+from __future__ import annotations
+
+from repro.core.ge import make_ge
+from repro.experiments.report import FigureResult, Series
+from repro.experiments.runner import run_single, scaled_config
+
+__all__ = ["run"]
+
+RATES = (100.0, 120.0, 140.0, 160.0, 180.0, 200.0)
+
+
+def run(scale: float = 0.05, seed: int = 1, rates=RATES) -> FigureResult:
+    """Regenerate Fig. 1 at the given horizon scale."""
+    fig = FigureResult(
+        figure_id="fig01",
+        title="Execution time percentage of the AES mode",
+        x_label="arrival rate (req/s)",
+    )
+    series = Series(label="GE")
+    for rate in rates:
+        cfg = scaled_config(scale, seed, arrival_rate=rate)
+        result = run_single(cfg, make_ge)
+        series.add(rate, result.aes_fraction if result.aes_fraction is not None else 0.0)
+    fig.add_series("aes_fraction", series)
+    fig.notes.append(
+        "Paper: AES share decreases with arrival rate (approx. 0.8 -> 0 by overload)."
+    )
+    return fig

@@ -1,0 +1,56 @@
+"""Figure 2: the Longest-First job-cutting illustration.
+
+The paper's Fig. 2 is a schematic of four jobs being levelled from the
+longest down until the target quality is reached.  This module runs the
+actual LF-cut implementation on a four-job example and reports the
+before/after volumes and the quality accounting, making the schematic
+reproducible (and checkable) rather than hand-drawn.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cutting import lf_cut_stepwise, lf_cut_waterline
+from repro.experiments.report import FigureResult, Series
+from repro.quality.functions import ExponentialQuality
+
+__all__ = ["run", "DEMO_DEMANDS"]
+
+#: Four jobs "of various lengths" as in the paper's schematic.
+DEMO_DEMANDS = (900.0, 620.0, 380.0, 180.0)
+
+
+def run(scale: float = 1.0, seed: int = 1, q_target: float = 0.9) -> FigureResult:
+    """Cut the four demo jobs to ``q_target`` and report the levels.
+
+    ``scale``/``seed`` are accepted for interface uniformity; the
+    figure is deterministic and ignores them.
+    """
+    f = ExponentialQuality(c=0.003, x_max=1000.0)
+    demands = np.asarray(DEMO_DEMANDS)
+    targets = lf_cut_waterline(f, demands, q_target)
+    stepwise = lf_cut_stepwise(f, demands, q_target)
+
+    fig = FigureResult(
+        figure_id="fig02",
+        title=f"LF job cutting of four jobs to Q_GE={q_target}",
+        x_label="job index",
+    )
+    before = Series(label="demand p_j")
+    after = Series(label="cut target c_j")
+    for i, (p, c) in enumerate(zip(demands, targets), start=1):
+        before.add(i, p)
+        after.add(i, c)
+    fig.add_series("volumes", before)
+    fig.add_series("volumes", after)
+
+    achieved = float(np.sum(f(targets))) / float(np.sum(f(demands)))
+    saved = 1.0 - float(np.sum(targets)) / float(np.sum(demands))
+    fig.notes.append(f"aggregate quality after cut: {achieved:.4f} (target {q_target})")
+    fig.notes.append(f"workload removed by the cut: {saved:.1%}")
+    fig.notes.append(
+        "stepwise (paper-literal) and waterline cuts agree to "
+        f"{float(np.max(np.abs(stepwise - targets))):.3g} units"
+    )
+    return fig

@@ -1,0 +1,57 @@
+"""Figure 8: quality control (GE) vs power control (BE-P) vs speed
+control (BE-S).
+
+BE-P runs Best-Effort at the least total power budget that still meets
+the quality target; BE-S runs Best-Effort with the least per-core speed
+cap that does.  Both knobs are calibrated per arrival rate by bisection
+(see :mod:`repro.baselines.control`).  Paper shape: GE meets the target
+everywhere it is feasible while BE-P and BE-S undershoot under load;
+GE pays a little more energy than the two starved BE variants; all
+three converge when the system is overloaded.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.control import calibrate_power_control, calibrate_speed_control
+from repro.core.ge import make_ge
+from repro.experiments.report import FigureResult, Series
+from repro.experiments.runner import default_rates, run_single, scaled_config
+
+__all__ = ["run"]
+
+
+def run(scale: float = 0.03, seed: int = 1, rates=None, iterations: int = 5) -> FigureResult:
+    """Regenerate Fig. 8 (per-rate calibrated BE-P / BE-S vs GE).
+
+    ``iterations`` bounds each bisection; 5 locates the knob within
+    ~3 % of its range, plenty for the shape comparison.
+    """
+    rates = list(rates) if rates is not None else default_rates(scale)
+    fig = FigureResult(
+        figure_id="fig08",
+        title="Quality control (GE) vs power control (BE-P) vs speed control (BE-S)",
+        x_label="arrival rate (req/s)",
+    )
+    series = {
+        name: (Series(label=name), Series(label=name))
+        for name in ("GE", "BE-P", "BE-S")
+    }
+    for rate in rates:
+        cfg = scaled_config(scale, seed, arrival_rate=rate)
+        ge = run_single(cfg, make_ge)
+        bep = calibrate_power_control(
+            cfg, calibration_horizon=cfg.horizon, iterations=iterations
+        )
+        bes = calibrate_speed_control(
+            cfg, calibration_horizon=cfg.horizon, iterations=iterations
+        )
+        for name, result in (("GE", ge), ("BE-P", bep.result), ("BE-S", bes.result)):
+            series[name][0].add(rate, result.quality)
+            series[name][1].add(rate, result.energy)
+        fig.notes.append(
+            f"λ={rate:g}: calibrated budget {bep.value:.1f} W, speed cap {bes.value:.3f} GHz"
+        )
+    for name in ("GE", "BE-P", "BE-S"):
+        fig.add_series("quality", series[name][0])
+        fig.add_series("energy", series[name][1])
+    return fig

@@ -1,0 +1,39 @@
+"""Figure 10: GE quality and energy under different power budgets.
+
+Budgets H ∈ {80, 160, 320, 480} W.  Paper shape: a small budget caps
+quality early and hard; larger budgets keep the quality stable to
+higher loads; energy grows with load until the budget saturates, after
+which more load cannot raise it further.
+"""
+
+from __future__ import annotations
+
+from repro.core.ge import make_ge
+from repro.experiments.report import FigureResult, Series
+from repro.experiments.runner import default_rates, run_single, scaled_config
+
+__all__ = ["run", "BUDGETS"]
+
+BUDGETS = (80.0, 160.0, 320.0, 480.0)
+
+
+def run(scale: float = 0.05, seed: int = 1, rates=None, budgets=BUDGETS) -> FigureResult:
+    """Regenerate Fig. 10 (quality + energy per budget)."""
+    rates = list(rates) if rates is not None else default_rates(scale)
+    fig = FigureResult(
+        figure_id="fig10",
+        title="GE with different power budgets",
+        x_label="arrival rate (req/s)",
+    )
+    for budget in budgets:
+        q = Series(label=f"budget={budget:g}")
+        e = Series(label=f"budget={budget:g}")
+        for rate in rates:
+            cfg = scaled_config(scale, seed, arrival_rate=rate, budget=budget)
+            result = run_single(cfg, make_ge)
+            q.add(rate, result.quality)
+            e.add(rate, result.energy)
+        fig.add_series("quality", q)
+        fig.add_series("energy", e)
+    fig.notes.append("paper: energy grows with load until the budget saturates")
+    return fig

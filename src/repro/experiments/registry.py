@@ -1,0 +1,72 @@
+"""Registry mapping figure ids to their experiment modules.
+
+Used by the CLI (``repro-cli fig 3``) and by the benchmark suite's
+parametrization, so the list of reproducible figures lives in exactly
+one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    fig01_aes_fraction,
+    fig02_job_cutting,
+    fig03_schedulers,
+    fig04_random_deadlines,
+    fig05_compensation,
+    fig06_speed_stats,
+    fig07_power_policies,
+    fig08_control_policies,
+    fig09_quality_function,
+    fig10_power_budget,
+    fig11_core_count,
+    fig12_discrete_speed,
+)
+from repro.experiments.report import FigureResult
+
+__all__ = ["FIGURES", "FigureSpec", "get_figure", "list_figures"]
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One reproducible paper figure."""
+
+    figure_id: str
+    title: str
+    run: Callable[..., FigureResult]
+    default_scale: float
+
+
+FIGURES: Dict[str, FigureSpec] = {
+    "fig01": FigureSpec("fig01", "AES-mode time share vs arrival rate", fig01_aes_fraction.run, 0.05),
+    "fig02": FigureSpec("fig02", "LF job-cutting illustration", fig02_job_cutting.run, 1.0),
+    "fig03": FigureSpec("fig03", "Scheduler comparison (fixed deadlines)", fig03_schedulers.run, 0.05),
+    "fig04": FigureSpec("fig04", "Scheduler comparison (random deadlines)", fig04_random_deadlines.run, 0.05),
+    "fig05": FigureSpec("fig05", "Compensation policy ablation", fig05_compensation.run, 0.05),
+    "fig06": FigureSpec("fig06", "WF vs ES speed statistics", fig06_speed_stats.run, 0.05),
+    "fig07": FigureSpec("fig07", "WF vs ES quality and energy", fig07_power_policies.run, 0.05),
+    "fig08": FigureSpec("fig08", "Quality vs power vs speed control", fig08_control_policies.run, 0.03),
+    "fig09": FigureSpec("fig09", "Quality-function concavity sweep", fig09_quality_function.run, 0.05),
+    "fig10": FigureSpec("fig10", "Power budget sweep", fig10_power_budget.run, 0.05),
+    "fig11": FigureSpec("fig11", "Core count sweep", fig11_core_count.run, 0.05),
+    "fig12": FigureSpec("fig12", "Continuous vs discrete DVFS", fig12_discrete_speed.run, 0.05),
+}
+
+
+def get_figure(figure_id: str) -> FigureSpec:
+    """Look up a figure spec by id ("fig03", "3", or "03")."""
+    key = figure_id.lower()
+    if not key.startswith("fig"):
+        key = f"fig{int(key):02d}"
+    if key not in FIGURES:
+        raise KeyError(
+            f"unknown figure {figure_id!r}; available: {', '.join(sorted(FIGURES))}"
+        )
+    return FIGURES[key]
+
+
+def list_figures() -> List[FigureSpec]:
+    """All figures in id order."""
+    return [FIGURES[k] for k in sorted(FIGURES)]

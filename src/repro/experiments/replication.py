@@ -1,0 +1,71 @@
+"""Replication: run a policy across seeds and summarize with CIs.
+
+The paper reports single runs; for a reproduction it is useful to know
+how much of any gap is noise.  :func:`replicate` runs one configuration
+under ``n`` different seeds (same workload *law*, independent draws)
+and returns per-metric summaries with normal confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.config import SimulationConfig
+from repro.experiments.runner import SchedulerFactory, run_single
+from repro.metrics.collector import RunResult
+from repro.metrics.stats import SeriesSummary, summarize
+
+__all__ = ["ReplicationSummary", "replicate"]
+
+
+@dataclass(frozen=True)
+class ReplicationSummary:
+    """Aggregate of ``n`` independent replications of one policy."""
+
+    scheduler: str
+    arrival_rate: float
+    n: int
+    quality: SeriesSummary
+    energy: SeriesSummary
+    runs: tuple
+
+    def row(self) -> str:
+        """One formatted report line with 95 % CIs."""
+        q, e = self.quality, self.energy
+        return (
+            f"{self.scheduler:<8} λ={self.arrival_rate:7.1f}  n={self.n}  "
+            f"Q={q.mean:6.4f} [{q.low:6.4f}, {q.high:6.4f}]  "
+            f"E={e.mean:10.1f} J [{e.low:10.1f}, {e.high:10.1f}]"
+        )
+
+
+def replicate(
+    config: SimulationConfig,
+    factory: SchedulerFactory,
+    n: int = 5,
+    confidence: float = 0.95,
+) -> ReplicationSummary:
+    """Run ``factory`` under seeds ``config.seed .. config.seed+n-1``."""
+    if n < 1:
+        raise ValueError(f"need at least one replication, got {n!r}")
+    runs: List[RunResult] = []
+    for i in range(n):
+        runs.append(run_single(config.with_overrides(seed=config.seed + i), factory))
+    return ReplicationSummary(
+        scheduler=runs[0].scheduler,
+        arrival_rate=config.arrival_rate,
+        n=n,
+        quality=summarize([r.quality for r in runs], confidence),
+        energy=summarize([r.energy for r in runs], confidence),
+        runs=tuple(runs),
+    )
+
+
+def replicate_many(
+    config: SimulationConfig,
+    factories: Dict[str, SchedulerFactory],
+    n: int = 5,
+) -> Dict[str, ReplicationSummary]:
+    """Replicate several policies on the same seed ladder."""
+    return {name: replicate(config, factory, n) for name, factory in factories.items()}

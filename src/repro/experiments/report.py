@@ -1,0 +1,161 @@
+"""Result containers and plain-text rendering for experiments.
+
+The paper's figures are line charts; the harness represents each as a
+:class:`FigureResult` holding named :class:`Series` (x → y) plus
+free-text notes, and renders them as aligned text tables so benchmark
+output is directly comparable with the paper's plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["FigureResult", "Series", "format_table", "ascii_plot"]
+
+
+@dataclass
+class Series:
+    """One labelled line of a figure: paired x/y values."""
+
+    label: str
+    x: List[float] = field(default_factory=list)
+    y: List[float] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        """Append one point."""
+        self.x.append(float(x))
+        self.y.append(float(y))
+
+    def as_pairs(self) -> List[Tuple[float, float]]:
+        """The points as ``(x, y)`` tuples."""
+        return list(zip(self.x, self.y))
+
+    def y_at(self, x: float) -> float:
+        """The y value recorded at exactly ``x`` (KeyError if absent)."""
+        for xi, yi in zip(self.x, self.y):
+            if xi == x:
+                return yi
+        raise KeyError(f"series {self.label!r} has no point at x={x!r}")
+
+
+@dataclass
+class FigureResult:
+    """All data needed to re-plot one paper figure.
+
+    ``panels`` maps a panel name (e.g. "quality", "energy") to its
+    series list; single-panel figures use one entry.
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    panels: Dict[str, List[Series]] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def panel(self, name: str) -> List[Series]:
+        """Series list of one panel."""
+        return self.panels[name]
+
+    def series(self, panel: str, label: str) -> Series:
+        """Look up one series by panel and label."""
+        for s in self.panels[panel]:
+            if s.label == label:
+                return s
+        raise KeyError(f"panel {panel!r} has no series {label!r}")
+
+    def add_series(self, panel: str, series: Series) -> Series:
+        """Register a series under ``panel`` and return it."""
+        self.panels.setdefault(panel, []).append(series)
+        return series
+
+    def to_csv(self) -> str:
+        """Render the figure as CSV: one block per panel.
+
+        Format: a ``# panel: <name>`` comment line, a header row
+        (``x_label, <series labels...>``), then one row per x value —
+        directly loadable into a spreadsheet or pandas with
+        ``comment='#'``.
+        """
+        lines: List[str] = [f"# figure: {self.figure_id} — {self.title}"]
+        for note in self.notes:
+            lines.append(f"# note: {note}")
+        for panel_name, series_list in self.panels.items():
+            lines.append(f"# panel: {panel_name}")
+            header = [self.x_label] + [s.label for s in series_list]
+            lines.append(",".join(_csv_escape(h) for h in header))
+            xs = series_list[0].x if series_list else []
+            for i, x in enumerate(xs):
+                row = [f"{x:g}"]
+                for s in series_list:
+                    row.append(f"{s.y[i]:.8g}" if i < len(s.y) else "")
+                lines.append(",".join(row))
+        return "\n".join(lines) + "\n"
+
+    def to_text(self) -> str:
+        """Render the whole figure as aligned text tables."""
+        chunks = [f"=== {self.figure_id}: {self.title} ==="]
+        for note in self.notes:
+            chunks.append(f"  note: {note}")
+        for panel_name, series_list in self.panels.items():
+            xs = series_list[0].x if series_list else []
+            headers = [self.x_label] + [s.label for s in series_list]
+            rows = []
+            for i, x in enumerate(xs):
+                row = [f"{x:g}"]
+                for s in series_list:
+                    row.append(f"{s.y[i]:.4g}" if i < len(s.y) else "-")
+                rows.append(row)
+            chunks.append(f"-- {panel_name} --")
+            chunks.append(format_table(headers, rows))
+        return "\n".join(chunks)
+
+
+def _csv_escape(value: str) -> str:
+    if any(c in value for c in ",\"\n"):
+        return '"' + value.replace('"', '""') + '"'
+    return value
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Align a list of string rows under headers."""
+    cols = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i in range(min(cols, len(row))):
+            widths[i] = max(widths[i], len(row[i]))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(str(c).rjust(widths[i]) for i, c in enumerate(row))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def ascii_plot(series_list: List[Series], width: int = 64, height: int = 16) -> str:
+    """Minimal ASCII line plot (used by example scripts, not tests)."""
+    points = [(x, y) for s in series_list for x, y in zip(s.x, s.y)]
+    if not points:
+        return "(empty plot)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*sdv^"
+    for si, s in enumerate(series_list):
+        mark = markers[si % len(markers)]
+        for x, y in zip(s.x, s.y):
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+    lines = ["".join(row) for row in grid]
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={s.label}" for i, s in enumerate(series_list)
+    )
+    return "\n".join(
+        [f"y: [{y_lo:.4g}, {y_hi:.4g}]"]
+        + lines
+        + [f"x: [{x_lo:.4g}, {x_hi:.4g}]", legend]
+    )

@@ -1,0 +1,13 @@
+"""Measurement: per-run metric collection and summary statistics.
+
+* :mod:`repro.metrics.collector` — accumulates job outcomes during a
+  run and produces the :class:`repro.metrics.collector.RunResult`
+  consumed by every experiment.
+* :mod:`repro.metrics.stats` — small statistics helpers (confidence
+  intervals, series utilities) shared by the experiment reports.
+"""
+
+from repro.metrics.collector import MetricsCollector, RunResult
+from repro.metrics.stats import mean_confidence_interval, summarize
+
+__all__ = ["MetricsCollector", "RunResult", "mean_confidence_interval", "summarize"]

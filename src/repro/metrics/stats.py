@@ -1,0 +1,61 @@
+"""Statistics helpers for experiment reports.
+
+Small, dependency-light utilities: replication summaries and normal
+confidence intervals.  Kept separate from the collector so experiment
+code can aggregate :class:`repro.metrics.collector.RunResult` objects
+without reaching into simulation internals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SeriesSummary", "mean_confidence_interval", "summarize"]
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Mean/spread summary of a sample of replicated measurements."""
+
+    mean: float
+    std: float
+    low: float
+    high: float
+    n: int
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> tuple[float, float, float]:
+    """Return ``(mean, lo, hi)`` under a normal approximation.
+
+    Uses the z-quantile rather than Student-t to avoid a scipy
+    dependency in the core path; with the ≥5 replications used by the
+    experiments the difference is immaterial for shape comparisons.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return mean, mean, mean
+    # Inverse normal CDF via Acklam-style rational approximation is
+    # overkill; the experiments only use 90/95/99%.
+    z_table = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+    z = z_table.get(round(confidence, 2))
+    if z is None:
+        raise ValueError(f"unsupported confidence level {confidence!r}; use 0.90/0.95/0.99")
+    sem = float(arr.std(ddof=1)) / math.sqrt(arr.size)
+    return mean, mean - z * sem, mean + z * sem
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> SeriesSummary:
+    """Full :class:`SeriesSummary` of a sample."""
+    arr = np.asarray(values, dtype=float)
+    mean, lo, hi = mean_confidence_interval(arr, confidence)
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    return SeriesSummary(mean=mean, std=std, low=lo, high=hi, n=int(arr.size))

@@ -1,0 +1,36 @@
+"""Mixed application classes: per-job quality functions, end to end.
+
+The paper models one application per server (one shared quality
+function).  Real consolidated servers host several error-tolerant
+services at once — the paper's own §I list.  This package extends the
+GE pipeline to jobs carrying a *class index* that selects their quality
+function:
+
+* :mod:`repro.mixed.quality_opt` — the class-aware second cut: under a
+  core's capacity, level *marginal quality* across jobs (KKT) instead
+  of volume, subject to the same EDF prefix constraints;
+* :mod:`repro.mixed.monitor` — a quality monitor applying each job's
+  own function, so compensation reacts to the true mixed aggregate;
+* :mod:`repro.mixed.workload` — deterministic class stamping on any
+  workload;
+* :mod:`repro.mixed.scheduler` — :class:`MixedGEScheduler`, which cuts
+  with :func:`repro.core.cutting_general.lf_cut_mixed` and plans with
+  the class-aware allocator.
+
+The first cut's theory is in docs/algorithms.md and
+`repro/core/cutting_general.py`; `benchmarks/test_mixed_classes.py`
+quantifies what class-awareness buys over class-blind GE.
+"""
+
+from repro.mixed.monitor import ClassAwareMonitor
+from repro.mixed.quality_opt import quality_opt_mixed
+from repro.mixed.scheduler import MixedGEScheduler, make_mixed_ge
+from repro.mixed.workload import MixedClassWorkload
+
+__all__ = [
+    "ClassAwareMonitor",
+    "MixedClassWorkload",
+    "MixedGEScheduler",
+    "make_mixed_ge",
+    "quality_opt_mixed",
+]

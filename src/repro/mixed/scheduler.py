@@ -1,0 +1,96 @@
+"""The class-aware GE scheduler.
+
+:class:`MixedGEScheduler` runs the GE loop unchanged except for the two
+stages where the shared quality function mattered:
+
+* the AES first cut uses :func:`repro.core.cutting_general.lf_cut_mixed`
+  (level *marginal* quality across classes, not volume);
+* the per-core second cut uses
+  :func:`repro.mixed.quality_opt.quality_opt_mixed`.
+
+It requires a :class:`repro.mixed.monitor.ClassAwareMonitor` on the
+harness so compensation reacts to the true mixed aggregate;
+:func:`make_mixed_ge` builds the matched (scheduler, monitor) pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.cutting_general import lf_cut_mixed
+from repro.core.ge import GEScheduler
+from repro.core.modes import ExecutionMode
+from repro.errors import ConfigurationError
+from repro.mixed.monitor import ClassAwareMonitor
+from repro.mixed.quality_opt import quality_opt_mixed
+from repro.quality.functions import QualityFunction
+from repro.workload.job import Job
+
+__all__ = ["MixedGEScheduler", "make_mixed_ge"]
+
+
+class MixedGEScheduler(GEScheduler):
+    """GE with per-class quality functions end to end."""
+
+    def __init__(self, functions: Sequence[QualityFunction], **kwargs) -> None:
+        if not functions:
+            raise ConfigurationError("need at least one class quality function")
+        kwargs.setdefault("name", "GE-Mixed")
+        super().__init__(**kwargs)
+        self.functions = list(functions)
+        self._allocator = self._mixed_allocator
+
+    # -- class plumbing ---------------------------------------------------
+    def _f_of(self, job: Job) -> QualityFunction:
+        try:
+            return self.functions[job.klass]
+        except IndexError:
+            raise ConfigurationError(
+                f"job {job.jid} has class {job.klass} but only "
+                f"{len(self.functions)} classes are configured"
+            ) from None
+
+    def bind(self, harness) -> None:
+        super().bind(harness)
+        if not isinstance(harness.monitor, ClassAwareMonitor):
+            raise ConfigurationError(
+                "MixedGEScheduler needs a ClassAwareMonitor on the harness "
+                "(use make_mixed_ge / pass monitor= to SimulationHarness)"
+            )
+
+    # -- stage overrides -----------------------------------------------------
+    def _targets_for(
+        self, all_jobs: List[Job], mode: ExecutionMode
+    ) -> Dict[int, float]:
+        if mode is ExecutionMode.AES and all_jobs:
+            targets = lf_cut_mixed(
+                [self._f_of(j) for j in all_jobs],
+                [j.demand for j in all_jobs],
+                self._q_target,
+            )
+            return {j.jid: float(t) for j, t in zip(all_jobs, targets)}
+        return {j.jid: j.demand for j in all_jobs}
+
+    def _mixed_allocator(self, jobs, extras, deadlines, now, capacity, processed):
+        return quality_opt_mixed(
+            [self._f_of(j) for j in jobs],
+            extras,
+            deadlines,
+            now,
+            capacity,
+            offsets=processed,
+        )
+
+
+def make_mixed_ge(
+    functions: Sequence[QualityFunction], **kwargs
+) -> Tuple[MixedGEScheduler, ClassAwareMonitor]:
+    """Build the matched (scheduler, monitor) pair for mixed classes.
+
+    Usage::
+
+        scheduler, monitor = make_mixed_ge([f_search, f_video])
+        harness = SimulationHarness(config, scheduler,
+                                    workload=mixed_workload, monitor=monitor)
+    """
+    return MixedGEScheduler(functions, **kwargs), ClassAwareMonitor(functions)

@@ -1,0 +1,79 @@
+"""Class stamping for mixed workloads.
+
+:class:`MixedClassWorkload` wraps any workload (Poisson, static,
+piecewise-rate) and assigns each job a class index drawn from given
+fractions — deterministically, from its own named RNG stream, so the
+same seed yields the same class pattern regardless of how the inner
+workload consumed its streams.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+from repro.workload.job import Job
+
+__all__ = ["MixedClassWorkload"]
+
+
+class MixedClassWorkload:
+    """Wrap a workload and stamp per-job class indices.
+
+    Parameters
+    ----------
+    inner:
+        Any workload exposing ``materialize()`` / ``install(sim, sink)``.
+    fractions:
+        Probability of each class (must sum to 1).
+    streams:
+        RNG factory; the "classes" stream is used.
+    """
+
+    def __init__(
+        self,
+        inner,
+        fractions: Sequence[float],
+        streams: RandomStreams | None = None,
+    ) -> None:
+        fr = np.asarray(fractions, dtype=float)
+        if fr.size < 1 or np.any(fr < 0) or abs(float(np.sum(fr)) - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"class fractions must be non-negative and sum to 1, got {fractions!r}"
+            )
+        self.inner = inner
+        self.fractions = fr
+        self.streams = streams or RandomStreams(seed=0)
+        self._stamped = False
+
+    def materialize(self) -> List[Job]:
+        """Materialize the inner workload and stamp classes (once)."""
+        jobs = self.inner.materialize()
+        if not self._stamped:
+            rng = self.streams.fresh("classes")
+            classes = rng.choice(self.fractions.size, size=len(jobs), p=self.fractions)
+            for job, klass in zip(jobs, classes):
+                job.klass = int(klass)
+            self._stamped = True
+        return jobs
+
+    def install(self, sim, sink) -> int:
+        """Stamp classes, then delegate arrival installation."""
+        self.materialize()
+        return self.inner.install(sim, sink)
+
+    @property
+    def offered_load(self) -> float:
+        """Delegates to the inner workload."""
+        return self.inner.offered_load
+
+    def class_counts(self) -> List[int]:
+        """Number of jobs per class (after materialization)."""
+        jobs = self.materialize()
+        counts = [0] * self.fractions.size
+        for job in jobs:
+            counts[job.klass] += 1
+        return counts

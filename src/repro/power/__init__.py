@@ -1,0 +1,33 @@
+"""Power modelling: dynamic power, DVFS speed scaling, budget division.
+
+* :mod:`repro.power.models` — the convex dynamic-power model
+  ``P = a·s^β`` of §II-B with its inverse, and energy helpers.
+* :mod:`repro.power.dvfs` — continuous and discrete speed scaling
+  (speed ladders and the paper's §IV-A-5 rectification procedure).
+* :mod:`repro.power.distribution` — Equal-Sharing, Water-Filling and
+  the hybrid policy of §III-D, plus the discrete variant.
+"""
+
+from repro.power.distribution import (
+    DistributionDecision,
+    EqualSharing,
+    HybridDistribution,
+    PowerDistributionPolicy,
+    WaterFilling,
+    water_fill,
+)
+from repro.power.dvfs import ContinuousSpeedScale, DiscreteSpeedScale, SpeedScale
+from repro.power.models import PowerModel
+
+__all__ = [
+    "ContinuousSpeedScale",
+    "DiscreteSpeedScale",
+    "DistributionDecision",
+    "EqualSharing",
+    "HybridDistribution",
+    "PowerDistributionPolicy",
+    "PowerModel",
+    "SpeedScale",
+    "WaterFilling",
+    "water_fill",
+]

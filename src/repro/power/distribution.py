@@ -1,0 +1,176 @@
+"""Power distribution among cores (paper §III-D).
+
+A *power distribution policy* divides the server's dynamic power budget
+``H`` into per-core power **caps**.  A cap limits how fast the core may
+run; the core only draws the power its actual speed requires, so unused
+headroom costs nothing.
+
+* **Equal-Sharing (ES)** gives every core ``H/m``.  Under light load
+  this keeps core speeds close together and prevents the core-speed
+  thrashing that the AES↔BQ compensation switching would otherwise
+  cause (the convex power curve penalizes speed variance).
+* **Water-Filling (WF)** [Du et al., IPDPS'13] satisfies small power
+  demands first: every core receives ``min(demand, level)`` where the
+  water ``level`` is chosen so allocations sum to the budget.  Under
+  heavy load this funnels spare power to overloaded cores and improves
+  quality.
+* **Hybrid** switches between them at the *critical load* threshold.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InfeasibleError
+
+__all__ = [
+    "DistributionDecision",
+    "EqualSharing",
+    "HybridDistribution",
+    "PowerDistributionPolicy",
+    "WaterFilling",
+    "water_fill",
+]
+
+
+def water_fill(demands: np.ndarray, budget: float) -> np.ndarray:
+    """Water-filling allocation of ``budget`` across ``demands``.
+
+    Each entry receives ``min(demand, level)``; if the total demand fits
+    within the budget every demand is fully satisfied (the surplus is
+    left unallocated — drawing it would waste energy).  Otherwise the
+    common ``level`` is the water line at which the budget is exactly
+    exhausted.
+
+    Runs in O(n log n) via a sorted prefix scan.
+    """
+    demands = np.asarray(demands, dtype=float)
+    if budget < 0:
+        raise InfeasibleError(f"negative power budget {budget!r}")
+    if np.any(demands < 0):
+        raise ValueError("power demands must be non-negative")
+    if demands.size == 0:
+        return demands.copy()
+    total = float(np.sum(demands))
+    if total <= budget:
+        return demands.copy()
+
+    # Find the water level L with sum(min(d_i, L)) == budget.
+    order = np.argsort(demands, kind="stable")
+    sorted_d = demands[order]
+    prefix = np.cumsum(sorted_d)
+    n = demands.size
+    level = None
+    for k in range(n):
+        # Suppose the k smallest demands are fully satisfied and the
+        # rest capped at L >= sorted_d[k-1]: prefix[k-1] + (n-k)L = budget.
+        below = prefix[k - 1] if k > 0 else 0.0
+        candidate = (budget - below) / (n - k)
+        lo = sorted_d[k - 1] if k > 0 else 0.0
+        if lo - 1e-12 <= candidate <= sorted_d[k] + 1e-12:
+            level = candidate
+            break
+    if level is None:  # pragma: no cover - unreachable given total > budget
+        level = budget / n
+    return np.minimum(demands, level)
+
+
+@dataclass(frozen=True)
+class DistributionDecision:
+    """Result of a power-distribution step.
+
+    Attributes
+    ----------
+    caps:
+        Per-core power caps (W); ``caps.sum() <= budget`` always holds
+        for WF, and ``caps`` may sum to exactly the budget for ES.
+    policy:
+        Short name of the policy that produced the caps ("ES"/"WF").
+    """
+
+    caps: np.ndarray
+    policy: str
+
+
+class PowerDistributionPolicy(ABC):
+    """Strategy interface: demands + budget → per-core power caps."""
+
+    name: str = "?"
+
+    @abstractmethod
+    def distribute(self, demands: np.ndarray, budget: float) -> DistributionDecision:
+        """Return per-core power caps for the given per-core demands."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class EqualSharing(PowerDistributionPolicy):
+    """ES: every core is capped at ``budget / m`` regardless of demand."""
+
+    name = "ES"
+
+    def distribute(self, demands: np.ndarray, budget: float) -> DistributionDecision:
+        demands = np.asarray(demands, dtype=float)
+        if budget < 0:
+            raise InfeasibleError(f"negative power budget {budget!r}")
+        if demands.size == 0:
+            return DistributionDecision(caps=demands.copy(), policy=self.name)
+        caps = np.full(demands.shape, budget / demands.size)
+        return DistributionDecision(caps=caps, policy=self.name)
+
+
+class WaterFilling(PowerDistributionPolicy):
+    """WF: satisfy low demands first, pool the rest for loaded cores.
+
+    When total demand exceeds the budget, demands are capped at the
+    water level.  When it does not, surplus budget is granted as *extra
+    headroom* spread equally — matching the policy's role in BE-style
+    schedulers where a core may later need to exceed its estimate.
+    """
+
+    name = "WF"
+
+    def __init__(self, grant_surplus: bool = True) -> None:
+        self.grant_surplus = grant_surplus
+
+    def distribute(self, demands: np.ndarray, budget: float) -> DistributionDecision:
+        base = water_fill(np.asarray(demands, dtype=float), budget)
+        if self.grant_surplus and base.size:
+            surplus = budget - float(np.sum(base))
+            if surplus > 1e-12:
+                base = base + surplus / base.size
+        return DistributionDecision(caps=base, policy=self.name)
+
+
+class HybridDistribution(PowerDistributionPolicy):
+    """The paper's hybrid: ES under light load, WF under heavy load.
+
+    The caller decides lightness (via :mod:`repro.core.load`) and passes
+    it to :meth:`distribute_for_load`; :meth:`distribute` alone defaults
+    to the light-load branch so the class still satisfies the strategy
+    interface.
+    """
+
+    name = "HYBRID"
+
+    def __init__(
+        self,
+        light: PowerDistributionPolicy | None = None,
+        heavy: PowerDistributionPolicy | None = None,
+    ) -> None:
+        self.light = light or EqualSharing()
+        self.heavy = heavy or WaterFilling()
+
+    def distribute(self, demands: np.ndarray, budget: float) -> DistributionDecision:
+        return self.light.distribute(demands, budget)
+
+    def distribute_for_load(
+        self, demands: np.ndarray, budget: float, heavy_load: bool
+    ) -> DistributionDecision:
+        """Dispatch to the WF branch iff ``heavy_load``."""
+        policy = self.heavy if heavy_load else self.light
+        return policy.distribute(demands, budget)

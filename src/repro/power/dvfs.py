@@ -1,0 +1,166 @@
+"""Speed scaling models: continuous and discrete DVFS.
+
+The main experiments use *continuous* per-core DVFS (any non-negative
+speed).  §IV-A-5/Fig. 12 studies *discrete* speed scaling: cores only
+run at levels from a fixed ladder, and the paper's rectification rule
+rounds each core's water-filled speed **up** to the nearest level when
+the budget allows, else down to the next lower level.
+
+:class:`SpeedScale` is the shared interface; the server's executor only
+calls :meth:`quantize` and :meth:`max_speed_at_power`, so schedulers
+are agnostic to which model is active.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.power.models import PowerModel
+
+__all__ = ["SpeedScale", "ContinuousSpeedScale", "DiscreteSpeedScale"]
+
+
+class SpeedScale(ABC):
+    """Which speeds a core may run at, given the power model."""
+
+    def __init__(self, model: PowerModel) -> None:
+        self.model = model
+
+    @abstractmethod
+    def quantize(self, speed: float) -> float:
+        """Largest *allowed* speed ≤ ``speed`` (0 is always allowed)."""
+
+    @abstractmethod
+    def ceil(self, speed: float) -> float:
+        """Smallest allowed speed ≥ ``speed`` (or the max level)."""
+
+    @abstractmethod
+    def max_speed_at_power(self, power: float) -> float:
+        """Largest allowed speed whose power draw is ≤ ``power``."""
+
+    @property
+    @abstractmethod
+    def top_speed(self) -> float:
+        """The largest representable speed (may be ``inf``)."""
+
+
+class ContinuousSpeedScale(SpeedScale):
+    """Idealized continuous DVFS: any speed in [0, top] is allowed."""
+
+    def __init__(self, model: PowerModel, top_speed: float = float("inf")) -> None:
+        super().__init__(model)
+        if top_speed <= 0:
+            raise ConfigurationError(f"top_speed must be positive, got {top_speed!r}")
+        self._top = float(top_speed)
+
+    def quantize(self, speed: float) -> float:
+        if speed < 0:
+            raise ValueError("speed must be non-negative")
+        return min(speed, self._top)
+
+    def ceil(self, speed: float) -> float:
+        if speed < 0:
+            raise ValueError("speed must be non-negative")
+        return min(speed, self._top)
+
+    def max_speed_at_power(self, power: float) -> float:
+        return min(self.model.speed(power), self._top)
+
+    @property
+    def top_speed(self) -> float:
+        return self._top
+
+
+class DiscreteSpeedScale(SpeedScale):
+    """DVFS restricted to a finite ascending ladder of speed levels.
+
+    Parameters
+    ----------
+    model:
+        The power model (used for power↔speed conversions).
+    levels:
+        Allowed speeds in GHz.  0 is implicitly allowed (idle).  The
+        paper does not publish its ladder; the default 0.25 GHz steps
+        up to 3 GHz bracket the 2 GHz average speed of the setup.
+    """
+
+    def __init__(
+        self,
+        model: PowerModel,
+        levels: Sequence[float] | None = None,
+    ) -> None:
+        super().__init__(model)
+        if levels is None:
+            levels = np.arange(0.25, 3.0 + 1e-9, 0.25)
+        arr = np.asarray(sorted(set(float(v) for v in levels)), dtype=float)
+        if arr.size == 0:
+            raise ConfigurationError("discrete ladder needs at least one level")
+        if np.any(arr <= 0):
+            raise ConfigurationError("ladder levels must be positive (0 = idle is implicit)")
+        self.levels = arr
+
+    def quantize(self, speed: float) -> float:
+        """Largest level ≤ ``speed``, or 0 if below the lowest level."""
+        if speed < 0:
+            raise ValueError("speed must be non-negative")
+        idx = int(np.searchsorted(self.levels, speed + 1e-12, side="right")) - 1
+        return 0.0 if idx < 0 else float(self.levels[idx])
+
+    def ceil(self, speed: float) -> float:
+        """Smallest level ≥ ``speed`` (top level if beyond the ladder)."""
+        if speed < 0:
+            raise ValueError("speed must be non-negative")
+        if speed == 0:
+            return 0.0
+        idx = int(np.searchsorted(self.levels, speed - 1e-12, side="left"))
+        idx = min(idx, self.levels.size - 1)
+        return float(self.levels[idx])
+
+    def next_below(self, speed: float) -> float:
+        """Largest level strictly below ``speed`` (0 if none)."""
+        idx = int(np.searchsorted(self.levels, speed - 1e-12, side="left")) - 1
+        return 0.0 if idx < 0 else float(self.levels[idx])
+
+    def max_speed_at_power(self, power: float) -> float:
+        return self.quantize(self.model.speed(power))
+
+    @property
+    def top_speed(self) -> float:
+        return float(self.levels[-1])
+
+    def rectify(self, speeds: np.ndarray, budget: float) -> np.ndarray:
+        """The paper's §IV-A-5 discrete rectification.
+
+        Starting from the core with the lowest assigned speed, round
+        each ideal speed up to the nearest ladder level if the total
+        budget still allows it, otherwise round down to the next lower
+        level.  Returns the rectified speed vector.
+        """
+        speeds = np.asarray(speeds, dtype=float)
+        out = np.zeros_like(speeds)
+        order = np.argsort(speeds, kind="stable")
+        committed = 0.0  # power already granted to processed cores
+        remaining_ideal = float(np.sum(self.model.power(speeds)))
+        for rank, idx in enumerate(order):
+            ideal = speeds[idx]
+            remaining_ideal -= float(self.model.power(ideal))
+            if ideal <= 0:
+                continue
+            up = self.ceil(ideal)
+            # Budget check: committed + this core at `up` + ideal needs
+            # of the cores not yet processed must fit in the budget.
+            if committed + self.model.power(up) + remaining_ideal <= budget + 1e-9:
+                chosen = up
+            else:
+                chosen = self.quantize(ideal)
+                # If even rounding down overshoots (can happen when the
+                # ladder is coarse and budget tight), drop another level.
+                while chosen > 0 and committed + self.model.power(chosen) > budget + 1e-9:
+                    chosen = self.next_below(chosen)
+            out[idx] = chosen
+            committed += float(self.model.power(chosen))
+        return out

@@ -1,0 +1,105 @@
+"""The dynamic power model (paper §II-B).
+
+Each core's dynamic power is the convex function ``P(s) = a·s^β`` of
+its speed ``s`` (GHz), with ``a > 0`` and ``β > 1`` [Yao et al. '95;
+Bansal et al. '07].  The paper's experiments use ``a = 5, β = 2`` so a
+core at 2 GHz draws 20 W.  Static power is a common constant offset and
+is deliberately excluded (§IV-B).
+
+Speeds map to throughput via ``units_per_ghz_second``: the paper
+defines the capacity of a 1 GHz core as 1000 processing units/second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PowerModel"]
+
+ArrayOrFloat = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Convex speed→power map ``P(s) = a·s^β`` with its inverse.
+
+    Parameters
+    ----------
+    a:
+        Scaling factor (W per GHz^β).  Paper default: 5.
+    beta:
+        Convexity exponent (> 1).  Paper default: 2.
+    units_per_ghz_second:
+        Throughput of a 1 GHz core in processing units per second.
+        Paper default: 1000.
+    """
+
+    a: float = 5.0
+    beta: float = 2.0
+    units_per_ghz_second: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.a <= 0:
+            raise ConfigurationError(f"power scale a must be positive, got {self.a!r}")
+        if self.beta <= 1:
+            raise ConfigurationError(f"beta must exceed 1 for convexity, got {self.beta!r}")
+        if self.units_per_ghz_second <= 0:
+            raise ConfigurationError("units_per_ghz_second must be positive")
+
+    # -- speed <-> power ---------------------------------------------------
+    def power(self, speed: ArrayOrFloat) -> ArrayOrFloat:
+        """Dynamic power (W) at ``speed`` (GHz)."""
+        arr = np.asarray(speed, dtype=float)
+        if np.any(arr < 0):
+            raise ValueError("speed must be non-negative")
+        out = self.a * arr**self.beta
+        return float(out) if np.isscalar(speed) or arr.ndim == 0 else out
+
+    def speed(self, power: ArrayOrFloat) -> ArrayOrFloat:
+        """Highest speed (GHz) sustainable at ``power`` (W): inverse of P."""
+        arr = np.asarray(power, dtype=float)
+        if np.any(arr < 0):
+            raise ValueError("power must be non-negative")
+        out = (arr / self.a) ** (1.0 / self.beta)
+        return float(out) if np.isscalar(power) or arr.ndim == 0 else out
+
+    # -- speed <-> throughput ----------------------------------------------
+    def throughput(self, speed: ArrayOrFloat) -> ArrayOrFloat:
+        """Processing units per second at ``speed`` (GHz)."""
+        arr = np.asarray(speed, dtype=float)
+        out = arr * self.units_per_ghz_second
+        return float(out) if np.isscalar(speed) or arr.ndim == 0 else out
+
+    def speed_for_throughput(self, units_per_second: ArrayOrFloat) -> ArrayOrFloat:
+        """Speed (GHz) needed to process ``units_per_second``."""
+        arr = np.asarray(units_per_second, dtype=float)
+        out = arr / self.units_per_ghz_second
+        return float(out) if np.isscalar(units_per_second) or arr.ndim == 0 else out
+
+    # -- derived quantities --------------------------------------------------
+    def power_for_work(self, volume: float, duration: float) -> float:
+        """Power (W) to process ``volume`` units in ``duration`` seconds."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration!r}")
+        return self.power(self.speed_for_throughput(volume / duration))
+
+    def energy(self, speed: float, duration: float) -> float:
+        """Energy (J) of running at ``speed`` GHz for ``duration`` s."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration!r}")
+        return self.power(speed) * duration
+
+    def energy_for_volume(self, volume: float, speed: float) -> float:
+        """Energy (J) to process ``volume`` units at constant ``speed``.
+
+        Because P is convex with β > 1, this is increasing in speed:
+        E = P(s)·(v / throughput(s)) = a·v/u · s^{β−1}.
+        """
+        if speed <= 0:
+            raise ValueError(f"speed must be positive, got {speed!r}")
+        return self.power(speed) * volume / self.throughput(speed)

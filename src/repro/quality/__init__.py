@@ -1,0 +1,35 @@
+"""Quality model for "good enough" services.
+
+Implements the paper's §II-A: a concave *quality function* maps the
+processed volume of a (possibly partially executed) job to a perceived
+quality in [0, 1]; the aggregate quality of a job set is
+``Q = Σ f(c_j) / Σ f(p_j)``.
+
+* :mod:`repro.quality.functions` — the exponential-concave function of
+  Eq. (1) plus alternative concave shapes, with exact and binary-search
+  inverses.
+* :mod:`repro.quality.aggregate` — aggregate-quality computations.
+* :mod:`repro.quality.monitor` — the online quality monitor that drives
+  the AES↔BQ compensation policy.
+"""
+
+from repro.quality.aggregate import aggregate_quality, quality_ratio
+from repro.quality.functions import (
+    ExponentialQuality,
+    LinearQuality,
+    LogQuality,
+    PowerQuality,
+    QualityFunction,
+)
+from repro.quality.monitor import QualityMonitor
+
+__all__ = [
+    "ExponentialQuality",
+    "LinearQuality",
+    "LogQuality",
+    "PowerQuality",
+    "QualityFunction",
+    "QualityMonitor",
+    "aggregate_quality",
+    "quality_ratio",
+]

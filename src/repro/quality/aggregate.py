@@ -1,0 +1,75 @@
+"""Aggregate quality of a set of jobs (paper §II-A).
+
+The average quality achieved by executing a job set is
+
+    Q(J) = Σ_j f(c_j) / Σ_j f(p_j)
+
+where ``c_j`` is the processed volume and ``p_j`` the full demand of
+job ``J_j``.  The denominator is the quality that *would* have been
+achieved by full processing, so ``Q ∈ [0, 1]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.quality.functions import QualityFunction
+
+__all__ = ["aggregate_quality", "quality_ratio", "projected_quality_after_cut"]
+
+
+def quality_ratio(achieved: float, potential: float) -> float:
+    """Safe ratio ``achieved / potential`` treating an empty set as perfect.
+
+    With no jobs (``potential == 0``) there is no quality to lose, so
+    the ratio is defined as 1.0 — this matches the monitor's start-up
+    behaviour (GE begins in AES mode).
+    """
+    if potential <= 0.0:
+        return 1.0
+    return achieved / potential
+
+
+def aggregate_quality(
+    f: QualityFunction,
+    processed: Sequence[float] | np.ndarray,
+    demands: Sequence[float] | np.ndarray,
+) -> float:
+    """Compute ``Q = Σ f(c_j) / Σ f(p_j)`` for paired volumes/demands."""
+    processed_arr = np.asarray(processed, dtype=float)
+    demands_arr = np.asarray(demands, dtype=float)
+    if processed_arr.shape != demands_arr.shape:
+        raise ValueError(
+            f"processed {processed_arr.shape} and demands {demands_arr.shape} differ"
+        )
+    if processed_arr.size == 0:
+        return 1.0
+    if np.any(processed_arr - demands_arr > 1e-9):
+        raise ValueError("processed volume exceeds demand for some job")
+    achieved = float(np.sum(f(processed_arr)))
+    potential = float(np.sum(f(demands_arr)))
+    return quality_ratio(achieved, potential)
+
+
+def projected_quality_after_cut(
+    f: QualityFunction,
+    targets: Iterable[float],
+    demands: Iterable[float],
+    base_achieved: float = 0.0,
+    base_potential: float = 0.0,
+) -> float:
+    """Quality if jobs are processed to ``targets``, on top of history.
+
+    ``base_achieved``/``base_potential`` carry Σf over already-settled
+    jobs so the cut can be evaluated against the *cumulative* quality
+    the monitor tracks, not just the batch in hand.
+    """
+    targets_arr = np.asarray(list(targets), dtype=float)
+    demands_arr = np.asarray(list(demands), dtype=float)
+    achieved = base_achieved + float(np.sum(f(targets_arr))) if targets_arr.size else base_achieved
+    potential = (
+        base_potential + float(np.sum(f(demands_arr))) if demands_arr.size else base_potential
+    )
+    return quality_ratio(achieved, potential)

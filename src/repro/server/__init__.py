@@ -1,0 +1,18 @@
+"""Multicore server substrate: cores, machine, and the simulation harness.
+
+* :mod:`repro.server.core` — a single DVFS core executing planned
+  *segments* (job, volume, speed) with exact speed/energy timelines.
+* :mod:`repro.server.machine` — the m-core server with a shared dynamic
+  power budget and machine-level energy/speed metrics.
+* :mod:`repro.server.scheduler` — the abstract scheduler interface all
+  policies (GE and baselines) implement.
+* :mod:`repro.server.harness` — glue binding simulator + machine +
+  workload + scheduler + metrics into one runnable experiment.
+"""
+
+from repro.server.core import Core, Segment
+from repro.server.harness import SimulationHarness
+from repro.server.machine import MulticoreServer
+from repro.server.scheduler import Scheduler
+
+__all__ = ["Core", "MulticoreServer", "Scheduler", "Segment", "SimulationHarness"]

@@ -1,0 +1,267 @@
+"""A single DVFS core executing planned segments.
+
+The schedulers in this library express per-core work as an ordered list
+of :class:`Segment` objects — "process ``volume`` units of ``job`` at
+``speed`` GHz".  The :class:`Core` executes segments back-to-back,
+records its speed as a piecewise-constant timeline (for exact energy
+integration and Fig. 6's speed statistics), and supports the two
+asynchronous edits online scheduling needs:
+
+* :meth:`set_plan` — replace all queued work (re-planning at a trigger);
+  the in-flight segment is charged for the volume it has processed.
+* :meth:`abort_job` — remove one job mid-plan (deadline expiry).
+
+A segment marked ``final`` settles its job on completion: ``COMPLETED``
+if the full demand was processed, else ``CUT`` (the deliberate AES
+outcome).  Non-final segments leave the job live (used when a plan
+intentionally processes a prefix now and decides the tail later).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.errors import SchedulingError
+from repro.sim.engine import Simulator
+from repro.sim.events import PRIORITY_LOW, Event
+from repro.sim.timeline import StepTimeline
+from repro.workload.job import Job, JobOutcome
+
+__all__ = ["Core", "Segment"]
+
+#: Volumes below this are considered already done (float-noise guard).
+_VOLUME_EPS = 1e-9
+
+
+@dataclass
+class Segment:
+    """An execution order: run ``job`` for ``volume`` units at ``speed``.
+
+    Attributes
+    ----------
+    job:
+        The job to advance.
+    volume:
+        Processing units to execute in this segment (> 0).
+    speed:
+        Core speed in GHz while the segment runs (> 0).
+    final:
+        Whether the job should be settled when the segment completes.
+    """
+
+    job: Job
+    volume: float
+    speed: float
+    final: bool = True
+
+    def __post_init__(self) -> None:
+        if self.volume <= 0:
+            raise SchedulingError(
+                f"segment for job {self.job.jid} has non-positive volume {self.volume!r}"
+            )
+        if self.speed <= 0:
+            raise SchedulingError(
+                f"segment for job {self.job.jid} has non-positive speed {self.speed!r}"
+            )
+
+    def duration(self, units_per_ghz_second: float) -> float:
+        """Wall-clock length of the segment."""
+        return self.volume / (self.speed * units_per_ghz_second)
+
+
+class Core:
+    """One core of the multicore server.
+
+    Parameters
+    ----------
+    index:
+        Core id within the machine.
+    sim:
+        The simulator driving completion events.
+    units_per_ghz_second:
+        Throughput of this core at 1 GHz (paper: 1000 units/s).
+    on_idle:
+        Callback invoked (with the core index) whenever the core runs
+        out of planned work — this is the paper's "idle-core" trigger.
+    on_settle:
+        Callback invoked with each job the core settles (completion or
+        cut), so the harness can record quality.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        sim: Simulator,
+        units_per_ghz_second: float = 1000.0,
+        on_idle: Optional[Callable[[int], None]] = None,
+        on_settle: Optional[Callable[[Job], None]] = None,
+    ) -> None:
+        self.index = index
+        self.sim = sim
+        self.units_per_ghz_second = float(units_per_ghz_second)
+        self.on_idle = on_idle
+        self.on_settle = on_settle
+        self.speed_timeline = StepTimeline(start_time=sim.now, initial_value=0.0)
+        self._pending: List[Segment] = []
+        self._current: Optional[Segment] = None
+        self._current_started: float = 0.0
+        self._completion: Optional[Event] = None
+        self._completed_volume = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        """Whether a segment is currently executing."""
+        return self._current is not None
+
+    @property
+    def has_work(self) -> bool:
+        """Whether any segment is executing or queued."""
+        return self._current is not None or bool(self._pending)
+
+    @property
+    def current_job(self) -> Optional[Job]:
+        """The job executing right now, if any."""
+        return self._current.job if self._current else None
+
+    @property
+    def speed(self) -> float:
+        """Current speed in GHz (0 when idle)."""
+        return self._current.speed if self._current else 0.0
+
+    @property
+    def completed_volume(self) -> float:
+        """Total processing units this core has executed."""
+        return self._completed_volume
+
+    def pending_jobs(self) -> List[Job]:
+        """Jobs with planned-but-unstarted segments (deduplicated, in order)."""
+        seen: dict[int, Job] = {}
+        for seg in self._pending:
+            seen.setdefault(seg.job.jid, seg.job)
+        return list(seen.values())
+
+    def planned_volume(self, job: Job) -> float:
+        """Total volume still planned (queued + in-flight remainder) for ``job``."""
+        total = sum(s.volume for s in self._pending if s.job.jid == job.jid)
+        if self._current is not None and self._current.job.jid == job.jid:
+            total += self._current.volume - self._progress_so_far()
+        return total
+
+    # ------------------------------------------------------------------
+    # Plan management
+    # ------------------------------------------------------------------
+    def set_plan(self, segments: List[Segment], *, notify_idle_if_empty: bool = False) -> None:
+        """Replace every queued segment with ``segments``.
+
+        Any in-flight segment is interrupted *now*: the volume executed
+        so far is credited to its job, and the job's continuation (if
+        any) must be included in the new plan by the scheduler — this is
+        exactly the paper's "consider a running job as a new one upon a
+        new schedule".
+        """
+        self._interrupt_current()
+        self._pending = list(segments)
+        self._start_next(notify_idle_if_empty=notify_idle_if_empty)
+
+    def checkpoint(self) -> None:
+        """Pause the core, crediting in-flight progress to its job.
+
+        Used at the start of a batch replan so that "processed volume"
+        is up to date while the scheduler recomputes targets; the core
+        stays paused (pending segments intact) until :meth:`set_plan`.
+        """
+        self._interrupt_current()
+
+    def enqueue(self, segment: Segment) -> None:
+        """Append one segment to the plan (used by one-job-at-a-time baselines)."""
+        self._pending.append(segment)
+        if not self.busy:
+            self._start_next(notify_idle_if_empty=False)
+
+    def abort_job(self, job: Job) -> float:
+        """Remove ``job`` from the plan; returns the volume it had executed.
+
+        Called on deadline expiry.  Progress of an in-flight segment is
+        credited before removal.  The job is *not* settled here — the
+        harness owns settlement.
+        """
+        credited = 0.0
+        if self._current is not None and self._current.job.jid == job.jid:
+            credited = self._interrupt_current()
+        self._pending = [s for s in self._pending if s.job.jid != job.jid]
+        if not self.busy:
+            self._start_next(notify_idle_if_empty=False)
+        return credited
+
+    # ------------------------------------------------------------------
+    # Internal execution machinery
+    # ------------------------------------------------------------------
+    def _progress_so_far(self) -> float:
+        """Units processed by the in-flight segment up to now."""
+        assert self._current is not None
+        elapsed = self.sim.now - self._current_started
+        return min(
+            self._current.volume,
+            elapsed * self._current.speed * self.units_per_ghz_second,
+        )
+
+    def _interrupt_current(self) -> float:
+        """Stop the in-flight segment, crediting its progress; return it."""
+        if self._current is None:
+            return 0.0
+        done = self._progress_so_far()
+        if done > _VOLUME_EPS:
+            self._current.job.add_progress(done)
+            self._completed_volume += done
+        if self._completion is not None:
+            self._completion.cancel()
+            self._completion = None
+        self._current = None
+        self.speed_timeline.set_value(self.sim.now, 0.0)
+        return done
+
+    def _start_next(self, *, notify_idle_if_empty: bool) -> None:
+        while self._pending:
+            seg = self._pending.pop(0)
+            if seg.job.settled:
+                continue  # job expired/settled while waiting in the plan
+            remaining_window = seg.job.deadline - self.sim.now
+            if remaining_window <= 0:
+                continue  # cannot run past the deadline; expiry event settles it
+            self._current = seg
+            self._current_started = self.sim.now
+            self.speed_timeline.set_value(self.sim.now, seg.speed)
+            duration = seg.duration(self.units_per_ghz_second)
+            # Completion events run at low priority so that deadline
+            # expiries and arrivals at the same instant are seen first.
+            self._completion = self.sim.schedule(
+                duration, self._complete, priority=PRIORITY_LOW, name=f"core{self.index}-done"
+            )
+            return
+        # Out of work.
+        self.speed_timeline.set_value(self.sim.now, 0.0)
+        if notify_idle_if_empty and self.on_idle is not None:
+            self.on_idle(self.index)
+
+    def _complete(self) -> None:
+        seg = self._current
+        assert seg is not None, "completion fired with no in-flight segment"
+        self._completion = None
+        self._current = None
+        seg.job.add_progress(seg.volume)
+        self._completed_volume += seg.volume
+        if seg.final and not seg.job.settled:
+            outcome = (
+                JobOutcome.COMPLETED if seg.job.remaining <= _VOLUME_EPS else JobOutcome.CUT
+            )
+            seg.job.settle(outcome)
+            if self.on_settle is not None:
+                self.on_settle(seg.job)
+        self._start_next(notify_idle_if_empty=True)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"running {self._current.job.jid}@{self._current.speed:.2f}GHz" if self._current else "idle"
+        return f"Core({self.index}, {state}, queued={len(self._pending)})"

@@ -1,0 +1,80 @@
+"""Abstract scheduler interface.
+
+Every policy in this library — GE and all baselines — implements
+:class:`Scheduler`.  The :class:`repro.server.harness.SimulationHarness`
+owns the mechanics every policy shares (waiting queue, deadline expiry,
+settlement bookkeeping) and calls back into the scheduler at the three
+kinds of moments the paper names (§III-E):
+
+* :meth:`on_arrival` — a job was appended to the waiting queue
+  (the *counter trigger* is implemented here by policies that batch);
+* :meth:`on_core_idle` — a core ran out of planned work
+  (*idle-core trigger*);
+* :meth:`on_quantum` — the periodic *quantum trigger* (only wired when
+  :attr:`quantum` is not ``None``).
+
+Schedulers act exclusively by planning segments on
+``self.harness.machine.cores`` — they never touch the clock directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.server.harness import SimulationHarness
+    from repro.workload.job import Job
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler(ABC):
+    """Base class for all scheduling policies.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in results tables ("GE", "BE", "FCFS"...).
+    quantum:
+        Period of the quantum trigger in seconds, or ``None`` to
+        disable it.  GE uses 0.5 s (paper §IV-B).
+    """
+
+    name: str = "?"
+    quantum: Optional[float] = None
+
+    def __init__(self) -> None:
+        self.harness: Optional["SimulationHarness"] = None
+
+    # ------------------------------------------------------------------
+    def bind(self, harness: "SimulationHarness") -> None:
+        """Attach the scheduler to a harness before the run starts.
+
+        Subclasses that pre-compute state from the configuration should
+        extend this (and call ``super().bind(harness)``).
+        """
+        self.harness = harness
+
+    # -- trigger hooks -----------------------------------------------------
+    @abstractmethod
+    def on_arrival(self, job: "Job") -> None:
+        """A job entered the waiting queue at the current instant."""
+
+    @abstractmethod
+    def on_core_idle(self, core_index: int) -> None:
+        """Core ``core_index`` drained its plan and is now idle."""
+
+    def on_quantum(self) -> None:
+        """Periodic trigger; only called when :attr:`quantum` is set."""
+
+    # -- lifecycle ---------------------------------------------------------
+    def on_run_end(self) -> None:
+        """Called once after the simulation drains (optional hook)."""
+
+    def describe(self) -> str:
+        """One-line human-readable description for reports."""
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

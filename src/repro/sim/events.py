@@ -1,0 +1,175 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a future occurrence at a simulated time with an
+attached callback.  The :class:`EventQueue` is a binary heap ordered by
+``(time, priority, sequence)`` — the monotonically increasing sequence
+number makes event ordering (and therefore whole simulations) fully
+deterministic even when many events share a timestamp.
+
+Cancellation is *lazy*: cancelled events stay in the heap but are
+skipped on pop.  This is the standard technique for heap-based agendas
+(also used by :mod:`sched` and ``asyncio``) and keeps both ``push`` and
+``cancel`` O(log n) / O(1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+__all__ = ["Event", "EventQueue", "PRIORITY_HIGH", "PRIORITY_NORMAL", "PRIORITY_LOW"]
+
+#: Priority constants: lower sorts earlier among same-time events.
+PRIORITY_HIGH = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+
+class Event:
+    """A scheduled occurrence in simulated time.
+
+    Instances are created by :meth:`repro.sim.engine.Simulator.schedule`
+    (via the queue's :meth:`EventQueue.push`); user code normally only
+    keeps the handle around in order to :meth:`cancel` it.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the event fires.
+    priority:
+        Tie-break among events at the same time; lower fires first.
+    callback:
+        Zero-argument callable invoked when the event fires (the
+        payload, if any, is bound via closure or ``functools.partial``).
+    name:
+        Optional human-readable label, used by traces and ``repr``.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "name", "_cancelled", "_fired", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], Any],
+        name: Optional[str] = None,
+        queue: Optional["EventQueue"] = None,
+    ) -> None:
+        self.time = float(time)
+        self.priority = int(priority)
+        self.seq = int(seq)
+        self.callback = callback
+        self.name = name
+        self._cancelled = False
+        self._fired = False
+        self._queue = queue
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` was called before the event fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether the event's callback has already been invoked."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still waiting to fire."""
+        return not (self._cancelled or self._fired)
+
+    def cancel(self) -> bool:
+        """Cancel the event; returns ``True`` if it was still pending."""
+        if not self.pending:
+            return False
+        self._cancelled = True
+        if self._queue is not None:
+            self._queue._live -= 1
+        return True
+
+    def _fire(self) -> None:
+        if self._cancelled:  # pragma: no cover - guarded by EventQueue.pop
+            raise SimulationError(f"firing cancelled event {self!r}")
+        self._fired = True
+        self.callback()
+
+    # Heap ordering ----------------------------------------------------
+    def _key(self) -> tuple[float, int, int]:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._key() < other._key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else ("fired" if self._fired else "pending")
+        label = self.name or getattr(self.callback, "__name__", "callback")
+        return f"Event(t={self.time:.6f}, prio={self.priority}, {label}, {state})"
+
+
+class EventQueue:
+    """Deterministic priority queue of :class:`Event` objects."""
+
+    __slots__ = ("_heap", "_counter", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[[], Any],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        name: Optional[str] = None,
+    ) -> Event:
+        """Insert a new event and return its handle."""
+        event = Event(time, priority, next(self._counter), callback, name, queue=self)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        return self._heap[0].time if self._heap else None
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue holds no live events.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        self._live -= 1
+        return heapq.heappop(self._heap)
+
+    def discard_cancelled(self) -> None:
+        """Compact the heap by removing every cancelled entry.
+
+        Useful for long simulations that cancel many timers; not needed
+        for correctness.
+        """
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)

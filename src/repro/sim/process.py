@@ -1,0 +1,240 @@
+"""Generator-based processes on top of the event kernel.
+
+This gives the kernel a ``simpy``-flavoured coroutine interface: a
+process is a Python generator that ``yield``\\ s *waitables* and is
+resumed when they complete.  Supported waitables:
+
+* :class:`Timeout` — sleep for a duration;
+* :class:`Process` — wait for another process to finish (its return
+  value is delivered as the ``yield`` result);
+* :class:`Signal` — a one-shot condition another actor can trigger,
+  optionally with a payload.
+
+Processes can be interrupted: :meth:`Process.interrupt` raises
+:class:`Interrupt` inside the generator at its current wait point.
+
+The scheduler machinery in :mod:`repro.server` uses plain callbacks for
+speed; processes are used by workload generators, examples, and tests,
+and exist so the kernel is a complete DES substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.events import PRIORITY_NORMAL, Event
+
+__all__ = ["Interrupt", "Process", "Signal", "Timeout"]
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when it is interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Timeout:
+    """Waitable: resume the process after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"Timeout with negative delay {delay!r}")
+        self.delay = float(delay)
+        self.value = value
+
+
+class Signal:
+    """A one-shot condition processes can wait on.
+
+    :meth:`trigger` wakes every waiter with the given payload.  A signal
+    that is already triggered resumes new waiters immediately (in the
+    same simulated instant).
+    """
+
+    def __init__(self, sim: Simulator, name: Optional[str] = None) -> None:
+        self._sim = sim
+        self.name = name
+        self._triggered = False
+        self._payload: Any = None
+        self._waiters: list["Process"] = []
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the signal has fired."""
+        return self._triggered
+
+    @property
+    def payload(self) -> Any:
+        """Value passed to :meth:`trigger` (None before firing)."""
+        return self._payload
+
+    def trigger(self, payload: Any = None) -> None:
+        """Fire the signal, waking all current waiters."""
+        if self._triggered:
+            raise SimulationError(f"signal {self.name!r} triggered twice")
+        self._triggered = True
+        self._payload = payload
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._sim.schedule(0.0, lambda p=proc: p._resume(payload))
+
+    def _subscribe(self, proc: "Process") -> None:
+        if self._triggered:
+            self._sim.schedule(0.0, lambda: proc._resume(self._payload))
+        else:
+            self._waiters.append(proc)
+
+
+class Process:
+    """Drives a generator coroutine inside a :class:`Simulator`.
+
+    The generator may ``yield`` :class:`Timeout`, :class:`Signal` or
+    another :class:`Process`.  When the generator returns, the process
+    is *done* and its :attr:`value` holds the ``return`` value.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> def worker():
+    ...     yield Timeout(2.0)
+    ...     return "done"
+    >>> p = sim.process(worker())
+    >>> sim.run()
+    >>> (p.done, p.value, sim.now)
+    (True, 'done', 2.0)
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        generator: Iterable[Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not isinstance(generator, Generator):
+            raise SimulationError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        self._sim = sim
+        self._gen = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._done = False
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._waiters: list["Process"] = []
+        self._wait_event: Optional[Event] = None
+        self._interrupt_pending: Optional[Interrupt] = None
+        # Kick off at the current instant.
+        self._wait_event = sim.schedule(0.0, self._start, name=f"start:{self.name}")
+
+    # -- public ---------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Whether the generator has finished (returned or raised)."""
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        """Return value of the generator (``None`` until done)."""
+        return self._value
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """Exception that terminated the process, if any."""
+        return self._error
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at its wait point."""
+        if self._done:
+            return
+        interrupt = Interrupt(cause)
+        if self._wait_event is not None and self._wait_event.pending:
+            self._wait_event.cancel()
+            self._wait_event = None
+            self._sim.schedule(0.0, lambda: self._throw(interrupt))
+        else:
+            # Process is starting up or being resumed this instant;
+            # deliver the interrupt at its next resumption.
+            self._interrupt_pending = interrupt
+
+    # -- driving ----------------------------------------------------------
+    def _start(self) -> None:
+        self._wait_event = None
+        if self._interrupt_pending is not None:
+            pending, self._interrupt_pending = self._interrupt_pending, None
+            self._throw(pending)
+        else:
+            self._advance(lambda: self._gen.send(None))
+
+    def _resume(self, value: Any) -> None:
+        self._wait_event = None
+        if self._done:
+            return
+        if self._interrupt_pending is not None:
+            pending, self._interrupt_pending = self._interrupt_pending, None
+            self._throw(pending)
+        else:
+            self._advance(lambda: self._gen.send(value))
+
+    def _throw(self, exc: BaseException) -> None:
+        if self._done:
+            return
+        self._advance(lambda: self._gen.throw(exc))
+
+    def _advance(self, step) -> None:
+        try:
+            target = step()
+        except StopIteration as stop:
+            self._finish(value=stop.value)
+            return
+        except Interrupt as exc:
+            # Uncaught interrupt terminates the process cleanly.
+            self._finish(error=exc)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if isinstance(target, Timeout):
+            self._wait_event = self._sim.schedule(
+                target.delay,
+                lambda: self._resume(target.value),
+                priority=PRIORITY_NORMAL,
+                name=f"timeout:{self.name}",
+            )
+        elif isinstance(target, Process):
+            if target._done:
+                self._wait_event = self._sim.schedule(
+                    0.0, lambda: self._resume(target._value)
+                )
+            else:
+                target._waiters.append(self)
+        elif isinstance(target, Signal):
+            target._subscribe(self)
+        else:
+            error = SimulationError(
+                f"process {self.name!r} yielded unsupported value {target!r}"
+            )
+            self._gen.close()
+            self._finish(error=error)
+            raise error
+
+    def _finish(self, value: Any = None, error: Optional[BaseException] = None) -> None:
+        self._done = True
+        self._value = value
+        self._error = error
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            self._sim.schedule(0.0, lambda p=proc: p._resume(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self._done else "running"
+        return f"Process({self.name}, {state})"

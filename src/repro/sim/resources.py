@@ -1,0 +1,132 @@
+"""Resource primitives for the DES kernel: Resource and Store.
+
+These complete the kernel as a general-purpose simulation substrate
+(the scheduler itself does not need them — cores are modelled directly
+— but examples, tests and downstream users of :mod:`repro.sim` do, e.g.
+for modelling admission-control front-ends in front of the server).
+
+* :class:`Resource` — ``capacity`` interchangeable slots with a FIFO
+  wait queue; processes ``yield resource.request()`` and call
+  ``resource.release()`` when done.
+* :class:`Store` — an unbounded (or bounded) FIFO buffer of items;
+  ``yield store.get()`` blocks until an item is available.
+
+Both integrate with :class:`repro.sim.process.Process` via the
+:class:`repro.sim.process.Signal` waitable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Signal
+
+__all__ = ["Resource", "Store"]
+
+
+class Resource:
+    """``capacity`` interchangeable servers with a FIFO wait queue.
+
+    Examples
+    --------
+    >>> from repro.sim import Simulator, Timeout
+    >>> sim = Simulator()
+    >>> res = Resource(sim, capacity=1)
+    >>> log = []
+    >>> def user(name):
+    ...     yield res.request()
+    ...     log.append((name, sim.now))
+    ...     yield Timeout(1.0)
+    ...     res.release()
+    >>> _ = sim.process(user("a")); _ = sim.process(user("b"))
+    >>> sim.run()
+    >>> log
+    [('a', 0.0), ('b', 1.0)]
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity!r}")
+        self.sim = sim
+        self.capacity = int(capacity)
+        self._in_use = 0
+        self._waiters: Deque[Signal] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Number of processes waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Signal:
+        """Return a waitable that fires when a slot is granted.
+
+        The returned signal is already triggered if a slot is free, so
+        ``yield resource.request()`` resumes in the same instant.
+        """
+        signal = Signal(self.sim, name="resource-grant")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            signal.trigger()
+        else:
+            self._waiters.append(signal)
+        return signal
+
+    def release(self) -> None:
+        """Free one slot, waking the longest-waiting requester if any."""
+        if self._in_use <= 0:
+            raise SimulationError("release() without a held slot")
+        if self._waiters:
+            # Hand the slot directly to the next waiter (in_use stays).
+            self._waiters.popleft().trigger()
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """FIFO buffer of items with blocking ``get`` and optional bound."""
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"capacity must be >= 1 or None, got {capacity!r}")
+        self.sim = sim
+        self.capacity = capacity
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Signal] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Insert ``item``; wakes the longest-waiting getter if any.
+
+        Raises when a bounded store is full (callers model back-pressure
+        explicitly; a blocking put is deliberately not provided to keep
+        the primitive simple).
+        """
+        if self._getters:
+            self._getters.popleft().trigger(item)
+            return
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            raise SimulationError("put() into a full bounded store")
+        self._items.append(item)
+
+    def get(self) -> Signal:
+        """Waitable that delivers the oldest item (maybe immediately)."""
+        signal = Signal(self.sim, name="store-get")
+        if self._items:
+            signal.trigger(self._items.popleft())
+        else:
+            self._getters.append(signal)
+        return signal
+
+    def try_get(self) -> Any:
+        """Non-blocking pop; returns ``None`` when empty."""
+        return self._items.popleft() if self._items else None

@@ -1,0 +1,160 @@
+"""Piecewise-constant signal recording and integration.
+
+Energy is the time integral of power, and the paper's Fig. 6 needs the
+time-average and time-variance of per-core speeds.  Cores change speed
+only at scheduling events, so every per-core signal is piecewise
+constant; :class:`StepTimeline` records the breakpoints and answers
+integral/average/variance queries exactly (no sampling error).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["StepTimeline", "merge_mean_timeline"]
+
+
+class StepTimeline:
+    """A right-open piecewise-constant function of time.
+
+    ``set_value(t, v)`` declares that the signal equals ``v`` on
+    ``[t, next breakpoint)``.  Timestamps must be non-decreasing; setting
+    a value at the current last timestamp overwrites it (zero-width
+    segments are elided).
+    """
+
+    __slots__ = ("_times", "_values", "_finalized")
+
+    def __init__(self, start_time: float = 0.0, initial_value: float = 0.0) -> None:
+        self._times: List[float] = [float(start_time)]
+        self._values: List[float] = [float(initial_value)]
+        self._finalized: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def start_time(self) -> float:
+        """Time of the first breakpoint."""
+        return self._times[0]
+
+    @property
+    def last_time(self) -> float:
+        """Timestamp of the most recent breakpoint."""
+        return self._times[-1]
+
+    @property
+    def current_value(self) -> float:
+        """Value of the signal after the last breakpoint."""
+        return self._values[-1]
+
+    def set_value(self, time: float, value: float) -> None:
+        """Record that the signal takes ``value`` from ``time`` onwards."""
+        time = float(time)
+        last = self._times[-1]
+        if time < last:
+            raise SimulationError(
+                f"timeline updates must be chronological: {time} < {last}"
+            )
+        if value == self._values[-1] and time > last:
+            return  # no change: extend the current segment implicitly
+        if time == last:
+            self._values[-1] = float(value)
+            # collapse if the previous segment had the same value
+            if len(self._values) >= 2 and self._values[-2] == self._values[-1]:
+                self._times.pop()
+                self._values.pop()
+        else:
+            self._times.append(time)
+            self._values.append(float(value))
+
+    # ------------------------------------------------------------------
+    def segments(self, until: float) -> Iterator[Tuple[float, float, float]]:
+        """Yield ``(start, end, value)`` segments covering [start_time, until]."""
+        if until < self._times[0]:
+            raise SimulationError("query before the timeline's start")
+        for i, (t, v) in enumerate(zip(self._times, self._values)):
+            end = self._times[i + 1] if i + 1 < len(self._times) else until
+            end = min(end, until)
+            if end > t:
+                yield (t, end, v)
+            if end >= until:
+                break
+
+    def integral(self, until: float, transform=None) -> float:
+        """Integrate the signal (or ``transform(value)``) up to ``until``.
+
+        Vectorized over the breakpoints; ``transform`` receives a NumPy
+        array (every transform used by the library — power curves,
+        squaring, indicator functions — is array-capable).
+        """
+        if until < self._times[0]:
+            raise SimulationError("query before the timeline's start")
+        times = np.asarray(self._times)
+        values = np.asarray(self._values)
+        ends = np.minimum(np.append(times[1:], until), until)
+        widths = np.maximum(0.0, ends - np.minimum(times, until))
+        if transform is not None:
+            y = np.asarray(transform(values), dtype=float)
+        else:
+            y = values
+        return float(np.dot(y, widths))
+
+    def time_average(self, until: float) -> float:
+        """Time-weighted mean value over [start_time, until]."""
+        span = until - self._times[0]
+        if span <= 0:
+            return self._values[0]
+        return self.integral(until) / span
+
+    def time_variance(self, until: float) -> float:
+        """Time-weighted variance of the signal over [start_time, until]."""
+        span = until - self._times[0]
+        if span <= 0:
+            return 0.0
+        mean = self.time_average(until)
+        second = self.integral(until, transform=lambda v: v * v) / span
+        return max(0.0, second - mean * mean)
+
+    def sample(self, time: float) -> float:
+        """Value of the signal at ``time`` (right-continuous)."""
+        if time < self._times[0]:
+            raise SimulationError("sample before the timeline's start")
+        idx = int(np.searchsorted(np.asarray(self._times), time, side="right")) - 1
+        return self._values[idx]
+
+    def as_arrays(self, until: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(breakpoints, values)`` arrays covering up to ``until``."""
+        starts, values = [], []
+        for start, _end, value in self.segments(until):
+            starts.append(start)
+            values.append(value)
+        return np.asarray(starts), np.asarray(values)
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+
+def merge_mean_timeline(timelines: List[StepTimeline], until: float) -> StepTimeline:
+    """Pointwise mean of several step timelines as a new timeline.
+
+    Used to build the "average core speed over time" signal across the
+    machine from per-core speed timelines.
+    """
+    if not timelines:
+        raise SimulationError("merge_mean_timeline needs at least one timeline")
+    breakpoints = sorted(
+        {t for tl in timelines for t in tl._times if t <= until} | {until}
+    )
+    start = breakpoints[0]
+    merged = StepTimeline(
+        start_time=start,
+        initial_value=float(np.mean([tl.sample(start) for tl in timelines])),
+    )
+    for t in breakpoints[1:]:
+        if t >= until:
+            break
+        merged.set_value(t, float(np.mean([tl.sample(t) for tl in timelines])))
+    return merged

@@ -1,0 +1,30 @@
+"""Workload model: jobs, arrival processes and demand distributions.
+
+Reproduces the paper's §IV-B web-search workload: Poisson arrivals,
+bounded-Pareto service demands (α=3, x_min=130, x_max=1000 processing
+units, mean 192), and deadlines at arrival + 150 ms (or uniformly drawn
+from [150 ms, 500 ms] for the Fig. 4 variant).
+"""
+
+from repro.workload.distributions import (
+    BoundedPareto,
+    ExponentialInterarrival,
+    UniformDeadlineWindow,
+)
+from repro.workload.generator import PoissonWorkloadGenerator, StaticWorkload
+from repro.workload.job import Job, JobOutcome
+from repro.workload.nonstationary import PiecewiseRateWorkload
+from repro.workload.traces import load_trace, save_trace
+
+__all__ = [
+    "BoundedPareto",
+    "ExponentialInterarrival",
+    "Job",
+    "JobOutcome",
+    "PiecewiseRateWorkload",
+    "PoissonWorkloadGenerator",
+    "StaticWorkload",
+    "UniformDeadlineWindow",
+    "load_trace",
+    "save_trace",
+]

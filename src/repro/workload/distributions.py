@@ -1,0 +1,149 @@
+"""Random distributions used by the workload model.
+
+The paper's service demands follow a *bounded Pareto* distribution with
+index α=3 on [130, 1000] (mean ≈ 192 processing units); arrivals are
+Poisson (exponential interarrivals); the Fig. 4 deadline variant draws
+the response window uniformly from [150 ms, 500 ms].
+
+Each distribution takes a ``numpy.random.Generator`` per call so the
+caller controls stream identity (see :mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["BoundedPareto", "ExponentialInterarrival", "UniformDeadlineWindow"]
+
+ArrayOrFloat = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class BoundedPareto:
+    """Bounded (truncated) Pareto distribution on [x_min, x_max].
+
+    CDF on the support:
+        F(x) = (1 − (x_min/x)^α) / (1 − (x_min/x_max)^α)
+
+    Sampling is by inverse transform, which is exact and vectorizes.
+
+    Parameters mirror the paper: ``alpha=3``, ``x_min=130``,
+    ``x_max=1000``.
+    """
+
+    alpha: float = 3.0
+    x_min: float = 130.0
+    x_max: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ConfigurationError(f"alpha must be positive, got {self.alpha!r}")
+        if not 0 < self.x_min < self.x_max:
+            raise ConfigurationError(
+                f"require 0 < x_min < x_max, got [{self.x_min!r}, {self.x_max!r}]"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Exact mean of the bounded Pareto.
+
+        For α ≠ 1:
+            E[X] = x_min^α / (1 − (x_min/x_max)^α) · α/(α−1) ·
+                   (x_min^{1−α} − x_max^{1−α})
+        """
+        a, lo, hi = self.alpha, self.x_min, self.x_max
+        trunc = 1.0 - (lo / hi) ** a
+        if abs(a - 1.0) < 1e-12:
+            return (lo * math.log(hi / lo)) / trunc + lo * 0  # pragma: no cover
+        return (lo**a / trunc) * (a / (a - 1.0)) * (lo ** (1.0 - a) - hi ** (1.0 - a))
+
+    def cdf(self, x: ArrayOrFloat) -> ArrayOrFloat:
+        """Cumulative distribution function (clamped outside support)."""
+        arr = np.asarray(x, dtype=float)
+        a, lo, hi = self.alpha, self.x_min, self.x_max
+        trunc = 1.0 - (lo / hi) ** a
+        inside = (1.0 - (lo / np.clip(arr, lo, hi)) ** a) / trunc
+        out = np.where(arr < lo, 0.0, np.where(arr > hi, 1.0, inside))
+        return float(out) if np.isscalar(x) or arr.ndim == 0 else out
+
+    def ppf(self, u: ArrayOrFloat) -> ArrayOrFloat:
+        """Inverse CDF; ``u`` in [0, 1)."""
+        arr = np.asarray(u, dtype=float)
+        if np.any((arr < 0) | (arr >= 1)):
+            raise ValueError("quantile argument must lie in [0, 1)")
+        a, lo, hi = self.alpha, self.x_min, self.x_max
+        trunc = 1.0 - (lo / hi) ** a
+        out = lo * (1.0 - arr * trunc) ** (-1.0 / a)
+        return float(out) if np.isscalar(u) or arr.ndim == 0 else out
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> ArrayOrFloat:
+        """Draw one value (``size=None``) or an array of samples."""
+        u = rng.random(size)
+        return self.ppf(u)
+
+
+@dataclass(frozen=True)
+class ExponentialInterarrival:
+    """Exponential interarrival times of a Poisson process.
+
+    ``rate`` is in arrivals per second (the paper's λ axis).
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ConfigurationError(f"arrival rate must be positive, got {self.rate!r}")
+
+    @property
+    def mean(self) -> float:
+        """Mean gap between arrivals."""
+        return 1.0 / self.rate
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> ArrayOrFloat:
+        """Draw interarrival gap(s)."""
+        return rng.exponential(1.0 / self.rate, size)
+
+
+@dataclass(frozen=True)
+class UniformDeadlineWindow:
+    """Response window (deadline − arrival), possibly degenerate.
+
+    With ``low == high`` every job gets the same fixed window (the
+    paper's default of 150 ms); otherwise the window is uniform on
+    [low, high] (the Fig. 4 variant uses [0.15 s, 0.5 s]).
+    """
+
+    low: float = 0.150
+    high: float = 0.150
+
+    def __post_init__(self) -> None:
+        if self.low <= 0 or self.high < self.low:
+            raise ConfigurationError(
+                f"require 0 < low <= high, got [{self.low!r}, {self.high!r}]"
+            )
+
+    @property
+    def fixed(self) -> bool:
+        """Whether every window has the same length."""
+        return self.low == self.high
+
+    @property
+    def mean(self) -> float:
+        """Mean window length."""
+        return 0.5 * (self.low + self.high)
+
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> ArrayOrFloat:
+        """Draw window length(s)."""
+        if self.fixed:
+            if size is None:
+                return self.low
+            return np.full(size, self.low)
+        return rng.uniform(self.low, self.high, size)

@@ -1,0 +1,125 @@
+"""Non-stationary (piecewise-constant rate) Poisson workloads.
+
+The paper evaluates at fixed arrival rates; real interactive services
+see diurnal load.  :class:`PiecewiseRateWorkload` generates a Poisson
+process whose rate follows a step profile — e.g. night → ramp → peak →
+tail — so a *single* run exercises GE's compensation dynamics across a
+load swing (see ``examples/diurnal_load.py``).
+
+Generation is exact per segment: within each constant-rate piece the
+arrivals are an ordinary homogeneous Poisson process, and segment
+boundaries splice by memorylessness.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import RandomStreams
+from repro.workload.distributions import BoundedPareto, UniformDeadlineWindow
+from repro.workload.generator import _Arrival
+from repro.workload.job import Job
+
+__all__ = ["PiecewiseRateWorkload"]
+
+
+class PiecewiseRateWorkload:
+    """Poisson arrivals with a piecewise-constant rate profile.
+
+    Parameters
+    ----------
+    profile:
+        ``(duration_seconds, rate_per_second)`` pieces, played in order.
+    demand, window, streams:
+        As for :class:`repro.workload.generator.PoissonWorkloadGenerator`.
+    """
+
+    def __init__(
+        self,
+        profile: Sequence[Tuple[float, float]],
+        *,
+        demand: Optional[BoundedPareto] = None,
+        window: Optional[UniformDeadlineWindow] = None,
+        streams: Optional[RandomStreams] = None,
+    ) -> None:
+        if not profile:
+            raise ConfigurationError("profile must have at least one piece")
+        for duration, rate in profile:
+            if duration <= 0:
+                raise ConfigurationError(f"piece duration must be positive: {duration!r}")
+            if rate <= 0:
+                raise ConfigurationError(f"piece rate must be positive: {rate!r}")
+        self.profile = [(float(d), float(r)) for d, r in profile]
+        self.demand = demand or BoundedPareto()
+        self.window = window or UniformDeadlineWindow()
+        self.streams = streams or RandomStreams(seed=0)
+        self._jobs: Optional[List[Job]] = None
+
+    @property
+    def horizon(self) -> float:
+        """Total length of the profile in seconds."""
+        return sum(d for d, _ in self.profile)
+
+    def rate_at(self, time: float) -> float:
+        """The profile's rate at absolute ``time`` (0 past the end)."""
+        t = 0.0
+        for duration, rate in self.profile:
+            t += duration
+            if time < t:
+                return rate
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def materialize(self) -> List[Job]:
+        """Draw (once) the full arrival sequence."""
+        if self._jobs is not None:
+            return self._jobs
+        rng_arrivals = self.streams.fresh("arrivals")
+        rng_demands = self.streams.fresh("demands")
+        rng_windows = self.streams.fresh("windows")
+
+        times: List[float] = []
+        start = 0.0
+        for duration, rate in self.profile:
+            end = start + duration
+            t = start
+            # Exponential gaps at this piece's rate; memorylessness lets
+            # each piece restart the clock at its boundary.
+            while True:
+                t += rng_arrivals.exponential(1.0 / rate)
+                if t >= end:
+                    break
+                times.append(t)
+            start = end
+
+        n = len(times)
+        demands = np.atleast_1d(self.demand.sample(rng_demands, n))
+        windows = np.atleast_1d(self.window.sample(rng_windows, n))
+        self._jobs = [
+            Job(
+                jid=i,
+                arrival=times[i],
+                deadline=times[i] + float(windows[i]),
+                demand=float(demands[i]),
+            )
+            for i in range(n)
+        ]
+        return self._jobs
+
+    def install(self, sim, sink) -> int:
+        """Schedule every arrival into ``sim``; returns the job count."""
+        from repro.sim.events import PRIORITY_HIGH
+
+        jobs = self.materialize()
+        for job in jobs:
+            sim.at(job.arrival, _Arrival(sink, job), priority=PRIORITY_HIGH, name="arrival")
+        return len(jobs)
+
+    @property
+    def offered_load(self) -> float:
+        """Mean offered demand volume per second over the whole profile."""
+        total_arrivals = sum(d * r for d, r in self.profile)
+        return total_arrivals * self.demand.mean / self.horizon

@@ -1,0 +1,77 @@
+"""Save and load job traces as CSV.
+
+Traces make experiments auditable: a workload can be materialized once,
+written to disk, and replayed against different schedulers (or shared
+between machines) with bit-identical job parameters.
+
+Format: a header line followed by ``jid,arrival,deadline,demand`` rows.
+Floats are written with ``repr`` precision so round-trips are exact.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.workload.job import Job
+
+__all__ = ["save_trace", "load_trace"]
+
+_HEADER = ["jid", "arrival", "deadline", "demand"]
+
+PathLike = Union[str, Path]
+
+
+def save_trace(jobs: Iterable[Job], path: PathLike) -> int:
+    """Write jobs to ``path`` as CSV; returns the number of rows written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        for job in jobs:
+            writer.writerow([job.jid, repr(job.arrival), repr(job.deadline), repr(job.demand)])
+            count += 1
+    return count
+
+
+def load_trace(path: PathLike) -> List[Job]:
+    """Read a CSV trace back into fresh :class:`Job` objects."""
+    path = Path(path)
+    with path.open("r", newline="") as fh:
+        return _parse(fh, str(path))
+
+
+def loads_trace(text: str) -> List[Job]:
+    """Parse a trace from a string (used by tests)."""
+    return _parse(io.StringIO(text), "<string>")
+
+
+def _parse(fh, origin: str) -> List[Job]:
+    reader = csv.reader(fh)
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError(f"{origin}: empty trace file") from None
+    if [h.strip() for h in header] != _HEADER:
+        raise ValueError(f"{origin}: bad header {header!r}, expected {_HEADER!r}")
+    jobs: List[Job] = []
+    for lineno, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != 4:
+            raise ValueError(f"{origin}:{lineno}: expected 4 fields, got {len(row)}")
+        try:
+            jobs.append(
+                Job(
+                    jid=int(row[0]),
+                    arrival=float(row[1]),
+                    deadline=float(row[2]),
+                    demand=float(row[3]),
+                )
+            )
+        except ValueError as exc:
+            raise ValueError(f"{origin}:{lineno}: {exc}") from None
+    return jobs

@@ -1,0 +1,145 @@
+"""Tests for the fluid-limit analysis, including simulator cross-checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fluid import (
+    energy_rate_lower_bound,
+    expected_kept_volume,
+    expected_quality_at_level,
+    predict_cut_stats,
+    waterline_for_quality,
+)
+from repro.config import SimulationConfig
+from repro.core.ge import make_ge
+from repro.power.models import PowerModel
+from repro.quality.functions import ExponentialQuality, LinearQuality
+from repro.server.harness import SimulationHarness
+from repro.workload.distributions import BoundedPareto
+
+DIST = BoundedPareto(alpha=3.0, x_min=130.0, x_max=1000.0)
+F = ExponentialQuality(c=0.003, x_max=1000.0)
+MODEL = PowerModel()
+
+
+class TestExpectations:
+    def test_kept_volume_at_xmax_is_mean(self):
+        assert expected_kept_volume(DIST, DIST.x_max) == pytest.approx(
+            DIST.mean, rel=1e-6
+        )
+
+    def test_kept_volume_at_zero(self):
+        assert expected_kept_volume(DIST, 0.0) == 0.0
+
+    def test_kept_volume_below_xmin_is_level(self):
+        # Every job exceeds x_min, so min(X, L) = L for L <= x_min.
+        assert expected_kept_volume(DIST, 100.0) == pytest.approx(100.0, rel=1e-9)
+
+    def test_kept_volume_monotone(self):
+        levels = np.linspace(0, 1000, 20)
+        kept = [expected_kept_volume(DIST, l) for l in levels]
+        assert all(a <= b + 1e-9 for a, b in zip(kept, kept[1:]))
+
+    def test_kept_volume_matches_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        samples = DIST.sample(rng, 400_000)
+        for level in (200.0, 400.0, 800.0):
+            mc = float(np.mean(np.minimum(samples, level)))
+            assert expected_kept_volume(DIST, level) == pytest.approx(mc, rel=0.01)
+
+    def test_quality_at_level_bounds(self):
+        assert expected_quality_at_level(F, DIST, DIST.x_max) == pytest.approx(1.0)
+        assert expected_quality_at_level(F, DIST, 0.0) == pytest.approx(0.0)
+
+
+class TestWaterline:
+    def test_waterline_achieves_target(self):
+        for q in (0.7, 0.9, 0.95):
+            level = waterline_for_quality(F, DIST, q)
+            assert expected_quality_at_level(F, DIST, level) == pytest.approx(q, abs=1e-4)
+
+    def test_waterline_monotone_in_target(self):
+        l_low = waterline_for_quality(F, DIST, 0.7)
+        l_high = waterline_for_quality(F, DIST, 0.95)
+        assert l_low < l_high
+
+    def test_target_one_returns_xmax(self):
+        assert waterline_for_quality(F, DIST, 1.0) == DIST.x_max
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            waterline_for_quality(F, DIST, 0.0)
+
+    def test_concavity_gives_leverage(self):
+        """At Q=0.9 the concave cut keeps clearly less volume than the
+        linear cut does (the paper's premise): concavity converts a 10 %
+        quality allowance into a >16 % volume cut on this distribution."""
+        concave = predict_cut_stats(F, DIST, 0.9)
+        linear = predict_cut_stats(LinearQuality(x_max=1000.0), DIST, 0.9)
+        assert concave.kept_fraction < 0.84
+        assert linear.kept_fraction == pytest.approx(0.9, abs=0.02)
+        assert concave.kept_fraction < linear.kept_fraction - 0.05
+
+    def test_predict_cut_stats_consistency(self):
+        stats = predict_cut_stats(F, DIST, 0.9)
+        assert stats.quality == pytest.approx(0.9, abs=1e-3)
+        assert 0.0 < stats.kept_volume < DIST.mean
+        assert stats.kept_fraction == pytest.approx(stats.kept_volume / DIST.mean)
+
+
+class TestEnergyBound:
+    def test_bound_positive_and_scales_with_rate(self):
+        e100 = energy_rate_lower_bound(100.0, DIST, 500.0, MODEL, 0.15)
+        e200 = energy_rate_lower_bound(200.0, DIST, 500.0, MODEL, 0.15)
+        assert e100 > 0
+        assert e200 == pytest.approx(2 * e100, rel=1e-9)
+
+    def test_bound_increases_with_level(self):
+        lo = energy_rate_lower_bound(100.0, DIST, 200.0, MODEL, 0.15)
+        hi = energy_rate_lower_bound(100.0, DIST, 1000.0, MODEL, 0.15)
+        assert hi > lo
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            energy_rate_lower_bound(0.0, DIST, 500.0, MODEL, 0.15)
+        with pytest.raises(ValueError):
+            energy_rate_lower_bound(100.0, DIST, 500.0, MODEL, 0.0)
+
+
+class TestSimulatorCrossChecks:
+    """The simulator must respect the fluid predictions."""
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        cfg = SimulationConfig(arrival_rate=110.0, horizon=12.0, seed=17)
+        return cfg, SimulationHarness(cfg, make_ge()).run()
+
+    def test_measured_energy_above_lower_bound(self, run):
+        cfg, result = run
+        level = waterline_for_quality(F, DIST, cfg.q_ge)
+        bound_w = energy_rate_lower_bound(
+            cfg.arrival_rate, DIST, level, MODEL, cfg.window_low
+        )
+        measured_w = result.energy / result.duration
+        assert measured_w >= bound_w * 0.95  # 5 % slack for horizon edges
+
+    def test_measured_energy_within_factor_of_bound(self, run):
+        """At light load GE should sit within ~3× of the no-contention
+        bound — a regression guard against gross energy waste."""
+        cfg, result = run
+        level = waterline_for_quality(F, DIST, cfg.q_ge)
+        bound_w = energy_rate_lower_bound(
+            cfg.arrival_rate, DIST, level, MODEL, cfg.window_low
+        )
+        measured_w = result.energy / result.duration
+        assert measured_w < 3.0 * bound_w
+
+    def test_volume_ratio_matches_fluid_kept_fraction(self, run):
+        """GE's processed-volume share converges on the fluid kept
+        fraction (within stochastic/compensation slack)."""
+        cfg, result = run
+        stats = predict_cut_stats(F, DIST, cfg.q_ge)
+        measured = result.completed_volume / (result.jobs * DIST.mean)
+        assert measured == pytest.approx(stats.kept_fraction, abs=0.12)

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.power.models import PowerModel
+from repro.quality.functions import ExponentialQuality
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator starting at t=0."""
+    return Simulator()
+
+
+@pytest.fixture
+def model() -> PowerModel:
+    """The paper's power model: P = 5 s², 1000 units/GHz·s."""
+    return PowerModel()
+
+
+@pytest.fixture
+def quality() -> ExponentialQuality:
+    """The paper's quality function: c=0.003, x_max=1000."""
+    return ExponentialQuality(c=0.003, x_max=1000.0)
+
+
+@pytest.fixture
+def tiny_config() -> SimulationConfig:
+    """A small but realistic configuration for integration tests."""
+    return SimulationConfig(arrival_rate=120.0, horizon=6.0, seed=7)

@@ -1,0 +1,127 @@
+"""Tests for the mixed-class (per-job quality function) cut kernel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cutting import lf_cut_waterline
+from repro.core.cutting_general import inverse_marginal, lf_cut_mixed
+from repro.quality.functions import ExponentialQuality, LinearQuality, LogQuality
+
+F_SEARCH = ExponentialQuality(c=0.003, x_max=1000.0)
+F_VIDEO = ExponentialQuality(c=0.0009, x_max=1000.0)
+F_LOG = LogQuality(k=0.01, x_max=1000.0)
+
+
+def aggregate(functions, targets, demands):
+    a = sum(float(f(c)) for f, c in zip(functions, targets))
+    p = sum(float(f(d)) for f, d in zip(functions, demands))
+    return a / p
+
+
+class TestInverseMarginal:
+    def test_round_trip(self):
+        for x in (10.0, 200.0, 700.0):
+            slope = float(F_SEARCH.derivative(x))
+            assert inverse_marginal(F_SEARCH, slope) == pytest.approx(x, abs=1e-3)
+
+    def test_zero_slope_returns_xmax(self):
+        assert inverse_marginal(F_SEARCH, 0.0) == F_SEARCH.x_max
+
+    def test_huge_slope_returns_zero(self):
+        assert inverse_marginal(F_SEARCH, 1e9) == 0.0
+
+    def test_linear_function_is_all_or_nothing(self):
+        f = LinearQuality(x_max=1000.0)
+        slope = 1.0 / 1000.0
+        assert inverse_marginal(f, slope * 2) == 0.0
+        assert inverse_marginal(f, slope / 2) == f.x_max
+
+
+class TestMixedCut:
+    def test_reduces_to_shared_waterline(self):
+        """With identical functions the mixed cut equals the paper's."""
+        demands = [900.0, 620.0, 380.0, 180.0]
+        functions = [F_SEARCH] * 4
+        mixed = lf_cut_mixed(functions, demands, 0.9)
+        classic = lf_cut_waterline(F_SEARCH, demands, 0.9)
+        assert np.allclose(mixed, classic, atol=1.0)
+
+    def test_hits_target(self):
+        functions = [F_SEARCH, F_VIDEO, F_LOG, F_SEARCH]
+        demands = [800.0, 900.0, 500.0, 300.0]
+        targets = lf_cut_mixed(functions, demands, 0.85)
+        q = aggregate(functions, targets, demands)
+        assert q == pytest.approx(0.85, abs=5e-3)
+
+    def test_respects_bounds(self):
+        functions = [F_SEARCH, F_VIDEO]
+        demands = [500.0, 500.0]
+        targets = lf_cut_mixed(functions, demands, 0.7)
+        assert np.all(targets >= 0)
+        assert np.all(targets <= np.asarray(demands) + 1e-9)
+
+    def test_steeper_class_is_cut_less(self):
+        """Equal demands, different concavity: the class whose marginal
+        quality stays higher (larger c) keeps more volume... wait — a
+        larger c means the head is worth more and the tail less, so the
+        *less* concave class keeps MORE volume at the common λ."""
+        functions = [F_SEARCH, F_VIDEO]  # c=0.003 vs c=0.0009
+        demands = [800.0, 800.0]
+        targets = lf_cut_mixed(functions, demands, 0.8)
+        # F_VIDEO's marginal quality decays slower, so at the common λ
+        # it is cut less deeply than the sharply-saturating F_SEARCH.
+        assert targets[1] > targets[0]
+
+    def test_mixed_beats_naive_common_waterline_in_volume(self):
+        """The KKT cut keeps no more volume than cutting both classes
+        with a single common volume waterline at the same quality."""
+        functions = [F_SEARCH] * 3 + [F_VIDEO] * 3
+        demands = [700.0, 500.0, 300.0] * 2
+        q_target = 0.85
+        mixed = lf_cut_mixed(functions, demands, q_target)
+
+        # Naive: one volume level L for everyone, solved to hit target.
+        lo, hi = 0.0, 1000.0
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            q = aggregate(functions, np.minimum(demands, mid), demands)
+            if q < q_target:
+                lo = mid
+            else:
+                hi = mid
+        naive = np.minimum(demands, hi)
+        assert float(np.sum(mixed)) <= float(np.sum(naive)) + 1.0
+
+    def test_target_one_keeps_everything(self):
+        functions = [F_SEARCH, F_VIDEO]
+        demands = [500.0, 400.0]
+        targets = lf_cut_mixed(functions, demands, 1.0)
+        assert targets == pytest.approx(demands)
+
+    def test_empty_input(self):
+        assert lf_cut_mixed([], [], 0.9).size == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            lf_cut_mixed([F_SEARCH], [100.0, 200.0], 0.9)
+        with pytest.raises(ValueError):
+            lf_cut_mixed([F_SEARCH], [0.0], 0.9)
+        with pytest.raises(ValueError):
+            lf_cut_mixed([F_SEARCH], [100.0], 1.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        demands=st.lists(st.floats(min_value=50.0, max_value=1000.0), min_size=1, max_size=8),
+        q=st.floats(min_value=0.3, max_value=0.99),
+        split=st.integers(min_value=0, max_value=8),
+    )
+    def test_property_target_met_with_mixed_classes(self, demands, q, split):
+        functions = [F_SEARCH if i < split else F_VIDEO for i in range(len(demands))]
+        targets = lf_cut_mixed(functions, demands, q)
+        achieved = aggregate(functions, targets, demands)
+        assert achieved >= q - 1e-2
+        assert np.all(targets <= np.asarray(demands) + 1e-9)

@@ -1,0 +1,169 @@
+"""Tests for Energy-OPT (YDS speed scaling)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.energy_opt import (
+    energy_of_blocks,
+    per_job_speeds,
+    yds_schedule,
+    yds_schedule_general,
+)
+from repro.errors import InfeasibleError
+
+
+def power(s: float) -> float:
+    return 5.0 * (s / 1000.0) ** 2  # speeds here are units/second
+
+
+class TestYdsAgreeable:
+    def test_single_job_runs_at_exact_intensity(self):
+        blocks = yds_schedule([100.0], [1.0], now=0.0)
+        assert len(blocks) == 1
+        assert blocks[0].speed == pytest.approx(100.0)
+        assert blocks[0].jobs == (0,)
+
+    def test_speeds_are_non_increasing(self):
+        blocks = yds_schedule(
+            [300.0, 50.0, 50.0, 10.0], [0.5, 1.0, 2.0, 10.0], now=0.0
+        )
+        speeds = [b.speed for b in blocks]
+        assert speeds == sorted(speeds, reverse=True)
+
+    def test_every_job_scheduled_once(self):
+        vols = [10.0, 20.0, 30.0, 40.0]
+        blocks = yds_schedule(vols, [1.0, 2.0, 3.0, 4.0], now=0.0)
+        scheduled = sorted(j for b in blocks for j in b.jobs)
+        assert scheduled == [0, 1, 2, 3]
+
+    def test_feasibility_every_deadline_met(self):
+        vols = [120.0, 80.0, 200.0, 30.0]
+        dls = [0.4, 0.8, 1.5, 1.6]
+        blocks = yds_schedule(vols, dls, now=0.0)
+        speeds = per_job_speeds(blocks, len(vols))
+        t = 0.0
+        for i, (v, d) in enumerate(zip(vols, dls)):
+            t += v / speeds[i]
+            assert t <= d + 1e-9
+
+    def test_critical_block_finishes_exactly_at_its_deadline(self):
+        # Job 0 is critical: 200 units by t=0.5 -> 400 u/s.
+        blocks = yds_schedule([200.0, 10.0], [0.5, 10.0], now=0.0)
+        assert blocks[0].speed == pytest.approx(400.0)
+        assert blocks[1].speed == pytest.approx(10.0 / 9.5)
+
+    def test_equal_intensity_merges_into_one_block(self):
+        # Both prefixes have intensity 100: one block of two jobs.
+        blocks = yds_schedule([100.0, 100.0], [1.0, 2.0], now=0.0)
+        assert len(blocks) == 1
+        assert blocks[0].jobs == (0, 1)
+
+    def test_nonzero_now_offsets_spans(self):
+        blocks = yds_schedule([100.0], [11.0], now=10.0)
+        assert blocks[0].speed == pytest.approx(100.0)
+
+    def test_max_speed_violation_raises(self):
+        with pytest.raises(InfeasibleError):
+            yds_schedule([1000.0], [1.0], now=0.0, max_speed=500.0)
+
+    def test_max_speed_tolerates_float_noise(self):
+        blocks = yds_schedule([500.0], [1.0], now=0.0, max_speed=500.0 * (1 - 1e-12))
+        assert blocks[0].speed <= 500.0
+
+    def test_deadline_before_now_raises(self):
+        with pytest.raises(InfeasibleError):
+            yds_schedule([10.0], [1.0], now=2.0)
+
+    def test_unsorted_deadlines_rejected(self):
+        with pytest.raises(ValueError):
+            yds_schedule([1.0, 1.0], [2.0, 1.0], now=0.0)
+
+    def test_zero_volume_rejected(self):
+        with pytest.raises(ValueError):
+            yds_schedule([0.0], [1.0], now=0.0)
+
+    def test_optimal_vs_constant_speed(self):
+        """YDS energy never exceeds running at the max-prefix intensity."""
+        vols = [50.0, 150.0, 30.0]
+        dls = [1.0, 1.5, 4.0]
+        blocks = yds_schedule(vols, dls, now=0.0)
+        e_opt = energy_of_blocks(blocks, vols, power)
+        worst = max(np.cumsum(vols) / np.array(dls))
+        e_const = sum(power(worst) * v / worst for v in vols)
+        assert e_opt <= e_const + 1e-9
+
+    def test_optimality_vs_grid_search_two_jobs(self):
+        """Brute-force the 2-job case: YDS matches the grid optimum."""
+        vols = [100.0, 60.0]
+        dls = [0.8, 1.2]
+        blocks = yds_schedule(vols, dls, now=0.0)
+        e_opt = energy_of_blocks(blocks, vols, power)
+        best = np.inf
+        # Grid over job-0 finish time; job 1 then uses the rest.
+        for t0 in np.linspace(0.05, 0.8, 400):
+            s0 = vols[0] / t0
+            s1 = vols[1] / (dls[1] - t0)
+            if s1 <= 0:
+                continue
+            e = power(s0) * t0 + power(s1) * (dls[1] - t0)
+            best = min(best, e)
+        assert e_opt <= best + 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=500.0), min_size=1, max_size=8),
+        st.lists(st.floats(min_value=0.05, max_value=1.0), min_size=8, max_size=8),
+    )
+    def test_property_feasible_and_nonincreasing(self, vols, gaps):
+        dls = list(np.cumsum(gaps[: len(vols)]))
+        blocks = yds_schedule(vols, dls, now=0.0)
+        speeds = [b.speed for b in blocks]
+        assert all(a >= b - 1e-9 for a, b in zip(speeds, speeds[1:]))
+        per_job = per_job_speeds(blocks, len(vols))
+        t = 0.0
+        for v, d, s in zip(vols, dls, per_job):
+            t += v / s
+            assert t <= d + 1e-6
+
+
+class TestYdsGeneral:
+    def test_matches_agreeable_specialization(self):
+        vols = [120.0, 80.0, 200.0]
+        dls = [0.4, 0.9, 1.5]
+        releases = [0.0, 0.0, 0.0]
+        profile = yds_schedule_general(releases, dls, vols)
+        blocks = yds_schedule(vols, dls, now=0.0)
+        general_speeds = sorted((s for _, _, s in profile), reverse=True)
+        block_speeds = sorted((b.speed for b in blocks), reverse=True)
+        # The distinct staircase speeds must coincide.
+        assert general_speeds == pytest.approx(block_speeds)
+
+    def test_disjoint_windows(self):
+        profile = yds_schedule_general([0.0, 2.0], [1.0, 3.0], [100.0, 10.0])
+        speeds = {round(s, 6) for _, _, s in profile}
+        assert speeds == {100.0, 10.0}
+
+    def test_classic_nested_example(self):
+        # A long job spanning [0, 10] with a burst job in [4, 6].
+        profile = yds_schedule_general([0.0, 4.0], [10.0, 6.0], [40.0, 20.0])
+        # Critical interval is [4, 6] at (20)/2 = 10? No: the long job
+        # may also run there. YDS: interval [4,6] contains only job 2
+        # (fully), intensity 10; interval [0,10] has intensity 6. The
+        # burst makes [4,6] critical at 10 only if 10 > overall; after
+        # removing it the long job gets 8 time units -> speed 5.
+        assert profile[0][2] == pytest.approx(10.0)
+        assert profile[1][2] == pytest.approx(5.0)
+
+    def test_infeasible_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            yds_schedule_general([0.0], [0.0], [10.0])
+        with pytest.raises(ValueError):
+            yds_schedule_general([0.0], [1.0], [0.0])
+        with pytest.raises(ValueError):
+            yds_schedule_general([0.0, 0.0], [1.0], [1.0, 1.0])

@@ -1,0 +1,83 @@
+"""Tests for the AES/BQ mode controller (compensation policy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.modes import ExecutionMode, ModeController
+from repro.quality.functions import ExponentialQuality
+from repro.quality.monitor import QualityMonitor
+
+F = ExponentialQuality(c=0.003, x_max=1000.0)
+
+
+def make(compensated=True, q_target=0.9):
+    monitor = QualityMonitor(F)
+    return monitor, ModeController(monitor, q_target, compensated=compensated)
+
+
+def test_starts_in_aes():
+    _, ctl = make()
+    assert ctl.mode is ExecutionMode.AES
+
+
+def test_switches_to_bq_below_target():
+    monitor, ctl = make()
+    monitor.record(0.0, 500.0)  # quality 0
+    assert ctl.decide(1.0) is ExecutionMode.BQ
+    assert ctl.switches == 1
+
+
+def test_switches_back_when_recovered():
+    monitor, ctl = make()
+    monitor.record(0.0, 500.0)
+    ctl.decide(1.0)
+    for _ in range(50):
+        monitor.record(500.0, 500.0)
+    assert ctl.decide(2.0) is ExecutionMode.AES
+    assert ctl.switches == 2
+
+
+def test_no_compensation_never_leaves_aes():
+    monitor, ctl = make(compensated=False)
+    monitor.record(0.0, 500.0)
+    assert ctl.decide(1.0) is ExecutionMode.AES
+    assert ctl.switches == 0
+
+
+def test_at_target_stays_aes():
+    monitor, ctl = make()
+    # Land the quality just barely at/above the 0.9 target.
+    monitor.record(F.inverse_exact(0.9 * float(F(500.0))) + 1e-6, 500.0)
+    assert monitor.quality == pytest.approx(0.9, abs=1e-6)
+    assert monitor.quality >= 0.9
+    assert ctl.decide(1.0) is ExecutionMode.AES
+
+
+def test_aes_fraction_integrates_timeline():
+    monitor, ctl = make()
+    # AES on [0, 4), BQ on [4, 10).
+    monitor.record(0.0, 500.0)
+    ctl.decide(4.0)
+    assert ctl.aes_fraction(10.0) == pytest.approx(0.4)
+
+
+def test_aes_fraction_before_any_decision_is_one():
+    _, ctl = make()
+    assert ctl.aes_fraction() == 1.0
+
+
+def test_force_mode():
+    monitor, ctl = make()
+    ctl.force(ExecutionMode.BQ, 2.0)
+    assert ctl.mode is ExecutionMode.BQ
+    assert ctl.switches == 1
+    assert ctl.aes_fraction(4.0) == pytest.approx(0.5)
+
+
+def test_invalid_target():
+    monitor = QualityMonitor(F)
+    with pytest.raises(ValueError):
+        ModeController(monitor, 0.0)
+    with pytest.raises(ValueError):
+        ModeController(monitor, 1.2)

@@ -1,0 +1,143 @@
+"""Tests for Quality-OPT (partial processing under capacity limits)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.quality_opt import prefix_feasible, quality_opt
+from repro.errors import InfeasibleError
+from repro.quality.functions import ExponentialQuality
+
+F = ExponentialQuality(c=0.003, x_max=1000.0)
+
+
+def brute_force(bounds, deadlines, now, capacity, offsets=None, grid=12):
+    """Grid-search reference optimum of Σ f(offset + x)."""
+    n = len(bounds)
+    offsets = offsets or [0.0] * n
+    capacities = [capacity * (d - now) for d in deadlines]
+    best_val, best_x = -1.0, None
+    axes = [np.linspace(0.0, b, grid) for b in bounds]
+    for xs in itertools.product(*axes):
+        if not prefix_feasible(np.asarray(xs), np.asarray(capacities)):
+            continue
+        val = sum(float(F(o + x)) for o, x in zip(offsets, xs))
+        if val > best_val:
+            best_val, best_x = val, xs
+    return best_val, best_x
+
+
+class TestQualityOpt:
+    def test_plenty_of_capacity_grants_everything(self):
+        out = quality_opt([100.0, 200.0], [10.0, 20.0], 0.0, 1000.0)
+        assert out == pytest.approx([100.0, 200.0])
+
+    def test_zero_capacity_grants_nothing(self):
+        out = quality_opt([100.0, 200.0], [1.0, 2.0], 0.0, 0.0)
+        assert out == pytest.approx([0.0, 0.0])
+
+    def test_empty_input(self):
+        assert quality_opt([], [], 0.0, 100.0).size == 0
+
+    def test_equalizes_volumes_under_shared_deadline(self):
+        """With one shared deadline and concave f, the optimum levels
+        total volumes (water-filling)."""
+        out = quality_opt([300.0, 300.0, 50.0], [1.0, 1.0, 1.0], 0.0, 250.0)
+        # 250 units to split; job 2 takes its full 50, jobs 0/1 get 100 each.
+        assert out[2] == pytest.approx(50.0)
+        assert out[0] == pytest.approx(100.0)
+        assert out[1] == pytest.approx(100.0)
+
+    def test_offsets_shift_the_waterline(self):
+        """A job with prior progress receives less extra volume."""
+        out = quality_opt(
+            [300.0, 300.0], [1.0, 1.0], 0.0, 200.0, offsets=[100.0, 0.0]
+        )
+        # Levels total volumes: job0 at 100+50=150, job1 at 150.
+        assert out[0] == pytest.approx(50.0)
+        assert out[1] == pytest.approx(150.0)
+
+    def test_binding_prefix_limits_early_jobs(self):
+        """An early tight deadline caps the first job independently."""
+        out = quality_opt([500.0, 500.0], [0.1, 10.0], 0.0, 1000.0)
+        assert out[0] == pytest.approx(100.0)  # 1000 u/s · 0.1 s
+        assert out[1] == pytest.approx(500.0)
+
+    def test_unused_early_capacity_flows_to_later_jobs(self):
+        out = quality_opt([10.0, 500.0], [1.0, 1.0], 0.0, 300.0)
+        assert out == pytest.approx([10.0, 290.0])
+
+    def test_result_is_prefix_feasible(self):
+        bounds = [400.0, 300.0, 200.0, 100.0]
+        dls = [0.2, 0.5, 0.6, 1.0]
+        out = quality_opt(bounds, dls, 0.0, 800.0)
+        capacities = 800.0 * (np.array(dls) - 0.0)
+        assert prefix_feasible(out, capacities)
+        assert np.all(out <= np.array(bounds) + 1e-9)
+
+    def test_matches_brute_force_two_jobs(self):
+        bounds = [300.0, 200.0]
+        dls = [0.4, 1.0]
+        out = quality_opt(bounds, dls, 0.0, 400.0, offsets=[0.0, 50.0])
+        val = sum(float(F(o + x)) for o, x in zip([0.0, 50.0], out))
+        ref, _ = brute_force(bounds, dls, 0.0, 400.0, offsets=[0.0, 50.0], grid=60)
+        assert val >= ref - 1e-3
+
+    def test_matches_brute_force_three_jobs(self):
+        bounds = [250.0, 150.0, 350.0]
+        dls = [0.3, 0.6, 0.9]
+        out = quality_opt(bounds, dls, 0.0, 600.0)
+        val = sum(float(F(x)) for x in out)
+        ref, _ = brute_force(bounds, dls, 0.0, 600.0, grid=25)
+        assert val >= ref - 1e-3
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(InfeasibleError):
+            quality_opt([10.0], [1.0], 0.0, -5.0)
+
+    def test_past_deadline_raises(self):
+        with pytest.raises(InfeasibleError):
+            quality_opt([10.0], [1.0], 2.0, 100.0)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            quality_opt([10.0, 20.0], [1.0], 0.0, 100.0)
+        with pytest.raises(ValueError):
+            quality_opt([-1.0], [1.0], 0.0, 100.0)
+        with pytest.raises(ValueError):
+            quality_opt([1.0, 1.0], [2.0, 1.0], 0.0, 100.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        bounds=st.lists(st.floats(min_value=0.0, max_value=400.0), min_size=1, max_size=6),
+        gaps=st.lists(st.floats(min_value=0.05, max_value=0.5), min_size=6, max_size=6),
+        capacity=st.floats(min_value=0.0, max_value=2000.0),
+    )
+    def test_property_feasible_and_bounded(self, bounds, gaps, capacity):
+        dls = list(np.cumsum(gaps[: len(bounds)]))
+        out = quality_opt(bounds, dls, 0.0, capacity)
+        assert np.all(out >= -1e-9)
+        assert np.all(out <= np.asarray(bounds) + 1e-9)
+        assert prefix_feasible(out, capacity * np.asarray(dls), rel_tol=1e-6)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bounds=st.lists(st.floats(min_value=1.0, max_value=400.0), min_size=2, max_size=4),
+        capacity=st.floats(min_value=50.0, max_value=1500.0),
+    )
+    def test_property_beats_proportional_truncation(self, bounds, capacity):
+        """The optimum is at least as good as naively scaling everything
+        to fit the total capacity (a natural but suboptimal scheme)."""
+        n = len(bounds)
+        dls = [1.0] * n
+        out = quality_opt(bounds, dls, 0.0, capacity)
+        opt_val = sum(float(F(x)) for x in out)
+        total = sum(bounds)
+        scale = min(1.0, capacity / total)
+        naive = sum(float(F(b * scale)) for b in bounds)
+        assert opt_val >= naive - 1e-6

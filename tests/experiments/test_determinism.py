@@ -1,0 +1,36 @@
+"""End-to-end determinism of the experiment pipeline.
+
+Reproducibility is the product here: the same (scale, seed) must give
+byte-identical figure output, or EXPERIMENTS.md numbers could not be
+checked by anyone else.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig01_aes_fraction, fig02_job_cutting
+
+
+def test_fig01_is_deterministic():
+    a = fig01_aes_fraction.run(scale=0.004, seed=9, rates=(110.0, 200.0))
+    b = fig01_aes_fraction.run(scale=0.004, seed=9, rates=(110.0, 200.0))
+    assert a.to_text() == b.to_text()
+    assert a.series("aes_fraction", "GE").y == b.series("aes_fraction", "GE").y
+
+
+def test_fig01_seed_changes_output():
+    a = fig01_aes_fraction.run(scale=0.004, seed=9, rates=(110.0,))
+    b = fig01_aes_fraction.run(scale=0.004, seed=10, rates=(110.0,))
+    assert a.series("aes_fraction", "GE").y != b.series("aes_fraction", "GE").y
+
+
+def test_fig02_is_deterministic():
+    assert fig02_job_cutting.run().to_text() == fig02_job_cutting.run().to_text()
+
+
+def test_csv_and_text_share_values():
+    fig = fig02_job_cutting.run()
+    text = fig.to_text()
+    csv = fig.to_csv()
+    # The cut level appears in both renderings (different precision).
+    assert "455.3" in text
+    assert "455.27945" in csv

@@ -1,0 +1,156 @@
+"""Smoke + shape tests for every figure module at miniature scale.
+
+These run each experiment end-to-end with tiny horizons and assert the
+*paper-shape* properties that must hold even at reduced scale (the
+benchmark suite re-asserts them at larger scale and prints the series).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    fig01_aes_fraction,
+    fig02_job_cutting,
+    fig03_schedulers,
+    fig04_random_deadlines,
+    fig05_compensation,
+    fig06_speed_stats,
+    fig07_power_policies,
+    fig09_quality_function,
+    fig10_power_budget,
+    fig11_core_count,
+    fig12_discrete_speed,
+)
+
+SCALE = 0.008  # ~5 simulated seconds: smoke-level, shapes still visible
+SEED = 3
+
+
+@pytest.fixture(scope="module")
+def fig01():
+    return fig01_aes_fraction.run(scale=SCALE, seed=SEED, rates=(100.0, 200.0))
+
+
+def test_fig01_aes_share_decreases(fig01):
+    s = fig01.series("aes_fraction", "GE")
+    assert s.y_at(200.0) < s.y_at(100.0)
+    assert all(0.0 <= v <= 1.0 for v in s.y)
+
+
+def test_fig02_cut_is_exact_and_levelled():
+    fig = fig02_job_cutting.run()
+    before = fig.series("volumes", "demand p_j")
+    after = fig.series("volumes", "cut target c_j")
+    assert all(a <= b + 1e-9 for a, b in zip(after.y, before.y))
+    # The two longest jobs share a level; the two shortest are uncut.
+    assert after.y[0] == pytest.approx(after.y[1], rel=1e-3)
+    assert after.y[2] == before.y[2]
+    assert after.y[3] == before.y[3]
+
+
+@pytest.fixture(scope="module")
+def fig03():
+    return fig03_schedulers.run(scale=SCALE, seed=SEED, rates=(110.0, 240.0))
+
+
+def test_fig03_ge_meets_target_at_light_load(fig03):
+    assert fig03.series("quality", "GE").y_at(110.0) == pytest.approx(0.9, abs=0.03)
+
+
+def test_fig03_ge_saves_energy_vs_be(fig03):
+    assert fig03.series("energy", "GE").y_at(110.0) < fig03.series(
+        "energy", "BE"
+    ).y_at(110.0)
+
+
+def test_fig03_be_quality_highest(fig03):
+    q = {label: fig03.series("quality", label).y_at(110.0) for label in
+         ("GE", "OQ", "BE", "FCFS", "LJF", "SJF")}
+    assert q["BE"] == max(q.values())
+
+
+def test_fig03_sjf_worst_under_load(fig03):
+    q = {label: fig03.series("quality", label).y_at(240.0) for label in
+         ("GE", "BE", "FCFS", "LJF", "SJF")}
+    assert q["SJF"] == min(q.values())
+
+
+@pytest.fixture(scope="module")
+def fig04():
+    return fig04_random_deadlines.run(scale=SCALE, seed=SEED, rates=(150.0,))
+
+
+def test_fig04_fdfs_beats_fcfs(fig04):
+    assert fig04.series("quality", "FDFS").y_at(150.0) > fig04.series(
+        "quality", "FCFS"
+    ).y_at(150.0)
+
+
+def test_fig05_compensation_quality_not_lower():
+    fig = fig05_compensation.run(scale=SCALE, seed=SEED, rates=(150.0,))
+    comp = fig.series("quality", "Compensation").y_at(150.0)
+    nocomp = fig.series("quality", "No-Compensation").y_at(150.0)
+    assert comp >= nocomp - 1e-6
+
+
+@pytest.fixture(scope="module")
+def fig06():
+    return fig06_speed_stats.run(scale=SCALE, seed=SEED, rates=(110.0,))
+
+
+def test_fig06_wf_variance_exceeds_es(fig06):
+    wf = fig06.series("speed_variance", "Water-Filling").y_at(110.0)
+    es = fig06.series("speed_variance", "Equal-Sharing").y_at(110.0)
+    assert wf > es
+
+
+def test_fig06_mean_speeds_close_at_light_load(fig06):
+    wf = fig06.series("average_speed", "Water-Filling").y_at(110.0)
+    es = fig06.series("average_speed", "Equal-Sharing").y_at(110.0)
+    assert wf == pytest.approx(es, rel=0.1)
+
+
+def test_fig07_es_saves_energy_at_light_load():
+    fig = fig07_power_policies.run(scale=SCALE, seed=SEED, rates=(110.0,))
+    es = fig.series("energy", "Equal-Sharing").y_at(110.0)
+    wf = fig.series("energy", "Water-Filling").y_at(110.0)
+    assert es <= wf
+    assert fig.series("quality", "Equal-Sharing").y_at(110.0) == pytest.approx(
+        fig.series("quality", "Water-Filling").y_at(110.0), abs=0.03
+    )
+
+
+def test_fig09_larger_c_higher_quality():
+    fig = fig09_quality_function.run(scale=SCALE, seed=SEED, rates=(220.0,))
+    q_small = fig.series("service_quality", "c=0.0005").y_at(220.0)
+    q_large = fig.series("service_quality", "c=0.009").y_at(220.0)
+    assert q_large > q_small
+    # The analytic curves are ordered too.
+    f_small = fig.series("quality_function", "c=0.0005").y_at(500.0)
+    f_large = fig.series("quality_function", "c=0.009").y_at(500.0)
+    assert f_large > f_small
+
+
+def test_fig10_bigger_budget_not_worse():
+    fig = fig10_power_budget.run(
+        scale=SCALE, seed=SEED, rates=(180.0,), budgets=(80.0, 320.0)
+    )
+    q80 = fig.series("quality", "budget=80").y_at(180.0)
+    q320 = fig.series("quality", "budget=320").y_at(180.0)
+    assert q320 > q80
+
+
+def test_fig11_more_cores_help():
+    fig = fig11_core_count.run(scale=SCALE, seed=SEED, exponents=(0, 4))
+    q = fig.series("quality", "GE")
+    e = fig.series("energy", "GE")
+    assert q.y_at(4) > q.y_at(0)
+    assert e.y_at(4) < e.y_at(0)
+
+
+def test_fig12_discrete_close_to_continuous():
+    fig = fig12_discrete_speed.run(scale=SCALE, seed=SEED, rates=(150.0,))
+    cont = fig.series("quality", "Continuous").y_at(150.0)
+    disc = fig.series("quality", "Discrete").y_at(150.0)
+    assert disc == pytest.approx(cont, abs=0.05)

@@ -1,0 +1,40 @@
+"""Tests for the markdown report generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.paper_report import generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(scale=0.004, seed=2, figures=["2", "fig01"])
+
+
+def test_report_contains_requested_figures(report):
+    assert "## fig02" in report
+    assert "## fig01" in report
+    assert "## fig03" not in report
+
+
+def test_report_metadata(report):
+    assert "# Reproduction report" in report
+    assert "seed: 2" in report
+    assert "scale: 0.004" in report
+
+
+def test_report_embeds_figure_tables(report):
+    assert "aes_fraction" in report
+    assert "cut target" in report
+    assert "generated in" in report
+
+
+def test_report_default_scale_mentioned():
+    text = generate_report(scale=None, seed=1, figures=["2"])
+    assert "per-figure default" in text
+
+
+def test_report_unknown_figure_raises():
+    with pytest.raises(KeyError):
+        generate_report(figures=["99"])

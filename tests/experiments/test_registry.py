@@ -1,0 +1,37 @@
+"""Tests for the figure registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.registry import FIGURES, get_figure, list_figures
+
+
+def test_all_twelve_figures_registered():
+    assert len(FIGURES) == 12
+    assert sorted(FIGURES) == [f"fig{i:02d}" for i in range(1, 13)]
+
+
+def test_get_figure_accepts_aliases():
+    assert get_figure("fig03").figure_id == "fig03"
+    assert get_figure("3").figure_id == "fig03"
+    assert get_figure("03").figure_id == "fig03"
+    assert get_figure("12").figure_id == "fig12"
+
+
+def test_get_figure_unknown_raises():
+    with pytest.raises(KeyError):
+        get_figure("13")
+    with pytest.raises(ValueError):
+        get_figure("nope")
+
+
+def test_list_figures_sorted():
+    ids = [spec.figure_id for spec in list_figures()]
+    assert ids == sorted(ids)
+
+
+def test_every_spec_is_callable_with_scale():
+    for spec in list_figures():
+        assert callable(spec.run)
+        assert spec.default_scale > 0

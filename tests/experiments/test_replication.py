@@ -1,0 +1,51 @@
+"""Tests for the replication framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.ge import make_ge
+from repro.experiments.replication import replicate, replicate_many
+
+CFG = SimulationConfig(arrival_rate=110.0, horizon=4.0, seed=100)
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return replicate(CFG, make_ge, n=3)
+
+
+def test_replicate_runs_n_seeds(summary):
+    assert summary.n == 3
+    assert len(summary.runs) == 3
+    seeds_energy = {r.energy for r in summary.runs}
+    assert len(seeds_energy) == 3  # different seeds -> different runs
+
+
+def test_replicate_summary_statistics(summary):
+    assert 0.85 < summary.quality.mean < 0.95
+    assert summary.quality.low <= summary.quality.mean <= summary.quality.high
+    assert summary.energy.mean > 0
+
+
+def test_replicate_row_renders(summary):
+    row = summary.row()
+    assert "GE" in row and "n=3" in row and "[" in row
+
+
+def test_replicate_rejects_zero_n():
+    with pytest.raises(ValueError):
+        replicate(CFG, make_ge, n=0)
+
+
+def test_replicate_many():
+    out = replicate_many(CFG, {"GE": make_ge}, n=2)
+    assert set(out) == {"GE"}
+    assert out["GE"].n == 2
+
+
+def test_replication_is_deterministic():
+    a = replicate(CFG, make_ge, n=2)
+    b = replicate(CFG, make_ge, n=2)
+    assert a.energy.mean == b.energy.mean

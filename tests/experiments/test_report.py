@@ -1,0 +1,89 @@
+"""Tests for figure-result containers and text rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.report import FigureResult, Series, ascii_plot, format_table
+
+
+def test_series_add_and_pairs():
+    s = Series(label="GE")
+    s.add(100, 0.9)
+    s.add(150, 0.89)
+    assert s.as_pairs() == [(100.0, 0.9), (150.0, 0.89)]
+    assert s.y_at(150) == 0.89
+    with pytest.raises(KeyError):
+        s.y_at(999)
+
+
+def test_figure_series_lookup():
+    fig = FigureResult(figure_id="figXX", title="t", x_label="x")
+    s = fig.add_series("quality", Series(label="GE"))
+    assert fig.series("quality", "GE") is s
+    assert fig.panel("quality") == [s]
+    with pytest.raises(KeyError):
+        fig.series("quality", "BE")
+    with pytest.raises(KeyError):
+        fig.panel("nope")
+
+
+def test_to_text_contains_all_labels():
+    fig = FigureResult(figure_id="fig99", title="Demo", x_label="rate")
+    a = Series(label="GE")
+    b = Series(label="BE")
+    for x in (1.0, 2.0):
+        a.add(x, x * 0.1)
+        b.add(x, x * 0.2)
+    fig.add_series("quality", a)
+    fig.add_series("quality", b)
+    fig.notes.append("a note")
+    text = fig.to_text()
+    assert "fig99" in text
+    assert "GE" in text and "BE" in text
+    assert "a note" in text
+    assert "0.2" in text
+
+
+def test_to_csv_round_trips_values():
+    fig = FigureResult(figure_id="fig99", title="Demo", x_label="rate")
+    s = Series(label='with,comma "quoted"')
+    s.add(1.0, 0.125)
+    s.add(2.0, 0.25)
+    fig.add_series("quality", s)
+    csv_text = fig.to_csv()
+    assert "# panel: quality" in csv_text
+    assert '"with,comma ""quoted"""' in csv_text
+    assert "0.125" in csv_text
+    # Data rows parse back with the csv module.
+    import csv as csv_mod
+    import io
+
+    rows = [
+        r
+        for r in csv_mod.reader(io.StringIO(csv_text))
+        if r and not r[0].startswith("#")
+    ]
+    assert rows[0] == ["rate", 'with,comma "quoted"']
+    assert float(rows[1][1]) == 0.125
+
+
+def test_format_table_alignment():
+    table = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+    lines = table.splitlines()
+    assert len(lines) == 4
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all rows padded to equal width
+
+
+def test_ascii_plot_renders():
+    s = Series(label="GE")
+    for i in range(10):
+        s.add(i, i * i)
+    art = ascii_plot([s], width=20, height=5)
+    assert "o" in art
+    assert "GE" in art
+
+
+def test_ascii_plot_empty():
+    assert ascii_plot([]) == "(empty plot)"

@@ -1,0 +1,67 @@
+"""Tests for the experiment runner machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ge import make_ge
+from repro.experiments.report import FigureResult
+from repro.experiments.runner import (
+    default_rates,
+    quality_energy_series,
+    run_single,
+    scaled_config,
+    sweep_rates,
+)
+
+
+def test_scaled_config_scales_horizon():
+    cfg = scaled_config(0.01, seed=3)
+    assert cfg.horizon == pytest.approx(6.0)
+    assert cfg.seed == 3
+
+
+def test_scaled_config_passes_overrides():
+    cfg = scaled_config(0.01, seed=3, arrival_rate=222.0, m=4)
+    assert cfg.arrival_rate == 222.0
+    assert cfg.m == 4
+
+
+def test_scaled_config_invalid_scale():
+    with pytest.raises(ValueError):
+        scaled_config(0.0, seed=1)
+
+
+def test_default_rates_paper_axis_at_large_scale():
+    assert default_rates(0.1)[0] == 100.0
+    assert len(default_rates(0.1)) == 7
+    assert len(default_rates(0.01)) == 5
+
+
+def test_run_single_returns_result():
+    cfg = scaled_config(0.005, seed=1, arrival_rate=120.0)
+    result = run_single(cfg, make_ge)
+    assert result.scheduler == "GE"
+    assert result.jobs > 100
+
+
+def test_sweep_rates_identical_arrivals_per_rate():
+    cfg = scaled_config(0.005, seed=1)
+    results = sweep_rates(cfg, {"A": make_ge, "B": make_ge}, [110.0])
+    # Same policy, same seed, same rate -> bit-identical runs.
+    assert results["A"][0].energy == results["B"][0].energy
+    assert results["A"][0].quality == results["B"][0].quality
+
+
+def test_quality_energy_series_fills_panels():
+    cfg = scaled_config(0.005, seed=1)
+    rates = [100.0, 200.0]
+    results = sweep_rates(cfg, {"GE": make_ge}, rates)
+    fig = FigureResult(figure_id="t", title="t", x_label="rate")
+    quality_energy_series(fig, results, rates)
+    q = fig.series("quality", "GE")
+    e = fig.series("energy", "GE")
+    assert q.x == rates
+    assert len(e.y) == 2
+    assert all(0 <= v <= 1 for v in q.y)
+    assert all(v > 0 for v in e.y)

@@ -1,0 +1,65 @@
+"""Tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import mean_confidence_interval, summarize
+
+
+def test_mean_ci_single_value():
+    mean, lo, hi = mean_confidence_interval([5.0])
+    assert mean == lo == hi == 5.0
+
+
+def test_mean_ci_contains_mean():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0]
+    mean, lo, hi = mean_confidence_interval(values)
+    assert mean == pytest.approx(3.0)
+    assert lo < mean < hi
+
+
+def test_mean_ci_width_shrinks_with_n():
+    rng = np.random.default_rng(0)
+    small = rng.normal(0, 1, 10)
+    large = rng.normal(0, 1, 1000)
+    _, lo_s, hi_s = mean_confidence_interval(small)
+    _, lo_l, hi_l = mean_confidence_interval(large)
+    assert (hi_l - lo_l) < (hi_s - lo_s)
+
+
+def test_mean_ci_coverage_sanity():
+    """~95% of CIs should contain the true mean."""
+    rng = np.random.default_rng(42)
+    hits = 0
+    trials = 300
+    for _ in range(trials):
+        sample = rng.normal(10.0, 2.0, 30)
+        _, lo, hi = mean_confidence_interval(sample, 0.95)
+        hits += lo <= 10.0 <= hi
+    assert hits / trials > 0.88
+
+
+def test_empty_sample_rejected():
+    with pytest.raises(ValueError):
+        mean_confidence_interval([])
+
+
+def test_unsupported_confidence_rejected():
+    with pytest.raises(ValueError):
+        mean_confidence_interval([1.0, 2.0], confidence=0.5)
+
+
+def test_summarize_fields():
+    s = summarize([2.0, 4.0, 6.0])
+    assert s.mean == pytest.approx(4.0)
+    assert s.n == 3
+    assert s.std == pytest.approx(2.0)
+    assert s.low < s.mean < s.high
+
+
+def test_summarize_single():
+    s = summarize([7.0])
+    assert s.std == 0.0
+    assert s.low == s.high == 7.0

@@ -1,0 +1,122 @@
+"""Tests for ES / WF / hybrid power distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InfeasibleError
+from repro.power.distribution import (
+    EqualSharing,
+    HybridDistribution,
+    WaterFilling,
+    water_fill,
+)
+
+
+class TestWaterFill:
+    def test_all_demands_met_when_budget_suffices(self):
+        demands = np.array([5.0, 10.0, 3.0])
+        alloc = water_fill(demands, 100.0)
+        assert alloc == pytest.approx(demands)
+
+    def test_budget_exhausted_when_scarce(self):
+        demands = np.array([5.0, 50.0, 50.0])
+        alloc = water_fill(demands, 45.0)
+        assert float(np.sum(alloc)) == pytest.approx(45.0)
+
+    def test_low_demands_satisfied_first(self):
+        """§III-D: 'satisfying the low demand first'."""
+        demands = np.array([2.0, 100.0, 3.0])
+        alloc = water_fill(demands, 25.0)
+        assert alloc[0] == pytest.approx(2.0)
+        assert alloc[2] == pytest.approx(3.0)
+        assert alloc[1] == pytest.approx(20.0)
+
+    def test_equal_demands_share_equally(self):
+        alloc = water_fill(np.array([50.0, 50.0, 50.0]), 90.0)
+        assert alloc == pytest.approx([30.0, 30.0, 30.0])
+
+    def test_water_level_property(self):
+        """Capped entries share a common level above every met demand."""
+        demands = np.array([1.0, 9.0, 20.0, 30.0])
+        alloc = water_fill(demands, 30.0)
+        capped = alloc < demands - 1e-9
+        levels = alloc[capped]
+        assert np.allclose(levels, levels[0])
+        assert np.all(alloc[~capped] <= levels[0] + 1e-9)
+
+    def test_zero_budget(self):
+        alloc = water_fill(np.array([5.0, 10.0]), 0.0)
+        assert alloc == pytest.approx([0.0, 0.0])
+
+    def test_empty_demands(self):
+        assert water_fill(np.array([]), 10.0).size == 0
+
+    def test_negative_budget_raises(self):
+        with pytest.raises(InfeasibleError):
+            water_fill(np.array([1.0]), -1.0)
+
+    def test_negative_demand_raises(self):
+        with pytest.raises(ValueError):
+            water_fill(np.array([-1.0]), 1.0)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=32),
+        st.floats(min_value=0.0, max_value=500.0),
+    )
+    def test_invariants(self, demands, budget):
+        demands_arr = np.asarray(demands)
+        alloc = water_fill(demands_arr, budget)
+        assert np.all(alloc >= -1e-9)
+        assert np.all(alloc <= demands_arr + 1e-9)
+        total = float(np.sum(alloc))
+        assert total <= budget + 1e-6
+        # Either every demand is met or the budget is exhausted.
+        if not np.allclose(alloc, demands_arr):
+            assert total == pytest.approx(budget, abs=1e-6)
+
+
+class TestPolicies:
+    def test_equal_sharing_ignores_demands(self):
+        es = EqualSharing()
+        decision = es.distribute(np.array([100.0, 0.0, 3.0, 7.0]), 80.0)
+        assert decision.caps == pytest.approx([20.0] * 4)
+        assert decision.policy == "ES"
+
+    def test_equal_sharing_empty(self):
+        assert EqualSharing().distribute(np.array([]), 80.0).caps.size == 0
+
+    def test_wf_grants_surplus(self):
+        wf = WaterFilling(grant_surplus=True)
+        decision = wf.distribute(np.array([10.0, 10.0]), 100.0)
+        assert float(np.sum(decision.caps)) == pytest.approx(100.0)
+        assert decision.caps == pytest.approx([50.0, 50.0])
+
+    def test_wf_without_surplus(self):
+        wf = WaterFilling(grant_surplus=False)
+        decision = wf.distribute(np.array([10.0, 10.0]), 100.0)
+        assert decision.caps == pytest.approx([10.0, 10.0])
+
+    def test_wf_scarce_budget_matches_water_fill(self):
+        demands = np.array([5.0, 50.0, 45.0])
+        wf = WaterFilling()
+        assert wf.distribute(demands, 45.0).caps == pytest.approx(
+            water_fill(demands, 45.0)
+        )
+
+    def test_hybrid_switches_on_load(self):
+        hybrid = HybridDistribution()
+        demands = np.array([2.0, 100.0])
+        light = hybrid.distribute_for_load(demands, 40.0, heavy_load=False)
+        heavy = hybrid.distribute_for_load(demands, 40.0, heavy_load=True)
+        assert light.policy == "ES"
+        assert heavy.policy == "WF"
+        assert light.caps == pytest.approx([20.0, 20.0])
+        assert heavy.caps[0] == pytest.approx(2.0)
+
+    def test_hybrid_default_is_light(self):
+        hybrid = HybridDistribution()
+        assert hybrid.distribute(np.array([1.0, 1.0]), 10.0).policy == "ES"

@@ -1,0 +1,122 @@
+"""Tests for continuous and discrete speed scaling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.power.dvfs import ContinuousSpeedScale, DiscreteSpeedScale
+from repro.power.models import PowerModel
+
+MODEL = PowerModel()
+
+
+class TestContinuous:
+    def test_quantize_is_identity_below_top(self):
+        scale = ContinuousSpeedScale(MODEL)
+        assert scale.quantize(1.234) == 1.234
+        assert scale.ceil(1.234) == 1.234
+
+    def test_top_speed_clamps(self):
+        scale = ContinuousSpeedScale(MODEL, top_speed=2.0)
+        assert scale.quantize(5.0) == 2.0
+        assert scale.max_speed_at_power(1000.0) == 2.0
+
+    def test_max_speed_at_power(self):
+        scale = ContinuousSpeedScale(MODEL)
+        assert scale.max_speed_at_power(20.0) == pytest.approx(2.0)
+
+    def test_invalid_top(self):
+        with pytest.raises(ConfigurationError):
+            ContinuousSpeedScale(MODEL, top_speed=0.0)
+
+    def test_negative_rejected(self):
+        scale = ContinuousSpeedScale(MODEL)
+        with pytest.raises(ValueError):
+            scale.quantize(-1.0)
+
+
+class TestDiscrete:
+    def ladder(self):
+        return DiscreteSpeedScale(MODEL, levels=[0.5, 1.0, 1.5, 2.0, 2.5, 3.0])
+
+    def test_quantize_rounds_down(self):
+        scale = self.ladder()
+        assert scale.quantize(1.7) == 1.5
+        assert scale.quantize(0.4) == 0.0
+        assert scale.quantize(2.0) == 2.0
+        assert scale.quantize(99.0) == 3.0
+
+    def test_ceil_rounds_up(self):
+        scale = self.ladder()
+        assert scale.ceil(1.7) == 2.0
+        assert scale.ceil(0.1) == 0.5
+        assert scale.ceil(2.0) == 2.0
+        assert scale.ceil(0.0) == 0.0
+        assert scale.ceil(99.0) == 3.0  # clamps at the top level
+
+    def test_next_below(self):
+        scale = self.ladder()
+        assert scale.next_below(1.5) == 1.0
+        assert scale.next_below(0.5) == 0.0
+        assert scale.next_below(1.7) == 1.5
+
+    def test_max_speed_at_power_quantizes(self):
+        scale = self.ladder()
+        # 20 W allows exactly 2.0 GHz.
+        assert scale.max_speed_at_power(20.0) == 2.0
+        # 19 W allows at most 1.949 GHz -> level 1.5.
+        assert scale.max_speed_at_power(19.0) == 1.5
+
+    def test_default_ladder(self):
+        scale = DiscreteSpeedScale(MODEL)
+        assert scale.top_speed == pytest.approx(3.0)
+        assert scale.levels[0] == pytest.approx(0.25)
+
+    def test_invalid_ladders(self):
+        with pytest.raises(ConfigurationError):
+            DiscreteSpeedScale(MODEL, levels=[])
+        with pytest.raises(ConfigurationError):
+            DiscreteSpeedScale(MODEL, levels=[0.0, 1.0])
+
+    def test_rectify_respects_budget(self):
+        scale = self.ladder()
+        speeds = np.array([0.8, 1.2, 1.9, 2.3])
+        budget = float(np.sum(MODEL.power(speeds))) + 1.0
+        out = scale.rectify(speeds, budget)
+        assert float(np.sum(MODEL.power(out))) <= budget + 1e-6
+        for level in out:
+            assert level == 0.0 or level in scale.levels
+
+    def test_rectify_rounds_up_when_affordable(self):
+        scale = self.ladder()
+        speeds = np.array([0.7])
+        out = scale.rectify(speeds, budget=MODEL.power(1.0) + 1e-9)
+        assert out[0] == 1.0
+
+    def test_rectify_rounds_down_when_tight(self):
+        scale = self.ladder()
+        speeds = np.array([0.7])
+        out = scale.rectify(speeds, budget=MODEL.power(0.9))
+        assert out[0] == 0.5
+
+    def test_rectify_zero_speed_stays_zero(self):
+        scale = self.ladder()
+        out = scale.rectify(np.array([0.0, 1.0]), budget=100.0)
+        assert out[0] == 0.0
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=3.5), min_size=1, max_size=16),
+        st.floats(min_value=0.0, max_value=400.0),
+    )
+    def test_rectify_invariants(self, speeds, extra):
+        scale = self.ladder()
+        speeds_arr = np.asarray(speeds)
+        budget = float(np.sum(MODEL.power(np.minimum(speeds_arr, 3.0)))) + extra
+        out = scale.rectify(speeds_arr, budget)
+        assert float(np.sum(MODEL.power(out))) <= budget + 1e-6
+        for v in out:
+            assert v == 0.0 or any(abs(v - l) < 1e-12 for l in scale.levels)

@@ -1,0 +1,98 @@
+"""Tests for the dynamic power model P = a·s^β."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.power.models import PowerModel
+
+PAPER = PowerModel(a=5.0, beta=2.0, units_per_ghz_second=1000.0)
+
+
+def test_paper_operating_point():
+    """§IV-B: 'The average speed for each core is 2GHz' at 320W/16 = 20W."""
+    assert PAPER.power(2.0) == pytest.approx(20.0)
+    assert PAPER.speed(20.0) == pytest.approx(2.0)
+    assert PAPER.throughput(2.0) == pytest.approx(2000.0)
+
+
+def test_power_speed_inverse_round_trip():
+    for s in (0.0, 0.5, 1.0, 2.0, 3.5):
+        assert PAPER.speed(PAPER.power(s)) == pytest.approx(s)
+
+
+def test_convexity():
+    s = np.linspace(0, 4, 50)
+    p = PAPER.power(s)
+    mid = PAPER.power((s[:-1] + s[1:]) / 2)
+    assert np.all(mid <= (p[:-1] + p[1:]) / 2 + 1e-12)
+
+
+def test_equal_speed_minimizes_total_power():
+    """The §III-D thrashing argument: for a fixed total throughput,
+    equal speeds minimize Σ P(s_i)."""
+    unequal = PAPER.power(1.0) + PAPER.power(3.0)
+    equal = 2 * PAPER.power(2.0)
+    assert equal < unequal
+
+
+def test_throughput_round_trip():
+    assert PAPER.speed_for_throughput(PAPER.throughput(1.7)) == pytest.approx(1.7)
+
+
+def test_power_for_work():
+    # 2000 units in 1 s needs 2 GHz -> 20 W.
+    assert PAPER.power_for_work(2000.0, 1.0) == pytest.approx(20.0)
+    with pytest.raises(ValueError):
+        PAPER.power_for_work(100.0, 0.0)
+
+
+def test_energy():
+    assert PAPER.energy(2.0, 10.0) == pytest.approx(200.0)
+    with pytest.raises(ValueError):
+        PAPER.energy(2.0, -1.0)
+
+
+def test_energy_for_volume_increases_with_speed():
+    """Racing wastes energy: E(v, s) grows with s for β > 1."""
+    e_slow = PAPER.energy_for_volume(1000.0, 1.0)
+    e_fast = PAPER.energy_for_volume(1000.0, 2.0)
+    assert e_fast > e_slow
+    # Specifically E = a·v/u · s^{β−1} = 5·1·s for the paper model.
+    assert e_slow == pytest.approx(5.0)
+    assert e_fast == pytest.approx(10.0)
+
+
+def test_invalid_parameters():
+    with pytest.raises(ConfigurationError):
+        PowerModel(a=0.0)
+    with pytest.raises(ConfigurationError):
+        PowerModel(beta=1.0)
+    with pytest.raises(ConfigurationError):
+        PowerModel(units_per_ghz_second=0.0)
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(ValueError):
+        PAPER.power(-1.0)
+    with pytest.raises(ValueError):
+        PAPER.speed(-1.0)
+
+
+def test_vectorized():
+    speeds = np.array([1.0, 2.0, 3.0])
+    assert PAPER.power(speeds) == pytest.approx([5.0, 20.0, 45.0])
+
+
+@given(
+    a=st.floats(min_value=0.5, max_value=20.0),
+    beta=st.floats(min_value=1.1, max_value=4.0),
+    s=st.floats(min_value=0.0, max_value=10.0),
+)
+def test_inverse_property(a, beta, s):
+    model = PowerModel(a=a, beta=beta)
+    assert model.speed(model.power(s)) == pytest.approx(s, abs=1e-9, rel=1e-9)

@@ -1,0 +1,108 @@
+"""Tests for the online quality monitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.quality.functions import ExponentialQuality
+from repro.quality.monitor import QualityMonitor
+
+F = ExponentialQuality(c=0.003, x_max=1000.0)
+
+
+def make_monitor() -> QualityMonitor:
+    return QualityMonitor(F)
+
+
+def test_starts_at_perfect_quality():
+    m = make_monitor()
+    assert m.quality == 1.0
+    assert m.settled_jobs == 0
+
+
+def test_record_full_job_keeps_quality_one():
+    m = make_monitor()
+    assert m.record(500.0, 500.0) == pytest.approx(1.0)
+
+
+def test_record_partial_job_lowers_quality():
+    m = make_monitor()
+    q = m.record(100.0, 800.0)
+    assert q == pytest.approx(float(F(100.0)) / float(F(800.0)))
+
+
+def test_cumulative_accounting():
+    m = make_monitor()
+    m.record(500.0, 500.0)
+    m.record(0.0, 500.0)
+    expected = float(F(500.0)) / (2 * float(F(500.0)))
+    assert m.quality == pytest.approx(expected)
+    assert m.settled_jobs == 2
+
+
+def test_processed_clamped_to_demand():
+    m = make_monitor()
+    m.record(1000.0, 500.0)  # overshoot is clamped
+    assert m.quality == pytest.approx(1.0)
+
+
+def test_projected_does_not_mutate():
+    m = make_monitor()
+    m.record(500.0, 500.0)
+    before = m.quality
+    proj = m.projected([100.0], [800.0])
+    assert m.quality == before
+    expected = (float(F(500.0)) + float(F(100.0))) / (float(F(500.0)) + float(F(800.0)))
+    assert proj == pytest.approx(expected)
+
+
+def test_deficit_positive_when_below_target():
+    m = make_monitor()
+    m.record(0.0, 500.0)
+    assert m.deficit(0.9) == pytest.approx(0.9 * float(F(500.0)))
+    m2 = make_monitor()
+    m2.record(500.0, 500.0)
+    assert m2.deficit(0.9) == 0.0
+
+
+def test_trace_records_time_quality_pairs():
+    m = make_monitor()
+    m.record(500.0, 500.0, time=1.0)
+    m.record(0.0, 500.0, time=2.0)
+    trace = m.trace
+    assert len(trace) == 2
+    assert trace[0] == (1.0, pytest.approx(1.0))
+    assert trace[1][0] == 2.0
+
+
+def test_reset_clears_state():
+    m = make_monitor()
+    m.record(100.0, 500.0, time=1.0)
+    m.reset()
+    assert m.quality == 1.0
+    assert m.settled_jobs == 0
+    assert m.trace == []
+
+
+def test_negative_volumes_rejected():
+    m = make_monitor()
+    with pytest.raises(ValueError):
+        m.record(-1.0, 100.0)
+    with pytest.raises(ValueError):
+        m.record(1.0, -100.0)
+
+
+def test_history_factor_weights_recent():
+    m = QualityMonitor(F, history=0.5)
+    m.record(0.0, 500.0)  # bad job
+    for _ in range(10):
+        m.record(500.0, 500.0)  # good stretch
+    # With decay the early bad job is nearly forgotten.
+    assert m.quality > 0.99
+
+
+def test_invalid_history_rejected():
+    with pytest.raises(ValueError):
+        QualityMonitor(F, history=0.0)
+    with pytest.raises(ValueError):
+        QualityMonitor(F, history=1.5)

@@ -1,0 +1,61 @@
+"""Tests for the clairvoyant (offline-cut) reference scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.clairvoyant import make_oracle
+from repro.config import SimulationConfig
+from repro.core.ge import make_ge
+from repro.server.harness import SimulationHarness
+from repro.validation import validate_run
+
+
+def run(factory, **overrides):
+    cfg = SimulationConfig(arrival_rate=120.0, horizon=5.0, seed=7).with_overrides(
+        **overrides
+    )
+    harness = SimulationHarness(cfg, factory())
+    return harness, harness.run()
+
+
+def test_oracle_lands_on_target():
+    """With full knowledge and light load, the offline cut hits Q_GE
+    essentially exactly (no compensation oscillation)."""
+    _, result = run(make_oracle)
+    assert result.quality == pytest.approx(0.9, abs=0.015)
+
+
+def test_oracle_never_compensates():
+    harness, _ = run(make_oracle)
+    assert harness.scheduler.controller.switches == 0
+
+
+def test_oracle_targets_are_stable():
+    """The offline target of a job never changes across reschedules —
+    that is the whole point (no online wobble)."""
+    harness, _ = run(make_oracle)
+    sched = harness.scheduler
+    jobs = harness.workload.materialize()
+    # Spot check: the stored target is a single consistent value <= demand.
+    for job in jobs[:50]:
+        assert 0.0 <= sched._offline_targets[job.jid] <= job.demand + 1e-9
+
+
+def test_oracle_saves_energy_vs_online_ge():
+    """The oracle bounds the price of online operation from below."""
+    _, online = run(make_ge)
+    _, oracle = run(make_oracle)
+    assert oracle.energy <= online.energy * 1.02
+    assert oracle.quality == pytest.approx(online.quality, abs=0.03)
+
+
+def test_oracle_passes_physical_audit():
+    harness, _ = run(make_oracle)
+    validate_run(harness).raise_if_failed()
+
+
+def test_oracle_under_overload_degrades_like_ge():
+    _, oracle = run(make_oracle, arrival_rate=240.0)
+    _, online = run(make_ge, arrival_rate=240.0)
+    assert oracle.quality == pytest.approx(online.quality, abs=0.05)

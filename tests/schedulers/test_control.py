@@ -1,0 +1,67 @@
+"""Tests for the BE-P / BE-S calibrated control policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.control import (
+    calibrate_power_control,
+    calibrate_speed_control,
+)
+from repro.config import SimulationConfig
+
+CFG = SimulationConfig(arrival_rate=110.0, horizon=5.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def bep():
+    return calibrate_power_control(CFG, calibration_horizon=5.0, iterations=5)
+
+
+@pytest.fixture(scope="module")
+def bes():
+    return calibrate_speed_control(CFG, calibration_horizon=5.0, iterations=5)
+
+
+class TestPowerControl:
+    def test_calibrated_budget_below_full(self, bep):
+        """At light load, much less than 320 W meets Q_GE."""
+        assert bep.value < CFG.budget
+
+    def test_final_run_meets_target_roughly(self, bep):
+        assert bep.result.quality >= CFG.q_ge - 0.03
+
+    def test_final_run_labeled(self, bep):
+        assert bep.result.scheduler == "BE-P"
+
+    def test_probes_recorded(self, bep):
+        assert len(bep.probes) >= 2
+        knobs = [k for k, _ in bep.probes]
+        assert max(knobs) == CFG.budget
+
+    def test_uses_less_energy_than_full_budget_be(self, bep):
+        from repro.core.ge import make_be
+        from repro.server.harness import SimulationHarness
+
+        be = SimulationHarness(CFG, make_be()).run()
+        assert bep.result.energy < be.energy
+
+
+class TestSpeedControl:
+    def test_calibrated_speed_below_max(self, bes):
+        top = CFG.power_model().speed(CFG.budget)
+        assert bes.value < top
+
+    def test_final_run_meets_target_roughly(self, bes):
+        assert bes.result.quality >= CFG.q_ge - 0.03
+
+    def test_final_run_labeled(self, bes):
+        assert bes.result.scheduler == "BE-S"
+
+
+def test_overload_returns_full_knob():
+    """When even the full budget misses the target, calibration returns
+    the full knob (the paper's 'all three coincide under overload')."""
+    overloaded = CFG.with_overrides(arrival_rate=260.0, horizon=4.0)
+    result = calibrate_power_control(overloaded, calibration_horizon=4.0, iterations=3)
+    assert result.value == overloaded.budget

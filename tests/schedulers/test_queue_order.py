@@ -1,0 +1,114 @@
+"""Integration tests for the FCFS/FDFS/LJF/SJF baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.queue_order import FCFS, FDFS, LJF, SJF
+from repro.config import SimulationConfig
+from repro.server.harness import SimulationHarness
+from repro.workload.generator import StaticWorkload
+from repro.workload.job import Job, JobOutcome
+
+
+def run(factory, rate=120.0, seed=7, **overrides):
+    cfg = SimulationConfig(arrival_rate=rate, horizon=6.0, seed=seed).with_overrides(
+        **overrides
+    )
+    return SimulationHarness(cfg, factory()).run()
+
+
+@pytest.mark.parametrize("factory", [FCFS, FDFS, LJF, SJF], ids=lambda f: f.__name__)
+class TestCommon:
+    def test_all_jobs_settle(self, factory):
+        result = run(factory)
+        assert sum(result.outcomes.values()) == result.jobs
+
+    def test_no_deliberate_cutting(self, factory):
+        """One-at-a-time baselines never CUT; they complete or expire."""
+        result = run(factory)
+        assert result.outcomes.get(JobOutcome.CUT.value, 0) == 0
+
+    def test_deterministic(self, factory):
+        a = run(factory)
+        b = run(factory)
+        assert (a.quality, a.energy) == (b.quality, b.energy)
+
+    def test_quality_degrades_with_load(self, factory):
+        light = run(factory, rate=100.0)
+        heavy = run(factory, rate=220.0)
+        assert heavy.quality < light.quality
+
+
+class TestOrdering:
+    """Verify each policy picks by its defining key using a crafted queue."""
+
+    def _run_static(self, factory, jobs, m=1):
+        cfg = SimulationConfig(arrival_rate=100.0, horizon=1.0, m=m, seed=1)
+        harness = SimulationHarness(cfg, factory(), workload=StaticWorkload(jobs))
+        harness.run()
+        return jobs
+
+    def test_fcfs_picks_earliest_arrival(self):
+        # Both jobs arrive while the core is busy; FCFS then picks jid 1.
+        jobs = [
+            Job(jid=0, arrival=0.00, deadline=0.40, demand=200.0),  # occupies core
+            Job(jid=1, arrival=0.01, deadline=0.80, demand=100.0),
+            Job(jid=2, arrival=0.02, deadline=0.50, demand=100.0),
+        ]
+        self._run_static(FCFS, jobs)
+        assert jobs[1].outcome is JobOutcome.COMPLETED
+
+    def test_fdfs_picks_earliest_deadline(self):
+        jobs = [
+            Job(jid=0, arrival=0.00, deadline=0.40, demand=200.0),
+            Job(jid=1, arrival=0.01, deadline=0.80, demand=100.0),
+            Job(jid=2, arrival=0.02, deadline=0.50, demand=100.0),
+        ]
+        self._run_static(FDFS, jobs)
+        # FDFS serves jid 2 (deadline 0.5) before jid 1.
+        assert jobs[2].outcome is JobOutcome.COMPLETED
+
+    def test_ljf_picks_longest(self):
+        jobs = [
+            Job(jid=0, arrival=0.00, deadline=0.40, demand=200.0),
+            Job(jid=1, arrival=0.01, deadline=2.00, demand=900.0),
+            Job(jid=2, arrival=0.02, deadline=2.00, demand=100.0),
+        ]
+        self._run_static(LJF, jobs)
+        assert jobs[1].processed > 0.0
+
+    def test_sjf_picks_shortest(self):
+        jobs = [
+            Job(jid=0, arrival=0.00, deadline=0.40, demand=200.0),
+            Job(jid=1, arrival=0.01, deadline=0.55, demand=900.0),
+            Job(jid=2, arrival=0.02, deadline=2.00, demand=100.0),
+        ]
+        self._run_static(SJF, jobs)
+        assert jobs[2].outcome is JobOutcome.COMPLETED
+
+    def test_infeasible_job_runs_partially_to_deadline(self):
+        # With a 20 W budget on one core the cap is 2 GHz; 2000 units
+        # due in 0.5 s would need 4 GHz, so the core runs at the cap and
+        # the job expires with 2000 u/s · 0.5 s = 1000 units done.
+        jobs = [Job(jid=0, arrival=0.0, deadline=0.5, demand=2000.0)]
+        cfg = SimulationConfig(arrival_rate=100.0, horizon=1.0, m=1, budget=20.0, seed=1)
+        harness = SimulationHarness(cfg, FCFS(), workload=StaticWorkload(jobs))
+        harness.run()
+        assert jobs[0].outcome is JobOutcome.EXPIRED
+        assert jobs[0].processed == pytest.approx(1000.0, rel=1e-6)
+
+
+def test_fdfs_beats_fcfs_with_random_deadlines():
+    """Fig. 4's key contrast at miniature scale."""
+    overrides = dict(window_low=0.15, window_high=0.5)
+    fcfs = run(FCFS, rate=150.0, **overrides)
+    fdfs = run(FDFS, rate=150.0, **overrides)
+    assert fdfs.quality > fcfs.quality
+
+
+def test_sjf_energy_decreases_under_overload():
+    """Fig. 3b: SJF abandons long jobs as load grows."""
+    mid = run(SJF, rate=150.0)
+    high = run(SJF, rate=250.0)
+    assert high.energy < mid.energy * 1.05

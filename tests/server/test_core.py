@@ -1,0 +1,193 @@
+"""Tests for the core execution engine (segments, interrupts, energy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.server.core import Core, Segment
+from repro.sim.engine import Simulator
+from repro.workload.job import Job, JobOutcome
+
+
+def make_core(sim, **kw):
+    settled = []
+    idles = []
+    core = Core(
+        0,
+        sim,
+        on_idle=idles.append,
+        on_settle=settled.append,
+        **kw,
+    )
+    return core, settled, idles
+
+
+def job(jid=1, deadline=10.0, demand=1000.0):
+    return Job(jid=jid, arrival=0.0, deadline=deadline, demand=demand)
+
+
+def test_segment_executes_and_settles_completed():
+    sim = Simulator()
+    core, settled, idles = make_core(sim)
+    j = job()
+    core.set_plan([Segment(job=j, volume=1000.0, speed=1.0)])
+    sim.run()
+    # 1000 units at 1 GHz (1000 u/s) takes 1 second.
+    assert sim.now == pytest.approx(1.0)
+    assert j.outcome is JobOutcome.COMPLETED
+    assert settled == [j]
+    assert idles == [0]
+
+
+def test_partial_segment_settles_cut():
+    sim = Simulator()
+    core, settled, _ = make_core(sim)
+    j = job(demand=1000.0)
+    core.set_plan([Segment(job=j, volume=400.0, speed=2.0)])
+    sim.run()
+    assert j.outcome is JobOutcome.CUT
+    assert j.processed == pytest.approx(400.0)
+
+
+def test_non_final_segment_leaves_job_live():
+    sim = Simulator()
+    core, settled, _ = make_core(sim)
+    j = job()
+    core.set_plan([Segment(job=j, volume=400.0, speed=2.0, final=False)])
+    sim.run()
+    assert not j.settled
+    assert j.processed == pytest.approx(400.0)
+    assert settled == []
+
+
+def test_segments_run_in_order():
+    sim = Simulator()
+    core, settled, _ = make_core(sim)
+    j1, j2 = job(1), job(2)
+    core.set_plan(
+        [Segment(job=j1, volume=500.0, speed=1.0), Segment(job=j2, volume=500.0, speed=0.5)]
+    )
+    sim.run()
+    assert [j.jid for j in settled] == [1, 2]
+    assert sim.now == pytest.approx(0.5 + 1.0)
+
+
+def test_replan_credits_in_flight_progress():
+    sim = Simulator()
+    core, settled, _ = make_core(sim)
+    j = job()
+    core.set_plan([Segment(job=j, volume=1000.0, speed=1.0)])
+
+    def replan():
+        core.checkpoint()  # credit in-flight progress first
+        core.set_plan([Segment(job=j, volume=j.remaining, speed=2.0)])
+
+    sim.schedule(0.25, replan)
+    sim.run()
+    assert j.outcome is JobOutcome.COMPLETED
+    # 250 units at 1 GHz, then 750 at 2 GHz: 0.25 + 0.375 s.
+    assert sim.now == pytest.approx(0.625)
+
+
+def test_checkpoint_pauses_and_credits():
+    sim = Simulator()
+    core, settled, _ = make_core(sim)
+    j = job()
+    core.set_plan([Segment(job=j, volume=1000.0, speed=1.0)])
+
+    def checkpoint():
+        core.checkpoint()
+        assert j.processed == pytest.approx(500.0)
+        assert not core.busy
+
+    sim.schedule(0.5, checkpoint)
+    sim.run()
+    assert not j.settled  # paused, never resumed
+    assert j.processed == pytest.approx(500.0)
+
+
+def test_abort_job_removes_current_and_queued():
+    sim = Simulator()
+    core, settled, _ = make_core(sim)
+    j1, j2 = job(1), job(2)
+    core.set_plan(
+        [Segment(job=j1, volume=1000.0, speed=1.0), Segment(job=j2, volume=100.0, speed=1.0)]
+    )
+
+    def abort():
+        credited = core.abort_job(j1)
+        assert credited == pytest.approx(300.0)
+
+    sim.schedule(0.3, abort)
+    sim.run()
+    assert not j1.settled
+    assert j1.processed == pytest.approx(300.0)
+    assert j2.settled  # next segment ran (CUT: 100 of 1000 units)
+    assert j2.processed == pytest.approx(100.0)
+
+
+def test_speed_timeline_and_energy():
+    sim = Simulator()
+    core, _, _ = make_core(sim)
+    j = job()
+    core.set_plan([Segment(job=j, volume=1000.0, speed=2.0)])
+    sim.run(until=1.0)
+    tl = core.speed_timeline
+    # 0.5 s at 2 GHz then idle.
+    assert tl.integral(1.0) == pytest.approx(1.0)
+    assert tl.time_average(1.0) == pytest.approx(1.0)
+    assert core.completed_volume == pytest.approx(1000.0)
+
+
+def test_segment_skipped_if_job_already_settled():
+    sim = Simulator()
+    core, settled, _ = make_core(sim)
+    j = job()
+    j.settle(JobOutcome.DROPPED)
+    core.set_plan([Segment(job=j, volume=100.0, speed=1.0)])
+    sim.run()
+    assert settled == []
+    assert core.completed_volume == 0.0
+
+
+def test_segment_skipped_if_deadline_passed():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    core, settled, _ = make_core(sim)
+    j = job(deadline=4.0)
+    core.set_plan([Segment(job=j, volume=100.0, speed=1.0)])
+    sim.run()
+    assert not j.settled
+    assert core.completed_volume == 0.0
+
+
+def test_invalid_segments_rejected():
+    j = job()
+    with pytest.raises(SchedulingError):
+        Segment(job=j, volume=0.0, speed=1.0)
+    with pytest.raises(SchedulingError):
+        Segment(job=j, volume=10.0, speed=0.0)
+
+
+def test_enqueue_starts_idle_core():
+    sim = Simulator()
+    core, settled, _ = make_core(sim)
+    j = job()
+    core.enqueue(Segment(job=j, volume=100.0, speed=1.0))
+    assert core.busy
+    sim.run()
+    assert j.settled
+
+
+def test_planned_volume_tracks_remaining():
+    sim = Simulator()
+    core, _, _ = make_core(sim)
+    j = job()
+    core.set_plan(
+        [Segment(job=j, volume=600.0, speed=1.0), Segment(job=j, volume=200.0, speed=1.0, final=False)]
+    )
+    assert core.planned_volume(j) == pytest.approx(800.0)
+    assert core.pending_jobs() == [j]
+    assert core.has_work

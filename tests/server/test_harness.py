@@ -1,0 +1,144 @@
+"""Tests for the simulation harness (queue, deadlines, settlement)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.errors import SchedulingError
+from repro.server.core import Segment
+from repro.server.harness import SimulationHarness
+from repro.server.scheduler import Scheduler
+from repro.workload.generator import StaticWorkload
+from repro.workload.job import Job, JobOutcome
+
+
+class DoNothing(Scheduler):
+    """Never schedules anything: every job must expire as DROPPED."""
+
+    name = "NOOP"
+
+    def on_arrival(self, job):
+        pass
+
+    def on_core_idle(self, core_index):
+        pass
+
+
+class GreedyOne(Scheduler):
+    """Assigns each arriving job to core 0 at full remaining volume."""
+
+    name = "GREEDY"
+
+    def on_arrival(self, job):
+        self.harness.take_from_queue(job)
+        job.assign(0)
+        speed = self.harness.model.speed_for_throughput(
+            job.remaining / (job.deadline - self.harness.sim.now)
+        )
+        self.harness.machine.cores[0].enqueue(
+            Segment(job=job, volume=job.remaining, speed=speed)
+        )
+
+    def on_core_idle(self, core_index):
+        pass
+
+
+def tiny(jobs, **overrides) -> SimulationHarness:
+    cfg = SimulationConfig(
+        arrival_rate=100.0, horizon=1.0, m=2, seed=1, **overrides
+    )
+    scheduler = overrides.pop("scheduler", None)
+    return SimulationHarness(cfg, scheduler or DoNothing(), workload=StaticWorkload(jobs))
+
+
+def test_unscheduled_jobs_drop_at_deadline():
+    jobs = [Job(jid=0, arrival=0.1, deadline=0.25, demand=100.0)]
+    harness = tiny(jobs)
+    result = harness.run()
+    assert result.jobs == 1
+    assert result.outcomes == {JobOutcome.DROPPED.value: 1}
+    assert result.quality == 0.0
+    assert result.energy == 0.0
+
+
+def test_scheduled_job_completes_and_counts():
+    jobs = [Job(jid=0, arrival=0.0, deadline=0.2, demand=100.0)]
+    cfg = SimulationConfig(arrival_rate=100.0, horizon=1.0, m=2, seed=1)
+    harness = SimulationHarness(cfg, GreedyOne(), workload=StaticWorkload(jobs))
+    result = harness.run()
+    assert result.outcomes == {JobOutcome.COMPLETED.value: 1}
+    assert result.quality == pytest.approx(1.0)
+    assert result.energy > 0.0
+
+
+def test_every_job_settles_exactly_once():
+    jobs = [
+        Job(jid=i, arrival=0.01 * i, deadline=0.01 * i + 0.15, demand=150.0)
+        for i in range(20)
+    ]
+    cfg = SimulationConfig(arrival_rate=100.0, horizon=1.0, m=2, seed=1)
+    harness = SimulationHarness(cfg, GreedyOne(), workload=StaticWorkload(jobs))
+    result = harness.run()
+    assert result.jobs == 20
+    assert sum(result.outcomes.values()) == 20
+
+
+def test_harness_cannot_run_twice():
+    harness = tiny([Job(jid=0, arrival=0.0, deadline=0.1, demand=10.0)])
+    harness.run()
+    with pytest.raises(SchedulingError):
+        harness.run()
+
+
+def test_take_from_queue_unknown_job_raises():
+    harness = tiny([Job(jid=0, arrival=0.5, deadline=0.6, demand=10.0)])
+    with pytest.raises(SchedulingError):
+        harness.take_from_queue(Job(jid=99, arrival=0.0, deadline=1.0, demand=1.0))
+
+
+def test_settle_job_records_once():
+    job = Job(jid=0, arrival=0.0, deadline=0.5, demand=100.0)
+    harness = tiny([job])
+
+    class SettleOnArrival(DoNothing):
+        def on_arrival(self, j):
+            self.harness.take_from_queue(j)
+            self.harness.settle_job(j, JobOutcome.DROPPED)
+
+    cfg = SimulationConfig(arrival_rate=100.0, horizon=1.0, m=2, seed=1)
+    harness = SimulationHarness(cfg, SettleOnArrival(), workload=StaticWorkload([job]))
+    result = harness.run()
+    assert result.outcomes == {JobOutcome.DROPPED.value: 1}
+
+
+def test_monitor_quality_matches_outcomes():
+    jobs = [
+        Job(jid=0, arrival=0.0, deadline=0.2, demand=100.0),
+        Job(jid=1, arrival=0.3, deadline=0.5, demand=100.0),
+    ]
+    cfg = SimulationConfig(arrival_rate=100.0, horizon=1.0, m=2, seed=1)
+    harness = SimulationHarness(cfg, GreedyOne(), workload=StaticWorkload(jobs))
+    result = harness.run()
+    assert result.quality == pytest.approx(1.0)
+
+
+def test_partial_progress_at_deadline_counts_as_expired():
+    # Demand 1000 due in 0.15 s needs 6.67 GHz; GreedyOne plans that
+    # speed... so use a demand the core cannot finish: pin speed via a
+    # scheduler that deliberately undershoots.
+    class SlowPoke(DoNothing):
+        def on_arrival(self, job):
+            self.harness.take_from_queue(job)
+            job.assign(0)
+            self.harness.machine.cores[0].enqueue(
+                Segment(job=job, volume=job.remaining, speed=0.1, final=True)
+            )
+
+    job = Job(jid=0, arrival=0.0, deadline=0.5, demand=1000.0)
+    cfg = SimulationConfig(arrival_rate=100.0, horizon=1.0, m=2, seed=1)
+    harness = SimulationHarness(cfg, SlowPoke(), workload=StaticWorkload([job]))
+    result = harness.run()
+    assert result.outcomes == {JobOutcome.EXPIRED.value: 1}
+    # 0.5 s at 0.1 GHz = 50 units of progress.
+    assert 0.0 < result.quality < 1.0

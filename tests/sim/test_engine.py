@@ -1,0 +1,143 @@
+"""Unit tests for the simulator engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_clock_advances_to_event_times(sim):
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.schedule(0.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [0.5, 1.5]
+    assert sim.now == 1.5
+
+
+def test_run_until_advances_clock_past_last_event(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=10.0)
+    assert sim.now == 10.0
+
+
+def test_run_until_fires_events_at_boundary(sim):
+    fired = []
+    sim.schedule(5.0, lambda: fired.append("at"))
+    sim.schedule(5.0000001, lambda: fired.append("after"))
+    sim.run(until=5.0)
+    assert fired == ["at"]
+    assert sim.now == 5.0
+
+
+def test_events_scheduled_during_run_fire(sim):
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(1.0, lambda: order.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert order == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_at_absolute_time(sim):
+    seen = []
+    sim.at(4.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [4.0]
+
+
+def test_at_in_the_past_raises(sim):
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(1.0, lambda: None)
+
+
+def test_negative_delay_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_nan_delay_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(float("nan"), lambda: None)
+
+
+def test_stop_halts_run(sim):
+    fired = []
+
+    def stopper():
+        fired.append("stopper")
+        sim.stop()
+
+    sim.schedule(1.0, stopper)
+    sim.schedule(2.0, lambda: fired.append("late"))
+    sim.run()
+    assert fired == ["stopper"]
+    assert sim.pending_events == 1
+
+
+def test_step_returns_false_when_empty(sim):
+    assert sim.step() is False
+
+
+def test_events_processed_counter(sim):
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_cancelled_event_not_fired(sim):
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_zero_delay_fires_in_current_instant(sim):
+    order = []
+
+    def outer():
+        order.append("outer")
+        sim.schedule(0.0, lambda: order.append("inner"))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert order == ["outer", "inner"]
+    assert sim.now == 1.0
+
+
+def test_start_time_offset():
+    sim = Simulator(start_time=100.0)
+    assert sim.now == 100.0
+    seen = []
+    sim.schedule(1.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [101.0]
+
+
+def test_determinism_same_program_same_order():
+    def program():
+        sim = Simulator()
+        trace = []
+        for i in range(50):
+            sim.schedule((i * 7919) % 13 * 0.1, lambda i=i: trace.append(i))
+        sim.run()
+        return trace
+
+    assert program() == program()
+
+
+def test_run_until_before_now_raises(sim):
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)

@@ -1,0 +1,111 @@
+"""Unit tests for the event queue primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import PRIORITY_HIGH, PRIORITY_LOW, PRIORITY_NORMAL, EventQueue
+
+
+def test_pop_orders_by_time():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, lambda: fired.append(3))
+    q.push(1.0, lambda: fired.append(1))
+    q.push(2.0, lambda: fired.append(2))
+    while q:
+        q.pop()._fire()
+    assert fired == [1, 2, 3]
+
+
+def test_same_time_orders_by_priority():
+    q = EventQueue()
+    fired = []
+    q.push(1.0, lambda: fired.append("low"), priority=PRIORITY_LOW)
+    q.push(1.0, lambda: fired.append("high"), priority=PRIORITY_HIGH)
+    q.push(1.0, lambda: fired.append("normal"), priority=PRIORITY_NORMAL)
+    while q:
+        q.pop()._fire()
+    assert fired == ["high", "normal", "low"]
+
+
+def test_same_time_same_priority_is_fifo():
+    q = EventQueue()
+    fired = []
+    for i in range(10):
+        q.push(1.0, lambda i=i: fired.append(i))
+    while q:
+        q.pop()._fire()
+    assert fired == list(range(10))
+
+
+def test_len_counts_live_events():
+    q = EventQueue()
+    e1 = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert len(q) == 2
+    e1.cancel()
+    assert len(q) == 1
+    q.pop()
+    assert len(q) == 0
+    assert not q
+
+
+def test_cancelled_events_are_skipped():
+    q = EventQueue()
+    fired = []
+    e = q.push(1.0, lambda: fired.append("cancelled"))
+    q.push(2.0, lambda: fired.append("kept"))
+    e.cancel()
+    while q:
+        q.pop()._fire()
+    assert fired == ["kept"]
+
+
+def test_cancel_twice_returns_false():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    assert e.cancel() is True
+    assert e.cancel() is False
+    assert len(q) == 0
+
+
+def test_cancel_after_fire_returns_false():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.pop()._fire()
+    assert e.fired
+    assert e.cancel() is False
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    q.push(5.0, lambda: None)
+    e.cancel()
+    assert q.peek_time() == 5.0
+
+
+def test_pop_empty_raises():
+    q = EventQueue()
+    with pytest.raises(SimulationError):
+        q.pop()
+
+
+def test_event_state_flags():
+    q = EventQueue()
+    e = q.push(1.0, lambda: None)
+    assert e.pending and not e.fired and not e.cancelled
+    q.pop()._fire()
+    assert e.fired and not e.pending
+
+
+def test_discard_cancelled_compacts_heap():
+    q = EventQueue()
+    events = [q.push(float(i), lambda: None) for i in range(100)]
+    for e in events[10:]:
+        e.cancel()
+    q.discard_cancelled()
+    assert len(q._heap) == 10
+    assert len(q) == 10

@@ -1,0 +1,189 @@
+"""Unit tests for generator-based simulation processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Interrupt, Signal, Timeout
+
+
+def test_timeout_advances_clock(sim):
+    def worker():
+        yield Timeout(2.5)
+        return "done"
+
+    p = sim.process(worker())
+    sim.run()
+    assert p.done
+    assert p.value == "done"
+    assert sim.now == 2.5
+
+
+def test_sequential_timeouts(sim):
+    times = []
+
+    def worker():
+        for _ in range(3):
+            yield Timeout(1.0)
+            times.append(sim.now)
+
+    sim.process(worker())
+    sim.run()
+    assert times == [1.0, 2.0, 3.0]
+
+
+def test_timeout_delivers_value(sim):
+    got = []
+
+    def worker():
+        value = yield Timeout(1.0, value="payload")
+        got.append(value)
+
+    sim.process(worker())
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_wait_on_other_process(sim):
+    def child():
+        yield Timeout(3.0)
+        return 42
+
+    def parent():
+        result = yield sim.process(child())
+        return result * 2
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == 84
+    assert sim.now == 3.0
+
+
+def test_wait_on_finished_process_resumes_immediately(sim):
+    def child():
+        yield Timeout(1.0)
+        return "early"
+
+    child_proc = sim.process(child())
+
+    def parent():
+        yield Timeout(5.0)
+        result = yield child_proc
+        return result
+
+    p = sim.process(parent())
+    sim.run()
+    assert p.value == "early"
+    assert sim.now == 5.0
+
+
+def test_signal_wakes_waiters(sim):
+    signal = Signal(sim)
+    woken = []
+
+    def waiter(name):
+        payload = yield signal
+        woken.append((name, payload, sim.now))
+
+    sim.process(waiter("a"))
+    sim.process(waiter("b"))
+    sim.process(_trigger_later(sim, signal, 2.0, "go"))
+    sim.run()
+    assert sorted(woken) == [("a", "go", 2.0), ("b", "go", 2.0)]
+
+
+def _trigger_later(sim, signal, delay, payload):
+    yield Timeout(delay)
+    signal.trigger(payload)
+
+
+def test_triggered_signal_resumes_new_waiter(sim):
+    signal = Signal(sim)
+    signal.trigger("already")
+
+    def waiter():
+        payload = yield signal
+        return payload
+
+    p = sim.process(waiter())
+    sim.run()
+    assert p.value == "already"
+
+
+def test_signal_double_trigger_raises(sim):
+    signal = Signal(sim)
+    signal.trigger()
+    with pytest.raises(SimulationError):
+        signal.trigger()
+
+
+def test_interrupt_raises_inside_process(sim):
+    caught = []
+
+    def worker():
+        try:
+            yield Timeout(100.0)
+        except Interrupt as exc:
+            caught.append(exc.cause)
+            yield Timeout(1.0)
+        return "recovered"
+
+    p = sim.process(worker())
+    sim.schedule(2.0, lambda: p.interrupt("reason"))
+    sim.run()
+    assert caught == ["reason"]
+    assert p.value == "recovered"
+    assert sim.now == 3.0
+
+
+def test_uncaught_interrupt_terminates_process(sim):
+    def worker():
+        yield Timeout(100.0)
+
+    p = sim.process(worker())
+    sim.schedule(1.0, lambda: p.interrupt())
+    sim.run()
+    assert p.done
+    assert isinstance(p.error, Interrupt)
+
+
+def test_interrupt_after_done_is_noop(sim):
+    def worker():
+        yield Timeout(1.0)
+        return "ok"
+
+    p = sim.process(worker())
+    sim.run()
+    p.interrupt()
+    assert p.value == "ok"
+    assert p.error is None
+
+
+def test_non_generator_raises(sim):
+    with pytest.raises(SimulationError):
+        sim.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_yield_unsupported_value_raises(sim):
+    def worker():
+        yield 12345
+
+    sim.process(worker())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_process_return_none_by_default(sim):
+    def worker():
+        yield Timeout(1.0)
+
+    p = sim.process(worker())
+    sim.run()
+    assert p.done and p.value is None
+
+
+def test_negative_timeout_raises(sim):
+    with pytest.raises(SimulationError):
+        Timeout(-1.0)

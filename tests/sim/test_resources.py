@@ -1,0 +1,178 @@
+"""Tests for the Resource and Store DES primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+from repro.sim.process import Timeout
+from repro.sim.resources import Resource, Store
+
+
+class TestResource:
+    def test_serializes_access(self, sim):
+        res = Resource(sim, capacity=1)
+        log = []
+
+        def user(name, hold):
+            yield res.request()
+            log.append((name, sim.now))
+            yield Timeout(hold)
+            res.release()
+
+        sim.process(user("a", 1.0))
+        sim.process(user("b", 1.0))
+        sim.process(user("c", 1.0))
+        sim.run()
+        assert log == [("a", 0.0), ("b", 1.0), ("c", 2.0)]
+
+    def test_capacity_two_runs_pairs(self, sim):
+        res = Resource(sim, capacity=2)
+        log = []
+
+        def user(name):
+            yield res.request()
+            log.append((name, sim.now))
+            yield Timeout(1.0)
+            res.release()
+
+        for name in "abcd":
+            sim.process(user(name))
+        sim.run()
+        times = dict(log)
+        assert times["a"] == times["b"] == 0.0
+        assert times["c"] == times["d"] == 1.0
+
+    def test_fifo_ordering(self, sim):
+        res = Resource(sim, capacity=1)
+        order = []
+
+        def user(name, start):
+            yield Timeout(start)
+            yield res.request()
+            order.append(name)
+            yield Timeout(5.0)
+            res.release()
+
+        sim.process(user("late", 0.2))
+        sim.process(user("early", 0.1))
+        sim.process(user("first", 0.0))
+        sim.run()
+        assert order == ["first", "early", "late"]
+
+    def test_counters(self, sim):
+        res = Resource(sim, capacity=1)
+
+        def holder():
+            yield res.request()
+            yield Timeout(2.0)
+            res.release()
+
+        def waiter():
+            yield Timeout(0.5)
+            yield res.request()
+            res.release()
+
+        sim.process(holder())
+        sim.process(waiter())
+        sim.schedule(1.0, lambda: checks.append((res.in_use, res.queued)))
+        checks = []
+        sim.run()
+        assert checks == [(1, 1)]
+
+    def test_release_without_hold_raises(self, sim):
+        res = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, sim.now))
+
+        store.put("x")
+        sim.process(consumer())
+        sim.run()
+        assert got == [("x", 0.0)]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((item, sim.now))
+
+        sim.process(consumer())
+        sim.schedule(3.0, lambda: store.put("late"))
+        sim.run()
+        assert got == [("late", 3.0)]
+
+    def test_fifo_items(self, sim):
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert store.try_get() == 1
+        assert store.try_get() == 2
+        assert store.try_get() is None
+
+    def test_bounded_store_rejects_overflow(self, sim):
+        store = Store(sim, capacity=1)
+        store.put("a")
+        with pytest.raises(SimulationError):
+            store.put("b")
+
+    def test_put_bypasses_buffer_for_waiting_getter(self, sim):
+        store = Store(sim, capacity=1)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append(item)
+
+        sim.process(consumer())
+        sim.schedule(1.0, lambda: store.put("direct"))
+        sim.run()
+        assert got == ["direct"]
+        assert len(store) == 0
+
+    def test_invalid_capacity(self, sim):
+        with pytest.raises(SimulationError):
+            Store(sim, capacity=0)
+
+
+def test_pipeline_of_resource_and_store(sim):
+    """An admission-control front-end: arrivals queue in a Store, two
+    workers pull from it under a Resource."""
+    store = Store(sim)
+    res = Resource(sim, capacity=2)
+    done = []
+
+    def producer():
+        for i in range(6):
+            store.put(i)
+            yield Timeout(0.1)
+
+    def worker(name):
+        for _ in range(3):
+            item = yield store.get()
+            yield res.request()
+            yield Timeout(0.5)
+            res.release()
+            done.append((name, item))
+
+    sim.process(producer())
+    sim.process(worker("w1"))
+    sim.process(worker("w2"))
+    sim.run()
+    assert sorted(item for _, item in done) == list(range(6))

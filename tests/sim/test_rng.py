@@ -1,0 +1,59 @@
+"""Unit tests for named random streams."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.rng import RandomStreams
+
+
+def test_same_seed_same_stream():
+    a = RandomStreams(seed=42).fresh("arrivals")
+    b = RandomStreams(seed=42).fresh("arrivals")
+    assert np.array_equal(a.random(100), b.random(100))
+
+
+def test_different_names_are_independent():
+    streams = RandomStreams(seed=42)
+    a = streams.fresh("arrivals").random(100)
+    b = streams.fresh("demands").random(100)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RandomStreams(seed=1).fresh("x").random(50)
+    b = RandomStreams(seed=2).fresh("x").random(50)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_is_cached_and_stateful():
+    streams = RandomStreams(seed=0)
+    s1 = streams.stream("w")
+    first = s1.random(10)
+    s2 = streams.stream("w")
+    assert s1 is s2
+    second = s2.random(10)
+    assert not np.array_equal(first, second)
+
+
+def test_creation_order_does_not_matter():
+    s1 = RandomStreams(seed=9)
+    s1.stream("a")
+    a_then_b = s1.fresh("b").random(20)
+    s2 = RandomStreams(seed=9)
+    s2.stream("b")
+    b_direct = s2.fresh("b").random(20)
+    assert np.array_equal(a_then_b, b_direct)
+
+
+def test_child_factories_are_independent():
+    parent = RandomStreams(seed=5)
+    c0 = parent.child(0).fresh("x").random(20)
+    c1 = parent.child(1).fresh("x").random(20)
+    assert not np.array_equal(c0, c1)
+
+
+def test_child_is_deterministic():
+    a = RandomStreams(seed=5).child(3).fresh("x").random(20)
+    b = RandomStreams(seed=5).child(3).fresh("x").random(20)
+    assert np.array_equal(a, b)

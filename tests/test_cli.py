@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_prints_all_figures(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for i in range(1, 13):
+        assert f"fig{i:02d}" in out
+
+
+def test_run_prints_summary_row(capsys):
+    code = main(["run", "--scheduler", "GE", "--rate", "120", "--horizon", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "GE" in out
+    assert "Q=" in out
+
+
+def test_run_each_scheduler(capsys):
+    for name in ("BE", "FCFS", "SJF", "GE-ES"):
+        assert main(["run", "--scheduler", name, "--rate", "110", "--horizon", "2"]) == 0
+    assert "FCFS" in capsys.readouterr().out
+
+
+def test_fig_command_renders_figure(capsys):
+    assert main(["fig", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "fig02" in out
+    assert "cut target" in out
+
+
+def test_fig_command_with_scale(capsys):
+    assert main(["fig", "1", "--scale", "0.005"]) == 0
+    assert "aes_fraction" in capsys.readouterr().out
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--scheduler", "NOPE"])
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_trace_save_and_replay(tmp_path, capsys):
+    path = str(tmp_path / "trace.csv")
+    assert main(["trace", "save", path, "--rate", "80", "--horizon", "2"]) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert main(["trace", "replay", path, "--scheduler", "FCFS"]) == 0
+    assert "FCFS" in capsys.readouterr().out
+
+
+def test_replicate_command(capsys):
+    assert main(["replicate", "--scheduler", "GE", "--rate", "100",
+                 "--horizon", "2", "--n", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "n=2" in out and "[" in out
+
+
+def test_fig_csv_export(tmp_path, capsys):
+    path = tmp_path / "fig.csv"
+    assert main(["fig", "2", "--csv", str(path)]) == 0
+    text = path.read_text()
+    assert text.startswith("# figure: fig02")
+    assert "# panel: volumes" in text
+    assert "job index" in text
+
+
+def test_sweep_command(capsys):
+    code = main(["sweep", "--schedulers", "GE,FCFS", "--rates", "100,200",
+                 "--horizon", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    lines = [l for l in out.splitlines() if "λ=" in l]
+    assert len(lines) == 4  # 2 schedulers × 2 rates
+    assert any("FCFS" in l for l in lines)
+
+
+def test_sweep_unknown_scheduler_errors(capsys):
+    assert main(["sweep", "--schedulers", "NOPE", "--horizon", "1"]) == 2
+    assert "unknown scheduler" in capsys.readouterr().out
+
+
+def test_scenario_list(capsys):
+    assert main(["scenario"]) == 0
+    out = capsys.readouterr().out
+    assert "web_search" in out and "video_rendering" in out
+
+
+def test_scenario_run(capsys):
+    assert main(["scenario", "process_monitoring", "--horizon", "2"]) == 0
+    assert "GE" in capsys.readouterr().out
+
+
+def test_scenario_unknown_raises():
+    with pytest.raises(KeyError):
+        main(["scenario", "nope", "--horizon", "2"])
+
+
+def test_report_command_subset(tmp_path, capsys):
+    out = tmp_path / "report.md"
+    code = main(["report", "--scale", "0.004", "--figures", "2", "1",
+                 "--out", str(out)])
+    assert code == 0
+    text = out.read_text()
+    assert "# Reproduction report" in text
+    assert "fig02" in text and "fig01" in text
+    assert "```" in text
+
+
+def test_custom_run_parameters(capsys):
+    code = main(
+        ["run", "--scheduler", "GE", "--rate", "100", "--horizon", "2",
+         "--cores", "8", "--budget", "160", "--q-ge", "0.85"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Q=0.8" in out  # lands near the 0.85 target

@@ -1,0 +1,89 @@
+"""Tests for extension features beyond the paper's configuration:
+static power accounting and alternative quality-function shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.ge import make_ge
+from repro.errors import ConfigurationError
+from repro.quality.functions import (
+    ExponentialQuality,
+    LinearQuality,
+    LogQuality,
+    PowerQuality,
+)
+from repro.server.harness import SimulationHarness
+
+
+class TestStaticPower:
+    def test_default_static_energy_is_zero(self):
+        cfg = SimulationConfig(arrival_rate=100.0, horizon=3.0, seed=1)
+        result = SimulationHarness(cfg, make_ge()).run()
+        assert result.static_energy == 0.0
+        assert result.total_energy == result.energy
+
+    def test_static_energy_accounts_all_cores_for_whole_run(self):
+        cfg = SimulationConfig(
+            arrival_rate=100.0, horizon=3.0, seed=1, static_power_per_core=2.0
+        )
+        result = SimulationHarness(cfg, make_ge()).run()
+        assert result.static_energy == pytest.approx(2.0 * 16 * result.duration)
+        assert result.total_energy == pytest.approx(result.energy + result.static_energy)
+
+    def test_static_power_flips_core_count_tradeoff(self):
+        """The paper's Fig. 11 caveat: with static power, more cores stop
+        being free — total energy grows with m once dynamic savings are
+        exhausted."""
+        def total(m):
+            cfg = SimulationConfig(
+                arrival_rate=100.0, horizon=3.0, seed=1, m=m,
+                static_power_per_core=10.0,
+            )
+            return SimulationHarness(cfg, make_ge()).run().total_energy
+
+        assert total(64) > total(16)
+
+    def test_negative_static_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(static_power_per_core=-1.0)
+
+
+class TestQualityShapes:
+    @pytest.mark.parametrize(
+        "shape,expected",
+        [
+            ("exponential", ExponentialQuality),
+            ("log", LogQuality),
+            ("power", PowerQuality),
+            ("linear", LinearQuality),
+        ],
+    )
+    def test_shape_selects_function(self, shape, expected):
+        cfg = SimulationConfig(quality_shape=shape, quality_c=0.5)
+        assert isinstance(cfg.quality_function(), expected)
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(quality_shape="cubic")
+
+    def test_ge_meets_target_under_log_quality(self):
+        cfg = SimulationConfig(
+            arrival_rate=110.0, horizon=4.0, seed=2,
+            quality_shape="log", quality_c=0.01,
+        )
+        result = SimulationHarness(cfg, make_ge()).run()
+        assert result.quality == pytest.approx(0.9, abs=0.02)
+
+    def test_linear_quality_gives_no_cutting_leverage(self):
+        """With linear quality, cutting to Q=0.9 removes only ~10 % of
+        the volume (no diminishing returns to exploit), so GE's energy
+        advantage shrinks — the boundary case of the paper's premise."""
+        concave = SimulationConfig(arrival_rate=110.0, horizon=4.0, seed=2)
+        linear = concave.with_overrides(quality_shape="linear")
+        r_concave = SimulationHarness(concave, make_ge()).run()
+        r_linear = SimulationHarness(linear, make_ge()).run()
+        assert r_linear.quality == pytest.approx(0.9, abs=0.02)
+        # Concave cutting removes much more volume at the same quality.
+        assert r_concave.completed_volume < r_linear.completed_volume

@@ -1,0 +1,89 @@
+"""Tests for the heterogeneous-cores extension (big.LITTLE-style)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.ge import make_be, make_ge
+from repro.errors import ConfigurationError
+from repro.server.harness import SimulationHarness
+
+
+def hetero_config(**overrides):
+    """8 efficient cores (60 % of the power per speed) + 8 normal ones."""
+    scales = tuple([0.6] * 8 + [1.0] * 8)
+    return SimulationConfig(
+        arrival_rate=110.0, horizon=4.0, seed=3, core_power_scales=scales
+    ).with_overrides(**overrides)
+
+
+class TestConfig:
+    def test_core_models_apply_scales(self):
+        cfg = hetero_config()
+        models = cfg.core_models()
+        assert len(models) == 16
+        assert models[0].a == pytest.approx(3.0)
+        assert models[15].a == pytest.approx(5.0)
+
+    def test_homogeneous_default(self):
+        cfg = SimulationConfig()
+        models = cfg.core_models()
+        assert len(set(id(m) for m in models)) == 1
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(core_power_scales=(1.0, 1.0))  # m=16
+
+    def test_nonpositive_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(m=2, core_power_scales=(1.0, 0.0))
+
+
+class TestSimulation:
+    def test_ge_runs_and_meets_target(self):
+        result = SimulationHarness(hetero_config(), make_ge()).run()
+        assert result.quality == pytest.approx(0.9, abs=0.02)
+        assert sum(result.outcomes.values()) == result.jobs
+
+    def test_efficient_machine_uses_less_energy(self):
+        """Uniformly more efficient cores (a×0.6) must save energy at
+        equal quality vs the homogeneous baseline."""
+        base_cfg = SimulationConfig(arrival_rate=110.0, horizon=4.0, seed=3)
+        eff_cfg = base_cfg.with_overrides(core_power_scales=tuple([0.6] * 16))
+        base = SimulationHarness(base_cfg, make_ge()).run()
+        eff = SimulationHarness(eff_cfg, make_ge()).run()
+        assert eff.quality == pytest.approx(base.quality, abs=0.02)
+        assert eff.energy < base.energy
+
+    def test_mixed_machine_between_pure_machines(self):
+        """The big.LITTLE mix lands between all-efficient and all-normal
+        in energy (same quality target)."""
+        base = SimulationConfig(arrival_rate=110.0, horizon=4.0, seed=3)
+        runs = {}
+        for name, scales in (
+            ("normal", None),
+            ("mixed", tuple([0.6] * 8 + [1.0] * 8)),
+            ("efficient", tuple([0.6] * 16)),
+        ):
+            cfg = base.with_overrides(core_power_scales=scales)
+            runs[name] = SimulationHarness(cfg, make_ge()).run()
+        assert runs["efficient"].energy < runs["mixed"].energy < runs["normal"].energy
+
+    def test_be_on_heterogeneous_machine(self):
+        result = SimulationHarness(hetero_config(), make_be()).run()
+        assert result.quality > 0.95
+
+    def test_queue_order_baseline_on_heterogeneous_machine(self):
+        from repro.baselines.queue_order import FCFS
+
+        result = SimulationHarness(hetero_config(), FCFS()).run()
+        assert sum(result.outcomes.values()) == result.jobs
+        assert 0.5 < result.quality <= 1.0
+
+    def test_capacity_reflects_heterogeneity(self):
+        cfg = hetero_config()
+        harness = SimulationHarness(cfg, make_ge())
+        # Efficient cores sustain a higher speed on the same share, so
+        # capacity beats the homogeneous machine's 32 000 units/s.
+        assert harness.machine.equal_share_capacity > 32000.0

@@ -1,0 +1,80 @@
+"""Tests for the post-hoc run validator — and, through it, a sweeping
+physical audit of every scheduler in the library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.queue_order import FCFS, FDFS, LJF, SJF
+from repro.config import SimulationConfig
+from repro.core.ge import GEScheduler, make_be, make_ge, make_oq
+from repro.server.harness import SimulationHarness
+from repro.validation import validate_run
+
+ALL_POLICIES = {
+    "GE": make_ge,
+    "BE": make_be,
+    "OQ": make_oq,
+    "GE-ES": lambda: GEScheduler(name="GE-ES", distribution="es"),
+    "GE-WF": lambda: GEScheduler(name="GE-WF", distribution="wf"),
+    "FCFS": FCFS,
+    "FDFS": FDFS,
+    "LJF": LJF,
+    "SJF": SJF,
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_POLICIES))
+def test_every_policy_passes_physical_audit(name):
+    cfg = SimulationConfig(arrival_rate=140.0, horizon=4.0, seed=5)
+    harness = SimulationHarness(cfg, ALL_POLICIES[name]())
+    harness.run()
+    report = validate_run(harness)
+    report.raise_if_failed()
+    assert report.checked_jobs > 300
+    assert report.checked_segments > 0
+    assert report.peak_power <= cfg.budget * (1 + 1e-6)
+
+
+def test_audit_under_overload():
+    cfg = SimulationConfig(arrival_rate=240.0, horizon=3.0, seed=5)
+    harness = SimulationHarness(cfg, make_ge())
+    harness.run()
+    report = validate_run(harness)
+    report.raise_if_failed()
+    # Overloaded: the budget should actually be reached at some instant.
+    assert report.peak_power > 0.9 * cfg.budget
+
+
+def test_audit_discrete_ladder():
+    cfg = SimulationConfig(
+        arrival_rate=140.0, horizon=3.0, seed=5,
+        discrete_levels=tuple(0.25 * k for k in range(1, 13)),
+    )
+    harness = SimulationHarness(cfg, make_ge())
+    harness.run()
+    validate_run(harness).raise_if_failed()
+
+
+def test_audit_heterogeneous_machine():
+    cfg = SimulationConfig(
+        arrival_rate=120.0, horizon=3.0, seed=5,
+        core_power_scales=tuple([0.6] * 8 + [1.0] * 8),
+    )
+    harness = SimulationHarness(cfg, make_ge())
+    harness.run()
+    validate_run(harness).raise_if_failed()
+
+
+def test_report_detects_tampering():
+    """Sanity: the validator is not a rubber stamp."""
+    cfg = SimulationConfig(arrival_rate=120.0, horizon=2.0, seed=5)
+    harness = SimulationHarness(cfg, make_ge())
+    harness.run()
+    jobs = harness._workload.materialize()
+    jobs[0].processed = jobs[0].demand * 2  # corrupt a record
+    report = validate_run(harness, jobs=jobs)
+    assert not report.ok
+    assert any("processed" in v for v in report.violations)
+    with pytest.raises(AssertionError):
+        report.raise_if_failed()

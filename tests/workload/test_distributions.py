@@ -1,0 +1,111 @@
+"""Tests for workload distributions (bounded Pareto etc.)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workload.distributions import (
+    BoundedPareto,
+    ExponentialInterarrival,
+    UniformDeadlineWindow,
+)
+
+PAPER = BoundedPareto(alpha=3.0, x_min=130.0, x_max=1000.0)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestBoundedPareto:
+    def test_paper_mean_is_192(self):
+        """§IV-B: 'the mean service demand ... can then be calculated to
+        be 192 processing units'."""
+        assert PAPER.mean == pytest.approx(192.0, abs=0.5)
+
+    def test_samples_within_bounds(self):
+        samples = PAPER.sample(rng(), 20000)
+        assert np.all(samples >= PAPER.x_min)
+        assert np.all(samples <= PAPER.x_max)
+
+    def test_empirical_mean_matches_analytic(self):
+        samples = PAPER.sample(rng(1), 200_000)
+        assert np.mean(samples) == pytest.approx(PAPER.mean, rel=0.01)
+
+    def test_cdf_boundaries(self):
+        assert PAPER.cdf(PAPER.x_min) == pytest.approx(0.0)
+        assert PAPER.cdf(PAPER.x_max) == pytest.approx(1.0)
+        assert PAPER.cdf(0.0) == 0.0
+        assert PAPER.cdf(1e9) == 1.0
+
+    def test_ppf_is_cdf_inverse(self):
+        for u in (0.0, 0.1, 0.5, 0.9, 0.999):
+            assert PAPER.cdf(PAPER.ppf(u)) == pytest.approx(u, abs=1e-12)
+
+    def test_ppf_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            PAPER.ppf(1.0)
+        with pytest.raises(ValueError):
+            PAPER.ppf(-0.01)
+
+    def test_empirical_cdf_matches(self):
+        samples = PAPER.sample(rng(2), 100_000)
+        for x in (150.0, 200.0, 400.0, 800.0):
+            empirical = float(np.mean(samples <= x))
+            assert empirical == pytest.approx(PAPER.cdf(x), abs=0.01)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            BoundedPareto(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            BoundedPareto(x_min=100.0, x_max=50.0)
+        with pytest.raises(ConfigurationError):
+            BoundedPareto(x_min=-1.0)
+
+    def test_scalar_sample(self):
+        x = PAPER.sample(rng())
+        assert isinstance(x, float)
+        assert PAPER.x_min <= x <= PAPER.x_max
+
+    @given(st.floats(min_value=1.5, max_value=5.0))
+    def test_mean_between_bounds(self, alpha):
+        dist = BoundedPareto(alpha=alpha, x_min=100.0, x_max=1000.0)
+        assert 100.0 < dist.mean < 1000.0
+
+
+class TestExponentialInterarrival:
+    def test_mean_gap(self):
+        dist = ExponentialInterarrival(rate=150.0)
+        assert dist.mean == pytest.approx(1 / 150.0)
+        samples = dist.sample(rng(3), 100_000)
+        assert np.mean(samples) == pytest.approx(dist.mean, rel=0.02)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialInterarrival(rate=0.0)
+
+
+class TestUniformDeadlineWindow:
+    def test_fixed_window(self):
+        w = UniformDeadlineWindow(low=0.15, high=0.15)
+        assert w.fixed
+        assert w.sample(rng()) == 0.15
+        assert np.all(w.sample(rng(), 10) == 0.15)
+
+    def test_random_window_bounds(self):
+        w = UniformDeadlineWindow(low=0.15, high=0.5)
+        assert not w.fixed
+        samples = w.sample(rng(4), 10000)
+        assert np.all(samples >= 0.15)
+        assert np.all(samples <= 0.5)
+        assert np.mean(samples) == pytest.approx(w.mean, rel=0.02)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            UniformDeadlineWindow(low=0.0, high=0.5)
+        with pytest.raises(ConfigurationError):
+            UniformDeadlineWindow(low=0.5, high=0.1)

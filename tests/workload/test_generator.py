@@ -1,0 +1,108 @@
+"""Tests for workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.generator import PoissonWorkloadGenerator, StaticWorkload
+from repro.workload.job import Job
+
+
+def make_gen(rate=150.0, horizon=30.0, seed=1, **kw) -> PoissonWorkloadGenerator:
+    return PoissonWorkloadGenerator(
+        rate, horizon=horizon, streams=RandomStreams(seed=seed), **kw
+    )
+
+
+def test_materialize_covers_horizon():
+    jobs = make_gen().materialize()
+    arrivals = np.array([j.arrival for j in jobs])
+    assert arrivals[0] >= 0.0
+    assert arrivals[-1] < 30.0
+    assert np.all(np.diff(arrivals) >= 0)
+
+
+def test_job_count_near_expectation():
+    jobs = make_gen(rate=150.0, horizon=60.0).materialize()
+    assert len(jobs) == pytest.approx(150 * 60, rel=0.1)
+
+
+def test_materialize_is_cached():
+    gen = make_gen()
+    assert gen.materialize() is gen.materialize()
+
+
+def test_same_seed_same_workload():
+    a = make_gen(seed=5).materialize()
+    b = make_gen(seed=5).materialize()
+    assert [(j.arrival, j.demand, j.deadline) for j in a] == [
+        (j.arrival, j.demand, j.deadline) for j in b
+    ]
+
+
+def test_different_seed_different_workload():
+    a = make_gen(seed=5).materialize()
+    b = make_gen(seed=6).materialize()
+    assert [j.arrival for j in a] != [j.arrival for j in b]
+
+
+def test_demands_shared_across_rates():
+    """Demand stream is independent of the arrival stream, so sweeping
+    the rate keeps the i-th job's demand identical."""
+    a = make_gen(rate=100.0, seed=7).materialize()
+    b = make_gen(rate=200.0, seed=7).materialize()
+    n = min(len(a), len(b))
+    assert [j.demand for j in a[:n]] == [j.demand for j in b[:n]]
+
+
+def test_deadlines_respect_window():
+    jobs = make_gen().materialize()
+    for job in jobs[:200]:
+        assert job.deadline - job.arrival == pytest.approx(0.150)
+
+
+def test_install_delivers_jobs_in_arrival_order():
+    sim = Simulator()
+    gen = make_gen(rate=80.0, horizon=5.0)
+    seen = []
+    count = gen.install(sim, seen.append)
+    sim.run()
+    assert len(seen) == count == len(gen.materialize())
+    assert all(seen[i].arrival <= seen[i + 1].arrival for i in range(len(seen) - 1))
+    assert sim.now == seen[-1].arrival
+
+
+def test_offered_load():
+    gen = make_gen(rate=100.0)
+    assert gen.offered_load == pytest.approx(100.0 * gen.demand.mean)
+
+
+def test_invalid_horizon():
+    with pytest.raises(Exception):
+        make_gen(horizon=0.0)
+
+
+class TestStaticWorkload:
+    def jobs(self):
+        return [
+            Job(jid=2, arrival=1.0, deadline=2.0, demand=100.0),
+            Job(jid=1, arrival=0.5, deadline=1.0, demand=50.0),
+        ]
+
+    def test_sorted_by_arrival(self):
+        wl = StaticWorkload(self.jobs())
+        assert [j.jid for j in wl.materialize()] == [1, 2]
+
+    def test_install(self):
+        sim = Simulator()
+        wl = StaticWorkload(self.jobs())
+        seen = []
+        assert wl.install(sim, seen.append) == 2
+        sim.run()
+        assert [j.jid for j in seen] == [1, 2]
+
+    def test_offered_load_empty(self):
+        assert StaticWorkload([]).offered_load == 0.0

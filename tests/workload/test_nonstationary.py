@@ -1,0 +1,86 @@
+"""Tests for the piecewise-rate (non-stationary) workload extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import SimulationConfig
+from repro.core.ge import make_ge
+from repro.errors import ConfigurationError
+from repro.server.harness import SimulationHarness
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.nonstationary import PiecewiseRateWorkload
+
+PROFILE = [(10.0, 50.0), (10.0, 200.0), (10.0, 80.0)]
+
+
+def make(profile=None, seed=3):
+    return PiecewiseRateWorkload(profile or PROFILE, streams=RandomStreams(seed=seed))
+
+
+def test_horizon_is_profile_length():
+    assert make().horizon == 30.0
+
+
+def test_rate_at_follows_profile():
+    wl = make()
+    assert wl.rate_at(5.0) == 50.0
+    assert wl.rate_at(15.0) == 200.0
+    assert wl.rate_at(25.0) == 80.0
+    assert wl.rate_at(99.0) == 0.0
+
+
+def test_arrivals_within_horizon_and_sorted():
+    jobs = make().materialize()
+    arrivals = np.array([j.arrival for j in jobs])
+    assert arrivals[0] >= 0.0
+    assert arrivals[-1] < 30.0
+    assert np.all(np.diff(arrivals) >= 0)
+
+
+def test_counts_track_segment_rates():
+    jobs = make(profile=[(20.0, 50.0), (20.0, 200.0)], seed=5).materialize()
+    first = sum(1 for j in jobs if j.arrival < 20.0)
+    second = len(jobs) - first
+    assert first == pytest.approx(20 * 50, rel=0.2)
+    assert second == pytest.approx(20 * 200, rel=0.1)
+
+
+def test_deterministic_per_seed():
+    a = make(seed=9).materialize()
+    b = make(seed=9).materialize()
+    assert [j.arrival for j in a] == [j.arrival for j in b]
+
+
+def test_offered_load():
+    wl = make(profile=[(10.0, 100.0)])
+    assert wl.offered_load == pytest.approx(100.0 * wl.demand.mean, rel=1e-9)
+
+
+def test_invalid_profiles_rejected():
+    with pytest.raises(ConfigurationError):
+        PiecewiseRateWorkload([])
+    with pytest.raises(ConfigurationError):
+        PiecewiseRateWorkload([(0.0, 100.0)])
+    with pytest.raises(ConfigurationError):
+        PiecewiseRateWorkload([(10.0, 0.0)])
+
+
+def test_install_feeds_simulator():
+    sim = Simulator()
+    wl = make(profile=[(2.0, 100.0)])
+    seen = []
+    count = wl.install(sim, seen.append)
+    sim.run()
+    assert len(seen) == count > 100
+
+
+def test_ge_survives_load_swing():
+    """End-to-end: GE holds settlement invariants across a rate swing."""
+    wl = make(profile=[(4.0, 100.0), (4.0, 200.0), (4.0, 100.0)], seed=2)
+    cfg = SimulationConfig(horizon=wl.horizon, seed=2)
+    result = SimulationHarness(cfg, make_ge(), workload=wl).run()
+    assert sum(result.outcomes.values()) == result.jobs
+    assert 0.7 < result.quality <= 1.0

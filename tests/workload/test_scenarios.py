@@ -1,0 +1,55 @@
+"""Tests for the named application scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ge import make_ge
+from repro.server.harness import SimulationHarness
+from repro.workload.scenarios import SCENARIOS, scenario_config
+
+
+def test_all_scenarios_build_valid_configs():
+    for name in SCENARIOS:
+        cfg = scenario_config(name, horizon=5.0)
+        assert cfg.arrival_rate > 0
+        assert cfg.quality_function() is not None
+
+
+def test_web_search_matches_paper_defaults():
+    cfg = scenario_config("web_search")
+    assert cfg.demand_min == 130.0
+    assert cfg.window_low == 0.150
+    assert cfg.quality_c == 0.003
+
+
+def test_nominal_rates_are_sub_saturation():
+    """Every preset's nominal rate sits below its saturation point."""
+    for name, scenario in SCENARIOS.items():
+        cfg = scenario_config(name)
+        assert cfg.arrival_rate < cfg.saturation_rate(), name
+
+
+def test_rate_override():
+    cfg = scenario_config("video_rendering", arrival_rate=5.0)
+    assert cfg.arrival_rate == 5.0
+
+
+def test_extra_overrides():
+    cfg = scenario_config("gps_tracking", horizon=7.0, seed=9)
+    assert cfg.horizon == 7.0
+    assert cfg.seed == 9
+
+
+def test_unknown_scenario():
+    with pytest.raises(KeyError, match="available"):
+        scenario_config("bitcoin_mining")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_ge_holds_target_on_every_scenario(name):
+    """GE's quality guarantee is workload-shape agnostic."""
+    cfg = scenario_config(name, horizon=6.0, seed=4)
+    result = SimulationHarness(cfg, make_ge()).run()
+    assert result.quality == pytest.approx(0.9, abs=0.03), name
+    assert sum(result.outcomes.values()) == result.jobs
