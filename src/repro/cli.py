@@ -15,6 +15,14 @@ horizon::
 Run one scheduler once and print its summary row::
 
     repro-cli run --scheduler GE --rate 150 --horizon 30
+
+Record a full trace (job spans, scheduler events, core timelines) of a
+scenario run and export it as JSONL::
+
+    repro-cli trace --scenario websearch --out trace.jsonl
+
+Any ``run``/``scenario`` invocation can also dump a trace alongside its
+summary row via ``--trace`` / ``--trace-out PATH``.
 """
 
 from __future__ import annotations
@@ -74,6 +82,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cores", type=int, default=16)
     run.add_argument("--budget", type=float, default=320.0, help="power budget (W)")
     run.add_argument("--q-ge", type=float, default=0.9, help="good-enough quality")
+    _add_trace_flags(run)
 
     sweep = sub.add_parser("sweep", help="sweep schedulers across arrival rates")
     sweep.add_argument("--schedulers", default="GE,BE",
@@ -91,6 +100,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="arrival rate (default: the scenario's nominal rate)")
     scen.add_argument("--horizon", type=float, default=30.0)
     scen.add_argument("--seed", type=int, default=1)
+    _add_trace_flags(scen)
 
     report = sub.add_parser("report", help="regenerate figures into a markdown report")
     report.add_argument("--scale", type=float, default=None,
@@ -108,8 +118,28 @@ def _build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--seed", type=int, default=1, help="first seed of the ladder")
     rep.add_argument("--n", type=int, default=5, help="number of replications")
 
-    trace = sub.add_parser("trace", help="record or replay workload traces")
-    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace = sub.add_parser(
+        "trace",
+        help="run with tracing on and export the telemetry "
+             "(or save/replay workload traces)",
+    )
+    trace.add_argument("--scenario", default=None,
+                       help="named application scenario (e.g. websearch); "
+                            "omit for the paper's default workload")
+    trace.add_argument("--scheduler", default="GE", choices=sorted(_SCHEDULERS))
+    trace.add_argument("--rate", type=float, default=None,
+                       help="arrival rate (default: scenario nominal, else 150)")
+    trace.add_argument("--horizon", type=float, default=30.0)
+    trace.add_argument("--seed", type=int, default=1)
+    trace.add_argument("--out", metavar="PATH", default=None,
+                       help="write the trace as JSONL")
+    trace.add_argument("--timeline-csv", metavar="PATH", default=None,
+                       help="also write the per-core timeline samples as CSV")
+    trace.add_argument("--spans-csv", metavar="PATH", default=None,
+                       help="also write the spans as CSV")
+    trace.add_argument("--no-summary", action="store_true",
+                       help="suppress the trace summary on stdout")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=False)
     save = trace_sub.add_parser("save", help="materialize a workload to CSV")
     save.add_argument("path", help="output CSV file")
     save.add_argument("--rate", type=float, default=150.0)
@@ -120,6 +150,62 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--scheduler", default="GE", choices=sorted(_SCHEDULERS))
     replay.add_argument("--q-ge", type=float, default=0.9)
     return parser
+
+
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--trace`` / ``--trace-out`` options."""
+    parser.add_argument("--trace", action="store_true",
+                        help="record a trace and print its summary")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="record a trace and write it as JSONL (implies --trace)")
+
+
+def _resolve_scenario(name: str) -> str:
+    """Map a user-typed scenario name to its canonical key.
+
+    Accepts separator-free aliases (``websearch`` → ``web_search``).
+    """
+    from repro.workload.scenarios import SCENARIOS
+
+    if name in SCENARIOS:
+        return name
+    normalized = name.replace("-", "").replace("_", "").lower()
+    for key in SCENARIOS:
+        if key.replace("_", "").lower() == normalized:
+            return key
+    # Same contract as scenario_config for unknown names.
+    raise KeyError(
+        f"unknown scenario {name!r}; available: {', '.join(sorted(SCENARIOS))}"
+    )
+
+
+def _new_tracer_if(active: bool):
+    """A fresh Tracer when tracing was requested, else None."""
+    if not active:
+        return None
+    from repro.obs import Tracer
+
+    return Tracer()
+
+
+def _emit_trace(tracer, *, out=None, timeline_csv=None, spans_csv=None,
+                summary=True) -> None:
+    """Print/export a finished tracer's telemetry."""
+    from repro.obs import summarize, write_jsonl, write_spans_csv, write_timeline_csv
+
+    trace = tracer.to_trace()
+    # Files first: a broken stdout pipe must not lose the artifacts.
+    if out:
+        lines = write_jsonl(trace, out)
+        print(f"wrote {lines} trace records to {out}")
+    if timeline_csv:
+        rows = write_timeline_csv(trace, timeline_csv)
+        print(f"wrote {rows} timeline samples to {timeline_csv}")
+    if spans_csv:
+        rows = write_spans_csv(trace, spans_csv)
+        print(f"wrote {rows} spans to {spans_csv}")
+    if summary:
+        print(summarize(trace))
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -152,8 +238,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             budget=args.budget,
             q_ge=args.q_ge,
         )
-        result = SimulationHarness(config, _SCHEDULERS[args.scheduler]()).run()
+        tracer = _new_tracer_if(args.trace or args.trace_out)
+        result = SimulationHarness(
+            config, _SCHEDULERS[args.scheduler](), tracer=tracer
+        ).run()
         print(result.row())
+        if tracer is not None:
+            _emit_trace(tracer, out=args.trace_out)
         return 0
 
     if args.command == "sweep":
@@ -183,10 +274,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"    {s.description}")
             return 0
         config = scenario_config(
-            args.name, arrival_rate=args.rate, horizon=args.horizon, seed=args.seed
+            _resolve_scenario(args.name),
+            arrival_rate=args.rate, horizon=args.horizon, seed=args.seed,
         )
-        result = SimulationHarness(config, _SCHEDULERS[args.scheduler]()).run()
+        tracer = _new_tracer_if(args.trace or args.trace_out)
+        result = SimulationHarness(
+            config, _SCHEDULERS[args.scheduler](), tracer=tracer
+        ).run()
         print(result.row())
+        if tracer is not None:
+            _emit_trace(tracer, out=args.trace_out)
         return 0
 
     if args.command == "report":
@@ -216,6 +313,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.workload.generator import StaticWorkload
         from repro.workload.traces import load_trace, save_trace
 
+        if args.trace_command is None:
+            # Telemetry mode: run one scenario with tracing on and
+            # print/export the artifacts.
+            from repro.workload.scenarios import scenario_config
+
+            if args.scenario is not None:
+                config = scenario_config(
+                    _resolve_scenario(args.scenario),
+                    arrival_rate=args.rate, horizon=args.horizon, seed=args.seed,
+                )
+            else:
+                config = SimulationConfig(
+                    arrival_rate=args.rate if args.rate is not None else 150.0,
+                    horizon=args.horizon,
+                    seed=args.seed,
+                )
+            tracer = _new_tracer_if(True)
+            result = SimulationHarness(
+                config, _SCHEDULERS[args.scheduler](), tracer=tracer
+            ).run()
+            print(result.row())
+            _emit_trace(
+                tracer,
+                out=args.out,
+                timeline_csv=args.timeline_csv,
+                spans_csv=args.spans_csv,
+                summary=not args.no_summary,
+            )
+            return 0
         if args.trace_command == "save":
             config = SimulationConfig(
                 arrival_rate=args.rate, horizon=args.horizon, seed=args.seed

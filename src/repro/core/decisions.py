@@ -6,6 +6,12 @@ triggered it, the mode chosen, the power policy used, the batch size
 and the resulting per-core caps.  The log is bounded (ring buffer) so
 long runs stay cheap, and renders to rows for offline inspection —
 ``examples/diurnal_load.py``-style debugging without print statements.
+
+The log is now a thin view over the :mod:`repro.obs` tracing layer:
+construct it with a :class:`repro.obs.Tracer` and every recorded round
+is also emitted as a ``decision`` trace event, putting the ring buffer
+and the exported JSONL on the same stream.  The standalone (tracer-less)
+usage is unchanged.
 """
 
 from __future__ import annotations
@@ -15,6 +21,9 @@ from dataclasses import dataclass
 from typing import Deque, Iterator, List, Optional, Tuple
 
 __all__ = ["Decision", "DecisionLog"]
+
+#: Retained rounds when no capacity is given (or ``None`` is passed).
+DEFAULT_CAPACITY = 10_000
 
 
 @dataclass(frozen=True)
@@ -44,18 +53,41 @@ class Decision:
 
 
 class DecisionLog:
-    """Bounded ring buffer of :class:`Decision` records."""
+    """Bounded ring buffer of :class:`Decision` records.
 
-    def __init__(self, capacity: int = 10_000) -> None:
+    Parameters
+    ----------
+    capacity:
+        Maximum retained rounds.  ``None`` falls back to
+        :data:`DEFAULT_CAPACITY` — the log is *always* bounded, so a
+        forgotten ``maxlen=None`` can no longer grow without limit over
+        a long run (older rounds stay available through an attached
+        tracer's event stream instead).
+    tracer:
+        Optional :class:`repro.obs.Tracer`; when given (and enabled),
+        every :meth:`record` also emits a ``decision`` trace event.
+    """
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY, tracer=None) -> None:
+        if capacity is None:
+            capacity = DEFAULT_CAPACITY
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity!r}")
         self._records: Deque[Decision] = deque(maxlen=capacity)
         self._total = 0
+        self.tracer = tracer
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained records."""
+        return self._records.maxlen
 
     def record(self, decision: Decision) -> None:
-        """Append one round's record."""
+        """Append one round's record (and emit it to the tracer, if any)."""
         self._records.append(decision)
         self._total += 1
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.decision(decision)
 
     def __len__(self) -> int:
         return len(self._records)

@@ -20,6 +20,7 @@ class (§IV-A-1) and are exposed via :func:`make_be` / :func:`make_oq`;
 
 from __future__ import annotations
 
+import time as _time
 from typing import Dict, List, Literal, Optional
 
 import numpy as np
@@ -103,6 +104,7 @@ class GEScheduler(Scheduler):
         self._critical_rate = float("inf")
         self._q_target = 1.0
         self._reschedules = 0
+        self._last_policy: Optional[str] = None
 
     # ------------------------------------------------------------------
     def bind(self, harness) -> None:
@@ -116,6 +118,7 @@ class GEScheduler(Scheduler):
             self._q_target,
             compensated=self.compensated,
             start_time=harness.sim.now,
+            on_switch=self._on_mode_switch,
         )
         if self._assignment is None:
             self._assignment = CumulativeRoundRobin(cfg.m)
@@ -143,6 +146,25 @@ class GEScheduler(Scheduler):
         self.reschedule()
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _on_mode_switch(self, now: float, old: ExecutionMode, new: ExecutionMode) -> None:
+        """ModeController observer → mode_switch / compensation events."""
+        tracer = self.harness.tracer
+        if not tracer.enabled:
+            return
+        tracer.scheduler_event(
+            "mode_switch", now, **{"from": old.value, "to": new.value}
+        )
+        # A compensation episode is exactly a BQ excursion of the
+        # compensated controller (§III-C).
+        if self.compensated and self.cutting:
+            if new is ExecutionMode.BQ:
+                tracer.scheduler_event("compensation_start", now)
+            elif old is ExecutionMode.BQ:
+                tracer.scheduler_event("compensation_end", now)
+
+    # ------------------------------------------------------------------
     # The scheduling round
     # ------------------------------------------------------------------
     def reschedule(self) -> None:
@@ -150,6 +172,10 @@ class GEScheduler(Scheduler):
         harness = self.harness
         now = harness.sim.now
         machine = harness.machine
+        tracer = harness.tracer
+        tracing = tracer.enabled
+        wall_start = _time.perf_counter() if tracing else 0.0
+        queue_depth = len(harness.queue)
         self._reschedules += 1
 
         # Freeze in-flight progress so 'processed' is current everywhere.
@@ -161,6 +187,8 @@ class GEScheduler(Scheduler):
         for job, core_idx in self._assignment.assign(batch, self._core_loads()):
             job.assign(core_idx)
             self._active[core_idx].append(job)
+            if tracing:
+                tracer.job_assigned(job, core_idx, now)
 
         # Refresh active sets: drop settled jobs and jobs whose deadline
         # has passed (their expiry event settles them this instant).
@@ -180,6 +208,20 @@ class GEScheduler(Scheduler):
         # 3. Targets: LF cut in AES, full demands in BQ.
         all_jobs = [j for jobs in per_core for j in jobs]
         target_of = self._targets_for(all_jobs, mode)
+        if tracing and mode is ExecutionMode.AES and all_jobs:
+            total_demand = sum(j.demand for j in all_jobs)
+            total_target = sum(target_of[j.jid] for j in all_jobs)
+            cut_fraction = 1.0 - total_target / total_demand if total_demand else 0.0
+            tracer.scheduler_event(
+                "lf_cut", now, jobs=len(all_jobs), cut_fraction=cut_fraction
+            )
+            tracer.metrics.histogram("scheduler.cut_fraction").observe(cut_fraction)
+            # Per-job cut events only for this round's batch, so each
+            # job gets at most one (targets are recomputed every round).
+            for job in batch:
+                target = target_of.get(job.jid)  # absent: expired this instant
+                if target is not None and target < job.demand * (1.0 - 1e-12):
+                    tracer.job_cut(job, target, now)
 
         # 4. Power demands and distribution (per-core models support the
         # heterogeneous-machine extension; identical when homogeneous).
@@ -194,22 +236,38 @@ class GEScheduler(Scheduler):
         distribution = self._distribute(demands_w, machine.budget, now)
         caps = distribution.caps
 
-        if self.decision_log is not None:
+        if tracing and self._last_policy not in (None, distribution.policy):
+            tracer.scheduler_event(
+                "policy_flip",
+                now,
+                **{"from": self._last_policy, "to": distribution.policy},
+            )
+        self._last_policy = distribution.policy
+
+        if self.decision_log is not None or tracing:
             from repro.core.decisions import Decision
 
-            self.decision_log.record(
-                Decision(
-                    time=now,
-                    mode=mode.value,
-                    policy=distribution.policy,
-                    batch_size=len(batch),
-                    active_jobs=len(all_jobs),
-                    monitor_quality=harness.monitor.quality,
-                    caps=tuple(float(c) for c in caps),
-                )
+            decision = Decision(
+                time=now,
+                mode=mode.value,
+                policy=distribution.policy,
+                batch_size=len(batch),
+                active_jobs=len(all_jobs),
+                monitor_quality=harness.monitor.quality,
+                caps=tuple(float(c) for c in caps),
             )
+            if self.decision_log is not None:
+                self.decision_log.record(decision)
+            # The log forwards to its own tracer; emit directly only
+            # when that would not already have reached this tracer.
+            if tracing and (
+                self.decision_log is None or self.decision_log.tracer is not tracer
+            ):
+                tracer.decision(decision)
 
         # 5. Per-core planning and installation.
+        quality_opt_calls = 0
+        energy_opt_calls = 0
         for idx, jobs in enumerate(per_core):
             plan = build_core_plan(
                 jobs,
@@ -220,9 +278,25 @@ class GEScheduler(Scheduler):
                 machine.scales[idx],
                 allocator=self._allocator,
             )
+            if tracing and jobs:
+                quality_opt_calls += 1  # Quality-OPT runs once per planned core
+                if plan.segments:
+                    energy_opt_calls += 1  # Energy-OPT ran on the survivors
             machine.cores[idx].set_plan(plan.segments)
             for job, outcome in plan.settle_now:
                 harness.settle_job(job, outcome)
+
+        if tracing:
+            metrics = tracer.metrics
+            metrics.counter("scheduler.rounds").inc()
+            metrics.counter("planner.quality_opt_calls").inc(quality_opt_calls)
+            metrics.counter("planner.energy_opt_calls").inc(energy_opt_calls)
+            metrics.gauge("scheduler.queue_depth").set(queue_depth)
+            metrics.histogram("scheduler.batch_size", bound=64).observe(len(batch))
+            metrics.histogram("scheduler.active_jobs", bound=256).observe(len(all_jobs))
+            metrics.histogram("scheduler.round_latency_ms", bound=10.0).observe(
+                (_time.perf_counter() - wall_start) * 1e3
+            )
 
     # ------------------------------------------------------------------
     def _targets_for(

@@ -16,7 +16,7 @@ Fig. 5 and, with a +2 % target, the OQ baseline.
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.quality.monitor import QualityMonitor
 from repro.sim.timeline import StepTimeline
@@ -46,6 +46,10 @@ class ModeController:
         no-compensation arm).
     start_time:
         Simulation time of the first decision (timeline origin).
+    on_switch:
+        Optional observer called as ``on_switch(now, old, new)`` on
+        every real AES↔BQ transition (used by the GE scheduler to emit
+        ``mode_switch`` / compensation trace events).
     """
 
     def __init__(
@@ -55,12 +59,16 @@ class ModeController:
         *,
         compensated: bool = True,
         start_time: float = 0.0,
+        on_switch: Optional[
+            Callable[[float, ExecutionMode, ExecutionMode], None]
+        ] = None,
     ) -> None:
         if not 0.0 < q_target <= 1.0:
             raise ValueError(f"q_target must be in (0, 1], got {q_target!r}")
         self.monitor = monitor
         self.q_target = float(q_target)
         self.compensated = bool(compensated)
+        self.on_switch = on_switch
         self._mode = ExecutionMode.AES
         self._timeline = StepTimeline(start_time=start_time, initial_value=1.0)
         self._switches = 0
@@ -89,6 +97,8 @@ class ModeController:
             new = ExecutionMode.AES
         if new is not self._mode:
             self._switches += 1
+            if self.on_switch is not None:
+                self.on_switch(now, self._mode, new)
         self._mode = new
         self._timeline.set_value(now, 1.0 if new is ExecutionMode.AES else 0.0)
         return new
@@ -97,6 +107,8 @@ class ModeController:
         """Pin the controller to ``mode`` at ``now`` (BE's permanent BQ)."""
         if mode is not self._mode:
             self._switches += 1
+            if self.on_switch is not None:
+                self.on_switch(now, self._mode, mode)
         self._mode = mode
         self._timeline.set_value(now, 1.0 if mode is ExecutionMode.AES else 0.0)
 

@@ -53,9 +53,15 @@ def default_rates(scale: float) -> List[float]:
     return [100.0, 150.0, 180.0, 210.0, 250.0]
 
 
-def run_single(config: SimulationConfig, factory: SchedulerFactory) -> RunResult:
-    """One run of one policy under one configuration."""
-    return SimulationHarness(config, factory()).run()
+def run_single(
+    config: SimulationConfig, factory: SchedulerFactory, tracer=None
+) -> RunResult:
+    """One run of one policy under one configuration.
+
+    Pass a :class:`repro.obs.Tracer` to record the run's telemetry;
+    tracing never changes the result (the tracer only observes).
+    """
+    return SimulationHarness(config, factory(), tracer=tracer).run()
 
 
 def sweep_rates(

@@ -1,0 +1,70 @@
+"""Unified tracing & telemetry for the simulator.
+
+The :mod:`repro.obs` subsystem records what a run *did over time* —
+the end-of-run :class:`repro.metrics.collector.RunResult` says how it
+went, a trace says why:
+
+* job spans (arrival → assignment → execution slices → settlement);
+* scheduler events (AES↔BQ switches, compensation episodes, ES↔WF
+  policy flips, per-round decisions);
+* per-core speed/power/energy timelines at quantum boundaries;
+* a counters/gauges/histograms registry.
+
+Usage::
+
+    from repro.obs import Tracer, write_jsonl, summarize
+
+    tracer = Tracer()
+    result = SimulationHarness(config, make_ge(), tracer=tracer).run()
+    print(summarize(tracer.to_trace()))
+    write_jsonl(tracer, "trace.jsonl")
+
+Tracing is off by default: every harness uses the shared
+:data:`NULL_TRACER` unless one is passed, at a cost of one attribute
+read per instrumentation point.  See ``docs/observability.md`` for the
+event schema.
+"""
+
+from repro.obs.analyze import (
+    ModeInterval,
+    core_utilization,
+    job_stats,
+    mode_intervals,
+    summarize,
+)
+from repro.obs.export import (
+    read_jsonl,
+    trace_records,
+    write_jsonl,
+    write_spans_csv,
+    write_timeline_csv,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import EventRecord, SpanRecord
+from repro.obs.timeline import CoreTimelineSampler, TimelineSample
+from repro.obs.tracer import NULL_TRACER, NullTracer, Trace, Tracer
+
+__all__ = [
+    "NULL_TRACER",
+    "Counter",
+    "CoreTimelineSampler",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ModeInterval",
+    "NullTracer",
+    "SpanRecord",
+    "TimelineSample",
+    "Trace",
+    "Tracer",
+    "core_utilization",
+    "job_stats",
+    "mode_intervals",
+    "read_jsonl",
+    "summarize",
+    "trace_records",
+    "write_jsonl",
+    "write_spans_csv",
+    "write_timeline_csv",
+]

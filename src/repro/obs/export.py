@@ -1,0 +1,131 @@
+"""Trace serialization: JSONL (lossless round-trip) and CSV.
+
+The JSONL layout is one self-describing object per line, discriminated
+by ``"type"``:
+
+* ``meta`` — one line, run metadata (scheduler, config, start/end);
+* ``span`` / ``event`` — merged, ordered by emission ``seq``;
+* ``sample`` — core-timeline samples in sampling order;
+* ``metric`` — one line per registry instrument, sorted by name.
+
+:func:`read_jsonl` inverts :func:`write_jsonl` exactly:
+``read_jsonl(p) == trace`` after ``write_jsonl(trace, p)`` (Python's
+``json`` emits shortest-repr floats, which round-trip bit-exactly).
+
+The CSV exporters are one-way conveniences for spreadsheets/plotting:
+:func:`write_timeline_csv` (per-core samples) and
+:func:`write_spans_csv` (job/exec spans, attrs flattened to JSON).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Union
+
+from repro.obs.spans import EventRecord, SpanRecord
+from repro.obs.timeline import TimelineSample
+from repro.obs.tracer import Trace, Tracer
+
+__all__ = [
+    "read_jsonl",
+    "trace_records",
+    "write_jsonl",
+    "write_spans_csv",
+    "write_timeline_csv",
+]
+
+_PathLike = Union[str, Path]
+
+
+def _as_trace(trace: Union[Trace, Tracer]) -> Trace:
+    return trace.to_trace() if isinstance(trace, Tracer) else trace
+
+
+def trace_records(trace: Union[Trace, Tracer]) -> Iterator[Dict[str, Any]]:
+    """Yield the trace as JSON-native dicts in canonical JSONL order."""
+    trace = _as_trace(trace)
+    yield {"type": "meta", "meta": dict(trace.meta)}
+    timed: List[Dict[str, Any]] = [s.to_record() for s in trace.spans]
+    timed.extend(e.to_record() for e in trace.events)
+    timed.sort(key=lambda r: r["seq"])
+    yield from timed
+    yield from (s.to_record() for s in trace.samples)
+    for name in sorted(trace.metrics):
+        yield {"type": "metric", "name": name, **trace.metrics[name]}
+
+
+def write_jsonl(trace: Union[Trace, Tracer], path: _PathLike) -> int:
+    """Write the trace as JSONL; returns the number of lines written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in trace_records(trace):
+            fh.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: _PathLike) -> Trace:
+    """Parse a JSONL trace file back into a :class:`Trace`."""
+    meta: Dict[str, Any] = {}
+    spans: List[SpanRecord] = []
+    events: List[EventRecord] = []
+    samples: List[TimelineSample] = []
+    metrics: Dict[str, Dict[str, Any]] = {}
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            rtype = record.get("type")
+            if rtype == "meta":
+                meta = dict(record["meta"])
+            elif rtype == "span":
+                spans.append(SpanRecord.from_record(record))
+            elif rtype == "event":
+                events.append(EventRecord.from_record(record))
+            elif rtype == "sample":
+                samples.append(TimelineSample.from_record(record))
+            elif rtype == "metric":
+                name = record["name"]
+                metrics[name] = {
+                    k: v for k, v in record.items() if k not in ("type", "name")
+                }
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown record type {rtype!r}")
+    # Spans and events were merged by seq on export; re-splitting in file
+    # order restores each list's original (seq-ascending) order.
+    return Trace(meta=meta, spans=spans, events=events, samples=samples, metrics=metrics)
+
+
+def write_timeline_csv(trace: Union[Trace, Tracer], path: _PathLike) -> int:
+    """Write core-timeline samples as CSV; returns the row count."""
+    trace = _as_trace(trace)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time", "core", "speed_ghz", "power_w", "energy_j"])
+        for s in trace.samples:
+            writer.writerow([f"{s.time:.9g}", s.core, f"{s.speed:.9g}",
+                             f"{s.power:.9g}", f"{s.energy:.9g}"])
+    return len(trace.samples)
+
+
+def write_spans_csv(trace: Union[Trace, Tracer], path: _PathLike) -> int:
+    """Write spans as CSV (attrs flattened to JSON); returns the row count."""
+    trace = _as_trace(trace)
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["span_id", "parent_id", "name", "start", "end", "attrs"])
+        for s in trace.spans:
+            writer.writerow([
+                s.span_id,
+                "" if s.parent_id is None else s.parent_id,
+                s.name,
+                f"{s.start:.9g}",
+                "" if s.end is None else f"{s.end:.9g}",
+                json.dumps(s.attrs, sort_keys=True),
+            ])
+    return len(trace.spans)

@@ -1,0 +1,158 @@
+"""A small metrics registry: counters, gauges and histograms.
+
+The tracer carries one :class:`MetricsRegistry`; instrumented code
+requests named instruments lazily (``registry.counter("scheduler.rounds")``)
+so the set of metrics is defined by what actually ran.  Instruments are
+deliberately minimal — the registry is for *simulation* telemetry
+(queue depth, batch size, cut fraction, per-round latency), not a
+general monitoring system:
+
+* :class:`Counter` — monotone count;
+* :class:`Gauge` — last-written value;
+* :class:`Histogram` — streaming count/sum/min/max plus fixed linear
+  buckets over ``[0, bound)`` for cheap shape inspection.
+
+``snapshot()`` renders everything to JSON-native dicts for export.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount!r}")
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-native state."""
+        return {"kind": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-written value (e.g. current queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = float(value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-native state."""
+        return {"kind": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Streaming summary of observed values.
+
+    Tracks count / sum / min / max exactly, plus ``nbuckets`` equal-width
+    buckets over ``[0, bound)`` with an overflow bucket at the end.  The
+    default bound of 1.0 suits ratios (cut fraction); pass a larger
+    bound for sizes or latencies.
+    """
+
+    __slots__ = ("name", "bound", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str, *, bound: float = 1.0, nbuckets: int = 10) -> None:
+        if bound <= 0 or nbuckets < 1:
+            raise ValueError(f"histogram {name}: bound and nbuckets must be positive")
+        self.name = name
+        self.bound = float(bound)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: List[int] = [0] * (nbuckets + 1)  # last = overflow
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        nbuckets = len(self.buckets) - 1
+        idx = int(value / self.bound * nbuckets) if value >= 0 else 0
+        self.buckets[min(idx, nbuckets)] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-native state."""
+        return {
+            "kind": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "bound": self.bound,
+            "buckets": list(self.buckets),
+        }
+
+
+class MetricsRegistry:
+    """Name → instrument map with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    def _get(self, name: str, factory, kind) -> Any:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = factory()
+            self._instruments[name] = inst
+        elif not isinstance(inst, kind):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(inst).__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the named counter."""
+        return self._get(name, lambda: Counter(name), Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the named gauge."""
+        return self._get(name, lambda: Gauge(name), Gauge)
+
+    def histogram(self, name: str, *, bound: float = 1.0, nbuckets: int = 10) -> Histogram:
+        """Get or create the named histogram (shape args apply on creation)."""
+        return self._get(
+            name, lambda: Histogram(name, bound=bound, nbuckets=nbuckets), Histogram
+        )
+
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._instruments)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Name → JSON-native instrument state, sorted by name."""
+        return {name: self._instruments[name].snapshot() for name in self.names()}

@@ -1,0 +1,150 @@
+"""Span and event records — the vocabulary of a trace.
+
+A **span** is a named interval of simulated time with optional
+parent/child structure: every job gets a root ``"job"`` span covering
+arrival → settlement, and every execution slice a child ``"exec"`` span
+covering one contiguous stretch on one core at one speed.  An **event**
+is a point-in-time annotation, either attached to a span (``enqueue``,
+``assign``, ``lf_cut``, ``settle``) or free-standing scheduler telemetry
+(``mode_switch``, ``policy_flip``, ``decision``, ``compensation_start``
+/ ``compensation_end``).
+
+Both records serialize to flat JSON objects (see
+:mod:`repro.obs.export`); attribute values must stay JSON-native
+(str/int/float/bool/None, or lists thereof) so a JSONL round-trip
+reproduces the records exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["EventRecord", "SpanRecord"]
+
+
+@dataclass
+class SpanRecord:
+    """A named interval of simulated time, possibly nested.
+
+    Attributes
+    ----------
+    span_id:
+        Unique id within the trace (assigned by the tracer).
+    name:
+        Span kind: ``"job"`` or ``"exec"`` today; analysis code must
+        tolerate new names.
+    start:
+        Simulated time the span opened.
+    seq:
+        Global emission sequence number — total order of all records in
+        a trace, stable across export/import.
+    parent_id:
+        Enclosing span's id, or ``None`` for roots.
+    end:
+        Simulated close time; ``None`` while the span is open.
+    attrs:
+        JSON-native key/value annotations (``jid``, ``core``, ``speed``,
+        ``outcome`` ...).  Close-time attributes are merged in by
+        :meth:`close`.
+    """
+
+    span_id: int
+    name: str
+    start: float
+    seq: int
+    parent_id: Optional[int] = None
+    end: Optional[float] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def open(self) -> bool:
+        """Whether the span has not been closed yet."""
+        return self.end is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Span length in simulated seconds (``None`` while open)."""
+        return None if self.end is None else self.end - self.start
+
+    def close(self, time: float, **attrs: Any) -> None:
+        """Close the span at ``time``, merging final attributes."""
+        if self.end is not None:
+            raise ValueError(f"span {self.span_id} ({self.name}) closed twice")
+        self.end = float(time)
+        if attrs:
+            self.attrs.update(attrs)
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON-native dict (``type: "span"``)."""
+        return {
+            "type": "span",
+            "span_id": self.span_id,
+            "name": self.name,
+            "start": self.start,
+            "seq": self.seq,
+            "parent_id": self.parent_id,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "SpanRecord":
+        """Inverse of :meth:`to_record`."""
+        return cls(
+            span_id=record["span_id"],
+            name=record["name"],
+            start=record["start"],
+            seq=record["seq"],
+            parent_id=record.get("parent_id"),
+            end=record.get("end"),
+            attrs=dict(record.get("attrs", {})),
+        )
+
+
+@dataclass
+class EventRecord:
+    """A point-in-time annotation.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the event.
+    kind:
+        Event name (``mode_switch``, ``assign``, ``decision`` ...).
+    seq:
+        Global emission sequence number (shared counter with spans).
+    span_id:
+        Id of the span this event annotates, or ``None`` for
+        free-standing scheduler events.
+    attrs:
+        JSON-native key/value payload.
+    """
+
+    time: float
+    kind: str
+    seq: int
+    span_id: Optional[int] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON-native dict (``type: "event"``)."""
+        return {
+            "type": "event",
+            "time": self.time,
+            "kind": self.kind,
+            "seq": self.seq,
+            "span_id": self.span_id,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "EventRecord":
+        """Inverse of :meth:`to_record`."""
+        return cls(
+            time=record["time"],
+            kind=record["kind"],
+            seq=record["seq"],
+            span_id=record.get("span_id"),
+            attrs=dict(record.get("attrs", {})),
+        )

@@ -1,0 +1,135 @@
+"""Per-core timeline sampling at quantum boundaries.
+
+The cores already record their speed as exact piecewise-constant
+:class:`repro.sim.timeline.StepTimeline` signals; the tracer turns them
+into a regular time series the Fig. 5–8 debugging workflow can plot:
+one :class:`TimelineSample` per core per quantum with the instantaneous
+speed and power plus the *cumulative* dynamic energy.
+
+Energy is integrated **incrementally**: :class:`CoreTimelineSampler`
+keeps a per-core cursor into the speed timeline and only integrates the
+segments added since the previous sample, so sampling a long run stays
+O(total breakpoints) instead of O(samples × breakpoints).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+__all__ = ["CoreTimelineSampler", "TimelineSample"]
+
+
+@dataclass
+class TimelineSample:
+    """One core's state at one sampling instant.
+
+    Attributes
+    ----------
+    time:
+        Simulated sampling time (a quantum boundary, plus one final
+        sample at run end).
+    core:
+        Core index within the machine.
+    speed:
+        Instantaneous speed in GHz (0 when idle).
+    power:
+        Instantaneous dynamic power draw in watts.
+    energy:
+        Cumulative dynamic energy in joules since the run started.
+    """
+
+    time: float
+    core: int
+    speed: float
+    power: float
+    energy: float
+
+    def to_record(self) -> Dict[str, Any]:
+        """Flat JSON-native dict (``type: "sample"``)."""
+        return {
+            "type": "sample",
+            "time": self.time,
+            "core": self.core,
+            "speed": self.speed,
+            "power": self.power,
+            "energy": self.energy,
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "TimelineSample":
+        """Inverse of :meth:`to_record`."""
+        return cls(
+            time=record["time"],
+            core=record["core"],
+            speed=record["speed"],
+            power=record["power"],
+            energy=record["energy"],
+        )
+
+
+class _CoreCursor:
+    """Incremental exact power integral over one core's speed timeline."""
+
+    __slots__ = ("last_time", "energy")
+
+    def __init__(self, start_time: float) -> None:
+        self.last_time = start_time
+        self.energy = 0.0
+
+    def advance(self, timeline, power_fn, until: float) -> float:
+        """Integrate ``power_fn(speed)`` over (last_time, until]; return total."""
+        if until <= self.last_time:
+            return self.energy
+        times = timeline._times
+        values = timeline._values
+        # Segment holding last_time: breakpoints are sorted, value is
+        # constant on [times[i], times[i+1]).
+        i = bisect_right(times, self.last_time) - 1
+        t = self.last_time
+        n = len(times)
+        acc = 0.0
+        while t < until:
+            seg_end = times[i + 1] if i + 1 < n else until
+            step_end = min(seg_end, until)
+            if step_end > t:
+                acc += power_fn(values[i]) * (step_end - t)
+            t = step_end
+            i += 1
+        self.energy += acc
+        self.last_time = until
+        return self.energy
+
+
+class CoreTimelineSampler:
+    """Samples a :class:`repro.server.machine.MulticoreServer` over time.
+
+    One instance per traced run; ``sample(machine, time)`` must be
+    called with non-decreasing times (the tracer calls it from the
+    quantum tick and once at run end).
+    """
+
+    def __init__(self) -> None:
+        self._cursors: List[_CoreCursor] = []
+
+    def sample(self, machine, time: float) -> List[TimelineSample]:
+        """Snapshot every core at ``time`` (exact cumulative energy)."""
+        if not self._cursors:
+            self._cursors = [
+                _CoreCursor(core.speed_timeline.start_time) for core in machine.cores
+            ]
+        samples: List[TimelineSample] = []
+        for core, model, cursor in zip(machine.cores, machine.models, self._cursors):
+            energy = cursor.advance(core.speed_timeline, model.power, time)
+            speed = core.speed
+            samples.append(
+                TimelineSample(
+                    time=float(time),
+                    core=core.index,
+                    speed=float(speed),
+                    power=float(model.power(speed)),
+                    energy=float(energy),
+                )
+            )
+        return samples

@@ -1,0 +1,337 @@
+"""The process-wide tracer and its zero-overhead null twin.
+
+:class:`Tracer` collects the four telemetry streams the simulator can
+emit (see ``docs/observability.md`` for the schema):
+
+* **job spans** — arrival → enqueue → assignment → cut → execution
+  slices → settlement, with exec slices as child spans;
+* **scheduler events** — AES↔BQ mode switches, compensation episodes,
+  ES↔WF policy flips, per-round decisions;
+* **core timelines** — per-core speed/power/cumulative-energy samples
+  at quantum boundaries;
+* **metrics** — a :class:`repro.obs.registry.MetricsRegistry` of
+  counters/gauges/histograms.
+
+Instrumented hot paths guard every call with ``if tracer.enabled:`` and
+default to the shared :data:`NULL_TRACER`, whose ``enabled`` is
+``False`` — a disabled run pays one attribute read per trace point and
+performs **no** allocations inside :mod:`repro.obs` (asserted by
+``tests/obs/test_overhead.py``).
+
+The tracer only *reads* simulation state and never schedules events, so
+enabling it cannot perturb results: a fixed-seed run produces a
+bit-identical :class:`repro.metrics.collector.RunResult` with tracing
+on or off (pinned by ``tests/obs/test_determinism.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import EventRecord, SpanRecord
+from repro.obs.timeline import CoreTimelineSampler, TimelineSample
+
+__all__ = ["NULL_TRACER", "NullTracer", "Trace", "Tracer"]
+
+
+class Trace:
+    """An immutable-ish bundle of one run's telemetry.
+
+    This is what exporters write and :func:`repro.obs.export.read_jsonl`
+    reconstructs; :mod:`repro.obs.analyze` consumes it.
+    """
+
+    def __init__(
+        self,
+        *,
+        meta: Optional[Dict[str, Any]] = None,
+        spans: Optional[List[SpanRecord]] = None,
+        events: Optional[List[EventRecord]] = None,
+        samples: Optional[List[TimelineSample]] = None,
+        metrics: Optional[Dict[str, Dict[str, Any]]] = None,
+    ) -> None:
+        self.meta = meta or {}
+        self.spans = spans or []
+        self.events = events or []
+        self.samples = samples or []
+        self.metrics = metrics or {}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (
+            self.meta == other.meta
+            and self.spans == other.spans
+            and self.events == other.events
+            and self.samples == other.samples
+            and self.metrics == other.metrics
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace({len(self.spans)} spans, {len(self.events)} events, "
+            f"{len(self.samples)} samples, {len(self.metrics)} metrics)"
+        )
+
+    def spans_named(self, name: str) -> List[SpanRecord]:
+        """All spans of one kind (``"job"``, ``"exec"``)."""
+        return [s for s in self.spans if s.name == name]
+
+    def events_of(self, kind: str) -> List[EventRecord]:
+        """All events of one kind, in emission order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def children_of(self, span: SpanRecord) -> List[SpanRecord]:
+        """Direct child spans, in emission order."""
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def span_events(self, span: SpanRecord) -> List[EventRecord]:
+        """Events attached to ``span``, in emission order."""
+        return [e for e in self.events if e.span_id == span.span_id]
+
+
+class Tracer:
+    """Collects spans, events, timeline samples and metrics for one run.
+
+    A tracer is single-use: attach it to one
+    :class:`repro.server.harness.SimulationHarness`, run, then export or
+    analyze :meth:`to_trace`.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.spans: List[SpanRecord] = []
+        self.events: List[EventRecord] = []
+        self.samples: List[TimelineSample] = []
+        self.metrics = MetricsRegistry()
+        self.meta: Dict[str, Any] = {}
+        self._seq = 0
+        self._next_span_id = 0
+        self._job_spans: Dict[int, SpanRecord] = {}
+        self._sampler = CoreTimelineSampler()
+
+    # ------------------------------------------------------------------
+    # Generic span/event API
+    # ------------------------------------------------------------------
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq = seq + 1
+        return seq
+
+    def begin_span(
+        self,
+        name: str,
+        time: float,
+        *,
+        parent: Optional[SpanRecord] = None,
+        **attrs: Any,
+    ) -> SpanRecord:
+        """Open a span at ``time`` (optionally nested under ``parent``)."""
+        span = SpanRecord(
+            span_id=self._next_span_id,
+            name=name,
+            start=float(time),
+            seq=self._next_seq(),
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=attrs,
+        )
+        self._next_span_id += 1
+        self.spans.append(span)
+        return span
+
+    def end_span(self, span: SpanRecord, time: float, **attrs: Any) -> None:
+        """Close ``span`` at ``time``, merging final attributes."""
+        span.close(time, **attrs)
+
+    def event(
+        self,
+        kind: str,
+        time: float,
+        *,
+        span: Optional[SpanRecord] = None,
+        **attrs: Any,
+    ) -> EventRecord:
+        """Record a point event (optionally attached to ``span``)."""
+        record = EventRecord(
+            time=float(time),
+            kind=kind,
+            seq=self._next_seq(),
+            span_id=span.span_id if span is not None else None,
+            attrs=attrs,
+        )
+        self.events.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Job lifecycle (called by the harness / scheduler / cores)
+    # ------------------------------------------------------------------
+    def job_arrived(self, job, time: float) -> SpanRecord:
+        """Open the job's root span and record its enqueue."""
+        span = self.begin_span(
+            "job",
+            time,
+            jid=job.jid,
+            arrival=job.arrival,
+            deadline=job.deadline,
+            demand=job.demand,
+            klass=job.klass,
+        )
+        self._job_spans[job.jid] = span
+        self.event("enqueue", time, span=span)
+        return span
+
+    def job_assigned(self, job, core: int, time: float) -> None:
+        """Record the C-RR (or baseline) core assignment."""
+        self.event("assign", time, span=self._job_spans.get(job.jid), core=core)
+
+    def job_cut(self, job, target: float, time: float) -> None:
+        """Record an LF-cut target below the job's full demand."""
+        self.event(
+            "lf_cut",
+            time,
+            span=self._job_spans.get(job.jid),
+            target=float(target),
+            demand=job.demand,
+        )
+
+    def job_settled(self, job, time: float) -> None:
+        """Close the job's span with its outcome and processed volume."""
+        span = self._job_spans.pop(job.jid, None)
+        if span is None:
+            return  # job predates the tracer (never happens via the harness)
+        self.event("settle", time, span=span, outcome=job.outcome.value)
+        span.close(time, outcome=job.outcome.value, processed=job.processed)
+
+    def exec_start(
+        self, job, core: int, speed: float, volume: float, time: float
+    ) -> SpanRecord:
+        """Open an execution-slice span nested under the job's span."""
+        return self.begin_span(
+            "exec",
+            time,
+            parent=self._job_spans.get(job.jid),
+            jid=job.jid,
+            core=core,
+            speed=float(speed),
+            volume=float(volume),
+        )
+
+    def exec_end(self, span: SpanRecord, time: float, done: float) -> None:
+        """Close an execution slice with the volume actually processed."""
+        span.close(time, done=float(done))
+
+    # ------------------------------------------------------------------
+    # Scheduler telemetry
+    # ------------------------------------------------------------------
+    def scheduler_event(self, kind: str, time: float, **attrs: Any) -> None:
+        """Record a free-standing scheduler event."""
+        self.event(kind, time, **attrs)
+
+    def decision(self, decision) -> None:
+        """Record one scheduling round (a ``repro.core.decisions.Decision``)."""
+        self.event(
+            "decision",
+            decision.time,
+            mode=decision.mode,
+            policy=decision.policy,
+            batch_size=decision.batch_size,
+            active_jobs=decision.active_jobs,
+            monitor_quality=decision.monitor_quality,
+            caps=[float(c) for c in decision.caps],
+        )
+
+    # ------------------------------------------------------------------
+    # Core timelines
+    # ------------------------------------------------------------------
+    def sample_cores(self, machine, time: float) -> None:
+        """Snapshot per-core speed/power/energy (quantum boundary)."""
+        self.samples.extend(self._sampler.sample(machine, time))
+
+    # ------------------------------------------------------------------
+    # Run lifecycle
+    # ------------------------------------------------------------------
+    def run_started(self, time: float, **meta: Any) -> None:
+        """Record run metadata (scheduler, config) at run start."""
+        self.meta.update(meta)
+        self.meta["start"] = float(time)
+
+    def run_finished(self, machine, time: float) -> None:
+        """Take the final core sample and stamp the run duration."""
+        self.sample_cores(machine, time)
+        self.meta["end"] = float(time)
+
+    def open_spans(self) -> List[SpanRecord]:
+        """Spans not yet closed (empty after a fully drained run)."""
+        return [s for s in self.spans if s.open]
+
+    def to_trace(self) -> Trace:
+        """Freeze the collected telemetry into a :class:`Trace`."""
+        return Trace(
+            meta=dict(self.meta),
+            spans=self.spans,
+            events=self.events,
+            samples=self.samples,
+            metrics=self.metrics.snapshot(),
+        )
+
+
+class NullTracer:
+    """Tracing disabled: every hook is a no-op.
+
+    ``enabled`` is ``False``; instrumented code checks it before
+    building any arguments, so the only per-trace-point cost of a
+    disabled run is that attribute read.  The methods still exist (and
+    return ``None``) so un-guarded calls are safe.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def begin_span(self, name, time, *, parent=None, **attrs):
+        return None
+
+    def end_span(self, span, time, **attrs):
+        return None
+
+    def event(self, kind, time, *, span=None, **attrs):
+        return None
+
+    def job_arrived(self, job, time):
+        return None
+
+    def job_assigned(self, job, core, time):
+        return None
+
+    def job_cut(self, job, target, time):
+        return None
+
+    def job_settled(self, job, time):
+        return None
+
+    def exec_start(self, job, core, speed, volume, time):
+        return None
+
+    def exec_end(self, span, time, done):
+        return None
+
+    def scheduler_event(self, kind, time, **attrs):
+        return None
+
+    def decision(self, decision):
+        return None
+
+    def sample_cores(self, machine, time):
+        return None
+
+    def run_started(self, time, **meta):
+        return None
+
+    def run_finished(self, machine, time):
+        return None
+
+
+#: Shared process-wide null tracer (stateless, safe to share).
+NULL_TRACER = NullTracer()

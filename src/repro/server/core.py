@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.errors import SchedulingError
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.engine import Simulator
 from repro.sim.events import PRIORITY_LOW, Event
 from repro.sim.timeline import StepTimeline
@@ -87,6 +88,10 @@ class Core:
     on_settle:
         Callback invoked with each job the core settles (completion or
         cut), so the harness can record quality.
+    tracer:
+        Observability sink (``repro.obs``); every segment start/stop is
+        recorded as an ``exec`` span when tracing is enabled.  Defaults
+        to the zero-overhead null tracer.
     """
 
     def __init__(
@@ -96,18 +101,21 @@ class Core:
         units_per_ghz_second: float = 1000.0,
         on_idle: Optional[Callable[[int], None]] = None,
         on_settle: Optional[Callable[[Job], None]] = None,
+        tracer=None,
     ) -> None:
         self.index = index
         self.sim = sim
         self.units_per_ghz_second = float(units_per_ghz_second)
         self.on_idle = on_idle
         self.on_settle = on_settle
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.speed_timeline = StepTimeline(start_time=sim.now, initial_value=0.0)
         self._pending: List[Segment] = []
         self._current: Optional[Segment] = None
         self._current_started: float = 0.0
         self._completion: Optional[Event] = None
         self._completed_volume = 0.0
+        self._exec_span = None
 
     # ------------------------------------------------------------------
     @property
@@ -219,6 +227,9 @@ class Core:
             self._completion.cancel()
             self._completion = None
         self._current = None
+        if self._exec_span is not None:
+            self.tracer.exec_end(self._exec_span, self.sim.now, done)
+            self._exec_span = None
         self.speed_timeline.set_value(self.sim.now, 0.0)
         return done
 
@@ -232,6 +243,10 @@ class Core:
                 continue  # cannot run past the deadline; expiry event settles it
             self._current = seg
             self._current_started = self.sim.now
+            if self.tracer.enabled:
+                self._exec_span = self.tracer.exec_start(
+                    seg.job, self.index, seg.speed, seg.volume, self.sim.now
+                )
             self.speed_timeline.set_value(self.sim.now, seg.speed)
             duration = seg.duration(self.units_per_ghz_second)
             # Completion events run at low priority so that deadline
@@ -250,6 +265,9 @@ class Core:
         assert seg is not None, "completion fired with no in-flight segment"
         self._completion = None
         self._current = None
+        if self._exec_span is not None:
+            self.tracer.exec_end(self._exec_span, self.sim.now, seg.volume)
+            self._exec_span = None
         seg.job.add_progress(seg.volume)
         self._completed_volume += seg.volume
         if seg.final and not seg.job.settled:

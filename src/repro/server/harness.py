@@ -25,6 +25,7 @@ from typing import Dict, List, Optional
 from repro.config import SimulationConfig
 from repro.errors import SchedulingError
 from repro.metrics.collector import MetricsCollector, RunResult
+from repro.obs.tracer import NULL_TRACER
 from repro.quality.monitor import QualityMonitor
 from repro.server.machine import MulticoreServer
 from repro.server.scheduler import Scheduler
@@ -54,6 +55,12 @@ class SimulationHarness:
         Optional quality-monitor override (e.g. the class-aware monitor
         of :mod:`repro.mixed`); defaults to a cumulative
         :class:`QualityMonitor` on the config's quality function.
+    tracer:
+        Optional :class:`repro.obs.Tracer` recording job spans, core
+        timelines and scheduler events for this run.  Defaults to the
+        zero-overhead null tracer (tracing off).  Tracing only observes
+        state — it never schedules events — so a traced run's
+        :class:`RunResult` is bit-identical to an untraced one.
     """
 
     def __init__(
@@ -62,9 +69,11 @@ class SimulationHarness:
         scheduler: Scheduler,
         workload=None,
         monitor: Optional[QualityMonitor] = None,
+        tracer=None,
     ) -> None:
         self.config = config
         self.scheduler = scheduler
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.sim = Simulator()
         self.model = config.power_model()
         self.scale = config.speed_scale(self.model)
@@ -80,6 +89,7 @@ class SimulationHarness:
             scales=core_scales,
             on_idle=self._core_became_idle,
             on_settle=self._job_settled_by_core,
+            tracer=self.tracer,
         )
         self.quality_function = config.quality_function()
         self.monitor = monitor if monitor is not None else QualityMonitor(self.quality_function)
@@ -128,6 +138,8 @@ class SimulationHarness:
     # Event plumbing
     # ------------------------------------------------------------------
     def _job_arrived(self, job: Job) -> None:
+        if self.tracer.enabled:
+            self.tracer.job_arrived(job, self.sim.now)
         self.queue.append(job)
         self._queued_ids.add(job.jid)
         # Deadline expiry fires after completions at the same instant.
@@ -164,12 +176,18 @@ class SimulationHarness:
         self._recorded.add(job.jid)
         self.monitor.record_job(job, time=self.sim.now)
         self.metrics.record_settle(job)
+        if self.tracer.enabled:
+            self.tracer.job_settled(job, self.sim.now)
 
     def _core_became_idle(self, core_index: int) -> None:
         self.scheduler.on_core_idle(core_index)
 
     def _quantum_tick(self) -> None:
         self.scheduler.on_quantum()
+        if self.tracer.enabled:
+            # Sample after the scheduler acted, so the speeds reflect
+            # the plan installed at this quantum boundary.
+            self.tracer.sample_cores(self.machine, self.sim.now)
         if self.sim.now + self.scheduler.quantum <= self._drain_until:
             self.sim.schedule(
                 self.scheduler.quantum, self._quantum_tick,
@@ -191,6 +209,18 @@ class SimulationHarness:
             raise SchedulingError("harness cannot be run twice")
         self._running = True
         cfg = self.config
+        if self.tracer.enabled:
+            self.tracer.run_started(
+                self.sim.now,
+                scheduler=self.scheduler.name,
+                arrival_rate=cfg.arrival_rate,
+                horizon=cfg.horizon,
+                seed=cfg.seed,
+                cores=cfg.m,
+                budget=cfg.budget,
+                q_ge=cfg.q_ge,
+            )
+            self.tracer.sample_cores(self.machine, self.sim.now)
         # Drain until the last deadline so every job settles, even when
         # a custom workload's deadlines exceed horizon + window_high.
         all_jobs = self._workload.materialize()
@@ -204,6 +234,8 @@ class SimulationHarness:
             )
         self.sim.run(until=self._drain_until)
         self.scheduler.on_run_end()
+        if self.tracer.enabled:
+            self.tracer.run_finished(self.machine, self.sim.now)
         if self.metrics.jobs != self._total_jobs:  # pragma: no cover - invariant
             raise SchedulingError(
                 f"settled {self.metrics.jobs} of {self._total_jobs} jobs — "

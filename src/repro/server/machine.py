@@ -57,6 +57,7 @@ class MulticoreServer:
         on_settle: Optional[Callable[[Job], None]] = None,
         models: Optional[List[PowerModel]] = None,
         scales: Optional[List[SpeedScale]] = None,
+        tracer=None,
     ) -> None:
         if m <= 0:
             raise ConfigurationError(f"core count must be positive, got {m!r}")
@@ -82,6 +83,7 @@ class MulticoreServer:
                 units_per_ghz_second=self.models[i].units_per_ghz_second,
                 on_idle=on_idle,
                 on_settle=on_settle,
+                tracer=tracer,
             )
             for i in range(self.m)
         ]

@@ -77,3 +77,58 @@ class TestIntegration:
         SimulationHarness(cfg, GEScheduler(decision_log=log)).run()
         policies = {d.policy for d in log}
         assert "WF" in policies  # heavy load engages water-filling
+
+
+class TestTracerMigration:
+    def test_none_capacity_falls_back_to_default_bound(self):
+        from repro.core.decisions import DEFAULT_CAPACITY
+
+        log = DecisionLog(capacity=None)
+        assert log.capacity == DEFAULT_CAPACITY  # never unbounded
+
+    def test_capacity_property(self):
+        assert DecisionLog(capacity=5).capacity == 5
+
+    def test_record_emits_through_tracer(self):
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+        log = DecisionLog(capacity=2, tracer=tracer)
+        for t in range(4):
+            log.record(make_decision(float(t)))
+        # Ring buffer still bounded...
+        assert len(log) == 2
+        # ...but the tracer kept the full decision stream.
+        decisions = [e for e in tracer.events if e.kind == "decision"]
+        assert [e.time for e in decisions] == [0.0, 1.0, 2.0, 3.0]
+        assert decisions[0].attrs["policy"] == "ES"
+
+    def test_no_tracer_is_still_fine(self):
+        log = DecisionLog()
+        log.record(make_decision())
+        assert log.tracer is None
+        assert len(log) == 1
+
+    def test_ge_with_shared_tracer_emits_each_round_once(self):
+        from repro.obs import Tracer
+        from repro.server.harness import SimulationHarness as Harness
+
+        tracer = Tracer()
+        log = DecisionLog(tracer=tracer)
+        cfg = SimulationConfig(arrival_rate=120.0, horizon=2.0, seed=2)
+        scheduler = GEScheduler(decision_log=log)
+        Harness(cfg, scheduler, tracer=tracer).run()
+        decisions = [e for e in tracer.events if e.kind == "decision"]
+        assert len(decisions) == scheduler.reschedules  # no double emission
+        assert log.total_recorded == scheduler.reschedules
+
+    def test_ge_without_log_still_emits_decisions(self):
+        from repro.obs import Tracer
+        from repro.server.harness import SimulationHarness as Harness
+
+        tracer = Tracer()
+        cfg = SimulationConfig(arrival_rate=120.0, horizon=2.0, seed=2)
+        scheduler = GEScheduler()
+        Harness(cfg, scheduler, tracer=tracer).run()
+        decisions = [e for e in tracer.events if e.kind == "decision"]
+        assert len(decisions) == scheduler.reschedules

@@ -1,0 +1,53 @@
+"""The null tracer must be free: no events, no allocations.
+
+Instrumented hot paths guard every trace point with
+``if tracer.enabled:`` and default to the shared ``NULL_TRACER``.  This
+test drives a ~10k-job run with tracing disabled and asserts that
+nothing inside :mod:`repro.obs` allocated a single block (tracemalloc,
+filtered to the package's files) and that the null tracer holds no
+state at all.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from pathlib import Path
+
+import repro.obs  # noqa: F401 - imported before tracemalloc starts
+from repro.baselines.queue_order import FCFS
+from repro.config import SimulationConfig
+from repro.obs.tracer import NULL_TRACER
+from repro.server.harness import SimulationHarness
+
+_OBS_DIR = str(Path(repro.obs.__file__).parent)
+
+
+class TestNullTracerOverhead:
+    def test_harness_defaults_to_null_tracer(self):
+        config = SimulationConfig(arrival_rate=100.0, horizon=1.0, seed=1)
+        harness = SimulationHarness(config, FCFS())
+        assert harness.tracer is NULL_TRACER
+        assert all(core.tracer is NULL_TRACER for core in harness.machine.cores)
+
+    def test_10k_job_run_allocates_nothing_in_obs(self):
+        config = SimulationConfig(arrival_rate=200.0, horizon=50.0, seed=5)
+        harness = SimulationHarness(config, FCFS())
+
+        obs_filter = tracemalloc.Filter(True, _OBS_DIR + "/*")
+        tracemalloc.start()
+        try:
+            result = harness.run()
+            snapshot = tracemalloc.take_snapshot().filter_traces([obs_filter])
+        finally:
+            tracemalloc.stop()
+
+        assert result.jobs >= 10_000  # the run really was 10k jobs
+        stats = snapshot.statistics("filename")
+        assert stats == [], (
+            "repro.obs allocated memory during an untraced run: "
+            + "; ".join(str(s) for s in stats)
+        )
+        # And, trivially but explicitly: the null tracer recorded no events.
+        assert not hasattr(NULL_TRACER, "__dict__")
+        assert not hasattr(NULL_TRACER, "events")
+        assert not hasattr(NULL_TRACER, "spans")

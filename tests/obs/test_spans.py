@@ -1,0 +1,51 @@
+"""Tests for span/event records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.spans import EventRecord, SpanRecord
+
+
+class TestSpanRecord:
+    def test_open_then_close(self):
+        span = SpanRecord(span_id=0, name="job", start=1.0, seq=0)
+        assert span.open
+        assert span.duration is None
+        span.close(3.5, outcome="completed")
+        assert not span.open
+        assert span.duration == pytest.approx(2.5)
+        assert span.attrs["outcome"] == "completed"
+
+    def test_double_close_raises(self):
+        span = SpanRecord(span_id=0, name="job", start=1.0, seq=0)
+        span.close(2.0)
+        with pytest.raises(ValueError):
+            span.close(3.0)
+
+    def test_record_round_trip(self):
+        span = SpanRecord(
+            span_id=3, name="exec", start=0.25, seq=7, parent_id=1,
+            attrs={"core": 4, "speed": 2.0},
+        )
+        span.close(0.75, done=100.0)
+        assert SpanRecord.from_record(span.to_record()) == span
+
+    def test_open_span_round_trip(self):
+        span = SpanRecord(span_id=0, name="job", start=0.0, seq=0)
+        assert SpanRecord.from_record(span.to_record()) == span
+
+
+class TestEventRecord:
+    def test_record_round_trip(self):
+        event = EventRecord(
+            time=1.5, kind="mode_switch", seq=2,
+            attrs={"from": "aes", "to": "bq"},
+        )
+        assert EventRecord.from_record(event.to_record()) == event
+
+    def test_span_attachment(self):
+        event = EventRecord(time=1.0, kind="assign", seq=0, span_id=5)
+        record = event.to_record()
+        assert record["span_id"] == 5
+        assert EventRecord.from_record(record).span_id == 5

@@ -124,3 +124,70 @@ def test_custom_run_parameters(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "Q=0.8" in out  # lands near the 0.85 target
+
+
+def test_trace_telemetry_mode_writes_jsonl(tmp_path, capsys):
+    path = tmp_path / "trace.jsonl"
+    code = main(["trace", "--scenario", "websearch", "--out", str(path),
+                 "--horizon", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace records" in out
+    assert "modes:" in out  # summary printed
+
+    from repro.obs import read_jsonl
+
+    trace = read_jsonl(path)
+    assert trace.spans_named("job")          # job spans present
+    assert trace.samples                     # core timeline samples present
+    assert trace.events_of("mode_switch")    # at least one AES<->BQ switch
+
+
+def test_trace_scenario_alias_matches_canonical(capsys):
+    assert main(["trace", "--scenario", "websearch",
+                 "--horizon", "1", "--no-summary"]) == 0
+    first = capsys.readouterr().out.splitlines()[0]
+    assert main(["trace", "--scenario", "web_search",
+                 "--horizon", "1", "--no-summary"]) == 0
+    second = capsys.readouterr().out.splitlines()[0]
+    assert first == second  # identical run row: alias resolved to same scenario
+
+
+def test_trace_csv_exports(tmp_path, capsys):
+    timeline = tmp_path / "timeline.csv"
+    spans = tmp_path / "spans.csv"
+    code = main(["trace", "--horizon", "2", "--rate", "100",
+                 "--timeline-csv", str(timeline), "--spans-csv", str(spans),
+                 "--no-summary"])
+    assert code == 0
+    assert timeline.read_text().startswith("time,core,")
+    assert spans.read_text().startswith("span_id,parent_id,")
+
+
+def test_run_with_trace_out(tmp_path, capsys):
+    path = tmp_path / "run.jsonl"
+    code = main(["run", "--rate", "110", "--horizon", "2",
+                 "--trace-out", str(path)])
+    assert code == 0
+    assert path.exists()
+    assert "trace records" in capsys.readouterr().out
+
+
+def test_run_with_trace_flag_prints_summary(capsys):
+    code = main(["run", "--rate", "110", "--horizon", "2", "--trace"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "jobs (" in out
+
+
+def test_scenario_with_trace_out(tmp_path, capsys):
+    path = tmp_path / "scen.jsonl"
+    code = main(["scenario", "gps_tracking", "--horizon", "2",
+                 "--trace-out", str(path)])
+    assert code == 0
+    assert path.exists()
+
+
+def test_unknown_trace_scenario_raises():
+    with pytest.raises(KeyError):
+        main(["trace", "--scenario", "nope", "--horizon", "1"])
