@@ -31,13 +31,13 @@ __all__ = ["ClairvoyantGE", "make_oracle"]
 class ClairvoyantGE(GEScheduler):
     """GE with an offline (whole-workload) LF cut and no compensation."""
 
-    def __init__(self, **kwargs) -> None:
+    def __init__(self, **kwargs: object) -> None:
         kwargs.setdefault("name", "GE-Oracle")
         kwargs.setdefault("compensated", False)
         super().__init__(**kwargs)
         self._offline_targets: Dict[int, float] = {}
 
-    def bind(self, harness) -> None:
+    def bind(self, harness: "SimulationHarness") -> None:
         super().bind(harness)
         jobs = harness.workload.materialize()
         if jobs:
@@ -61,6 +61,6 @@ class ClairvoyantGE(GEScheduler):
         }
 
 
-def make_oracle(**kwargs) -> ClairvoyantGE:
+def make_oracle(**kwargs: object) -> ClairvoyantGE:
     """The clairvoyant reference with default knobs."""
     return ClairvoyantGE(**kwargs)

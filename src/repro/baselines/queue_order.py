@@ -49,7 +49,7 @@ class QueueOrderScheduler(Scheduler):
         self._key = key
         self._cap_speeds: list = []
 
-    def bind(self, harness) -> None:
+    def bind(self, harness: "SimulationHarness") -> None:
         super().bind(harness)
         cfg = harness.config
         share = cfg.budget / cfg.m

@@ -1,0 +1,42 @@
+"""Correctness tooling: sim-lint static analysis and runtime sanitizer.
+
+The GE reproduction's headline numbers rest on physical invariants the
+paper states but Python cannot express in types: per-round dynamic
+power never exceeds the budget ``H`` (§III-D), energy is the exact
+integral of the piecewise-constant speed timelines (§II-B), and the
+aggregate quality ``Q = Σf(c_j)/Σf(p_j)`` stays in ``[0, 1]`` and never
+dips below ``Q_GE`` outside a compensation episode (§III-C).  This
+package enforces them twice:
+
+* **sim-lint** (:mod:`repro.check.linter` / :mod:`repro.check.rules`) —
+  an AST linter with simulator-domain rules (SIM001–SIM008): no
+  wall-clock or unseeded randomness inside the deterministic layers, no
+  bare float equality in scheduler code, layering hygiene, frozen
+  config, fully annotated public API.  Run ``python -m repro.check lint
+  src/repro``.
+
+* **the sanitizer** (:mod:`repro.check.sanitizer`) — an opt-in
+  :class:`SanitizingTracer` that rides the :mod:`repro.obs` telemetry
+  stream and fails fast the moment a run violates the power-budget,
+  energy-accounting, volume-monotonicity, clock or quality invariants.
+  Enable with ``--sanitize`` on the CLI or ``REPRO_SANITIZE=1``.
+
+See ``docs/static-analysis.md`` for the full rule catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.check.linter import Finding, lint_paths, lint_source
+from repro.check.rules import RULES, Rule, rule_catalog
+from repro.check.sanitizer import SanitizingTracer, SanitizerViolation
+
+__all__ = [
+    "Finding",
+    "RULES",
+    "Rule",
+    "SanitizerViolation",
+    "SanitizingTracer",
+    "lint_paths",
+    "lint_source",
+    "rule_catalog",
+]

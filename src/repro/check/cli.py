@@ -1,0 +1,128 @@
+"""``python -m repro.check`` — the sim-lint command-line interface.
+
+Examples
+--------
+Lint the library (exit 1 when findings remain)::
+
+    python -m repro.check lint src/repro
+
+Restrict or widen the rule set, or emit machine-readable output::
+
+    python -m repro.check lint src/repro --select SIM001,SIM004
+    python -m repro.check lint src/repro --ignore SIM006 --format json
+
+Print the rule catalogue with rationales::
+
+    python -m repro.check rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from typing import List, Optional, Sequence
+
+from repro.check.linter import Finding, LintError, lint_paths
+from repro.check.rules import RULES, rule_catalog
+
+__all__ = ["main"]
+
+
+def _split_codes(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    return [c.strip().upper() for c in value.split(",") if c.strip()]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Simulator-aware static analysis (sim-lint) for repro",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser("lint", help="lint files/directories with the SIM rules")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories (default: src/repro)")
+    lint.add_argument("--select", metavar="CODES", default=None,
+                      help="comma-separated rule codes to run (default: all)")
+    lint.add_argument("--ignore", metavar="CODES", default=None,
+                      help="comma-separated rule codes to skip")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (json is one object with a findings list)")
+    lint.add_argument("--module", metavar="NAME", default=None,
+                      help="force the dotted module name for every file "
+                           "(for fixture files outside the package)")
+    lint.add_argument("--statistics", action="store_true",
+                      help="append a per-rule violation count")
+
+    sub.add_parser("rules", help="print the rule catalogue with rationales")
+    return parser
+
+
+def _known_codes() -> List[str]:
+    return [rule.code for rule in RULES]
+
+
+def _report_text(findings: List[Finding], statistics: bool) -> None:
+    for finding in findings:
+        print(finding.format())
+    if statistics and findings:
+        counts = Counter(f.code for f in findings)
+        print()
+        for code, count in sorted(counts.items()):
+            print(f"{count:5d}  {code}")
+    if findings:
+        print(f"\nfound {len(findings)} sim-lint finding(s)")
+    else:
+        print("sim-lint: clean")
+
+
+def _report_json(findings: List[Finding]) -> None:
+    payload = {
+        "findings": [f.to_dict() for f in findings],
+        "count": len(findings),
+        "by_rule": dict(sorted(Counter(f.code for f in findings).items())),
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns 0 when clean, 1 on findings, 2 on usage errors."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "rules":
+        print(rule_catalog())
+        return 0
+
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
+    known = set(_known_codes())
+    unknown = [c for c in (select or []) + (ignore or []) if c not in known]
+    if unknown:
+        print(
+            f"unknown rule code(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        findings = lint_paths(
+            args.paths, select=select, ignore=ignore, module=args.module
+        )
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        _report_json(findings)
+    else:
+        _report_text(findings, statistics=args.statistics)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,241 @@
+"""The sim-lint engine: file walking, suppression handling, reporting.
+
+The engine is rule-agnostic: it parses each file once, computes the
+``# simlint: ignore[...]`` suppression table from the token stream, and
+hands a :class:`ModuleContext` to every applicable rule from
+:mod:`repro.check.rules`.  Rules yield :class:`Finding` objects; the
+engine drops the suppressed ones and returns the rest sorted by
+location.
+
+Suppressions
+------------
+* ``# simlint: ignore`` on a line suppresses every rule on that line;
+* ``# simlint: ignore[SIM003]`` (comma-separated codes allowed)
+  suppresses only the named rules;
+* ``# simlint: skip-file`` anywhere in the file skips the whole file.
+
+Suppression comments are read from the token stream, so the markers are
+only recognized in real comments, never inside string literals.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = ["Finding", "LintError", "ModuleContext", "lint_paths", "lint_source"]
+
+#: Matches one suppression comment; group 1 holds the optional code list.
+_SUPPRESS_RE = re.compile(r"#\s*simlint:\s*ignore(?:\[([A-Za-z0-9_,\s]+)\])?")
+_SKIP_FILE_RE = re.compile(r"#\s*simlint:\s*skip-file")
+
+#: Sentinel meaning "every rule is suppressed on this line".
+_ALL_CODES: FrozenSet[str] = frozenset({"*"})
+
+
+class LintError(Exception):
+    """A file could not be linted (unreadable or unparseable)."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        """``path:line:col: CODE message`` (the text report line)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-native representation (the ``--format json`` record)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module."""
+
+    module: str  #: dotted module name, e.g. ``repro.server.core``
+    path: str  #: display path for findings
+    tree: ast.Module
+    source: str
+    lines: List[str] = field(default_factory=list)
+
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether this module sits under any of the dotted prefixes."""
+        return any(
+            self.module == p or self.module.startswith(p + ".") for p in prefixes
+        )
+
+
+def _suppressions(source: str) -> Optional[Dict[int, FrozenSet[str]]]:
+    """Map line number → suppressed codes; ``None`` means skip the file."""
+    table: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            if _SKIP_FILE_RE.search(tok.string):
+                return None
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = match.group(1)
+            if codes is None:
+                table[tok.start[0]] = _ALL_CODES
+            else:
+                parsed = frozenset(
+                    c.strip().upper() for c in codes.split(",") if c.strip()
+                )
+                table[tok.start[0]] = table.get(tok.start[0], frozenset()) | parsed
+    except tokenize.TokenError:  # pragma: no cover - ast.parse fails first
+        pass
+    return table
+
+
+def _suppressed(finding: Finding, table: Dict[int, FrozenSet[str]]) -> bool:
+    codes = table.get(finding.line)
+    if codes is None:
+        return False
+    return codes is _ALL_CODES or "*" in codes or finding.code in codes
+
+
+def module_name_for(path: Path) -> str:
+    """Infer the dotted module name of a file from its path.
+
+    Walks up from the file to the outermost directory that still has an
+    ``__init__.py`` (the package root), so ``src/repro/sim/engine.py``
+    maps to ``repro.sim.engine`` regardless of the working directory.
+    """
+    parts = [path.stem] if path.stem != "__init__" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.insert(0, parent.name)
+        parent = parent.parent
+    return ".".join(parts) if parts else path.stem
+
+
+def _select_rules(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> List["Rule"]:  # noqa: F821 - forward ref to repro.check.rules.Rule
+    from repro.check.rules import RULES
+
+    selected = {s.strip().upper() for s in select} if select else None
+    ignored = {s.strip().upper() for s in ignore} if ignore else set()
+    chosen = []
+    for rule in RULES:
+        if selected is not None and rule.code not in selected:
+            continue
+        if rule.code in ignored:
+            continue
+        chosen.append(rule)
+    return chosen
+
+
+def lint_source(
+    source: str,
+    *,
+    module: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one module given as source text (the test-fixture entry point)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise LintError(f"{path}: {exc}") from exc
+    table = _suppressions(source)
+    if table is None:  # simlint: skip-file
+        return []
+    ctx = ModuleContext(
+        module=module,
+        path=path,
+        tree=tree,
+        source=source,
+        lines=source.splitlines(),
+    )
+    findings: List[Finding] = []
+    for rule in _select_rules(select, ignore):
+        if not rule.applies(ctx):
+            continue
+        findings.extend(rule.check(ctx))
+    return sorted(f for f in findings if not _suppressed(f, table))
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Expand files and directories into a sorted stream of ``.py`` files."""
+    seen: Set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        elif root.suffix == ".py":
+            candidates = [root]
+        else:
+            raise LintError(f"not a python file or directory: {raw}")
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_paths(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    module: Optional[str] = None,
+) -> List[Finding]:
+    """Lint every python file under ``paths``; findings sorted by location.
+
+    ``module`` forces the dotted module name for every linted file
+    (fixture files outside the package would otherwise fall outside the
+    package-scoped rules); by default it is inferred from the path.
+    """
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {file_path}: {exc}") from exc
+        findings.extend(
+            lint_source(
+                source,
+                module=module if module is not None else module_name_for(file_path),
+                path=str(file_path),
+                select=select,
+                ignore=ignore,
+            )
+        )
+    return sorted(findings)

@@ -139,6 +139,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also write the spans as CSV")
     trace.add_argument("--no-summary", action="store_true",
                        help="suppress the trace summary on stdout")
+    _add_sanitize_flag(trace)
     trace_sub = trace.add_subparsers(dest="trace_command", required=False)
     save = trace_sub.add_parser("save", help="materialize a workload to CSV")
     save.add_argument("path", help="output CSV file")
@@ -158,6 +159,13 @@ def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
                         help="record a trace and print its summary")
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="record a trace and write it as JSONL (implies --trace)")
+    _add_sanitize_flag(parser)
+
+
+def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sanitize", action="store_true",
+                        help="assert simulation invariants while running "
+                             "(also enabled by REPRO_SANITIZE=1)")
 
 
 def _resolve_scenario(name: str) -> str:
@@ -179,13 +187,32 @@ def _resolve_scenario(name: str) -> str:
     )
 
 
-def _new_tracer_if(active: bool):
-    """A fresh Tracer when tracing was requested, else None."""
+def _new_tracer_if(active: bool, *, sanitize: bool = False,
+                   config: Optional[SimulationConfig] = None, scheduler=None):
+    """A fresh Tracer when tracing/sanitizing was requested, else None.
+
+    Sanitizing implies tracing: the invariant checks ride the trace
+    stream (:class:`repro.check.SanitizingTracer`).
+    """
+    from repro.check.sanitizer import sanitize_requested
+
+    if sanitize_requested(sanitize):
+        from repro.check.sanitizer import SanitizingTracer
+
+        return SanitizingTracer.for_run(config, scheduler)
     if not active:
         return None
     from repro.obs import Tracer
 
     return Tracer()
+
+
+def _report_sanitizer(tracer) -> None:
+    """Print the clean-run summary line after a sanitized run."""
+    from repro.check.sanitizer import SanitizingTracer
+
+    if isinstance(tracer, SanitizingTracer):
+        print(f"sanitizer: {tracer.checks_run} invariant checks passed")
 
 
 def _emit_trace(tracer, *, out=None, timeline_csv=None, spans_csv=None,
@@ -238,12 +265,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             budget=args.budget,
             q_ge=args.q_ge,
         )
-        tracer = _new_tracer_if(args.trace or args.trace_out)
-        result = SimulationHarness(
-            config, _SCHEDULERS[args.scheduler](), tracer=tracer
-        ).run()
+        scheduler = _SCHEDULERS[args.scheduler]()
+        tracer = _new_tracer_if(args.trace or bool(args.trace_out),
+                                sanitize=args.sanitize, config=config,
+                                scheduler=scheduler)
+        result = SimulationHarness(config, scheduler, tracer=tracer).run()
         print(result.row())
-        if tracer is not None:
+        _report_sanitizer(tracer)
+        if tracer is not None and (args.trace or args.trace_out):
             _emit_trace(tracer, out=args.trace_out)
         return 0
 
@@ -277,12 +306,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             _resolve_scenario(args.name),
             arrival_rate=args.rate, horizon=args.horizon, seed=args.seed,
         )
-        tracer = _new_tracer_if(args.trace or args.trace_out)
-        result = SimulationHarness(
-            config, _SCHEDULERS[args.scheduler](), tracer=tracer
-        ).run()
+        scheduler = _SCHEDULERS[args.scheduler]()
+        tracer = _new_tracer_if(args.trace or bool(args.trace_out),
+                                sanitize=args.sanitize, config=config,
+                                scheduler=scheduler)
+        result = SimulationHarness(config, scheduler, tracer=tracer).run()
         print(result.row())
-        if tracer is not None:
+        _report_sanitizer(tracer)
+        if tracer is not None and (args.trace or args.trace_out):
             _emit_trace(tracer, out=args.trace_out)
         return 0
 
@@ -329,11 +360,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     horizon=args.horizon,
                     seed=args.seed,
                 )
-            tracer = _new_tracer_if(True)
-            result = SimulationHarness(
-                config, _SCHEDULERS[args.scheduler](), tracer=tracer
-            ).run()
+            scheduler = _SCHEDULERS[args.scheduler]()
+            tracer = _new_tracer_if(True, sanitize=args.sanitize,
+                                    config=config, scheduler=scheduler)
+            result = SimulationHarness(config, scheduler, tracer=tracer).run()
             print(result.row())
+            _report_sanitizer(tracer)
             _emit_trace(
                 tracer,
                 out=args.out,

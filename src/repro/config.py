@@ -109,7 +109,7 @@ class SimulationConfig:
                 raise ConfigurationError("core_power_scales entries must be positive")
 
     # -- factories --------------------------------------------------------
-    def with_overrides(self, **kwargs) -> "SimulationConfig":
+    def with_overrides(self, **kwargs: object) -> "SimulationConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 

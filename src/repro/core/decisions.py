@@ -68,7 +68,11 @@ class DecisionLog:
         every :meth:`record` also emits a ``decision`` trace event.
     """
 
-    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY, tracer=None) -> None:
+    def __init__(
+        self,
+        capacity: Optional[int] = DEFAULT_CAPACITY,
+        tracer: Optional[TracerLike] = None,
+    ) -> None:
         if capacity is None:
             capacity = DEFAULT_CAPACITY
         if capacity < 1:

@@ -21,8 +21,9 @@ Two implementations are provided:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -48,7 +49,7 @@ def yds_schedule(
     deadlines: Sequence[float],
     now: float,
     *,
-    max_speed: float = float("inf"),
+    max_speed: float = math.inf,
 ) -> List[BlockSpeed]:
     """Minimum-energy speeds for jobs all released at ``now``.
 
@@ -199,7 +200,7 @@ def yds_schedule_general(
 def energy_of_blocks(
     blocks: List[BlockSpeed],
     volumes: Sequence[float],
-    power_of_speed,
+    power_of_speed: Callable[[float], float],
 ) -> float:
     """Energy of a staircase given ``power_of_speed`` in units/second.
 

@@ -21,11 +21,13 @@ class (§IV-A-1) and are exposed via :func:`make_be` / :func:`make_oq`;
 from __future__ import annotations
 
 import time as _time
-from typing import Dict, List, Literal, Optional
+from typing import TYPE_CHECKING, Dict, List, Literal, Optional
 
 import numpy as np
 
 from repro.core.assignment import AssignmentPolicy, CumulativeRoundRobin
+from repro.core.decisions import DecisionLog
+from repro.errors import SchedulingError
 from repro.core.cutting import lf_cut_waterline
 from repro.core.load import ArrivalRateEstimator
 from repro.core.modes import ExecutionMode, ModeController
@@ -33,6 +35,9 @@ from repro.core.planner import build_core_plan, core_power_demand, edf_sort
 from repro.power.distribution import EqualSharing, HybridDistribution, WaterFilling
 from repro.server.scheduler import Scheduler
 from repro.workload.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.server.harness import SimulationHarness
 
 __all__ = ["GEScheduler", "make_ge", "make_be", "make_oq"]
 
@@ -79,7 +84,7 @@ class GEScheduler(Scheduler):
         distribution: DistributionMode = "hybrid",
         assignment: Optional[AssignmentPolicy] = None,
         cut_with_history: bool = False,
-        decision_log=None,
+        decision_log: Optional[DecisionLog] = None,
         name: str = "GE",
     ) -> None:
         super().__init__()
@@ -107,7 +112,7 @@ class GEScheduler(Scheduler):
         self._last_policy: Optional[str] = None
 
     # ------------------------------------------------------------------
-    def bind(self, harness) -> None:
+    def bind(self, harness: "SimulationHarness") -> None:
         super().bind(harness)
         cfg = harness.config
         self.quantum = cfg.quantum
@@ -169,12 +174,18 @@ class GEScheduler(Scheduler):
     # ------------------------------------------------------------------
     def reschedule(self) -> None:
         """Run one full §III-E scheduling round at the current instant."""
+        if self.harness is None or self.controller is None or self._assignment is None:
+            raise SchedulingError(
+                "GE scheduler used before bind(); attach it to a SimulationHarness first"
+            )
         harness = self.harness
         now = harness.sim.now
         machine = harness.machine
         tracer = harness.tracer
         tracing = tracer.enabled
-        wall_start = _time.perf_counter() if tracing else 0.0
+        # Wall-clock here measures *scheduler overhead* (the round_latency_ms
+        # metric), never simulated time — it cannot affect the schedule.
+        wall_start = _time.perf_counter() if tracing else 0.0  # simlint: ignore[SIM001]
         queue_depth = len(harness.queue)
         self._reschedules += 1
 
@@ -295,7 +306,7 @@ class GEScheduler(Scheduler):
             metrics.histogram("scheduler.batch_size", bound=64).observe(len(batch))
             metrics.histogram("scheduler.active_jobs", bound=256).observe(len(all_jobs))
             metrics.histogram("scheduler.round_latency_ms", bound=10.0).observe(
-                (_time.perf_counter() - wall_start) * 1e3
+                (_time.perf_counter() - wall_start) * 1e3  # simlint: ignore[SIM001]
             )
 
     # ------------------------------------------------------------------
@@ -356,7 +367,7 @@ class GEScheduler(Scheduler):
         return f"{self.name} (target={self._q_target}, {comp}, {cut}, {self.distribution_mode})"
 
 
-def make_ge(**kwargs) -> GEScheduler:
+def make_ge(**kwargs: object) -> GEScheduler:
     """The paper's GE with default knobs."""
     return GEScheduler(name=kwargs.pop("name", "GE"), **kwargs)
 

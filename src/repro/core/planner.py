@@ -21,7 +21,7 @@ deadline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -99,7 +99,7 @@ def build_core_plan(
     power_cap: float,
     model: PowerModel,
     scale: SpeedScale,
-    allocator=None,
+    allocator: Optional[Callable[..., np.ndarray]] = None,
 ) -> CorePlan:
     """Plan one core: first cut → Quality-OPT → Energy-OPT → segments.
 

@@ -7,6 +7,7 @@ afford aggressive cutting while the compensation policy rarely fires.
 
 from __future__ import annotations
 
+from typing import Sequence
 from repro.core.ge import make_ge
 from repro.experiments.report import FigureResult, Series
 from repro.experiments.runner import run_single, scaled_config
@@ -16,7 +17,7 @@ __all__ = ["run"]
 RATES = (100.0, 120.0, 140.0, 160.0, 180.0, 200.0)
 
 
-def run(scale: float = 0.05, seed: int = 1, rates=RATES) -> FigureResult:
+def run(scale: float = 0.05, seed: int = 1, rates: Sequence[float] = RATES) -> FigureResult:
     """Regenerate Fig. 1 at the given horizon scale."""
     fig = FigureResult(
         figure_id="fig01",

@@ -10,6 +10,7 @@ one-at-a-time baselines; LJF and SJF are the worst, with SJF's energy
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
 from repro.baselines.queue_order import FCFS, LJF, SJF
 from repro.core.ge import make_be, make_ge, make_oq
 from repro.experiments.report import FigureResult
@@ -32,7 +33,7 @@ FACTORIES = {
 }
 
 
-def run(scale: float = 0.05, seed: int = 1, rates=None) -> FigureResult:
+def run(scale: float = 0.05, seed: int = 1, rates: Optional[Sequence[float]] = None) -> FigureResult:
     """Regenerate Fig. 3 (quality + energy panels)."""
     rates = list(rates) if rates is not None else default_rates(scale)
     cfg = scaled_config(scale, seed)

@@ -11,6 +11,7 @@ it respects deadline order.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
 from repro.baselines.queue_order import FCFS, FDFS, LJF, SJF
 from repro.core.ge import make_be, make_ge, make_oq
 from repro.experiments.report import FigureResult
@@ -34,7 +35,7 @@ FACTORIES = {
 }
 
 
-def run(scale: float = 0.05, seed: int = 1, rates=None) -> FigureResult:
+def run(scale: float = 0.05, seed: int = 1, rates: Optional[Sequence[float]] = None) -> FigureResult:
     """Regenerate Fig. 4 (random 150–500 ms deadline windows)."""
     rates = list(rates) if rates is not None else default_rates(scale)
     cfg = scaled_config(scale, seed, window_low=0.150, window_high=0.500)

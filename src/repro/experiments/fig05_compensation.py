@@ -8,6 +8,7 @@ cost of slightly more energy.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
 from repro.core.ge import GEScheduler, make_ge
 from repro.experiments.report import FigureResult
 from repro.experiments.runner import (
@@ -30,7 +31,7 @@ FACTORIES = {
 }
 
 
-def run(scale: float = 0.05, seed: int = 1, rates=None) -> FigureResult:
+def run(scale: float = 0.05, seed: int = 1, rates: Optional[Sequence[float]] = None) -> FigureResult:
     """Regenerate Fig. 5 (compensation ablation)."""
     rates = list(rates) if rates is not None else default_rates(scale)
     cfg = scaled_config(scale, seed)

@@ -11,6 +11,7 @@ whole budget.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
 from repro.core.ge import GEScheduler
 from repro.experiments.report import FigureResult, Series
 from repro.experiments.runner import default_rates, scaled_config, sweep_rates
@@ -29,7 +30,7 @@ def _es() -> GEScheduler:
 FACTORIES = {"Water-Filling": _wf, "Equal-Sharing": _es}
 
 
-def run(scale: float = 0.05, seed: int = 1, rates=None) -> FigureResult:
+def run(scale: float = 0.05, seed: int = 1, rates: Optional[Sequence[float]] = None) -> FigureResult:
     """Regenerate Fig. 6 (mean speed + speed variance panels)."""
     rates = list(rates) if rates is not None else default_rates(scale)
     cfg = scaled_config(scale, seed)

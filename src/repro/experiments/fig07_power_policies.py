@@ -10,6 +10,7 @@ the hybrid policy.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
 from repro.experiments.fig06_speed_stats import FACTORIES
 from repro.experiments.report import FigureResult
 from repro.experiments.runner import (
@@ -22,7 +23,7 @@ from repro.experiments.runner import (
 __all__ = ["run", "FACTORIES"]
 
 
-def run(scale: float = 0.05, seed: int = 1, rates=None) -> FigureResult:
+def run(scale: float = 0.05, seed: int = 1, rates: Optional[Sequence[float]] = None) -> FigureResult:
     """Regenerate Fig. 7 (quality + energy for WF vs ES)."""
     rates = list(rates) if rates is not None else default_rates(scale)
     cfg = scaled_config(scale, seed)

@@ -12,6 +12,7 @@ three converge when the system is overloaded.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
 from repro.baselines.control import calibrate_power_control, calibrate_speed_control
 from repro.core.ge import make_ge
 from repro.experiments.report import FigureResult, Series
@@ -20,7 +21,7 @@ from repro.experiments.runner import default_rates, run_single, scaled_config
 __all__ = ["run"]
 
 
-def run(scale: float = 0.03, seed: int = 1, rates=None, iterations: int = 5) -> FigureResult:
+def run(scale: float = 0.03, seed: int = 1, rates: Optional[Sequence[float]] = None, iterations: int = 5) -> FigureResult:
     """Regenerate Fig. 8 (per-rate calibrated BE-P / BE-S vs GE).
 
     ``iterations`` bounds each bisection; 5 locates the knob within

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from typing import Sequence
 from repro.core.ge import make_ge
 from repro.experiments.report import FigureResult, Series
 from repro.experiments.runner import run_single, scaled_config
@@ -21,7 +22,7 @@ C_VALUES = (0.0005, 0.001, 0.002, 0.003, 0.005, 0.009)
 RATES = (180.0, 200.0, 220.0, 240.0)
 
 
-def run(scale: float = 0.05, seed: int = 1, rates=RATES) -> FigureResult:
+def run(scale: float = 0.05, seed: int = 1, rates: Sequence[float] = RATES) -> FigureResult:
     """Regenerate Fig. 9 (GE quality per c + the f(x) curves)."""
     fig = FigureResult(
         figure_id="fig09",

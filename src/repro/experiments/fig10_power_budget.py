@@ -8,6 +8,7 @@ which more load cannot raise it further.
 
 from __future__ import annotations
 
+from typing import Optional, Sequence
 from repro.core.ge import make_ge
 from repro.experiments.report import FigureResult, Series
 from repro.experiments.runner import default_rates, run_single, scaled_config
@@ -17,7 +18,8 @@ __all__ = ["run", "BUDGETS"]
 BUDGETS = (80.0, 160.0, 320.0, 480.0)
 
 
-def run(scale: float = 0.05, seed: int = 1, rates=None, budgets=BUDGETS) -> FigureResult:
+def run(scale: float = 0.05, seed: int = 1, rates: Optional[Sequence[float]] = None,
+    budgets: Sequence[float] = BUDGETS,) -> FigureResult:
     """Regenerate Fig. 10 (quality + energy per budget)."""
     rates = list(rates) if rates is not None else default_rates(scale)
     fig = FigureResult(

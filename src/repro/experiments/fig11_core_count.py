@@ -10,6 +10,7 @@ distribution.  The x-axis is the exponent, matching the paper's
 
 from __future__ import annotations
 
+from typing import Sequence
 from repro.core.ge import make_ge
 from repro.experiments.report import FigureResult, Series
 from repro.experiments.runner import run_single, scaled_config
@@ -23,7 +24,7 @@ def run(
     scale: float = 0.05,
     seed: int = 1,
     arrival_rate: float = 150.0,
-    exponents=CORE_EXPONENTS,
+    exponents: Sequence[int] = CORE_EXPONENTS,
 ) -> FigureResult:
     """Regenerate Fig. 11 (quality + energy vs 2^x cores)."""
     fig = FigureResult(

@@ -9,7 +9,7 @@ marginally less energy for the same reason.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.core.ge import make_ge
 from repro.experiments.report import FigureResult, Series
@@ -23,7 +23,7 @@ DEFAULT_LADDER: Tuple[float, ...] = tuple(round(0.25 * k, 2) for k in range(1, 1
 def run(
     scale: float = 0.05,
     seed: int = 1,
-    rates=None,
+    rates: Optional[Sequence[float]] = None,
     ladder: Optional[Tuple[float, ...]] = DEFAULT_LADDER,
 ) -> FigureResult:
     """Regenerate Fig. 12 (continuous vs discrete DVFS)."""

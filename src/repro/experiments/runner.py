@@ -15,9 +15,10 @@ Conventions used by every figure module:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.config import SimulationConfig
+from repro.obs.tracer import TracerLike
 from repro.experiments.report import FigureResult, Series
 from repro.metrics.collector import RunResult
 from repro.server.harness import SimulationHarness
@@ -38,7 +39,7 @@ SchedulerFactory = Callable[[], Scheduler]
 PAPER_RATES: tuple = (100.0, 125.0, 150.0, 175.0, 200.0, 225.0, 250.0)
 
 
-def scaled_config(scale: float, seed: int, **overrides) -> SimulationConfig:
+def scaled_config(scale: float, seed: int, **overrides: object) -> SimulationConfig:
     """Paper defaults with the horizon scaled and fields overridden."""
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale!r}")
@@ -54,7 +55,9 @@ def default_rates(scale: float) -> List[float]:
 
 
 def run_single(
-    config: SimulationConfig, factory: SchedulerFactory, tracer=None
+    config: SimulationConfig,
+    factory: SchedulerFactory,
+    tracer: Optional[TracerLike] = None,
 ) -> RunResult:
     """One run of one policy under one configuration.
 

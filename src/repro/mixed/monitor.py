@@ -7,10 +7,11 @@ aggregate ``Σ f_{k(j)}(c_j) / Σ f_{k(j)}(p_j)``.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Iterable, Optional, Sequence
 
 from repro.quality.functions import QualityFunction
 from repro.quality.monitor import QualityMonitor
+from repro.workload.job import Job
 
 __all__ = ["ClassAwareMonitor"]
 
@@ -32,7 +33,7 @@ class ClassAwareMonitor(QualityMonitor):
         super().__init__(functions[0], history=history)
         self.functions = list(functions)
 
-    def function_for(self, job) -> QualityFunction:
+    def function_for(self, job: Job) -> QualityFunction:
         """The quality function of ``job``'s class."""
         try:
             return self.functions[job.klass]
@@ -42,7 +43,7 @@ class ClassAwareMonitor(QualityMonitor):
                 f"{len(self.functions)} classes are configured"
             ) from None
 
-    def record_job(self, job, time: Optional[float] = None) -> float:
+    def record_job(self, job: Job, time: Optional[float] = None) -> float:
         """Settle one job using its class's quality function."""
         f = self.function_for(job)
         processed = min(job.processed, job.demand)
@@ -57,7 +58,7 @@ class ClassAwareMonitor(QualityMonitor):
             self._trace.append((float(time), q))
         return q
 
-    def expected_quality(self, jobs) -> float:
+    def expected_quality(self, jobs: Iterable[Job]) -> float:
         """True mixed aggregate recomputed from the job records."""
         achieved = 0.0
         potential = 0.0

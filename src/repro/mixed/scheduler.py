@@ -15,7 +15,7 @@ harness so compensation reacts to the true mixed aggregate;
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 from repro.core.cutting_general import lf_cut_mixed
 from repro.core.ge import GEScheduler
@@ -26,13 +26,16 @@ from repro.mixed.quality_opt import quality_opt_mixed
 from repro.quality.functions import QualityFunction
 from repro.workload.job import Job
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.server.harness import SimulationHarness
+
 __all__ = ["MixedGEScheduler", "make_mixed_ge"]
 
 
 class MixedGEScheduler(GEScheduler):
     """GE with per-class quality functions end to end."""
 
-    def __init__(self, functions: Sequence[QualityFunction], **kwargs) -> None:
+    def __init__(self, functions: Sequence[QualityFunction], **kwargs: object) -> None:
         if not functions:
             raise ConfigurationError("need at least one class quality function")
         kwargs.setdefault("name", "GE-Mixed")
@@ -50,7 +53,7 @@ class MixedGEScheduler(GEScheduler):
                 f"{len(self.functions)} classes are configured"
             ) from None
 
-    def bind(self, harness) -> None:
+    def bind(self, harness: "SimulationHarness") -> None:
         super().bind(harness)
         if not isinstance(harness.monitor, ClassAwareMonitor):
             raise ConfigurationError(
@@ -83,7 +86,7 @@ class MixedGEScheduler(GEScheduler):
 
 
 def make_mixed_ge(
-    functions: Sequence[QualityFunction], **kwargs
+    functions: Sequence[QualityFunction], **kwargs: object
 ) -> Tuple[MixedGEScheduler, ClassAwareMonitor]:
     """Build the matched (scheduler, monitor) pair for mixed classes.
 

@@ -14,7 +14,9 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
+from repro.workload.generator import JobSink, Workload
 from repro.workload.job import Job
 
 __all__ = ["MixedClassWorkload"]
@@ -35,7 +37,7 @@ class MixedClassWorkload:
 
     def __init__(
         self,
-        inner,
+        inner: Workload,
         fractions: Sequence[float],
         streams: RandomStreams | None = None,
     ) -> None:
@@ -60,7 +62,7 @@ class MixedClassWorkload:
             self._stamped = True
         return jobs
 
-    def install(self, sim, sink) -> int:
+    def install(self, sim: Simulator, sink: JobSink) -> int:
         """Stamp classes, then delegate arrival installation."""
         self.materialize()
         return self.inner.install(sim, sink)

@@ -16,7 +16,11 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Any, Dict, List
+from typing import TYPE_CHECKING, Any, Callable, Dict, List
+
+if TYPE_CHECKING:  # type-only: repro.obs stays import-light at runtime
+    from repro.server.machine import MulticoreServer
+    from repro.sim.timeline import StepTimeline
 
 __all__ = ["CoreTimelineSampler", "TimelineSample"]
 
@@ -78,7 +82,12 @@ class _CoreCursor:
         self.last_time = start_time
         self.energy = 0.0
 
-    def advance(self, timeline, power_fn, until: float) -> float:
+    def advance(
+        self,
+        timeline: StepTimeline,
+        power_fn: Callable[[float], float],
+        until: float,
+    ) -> float:
         """Integrate ``power_fn(speed)`` over (last_time, until]; return total."""
         if until <= self.last_time:
             return self.energy
@@ -113,7 +122,7 @@ class CoreTimelineSampler:
     def __init__(self) -> None:
         self._cursors: List[_CoreCursor] = []
 
-    def sample(self, machine, time: float) -> List[TimelineSample]:
+    def sample(self, machine: MulticoreServer, time: float) -> List[TimelineSample]:
         """Snapshot every core at ``time`` (exact cumulative energy)."""
         if not self._cursors:
             self._cursors = [

@@ -26,13 +26,21 @@ on or off (pinned by ``tests/obs/test_determinism.py``).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import EventRecord, SpanRecord
 from repro.obs.timeline import CoreTimelineSampler, TimelineSample
 
-__all__ = ["NULL_TRACER", "NullTracer", "Trace", "Tracer"]
+if TYPE_CHECKING:  # type-only: repro.obs stays import-light at runtime
+    from repro.core.decisions import Decision
+    from repro.server.machine import MulticoreServer
+    from repro.workload.job import Job
+
+__all__ = ["NULL_TRACER", "NullTracer", "Trace", "Tracer", "TracerLike"]
+
+#: Anything instrumented code accepts as its observability sink.
+TracerLike = Union["Tracer", "NullTracer"]
 
 
 class Trace:
@@ -167,7 +175,7 @@ class Tracer:
     # ------------------------------------------------------------------
     # Job lifecycle (called by the harness / scheduler / cores)
     # ------------------------------------------------------------------
-    def job_arrived(self, job, time: float) -> SpanRecord:
+    def job_arrived(self, job: Job, time: float) -> SpanRecord:
         """Open the job's root span and record its enqueue."""
         span = self.begin_span(
             "job",
@@ -182,11 +190,11 @@ class Tracer:
         self.event("enqueue", time, span=span)
         return span
 
-    def job_assigned(self, job, core: int, time: float) -> None:
+    def job_assigned(self, job: Job, core: int, time: float) -> None:
         """Record the C-RR (or baseline) core assignment."""
         self.event("assign", time, span=self._job_spans.get(job.jid), core=core)
 
-    def job_cut(self, job, target: float, time: float) -> None:
+    def job_cut(self, job: Job, target: float, time: float) -> None:
         """Record an LF-cut target below the job's full demand."""
         self.event(
             "lf_cut",
@@ -196,7 +204,7 @@ class Tracer:
             demand=job.demand,
         )
 
-    def job_settled(self, job, time: float) -> None:
+    def job_settled(self, job: Job, time: float) -> None:
         """Close the job's span with its outcome and processed volume."""
         span = self._job_spans.pop(job.jid, None)
         if span is None:
@@ -205,7 +213,7 @@ class Tracer:
         span.close(time, outcome=job.outcome.value, processed=job.processed)
 
     def exec_start(
-        self, job, core: int, speed: float, volume: float, time: float
+        self, job: Job, core: int, speed: float, volume: float, time: float
     ) -> SpanRecord:
         """Open an execution-slice span nested under the job's span."""
         return self.begin_span(
@@ -229,7 +237,7 @@ class Tracer:
         """Record a free-standing scheduler event."""
         self.event(kind, time, **attrs)
 
-    def decision(self, decision) -> None:
+    def decision(self, decision: Decision) -> None:
         """Record one scheduling round (a ``repro.core.decisions.Decision``)."""
         self.event(
             "decision",
@@ -245,7 +253,7 @@ class Tracer:
     # ------------------------------------------------------------------
     # Core timelines
     # ------------------------------------------------------------------
-    def sample_cores(self, machine, time: float) -> None:
+    def sample_cores(self, machine: MulticoreServer, time: float) -> None:
         """Snapshot per-core speed/power/energy (quantum boundary)."""
         self.samples.extend(self._sampler.sample(machine, time))
 
@@ -257,7 +265,7 @@ class Tracer:
         self.meta.update(meta)
         self.meta["start"] = float(time)
 
-    def run_finished(self, machine, time: float) -> None:
+    def run_finished(self, machine: MulticoreServer, time: float) -> None:
         """Take the final core sample and stamp the run duration."""
         self.sample_cores(machine, time)
         self.meta["end"] = float(time)
@@ -290,46 +298,62 @@ class NullTracer:
 
     enabled = False
 
-    def begin_span(self, name, time, *, parent=None, **attrs):
+    def begin_span(
+        self,
+        name: str,
+        time: float,
+        *,
+        parent: Optional[SpanRecord] = None,
+        **attrs: Any,
+    ) -> None:
         return None
 
-    def end_span(self, span, time, **attrs):
+    def end_span(self, span: Optional[SpanRecord], time: float, **attrs: Any) -> None:
         return None
 
-    def event(self, kind, time, *, span=None, **attrs):
+    def event(
+        self,
+        kind: str,
+        time: float,
+        *,
+        span: Optional[SpanRecord] = None,
+        **attrs: Any,
+    ) -> None:
         return None
 
-    def job_arrived(self, job, time):
+    def job_arrived(self, job: Job, time: float) -> None:
         return None
 
-    def job_assigned(self, job, core, time):
+    def job_assigned(self, job: Job, core: int, time: float) -> None:
         return None
 
-    def job_cut(self, job, target, time):
+    def job_cut(self, job: Job, target: float, time: float) -> None:
         return None
 
-    def job_settled(self, job, time):
+    def job_settled(self, job: Job, time: float) -> None:
         return None
 
-    def exec_start(self, job, core, speed, volume, time):
+    def exec_start(
+        self, job: Job, core: int, speed: float, volume: float, time: float
+    ) -> None:
         return None
 
-    def exec_end(self, span, time, done):
+    def exec_end(self, span: Optional[SpanRecord], time: float, done: float) -> None:
         return None
 
-    def scheduler_event(self, kind, time, **attrs):
+    def scheduler_event(self, kind: str, time: float, **attrs: Any) -> None:
         return None
 
-    def decision(self, decision):
+    def decision(self, decision: Decision) -> None:
         return None
 
-    def sample_cores(self, machine, time):
+    def sample_cores(self, machine: MulticoreServer, time: float) -> None:
         return None
 
-    def run_started(self, time, **meta):
+    def run_started(self, time: float, **meta: Any) -> None:
         return None
 
-    def run_finished(self, machine, time):
+    def run_finished(self, machine: MulticoreServer, time: float) -> None:
         return None
 
 

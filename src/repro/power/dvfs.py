@@ -13,6 +13,7 @@ are agnostic to which model is active.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from typing import Sequence
 
@@ -51,7 +52,7 @@ class SpeedScale(ABC):
 class ContinuousSpeedScale(SpeedScale):
     """Idealized continuous DVFS: any speed in [0, top] is allowed."""
 
-    def __init__(self, model: PowerModel, top_speed: float = float("inf")) -> None:
+    def __init__(self, model: PowerModel, top_speed: float = math.inf) -> None:
         super().__init__(model)
         if top_speed <= 0:
             raise ConfigurationError(f"top_speed must be positive, got {top_speed!r}")

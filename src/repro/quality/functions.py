@@ -90,7 +90,7 @@ class QualityFunction(ABC):
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"target quality must be in [0, 1], got {q!r}")
-        if q == 0.0:
+        if q <= 0.0:
             return 0.0
         if q >= 1.0:
             return self.x_max

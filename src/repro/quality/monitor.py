@@ -14,12 +14,15 @@ which is what the LF cutting routine optimizes against.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, Optional, Tuple
 
 import numpy as np
 
 from repro.quality.aggregate import quality_ratio
 from repro.quality.functions import QualityFunction
+
+if TYPE_CHECKING:  # type-only: repro.quality stays a leaf layer at runtime
+    from repro.workload.job import Job
 
 __all__ = ["QualityMonitor"]
 
@@ -96,7 +99,7 @@ class QualityMonitor:
             self._trace.append((float(time), q))
         return q
 
-    def record_job(self, job, time: Optional[float] = None) -> float:
+    def record_job(self, job: Job, time: Optional[float] = None) -> float:
         """Settle one job object (hook point for class-aware monitors).
 
         The base implementation delegates to :meth:`record` with the
@@ -105,7 +108,7 @@ class QualityMonitor:
         """
         return self.record(job.processed, job.demand, time=time)
 
-    def expected_quality(self, jobs) -> float:
+    def expected_quality(self, jobs: Iterable[Job]) -> float:
         """Aggregate quality recomputed directly from job records.
 
         Used by :func:`repro.validation.validate_run` to audit the

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.errors import SchedulingError
-from repro.obs.tracer import NULL_TRACER
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.sim.engine import Simulator
 from repro.sim.events import PRIORITY_LOW, Event
 from repro.sim.timeline import StepTimeline
@@ -101,7 +101,7 @@ class Core:
         units_per_ghz_second: float = 1000.0,
         on_idle: Optional[Callable[[int], None]] = None,
         on_settle: Optional[Callable[[Job], None]] = None,
-        tracer=None,
+        tracer: Optional[TracerLike] = None,
     ) -> None:
         self.index = index
         self.sim = sim

@@ -25,12 +25,13 @@ from typing import Dict, List, Optional
 from repro.config import SimulationConfig
 from repro.errors import SchedulingError
 from repro.metrics.collector import MetricsCollector, RunResult
-from repro.obs.tracer import NULL_TRACER
+from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.quality.monitor import QualityMonitor
 from repro.server.machine import MulticoreServer
 from repro.server.scheduler import Scheduler
 from repro.sim.engine import Simulator
 from repro.sim.events import PRIORITY_LOW, PRIORITY_NORMAL
+from repro.workload.generator import Workload
 from repro.workload.job import Job, JobOutcome
 
 __all__ = ["SimulationHarness"]
@@ -67,9 +68,9 @@ class SimulationHarness:
         self,
         config: SimulationConfig,
         scheduler: Scheduler,
-        workload=None,
+        workload: Optional[Workload] = None,
         monitor: Optional[QualityMonitor] = None,
-        tracer=None,
+        tracer: Optional[TracerLike] = None,
     ) -> None:
         self.config = config
         self.scheduler = scheduler
@@ -104,7 +105,7 @@ class SimulationHarness:
         scheduler.bind(self)
 
     @property
-    def workload(self):
+    def workload(self) -> Workload:
         """The workload driving this run (clairvoyant schedulers may
         materialize it to see the future; online ones must not)."""
         return self._workload

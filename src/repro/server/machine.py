@@ -19,6 +19,7 @@ from typing import Callable, List, Optional
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.tracer import TracerLike
 from repro.power.dvfs import ContinuousSpeedScale, SpeedScale
 from repro.power.models import PowerModel
 from repro.server.core import Core
@@ -57,7 +58,7 @@ class MulticoreServer:
         on_settle: Optional[Callable[[Job], None]] = None,
         models: Optional[List[PowerModel]] = None,
         scales: Optional[List[SpeedScale]] = None,
-        tracer=None,
+        tracer: Optional[TracerLike] = None,
     ) -> None:
         if m <= 0:
             raise ConfigurationError(f"core count must be positive, got {m!r}")

@@ -17,10 +17,13 @@ seed and the same schedule of calls produce identical event orders.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import PRIORITY_NORMAL, Event, EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.sim.process import Process
 
 __all__ = ["Simulator"]
 
@@ -160,7 +163,7 @@ class Simulator:
     # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
-    def process(self, generator: Iterable[Any], name: Optional[str] = None):
+    def process(self, generator: Iterable[Any], name: Optional[str] = None) -> "Process":
         """Start a generator coroutine as a simulation process.
 
         See :class:`repro.sim.process.Process` for the protocol.

@@ -83,7 +83,11 @@ class StepTimeline:
             if end >= until:
                 break
 
-    def integral(self, until: float, transform=None) -> float:
+    def integral(
+        self,
+        until: float,
+        transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> float:
         """Integrate the signal (or ``transform(value)``) up to ``until``.
 
         Vectorized over the breakpoints; ``transform`` receives a NumPy

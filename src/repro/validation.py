@@ -23,12 +23,13 @@ API so downstream policy authors can check their own schedulers
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.power.dvfs import DiscreteSpeedScale
 from repro.server.harness import SimulationHarness
+from repro.workload.job import Job
 
 __all__ = ["ValidationReport", "validate_run"]
 
@@ -60,7 +61,9 @@ class ValidationReport:
             )
 
 
-def validate_run(harness: SimulationHarness, jobs=None) -> ValidationReport:
+def validate_run(
+    harness: SimulationHarness, jobs: Optional[Sequence[Job]] = None
+) -> ValidationReport:
     """Check all physical invariants of a finished harness.
 
     Parameters

@@ -9,7 +9,7 @@ list (for unit tests, the Fig. 2 cutting demo, and trace replay).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -24,9 +24,21 @@ from repro.workload.distributions import (
 )
 from repro.workload.job import Job
 
-__all__ = ["PoissonWorkloadGenerator", "StaticWorkload"]
+__all__ = ["PoissonWorkloadGenerator", "StaticWorkload", "Workload"]
 
 JobSink = Callable[[Job], None]
+
+
+class Workload(Protocol):
+    """What the harness needs from a workload (structural)."""
+
+    def materialize(self) -> List[Job]:
+        """Return the full job sequence this workload will emit."""
+        ...
+
+    def install(self, sim: Simulator, sink: JobSink) -> int:
+        """Schedule every arrival on ``sim``; return the job count."""
+        ...
 
 
 class PoissonWorkloadGenerator:

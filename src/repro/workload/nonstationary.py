@@ -18,9 +18,10 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.workload.distributions import BoundedPareto, UniformDeadlineWindow
-from repro.workload.generator import _Arrival
+from repro.workload.generator import JobSink, _Arrival
 from repro.workload.job import Job
 
 __all__ = ["PiecewiseRateWorkload"]
@@ -109,7 +110,7 @@ class PiecewiseRateWorkload:
         ]
         return self._jobs
 
-    def install(self, sim, sink) -> int:
+    def install(self, sim: Simulator, sink: JobSink) -> int:
         """Schedule every arrival into ``sim``; returns the job count."""
         from repro.sim.events import PRIORITY_HIGH
 

@@ -130,7 +130,7 @@ SCENARIOS: Dict[str, Scenario] = {
 def scenario_config(
     name: str,
     arrival_rate: Optional[float] = None,
-    **extra_overrides,
+    **extra_overrides: object,
 ) -> SimulationConfig:
     """A :class:`SimulationConfig` for a named scenario.
 

@@ -1,0 +1,89 @@
+"""The `python -m repro.check` command-line interface."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.check.cli import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+def write(tmp_path: Path, name: str, source: str) -> Path:
+    p = tmp_path / name
+    p.write_text(source)
+    return p
+
+
+BAD = "import time\n\ndef f(x):\n    return time.time()\n"
+GOOD = "def f(x: int) -> int:\n    return x\n"
+
+
+class TestLintCommand:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        p = write(tmp_path, "good.py", GOOD)
+        assert main(["lint", str(p), "--module", "repro.sim.good"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        p = write(tmp_path, "bad.py", BAD)
+        assert main(["lint", str(p), "--module", "repro.sim.bad"]) == 1
+        out = capsys.readouterr().out
+        assert "SIM001" in out and "SIM006" in out
+
+    def test_select_narrows(self, tmp_path, capsys):
+        p = write(tmp_path, "bad.py", BAD)
+        assert main(["lint", str(p), "--module", "repro.sim.bad",
+                     "--select", "SIM006"]) == 1
+        out = capsys.readouterr().out
+        assert "SIM006" in out and "SIM001" not in out
+
+    def test_ignore_drops(self, tmp_path, capsys):
+        p = write(tmp_path, "bad.py", BAD)
+        assert main(["lint", str(p), "--module", "repro.sim.bad",
+                     "--ignore", "SIM001,SIM006"]) == 0
+
+    def test_unknown_code_exits_two(self, tmp_path, capsys):
+        p = write(tmp_path, "bad.py", BAD)
+        assert main(["lint", str(p), "--select", "SIM999"]) == 2
+
+    def test_json_output(self, tmp_path, capsys):
+        p = write(tmp_path, "bad.py", BAD)
+        assert main(["lint", str(p), "--module", "repro.sim.bad",
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == len(payload["findings"]) > 0
+        assert set(payload["by_rule"]) == {"SIM001", "SIM006"}
+
+    def test_statistics_footer(self, tmp_path, capsys):
+        p = write(tmp_path, "bad.py", BAD)
+        main(["lint", str(p), "--module", "repro.sim.bad", "--statistics"])
+        out = capsys.readouterr().out
+        assert "SIM001" in out.splitlines()[-3] or "SIM001" in out
+
+    def test_directory_walk(self, tmp_path, capsys):
+        write(tmp_path, "a.py", GOOD)
+        write(tmp_path, "b.py", "def g(y: int) -> int:\n    return y\n")
+        assert main(["lint", str(tmp_path)]) == 0
+
+
+class TestRulesCommand:
+    def test_rules_lists_catalog(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SIM001", "SIM004", "SIM008"):
+            assert code in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_invocation(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.check", "rules"],
+            capture_output=True, text=True,
+            cwd=REPO, env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0
+        assert "SIM001" in proc.stdout

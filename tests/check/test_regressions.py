@@ -1,0 +1,53 @@
+"""Regression tests for bugs surfaced by the static-analysis pass."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.ge import GEScheduler
+from repro.errors import SchedulingError
+from repro.power.dvfs import ContinuousSpeedScale
+from repro.power.models import PowerModel
+from repro.quality.functions import LogQuality
+
+
+class TestUnboundSchedulerGuard:
+    def test_reschedule_before_bind_raises_scheduling_error(self):
+        # Previously died with AttributeError on the unbound Optional
+        # controller/assignment; now a clean, catchable SchedulingError.
+        scheduler = GEScheduler()
+        with pytest.raises(SchedulingError, match="before bind"):
+            scheduler.reschedule()
+
+
+class TestQualityInverseEdgeCases:
+    def test_inverse_of_zero_is_zero(self):
+        f = LogQuality()
+        assert f.inverse(0.0) == 0.0
+
+    def test_inverse_of_negative_zero_is_zero(self):
+        # The old `q == 0.0` guard happened to accept -0.0 too; the
+        # `q <= 0.0` form makes the intent explicit.  Pin it.
+        f = LogQuality()
+        assert f.inverse(-0.0) == 0.0
+
+    def test_inverse_monotone_near_zero(self):
+        f = LogQuality()
+        assert f.inverse(1e-6) >= 0.0
+
+
+class TestInfinityDefaults:
+    def test_continuous_scale_defaults_to_unbounded(self):
+        # float("inf") in a signature default is a B008 call-in-default;
+        # the math.inf rewrite must keep the same semantics.
+        scale = ContinuousSpeedScale(PowerModel())
+        assert scale.top_speed == math.inf
+
+    def test_yds_schedule_default_is_unbounded(self):
+        from repro.core.energy_opt import yds_schedule
+
+        blocks = yds_schedule([100.0], [1.0], 0.0)
+        assert blocks
+        assert all(b.speed < math.inf for b in blocks)

@@ -1,0 +1,213 @@
+"""The runtime invariant sanitizer: clean runs pass, corrupted runs trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.sanitizer import (
+    SanitizerViolation,
+    SanitizingTracer,
+    sanitize_requested,
+)
+from repro.config import SimulationConfig
+from repro.core.ge import GEScheduler, make_ge
+from repro.server.core import Segment
+from repro.server.harness import SimulationHarness
+from repro.server.scheduler import Scheduler
+from repro.workload.job import Job
+
+
+def make_job(jid=1, arrival=0.0, deadline=10.0, demand=100.0) -> Job:
+    return Job(jid=jid, arrival=arrival, deadline=deadline, demand=demand)
+
+
+class TestSanitizeRequested:
+    def test_flag_wins(self):
+        assert sanitize_requested(True)
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize_requested(False)
+        monkeypatch.setenv("REPRO_SANITIZE", "off")
+        assert not sanitize_requested(False)
+
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitize_requested(False)
+
+
+class TestForRun:
+    def test_ge_arms_quality_floor(self):
+        config = SimulationConfig(horizon=1.0)
+        tracer = SanitizingTracer.for_run(config, make_ge())
+        assert tracer.q_floor == config.q_ge
+        assert tracer.budget == config.budget
+
+    def test_uncompensated_scheduler_disarms_floor(self):
+        config = SimulationConfig(horizon=1.0)
+        scheduler = GEScheduler(name="GE-NoComp", compensated=False)
+        tracer = SanitizingTracer.for_run(config, scheduler)
+        assert tracer.q_floor is None
+
+    def test_non_cutting_scheduler_disarms_floor(self):
+        config = SimulationConfig(horizon=1.0)
+        tracer = SanitizingTracer.for_run(config, GEScheduler(cutting=False))
+        assert tracer.q_floor is None
+
+
+class TestCleanRun:
+    def test_seeded_ten_second_scenario_passes(self):
+        config = SimulationConfig(arrival_rate=150.0, horizon=10.0, seed=3)
+        scheduler = make_ge()
+        tracer = SanitizingTracer.for_run(config, scheduler)
+        result = SimulationHarness(config, scheduler, tracer=tracer).run()
+        assert result.jobs > 0
+        assert tracer.checks_run > 1000
+
+    def test_sanitized_result_matches_untraced(self):
+        config = SimulationConfig(arrival_rate=120.0, horizon=5.0, seed=7)
+        plain = SimulationHarness(config, make_ge()).run()
+        scheduler = make_ge()
+        tracer = SanitizingTracer.for_run(config, scheduler)
+        sanitized = SimulationHarness(config, scheduler, tracer=tracer).run()
+        assert sanitized == plain
+
+
+class TestClockMonotonic:
+    def test_backwards_event_trips(self):
+        tr = SanitizingTracer()
+        tr.begin_span("round", 1.0)
+        with pytest.raises(SanitizerViolation) as err:
+            tr.event("decision", 0.5)
+        assert err.value.invariant == "clock_monotonic"
+        assert err.value.context["time"] == 0.5
+
+    def test_equal_times_are_fine(self):
+        tr = SanitizingTracer()
+        tr.begin_span("round", 1.0)
+        tr.event("decision", 1.0)
+
+
+class TestVolumeInvariants:
+    def test_exec_slice_above_demand_trips(self):
+        tr = SanitizingTracer()
+        job = make_job(demand=50.0)
+        tr.job_arrived(job, 0.0)
+        span = tr.exec_start(job, core=0, speed=1.0, volume=200.0, time=0.0)
+        with pytest.raises(SanitizerViolation) as err:
+            tr.exec_end(span, 1.0, 200.0)
+        assert err.value.invariant == "volume_bounded"
+        assert err.value.context["jid"] == job.jid
+
+    def test_negative_slice_trips(self):
+        tr = SanitizingTracer()
+        job = make_job()
+        tr.job_arrived(job, 0.0)
+        span = tr.exec_start(job, core=0, speed=1.0, volume=10.0, time=0.0)
+        with pytest.raises(SanitizerViolation) as err:
+            tr.exec_end(span, 1.0, -5.0)
+        assert err.value.invariant == "volume_monotone"
+
+    def test_cumulative_slices_cannot_exceed_demand(self):
+        tr = SanitizingTracer()
+        job = make_job(demand=100.0)
+        tr.job_arrived(job, 0.0)
+        for k in range(2):
+            span = tr.exec_start(job, core=0, speed=1.0, volume=60.0, time=float(k))
+            if k == 0:
+                tr.exec_end(span, k + 0.5, 60.0)
+            else:
+                with pytest.raises(SanitizerViolation):
+                    tr.exec_end(span, k + 0.5, 60.0)
+
+    def test_within_demand_passes(self):
+        tr = SanitizingTracer()
+        job = make_job(demand=100.0)
+        tr.job_arrived(job, 0.0)
+        span = tr.exec_start(job, core=0, speed=1.0, volume=100.0, time=0.0)
+        tr.exec_end(span, 1.0, 100.0)
+
+
+class TestQualityInvariants:
+    def test_quality_above_one_trips(self):
+        tr = SanitizingTracer()
+        with pytest.raises(SanitizerViolation) as err:
+            tr.event("decision", 0.0, mode="bq", monitor_quality=1.5)
+        assert err.value.invariant == "quality_bounds"
+
+    def test_aes_below_floor_trips(self):
+        tr = SanitizingTracer(q_floor=0.9)
+        with pytest.raises(SanitizerViolation) as err:
+            tr.event("decision", 0.0, mode="aes", monitor_quality=0.5)
+        assert err.value.invariant == "quality_floor"
+        assert err.value.context["q_floor"] == 0.9
+
+    def test_bq_below_floor_is_legal(self):
+        # BQ *is* the compensation response to a dip — never a violation.
+        tr = SanitizingTracer(q_floor=0.9)
+        tr.event("decision", 0.0, mode="bq", monitor_quality=0.5)
+
+    def test_unarmed_floor_ignores_aes_dips(self):
+        tr = SanitizingTracer(q_floor=None)
+        tr.event("decision", 0.0, mode="aes", monitor_quality=0.5)
+
+
+class _OverBudgetScheduler(Scheduler):
+    """A corrupted policy: plans every core at top speed, ignoring H."""
+
+    name = "BAD"
+    quantum = 0.5
+
+    def on_arrival(self, job: Job) -> None:
+        harness = self.harness
+        harness.take_from_queue(job)
+        core = harness.machine.cores[job.jid % harness.machine.m]
+        job.assign(core.index)
+        # 4 GHz under the default 5·s² model is 80 W/core — way past an
+        # equal share of any sane budget.
+        core.enqueue(Segment(job=job, volume=job.demand, speed=4.0))
+
+    def on_core_idle(self, core_index: int) -> None:
+        pass
+
+
+class TestEndToEndTrip:
+    def test_over_budget_plan_trips_power_check(self):
+        # 2 cores × 80 W against H = 40 W: the first quantum sample fails.
+        config = SimulationConfig(
+            arrival_rate=80.0, horizon=4.0, seed=5, m=2, budget=40.0
+        )
+        scheduler = _OverBudgetScheduler()
+        tracer = SanitizingTracer.for_run(config, scheduler)
+        with pytest.raises(SanitizerViolation) as err:
+            SimulationHarness(config, scheduler, tracer=tracer).run()
+        assert err.value.invariant == "power_budget"
+        assert err.value.context["total_power"] > 40.0
+
+    def test_same_plan_passes_with_roomy_budget(self):
+        config = SimulationConfig(
+            arrival_rate=80.0, horizon=4.0, seed=5, m=2, budget=400.0
+        )
+        scheduler = _OverBudgetScheduler()
+        tracer = SanitizingTracer.for_run(config, scheduler)
+        SimulationHarness(config, scheduler, tracer=tracer).run()
+
+
+class TestEnergyCrossCheck:
+    def test_corrupted_cumulative_energy_trips(self):
+        config = SimulationConfig(arrival_rate=100.0, horizon=2.0, seed=2)
+        scheduler = make_ge()
+        tracer = SanitizingTracer.for_run(config, scheduler)
+        harness = SimulationHarness(config, scheduler, tracer=tracer)
+        original = tracer._sampler.sample
+
+        def corrupting(machine, time):
+            samples = original(machine, time)
+            if time > 1.0:
+                samples[0].energy += 100.0  # inject drift
+            return samples
+
+        tracer._sampler.sample = corrupting
+        with pytest.raises(SanitizerViolation) as err:
+            harness.run()
+        assert err.value.invariant == "energy_conservation"

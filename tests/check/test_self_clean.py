@@ -1,0 +1,27 @@
+"""The library source must stay sim-lint clean (the PR gate CI runs)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.check import lint_paths
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_src_repro_is_sim_lint_clean():
+    findings = lint_paths([SRC])
+    assert findings == [], "\n" + "\n".join(f.format() for f in findings)
+
+
+def test_rule_catalog_is_complete_and_unique():
+    from repro.check import RULES, rule_catalog
+
+    codes = [rule.code for rule in RULES]
+    assert len(codes) == len(set(codes))
+    assert len(codes) >= 8
+    catalog = rule_catalog()
+    for rule in RULES:
+        assert rule.code in catalog
+        assert rule.summary
+        assert rule.rationale

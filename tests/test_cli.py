@@ -191,3 +191,29 @@ def test_scenario_with_trace_out(tmp_path, capsys):
 def test_unknown_trace_scenario_raises():
     with pytest.raises(KeyError):
         main(["trace", "--scenario", "nope", "--horizon", "1"])
+
+
+def test_run_with_sanitize_flag(capsys):
+    code = main(["run", "--scheduler", "GE", "--rate", "120",
+                 "--horizon", "3", "--sanitize"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "sanitizer:" in out and "checks passed" in out
+
+
+def test_sanitize_env_variable(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert main(["run", "--scheduler", "GE", "--rate", "100", "--horizon", "2"]) == 0
+    assert "checks passed" in capsys.readouterr().out
+
+
+def test_scenario_with_sanitize(capsys):
+    assert main(["scenario", "websearch", "--horizon", "2", "--sanitize"]) == 0
+    assert "checks passed" in capsys.readouterr().out
+
+
+def test_trace_with_sanitize(tmp_path, capsys):
+    out_path = str(tmp_path / "trace.jsonl")
+    assert main(["trace", "--horizon", "2", "--sanitize", "--out", out_path,
+                 "--no-summary"]) == 0
+    assert "checks passed" in capsys.readouterr().out
