@@ -27,7 +27,7 @@ from typing import Callable, Dict, FrozenSet, Iterable, List, Optional
 
 from repro.check.linter import Finding, ModuleContext
 
-__all__ = ["RULES", "Rule", "rule_catalog"]
+__all__ = ["RULES", "Rule", "SIM001_MODULE_ALLOWLIST", "rule_catalog"]
 
 
 @dataclass(frozen=True)
@@ -104,6 +104,9 @@ def _canonical(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
 # ---------------------------------------------------------------------------
 
 #: Layers whose behaviour must be a pure function of (config, seed).
+#: ``repro.obs`` is included: the tracer only observes simulation state,
+#: so a wall-clock read there would leak host timing into artifacts that
+#: must be reproducible bit-for-bit.
 _DETERMINISTIC = (
     "repro.sim",
     "repro.server",
@@ -112,7 +115,18 @@ _DETERMINISTIC = (
     "repro.quality",
     "repro.workload",
     "repro.metrics",
+    "repro.obs",
 )
+
+#: SIM001 module allowlist.  ``repro.obs.prof`` is the single sanctioned
+#: home for monotonic-clock reads: the hot-path profiler measures host
+#: wall time (scheduler overhead, planner math) that is *written* to
+#: telemetry and never read back by simulation logic, so it cannot
+#: perturb results.  Code elsewhere must route timing through a
+#: :class:`repro.obs.prof.PhaseProfiler` instead of reading the clock —
+#: inline ``# simlint: ignore[SIM001]`` pragmas are no longer used in
+#: ``src/repro``.  Documented in ``docs/static-analysis.md``.
+SIM001_MODULE_ALLOWLIST: FrozenSet[str] = frozenset({"repro.obs.prof"})
 
 _WALL_CLOCK: FrozenSet[str] = frozenset(
     {
@@ -576,9 +590,15 @@ RULES: List[Rule] = [
         rationale=(
             "Results must be a pure function of (config, seed): the paper's "
             "figures are time integrals over *simulated* time (§II-B, §IV-B). "
-            "A wall-clock read couples output to host load."
+            "A wall-clock read couples output to host load. The only "
+            "exemption is the SIM001_MODULE_ALLOWLIST (repro.obs.prof), "
+            "where the phase profiler reads the monotonic clock to measure "
+            "host-side overhead that never feeds back into the simulation."
         ),
-        applies=lambda ctx: ctx.in_package(*_DETERMINISTIC),
+        applies=lambda ctx: (
+            ctx.in_package(*_DETERMINISTIC)
+            and ctx.module not in SIM001_MODULE_ALLOWLIST
+        ),
         check=_check_wall_clock,
     ),
     Rule(

@@ -23,6 +23,12 @@ scenario run and export it as JSONL::
 
 Any ``run``/``scenario`` invocation can also dump a trace alongside its
 summary row via ``--trace`` / ``--trace-out PATH``.
+
+Snapshot the performance of the fixed bench suite, and gate a change
+against a baseline snapshot::
+
+    repro-cli bench --out BENCH_new.json
+    repro-cli bench compare benchmarks/baseline.json BENCH_new.json
 """
 
 from __future__ import annotations
@@ -150,6 +156,40 @@ def _build_parser() -> argparse.ArgumentParser:
     replay.add_argument("path", help="input CSV file")
     replay.add_argument("--scheduler", default="GE", choices=sorted(_SCHEDULERS))
     replay.add_argument("--q-ge", type=float, default=0.9)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the performance bench suite and write a snapshot "
+             "(or compare two snapshots)",
+    )
+    bench.add_argument("--out", metavar="PATH", default=None,
+                       help="snapshot output path (default: BENCH_<label>.json)")
+    bench.add_argument("--label", default="local",
+                       help="snapshot label, embedded in the artifact")
+    bench.add_argument("--scale", type=float, default=None,
+                       help="horizon scale per scenario (default: 0.02 ≈ 12 s)")
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--repeats", type=int, default=1,
+                       help="timed repeats per scenario; the fastest is kept")
+    bench.add_argument("--scenarios", default=None,
+                       help="comma-separated subset of the suite")
+    bench.add_argument("--mem", action="store_true",
+                       help="also record the tracemalloc allocation peak "
+                            "(separate untimed run per scenario)")
+    bench.add_argument("--list", action="store_true", dest="list_scenarios",
+                       help="list the suite's scenarios and exit")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=False)
+    cmp_p = bench_sub.add_parser(
+        "compare", help="diff two snapshots; exits 1 on regression"
+    )
+    cmp_p.add_argument("old", help="baseline BENCH_*.json")
+    cmp_p.add_argument("new", help="candidate BENCH_*.json")
+    cmp_p.add_argument("--threshold", type=float, default=1.25,
+                       help="wall-time regression ratio (default 1.25)")
+    cmp_p.add_argument("--fidelity-tol", type=float, default=1e-6,
+                       help="relative tolerance for quality/energy drift")
+    cmp_p.add_argument("--no-fidelity", action="store_true",
+                       help="skip the fidelity and determinism gates")
     return parser
 
 
@@ -338,6 +378,50 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         summary = replicate(config, _SCHEDULERS[args.scheduler], n=args.n)
         print(summary.row())
+        return 0
+
+    if args.command == "bench":
+        from repro.experiments import bench as bench_mod
+
+        if args.bench_command == "compare":
+            try:
+                old = bench_mod.load_snapshot(args.old)
+                new = bench_mod.load_snapshot(args.new)
+            except (OSError, ValueError) as exc:
+                print(f"bench compare: {exc}")
+                return 2
+            comparison = bench_mod.compare_snapshots(
+                old,
+                new,
+                threshold=args.threshold,
+                fidelity_tol=args.fidelity_tol,
+                check_fidelity=not args.no_fidelity,
+            )
+            print(comparison.render())
+            return 0 if comparison.ok else 1
+        if args.list_scenarios:
+            for scenario in bench_mod.SUITE.values():
+                print(f"{scenario.name:<14} {scenario.description}")
+            return 0
+        names = None
+        if args.scenarios:
+            names = [n.strip() for n in args.scenarios.split(",") if n.strip()]
+        try:
+            snapshot = bench_mod.collect_snapshot(
+                args.label,
+                scale=args.scale if args.scale is not None else bench_mod.DEFAULT_SCALE,
+                seed=args.seed,
+                repeats=args.repeats,
+                scenarios=names,
+                mem=args.mem,
+                progress=print,
+            )
+        except KeyError as exc:
+            print(f"bench: {exc.args[0]}")
+            return 2
+        out = args.out or f"BENCH_{args.label}.json"
+        bench_mod.write_snapshot(snapshot, out)
+        print(f"wrote bench snapshot ({len(snapshot['scenarios'])} scenarios) to {out}")
         return 0
 
     if args.command == "trace":

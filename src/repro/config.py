@@ -113,6 +113,23 @@ class SimulationConfig:
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 
+    def fingerprint(self) -> str:
+        """Short stable digest of every field of this configuration.
+
+        Two configs share a fingerprint iff all their fields are equal,
+        so an artifact stamped with the fingerprint (a trace header, a
+        bench snapshot) identifies the exact run setup without embedding
+        the whole config.  The digest is the first 12 hex chars of the
+        SHA-256 of the canonical (sorted-key, repr-exact) JSON of the
+        dataclass fields.
+        """
+        import hashlib
+        import json
+        from dataclasses import asdict
+
+        payload = json.dumps(asdict(self), sort_keys=True, default=repr)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
     def power_model(self) -> PowerModel:
         """The speed→power model of this configuration."""
         return PowerModel(

@@ -20,7 +20,6 @@ class (§IV-A-1) and are exposed via :func:`make_be` / :func:`make_oq`;
 
 from __future__ import annotations
 
-import time as _time
 from typing import TYPE_CHECKING, Dict, List, Literal, Optional
 
 import numpy as np
@@ -32,6 +31,7 @@ from repro.core.cutting import lf_cut_waterline
 from repro.core.load import ArrivalRateEstimator
 from repro.core.modes import ExecutionMode, ModeController
 from repro.core.planner import build_core_plan, core_power_demand, edf_sort
+from repro.obs.tracer import TracerLike
 from repro.power.distribution import EqualSharing, HybridDistribution, WaterFilling
 from repro.server.scheduler import Scheduler
 from repro.workload.job import Job
@@ -173,19 +173,37 @@ class GEScheduler(Scheduler):
     # The scheduling round
     # ------------------------------------------------------------------
     def reschedule(self) -> None:
-        """Run one full §III-E scheduling round at the current instant."""
+        """Run one full §III-E scheduling round at the current instant.
+
+        The round is profiled as the ``scheduler.round`` phase (with
+        ``cut.lf`` / ``power.distribute`` / ``planner.*`` nested inside
+        it); phase timers measure host wall time only and never feed
+        back into the schedule.
+        """
         if self.harness is None or self.controller is None or self._assignment is None:
             raise SchedulingError(
                 "GE scheduler used before bind(); attach it to a SimulationHarness first"
             )
+        tracer = self.harness.tracer
+        with tracer.profiler.phase("scheduler.round") as round_phase:
+            self._run_round(tracer)
+        if tracer.enabled:
+            tracer.metrics.histogram("scheduler.round_latency_ms", bound=10.0).observe(
+                round_phase.elapsed * 1e3
+            )
+
+    def _run_round(self, tracer: TracerLike) -> None:
+        # reschedule() already rejected unbound use; narrow for typing.
+        assert (
+            self.harness is not None
+            and self.controller is not None
+            and self._assignment is not None
+        )
         harness = self.harness
         now = harness.sim.now
         machine = harness.machine
-        tracer = harness.tracer
         tracing = tracer.enabled
-        # Wall-clock here measures *scheduler overhead* (the round_latency_ms
-        # metric), never simulated time — it cannot affect the schedule.
-        wall_start = _time.perf_counter() if tracing else 0.0  # simlint: ignore[SIM001]
+        prof = tracer.profiler
         queue_depth = len(harness.queue)
         self._reschedules += 1
 
@@ -218,7 +236,8 @@ class GEScheduler(Scheduler):
 
         # 3. Targets: LF cut in AES, full demands in BQ.
         all_jobs = [j for jobs in per_core for j in jobs]
-        target_of = self._targets_for(all_jobs, mode)
+        with prof.phase("cut.lf"):
+            target_of = self._targets_for(all_jobs, mode)
         if tracing and mode is ExecutionMode.AES and all_jobs:
             total_demand = sum(j.demand for j in all_jobs)
             total_target = sum(target_of[j.jid] for j in all_jobs)
@@ -236,16 +255,19 @@ class GEScheduler(Scheduler):
 
         # 4. Power demands and distribution (per-core models support the
         # heterogeneous-machine extension; identical when homogeneous).
-        extras_per_core: List[np.ndarray] = []
-        demands_w = np.zeros(machine.m)
-        for idx, jobs in enumerate(per_core):
-            extras = np.array(
-                [max(0.0, target_of[j.jid] - j.processed) for j in jobs]
-            )
-            extras_per_core.append(extras)
-            demands_w[idx] = core_power_demand(jobs, extras, now, machine.models[idx])
-        distribution = self._distribute(demands_w, machine.budget, now)
-        caps = distribution.caps
+        with prof.phase("power.distribute"):
+            extras_per_core: List[np.ndarray] = []
+            demands_w = np.zeros(machine.m)
+            for idx, jobs in enumerate(per_core):
+                extras = np.array(
+                    [max(0.0, target_of[j.jid] - j.processed) for j in jobs]
+                )
+                extras_per_core.append(extras)
+                demands_w[idx] = core_power_demand(
+                    jobs, extras, now, machine.models[idx]
+                )
+            distribution = self._distribute(demands_w, machine.budget, now)
+            caps = distribution.caps
 
         if tracing and self._last_policy not in (None, distribution.policy):
             tracer.scheduler_event(
@@ -279,23 +301,25 @@ class GEScheduler(Scheduler):
         # 5. Per-core planning and installation.
         quality_opt_calls = 0
         energy_opt_calls = 0
-        for idx, jobs in enumerate(per_core):
-            plan = build_core_plan(
-                jobs,
-                [target_of[j.jid] for j in jobs],
-                now,
-                float(caps[idx]) if len(caps) else 0.0,
-                machine.models[idx],
-                machine.scales[idx],
-                allocator=self._allocator,
-            )
-            if tracing and jobs:
-                quality_opt_calls += 1  # Quality-OPT runs once per planned core
-                if plan.segments:
-                    energy_opt_calls += 1  # Energy-OPT ran on the survivors
-            machine.cores[idx].set_plan(plan.segments)
-            for job, outcome in plan.settle_now:
-                harness.settle_job(job, outcome)
+        with prof.phase("planner.build"):
+            for idx, jobs in enumerate(per_core):
+                plan = build_core_plan(
+                    jobs,
+                    [target_of[j.jid] for j in jobs],
+                    now,
+                    float(caps[idx]) if len(caps) else 0.0,
+                    machine.models[idx],
+                    machine.scales[idx],
+                    allocator=self._allocator,
+                    profiler=prof,
+                )
+                if tracing and jobs:
+                    quality_opt_calls += 1  # Quality-OPT runs once per planned core
+                    if plan.segments:
+                        energy_opt_calls += 1  # Energy-OPT ran on the survivors
+                machine.cores[idx].set_plan(plan.segments)
+                for job, outcome in plan.settle_now:
+                    harness.settle_job(job, outcome)
 
         if tracing:
             metrics = tracer.metrics
@@ -305,9 +329,6 @@ class GEScheduler(Scheduler):
             metrics.gauge("scheduler.queue_depth").set(queue_depth)
             metrics.histogram("scheduler.batch_size", bound=64).observe(len(batch))
             metrics.histogram("scheduler.active_jobs", bound=256).observe(len(all_jobs))
-            metrics.histogram("scheduler.round_latency_ms", bound=10.0).observe(
-                (_time.perf_counter() - wall_start) * 1e3  # simlint: ignore[SIM001]
-            )
 
     # ------------------------------------------------------------------
     def _targets_for(

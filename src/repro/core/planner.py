@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.energy_opt import yds_schedule
 from repro.core.quality_opt import quality_opt
+from repro.obs.prof import NULL_PROFILER, ProfilerLike
 from repro.power.dvfs import DiscreteSpeedScale, SpeedScale
 from repro.power.models import PowerModel
 from repro.server.core import Segment
@@ -100,6 +101,7 @@ def build_core_plan(
     model: PowerModel,
     scale: SpeedScale,
     allocator: Optional[Callable[..., np.ndarray]] = None,
+    profiler: ProfilerLike = NULL_PROFILER,
 ) -> CorePlan:
     """Plan one core: first cut → Quality-OPT → Energy-OPT → segments.
 
@@ -118,6 +120,10 @@ def build_core_plan(
         ``jobs`` argument.  Defaults to the shared-quality-function
         Quality-OPT; the mixed-class extension substitutes a
         marginal-levelling variant (see :mod:`repro.mixed`).
+    profiler:
+        Phase profiler recording the ``planner.quality_opt`` and
+        ``planner.energy_opt`` wall-time phases; defaults to the
+        zero-cost null profiler.
     """
     plan = CorePlan()
     if not jobs:
@@ -131,10 +137,11 @@ def build_core_plan(
 
     # Second cut: fit the extras into the capacity before each deadline.
     deadlines = np.array([j.deadline for j in jobs])
-    if allocator is None:
-        granted = quality_opt(extras, deadlines, now, capacity, offsets=processed)
-    else:
-        granted = allocator(jobs, extras, deadlines, now, capacity, processed)
+    with profiler.phase("planner.quality_opt"):
+        if allocator is None:
+            granted = quality_opt(extras, deadlines, now, capacity, offsets=processed)
+        else:
+            granted = allocator(jobs, extras, deadlines, now, capacity, processed)
 
     live_idx = [i for i in range(len(jobs)) if granted[i] > _WORK_EPS]
     for i in range(len(jobs)):
@@ -145,7 +152,10 @@ def build_core_plan(
 
     live_vols = granted[live_idx]
     live_dls = deadlines[live_idx]
-    blocks = yds_schedule(live_vols, live_dls, now, max_speed=capacity * (1 + 1e-9))
+    with profiler.phase("planner.energy_opt"):
+        blocks = yds_schedule(
+            live_vols, live_dls, now, max_speed=capacity * (1 + 1e-9)
+        )
 
     discrete = isinstance(scale, DiscreteSpeedScale)
     for block in blocks:

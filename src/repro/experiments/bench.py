@@ -1,0 +1,475 @@
+"""The ``repro bench`` performance harness: snapshots and regression gates.
+
+A *bench snapshot* (``BENCH_<label>.json``) is one measured point of the
+project's performance trajectory: a fixed suite of scenarios (the GE
+scheduler and its baselines at reduced horizon, reusing
+:mod:`repro.experiments.runner` machinery) is run with tracing and the
+hot-path profiler on, and for every scenario the snapshot records
+
+* host wall time (best of ``repeats``) and the derived **events/sec**
+  and **µs/reschedule** rates, so perf is normalised to work done;
+* the per-phase wall-time profile from :mod:`repro.obs.prof`
+  (``scheduler.round``, ``cut.lf``, ``power.distribute``,
+  ``planner.quality_opt``, ``planner.energy_opt``, ``sim.run``);
+* the deterministic simulator counters (events processed, reschedules,
+  AES↔BQ mode switches, per-outcome job counts) — these must be
+  bit-identical across hosts for the same config+seed, so a mismatch in
+  ``compare`` flags a determinism break, not noise;
+* the paper-fidelity metrics **Q** (service quality) and **E** (energy),
+  so performance work cannot silently change results;
+* peak RSS (and optionally the tracemalloc peak from a second, untimed
+  run) plus enough metadata — git revision, python/platform, RNG seed,
+  config fingerprints, schema version — to reproduce the snapshot from
+  the artifact alone.
+
+``compare_snapshots`` renders a per-scenario / per-phase delta table
+and reports regressions: wall time past a configurable threshold,
+fidelity drift, counter mismatches, and scenarios that disappeared.
+CI runs the reduced suite and compares against
+``benchmarks/baseline.json`` with a generous threshold so the gate
+catches crashes and step-change regressions, not host jitter.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+import tracemalloc
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.baselines.queue_order import FCFS
+from repro.config import SimulationConfig
+from repro.core.ge import make_be, make_ge, make_oq
+from repro.experiments.fig12_discrete_speed import DEFAULT_LADDER
+from repro.experiments.runner import SchedulerFactory, scaled_config
+from repro.obs import Tracer
+from repro.server.harness import SimulationHarness
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchComparison",
+    "BenchScenario",
+    "SUITE",
+    "collect_snapshot",
+    "compare_snapshots",
+    "load_snapshot",
+    "run_scenario",
+    "write_snapshot",
+]
+
+#: Version tag of the snapshot layout.  Bump on incompatible changes so
+#: ``compare`` can refuse to diff artifacts it does not understand.
+BENCH_SCHEMA = "repro.bench/1"
+
+#: Default horizon scale (fraction of the paper's 600 s) — ~12 s of
+#: simulated arrivals per scenario keeps the full suite under a minute.
+DEFAULT_SCALE = 0.02
+
+#: Phases cheaper than this (old-snapshot total seconds) are exempt from
+#: the per-phase regression gate; their ratios are pure noise.
+_PHASE_FLOOR_S = 0.010
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One named benchmark scenario of the fixed suite.
+
+    Attributes
+    ----------
+    name:
+        Stable snapshot key (``compare`` matches scenarios by it).
+    description:
+        What the scenario exercises (shown by ``repro bench --list``).
+    factory:
+        Zero-argument scheduler factory (fresh instance per run).
+    config:
+        ``(scale, seed) -> SimulationConfig`` builder.
+    """
+
+    name: str
+    description: str
+    factory: SchedulerFactory
+    config: Callable[[float, int], SimulationConfig]
+
+
+def _cfg(**overrides: Any) -> Callable[[float, int], SimulationConfig]:
+    def build(scale: float, seed: int) -> SimulationConfig:
+        return scaled_config(scale, seed, **overrides)
+
+    return build
+
+
+#: The fixed bench suite.  Scenarios are chosen to cover the distinct
+#: hot paths: ES vs WF power distribution (light vs heavy load), AES
+#: cutting vs permanent BQ (GE vs BE), compensation off (OQ), the
+#: discrete-DVFS planner arm, and the non-GE harness path (FCFS).
+SUITE: Dict[str, BenchScenario] = {
+    s.name: s
+    for s in (
+        BenchScenario(
+            name="ge_light",
+            description="GE below the critical load (λ=100/s): ES distribution path",
+            factory=make_ge,
+            config=_cfg(arrival_rate=100.0),
+        ),
+        BenchScenario(
+            name="ge_nominal",
+            description="GE at the paper's nominal λ=150/s (web-search defaults)",
+            factory=make_ge,
+            config=_cfg(arrival_rate=150.0),
+        ),
+        BenchScenario(
+            name="ge_heavy",
+            description="GE overloaded (λ=250/s): WF distribution + deep cutting",
+            factory=make_ge,
+            config=_cfg(arrival_rate=250.0),
+        ),
+        BenchScenario(
+            name="be_nominal",
+            description="BE baseline (permanent BQ, water-filling) at λ=150/s",
+            factory=make_be,
+            config=_cfg(arrival_rate=150.0),
+        ),
+        BenchScenario(
+            name="oq_nominal",
+            description="OQ baseline (no compensation, Q_GE+2%) at λ=150/s",
+            factory=make_oq,
+            config=_cfg(arrival_rate=150.0),
+        ),
+        BenchScenario(
+            name="ge_discrete",
+            description="GE on the 0.25 GHz DVFS ladder: discrete Energy-OPT path",
+            factory=make_ge,
+            config=_cfg(arrival_rate=150.0, discrete_levels=DEFAULT_LADDER),
+        ),
+        BenchScenario(
+            name="fcfs_nominal",
+            description="FCFS queue-order baseline at λ=150/s: harness fast path",
+            factory=FCFS,
+            config=_cfg(arrival_rate=150.0),
+        ),
+    )
+}
+
+
+def _git_rev() -> Optional[str]:
+    """Short git revision of the working tree, if available."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except OSError:
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def _peak_rss_kb() -> Optional[float]:
+    """Process peak RSS in KiB (monotone high-water mark), if available."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return None
+    return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def run_scenario(
+    scenario: BenchScenario,
+    *,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 1,
+    repeats: int = 1,
+    mem: bool = False,
+) -> Dict[str, Any]:
+    """Measure one scenario; returns its snapshot record.
+
+    Each repeat builds a fresh config/scheduler/harness with tracing and
+    profiling enabled; the reported wall time and phase profile come
+    from the fastest repeat (the one least disturbed by the host).
+    Simulated results are asserted identical across repeats — the run is
+    deterministic, so any divergence is a real bug.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats!r}")
+    config = scenario.config(scale, seed)
+    best: Optional[Dict[str, Any]] = None
+    reference: Optional[Tuple[float, float, int, int]] = None
+    for _ in range(repeats):
+        tracer = Tracer()
+        harness = SimulationHarness(config, scenario.factory(), tracer=tracer)
+        wall_start = time.perf_counter()
+        result = harness.run()
+        wall = time.perf_counter() - wall_start
+
+        events = harness.sim.events_processed
+        fidelity = (result.quality, result.energy, result.jobs, events)
+        if reference is None:
+            reference = fidelity
+        elif fidelity != reference:
+            raise RuntimeError(
+                f"bench scenario {scenario.name!r} is non-deterministic across "
+                f"repeats: {reference} != {fidelity}"
+            )
+        if best is not None and wall >= best["wall_s"]:
+            continue
+
+        scheduler = harness.scheduler
+        reschedules = int(getattr(scheduler, "reschedules", 0))
+        controller = getattr(scheduler, "controller", None)
+        mode_switches = int(getattr(controller, "switches", 0))
+        best = {
+            "name": scenario.name,
+            "scheduler": scheduler.name,
+            "arrival_rate": config.arrival_rate,
+            "horizon": config.horizon,
+            "seed": config.seed,
+            "config_fingerprint": config.fingerprint(),
+            "wall_s": wall,
+            "events": events,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+            "us_per_reschedule": (
+                wall / reschedules * 1e6 if reschedules else None
+            ),
+            "counters": {
+                "events": events,
+                "reschedules": reschedules,
+                "mode_switches": mode_switches,
+                "jobs": result.jobs,
+                "outcomes": dict(sorted(result.outcomes.items())),
+            },
+            "quality": result.quality,
+            "energy": result.energy,
+            "phases": tracer.profiler.snapshot(),
+            "peak_rss_kb": _peak_rss_kb(),
+            "tracemalloc_peak_kb": None,
+        }
+
+    assert best is not None
+    if mem:
+        # Separate, untimed run: tracemalloc roughly doubles wall time,
+        # so the allocation peak must never contaminate the timings.
+        tracemalloc.start()
+        try:
+            SimulationHarness(config, scenario.factory(), tracer=Tracer()).run()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        best["tracemalloc_peak_kb"] = peak / 1024.0
+    return best
+
+
+def collect_snapshot(
+    label: str,
+    *,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 1,
+    repeats: int = 1,
+    scenarios: Optional[Sequence[str]] = None,
+    mem: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, Any]:
+    """Run the bench suite and assemble the snapshot dict.
+
+    ``scenarios`` selects a subset of :data:`SUITE` by name (default:
+    all); ``progress`` is called with a one-line status per scenario
+    (the CLI passes ``print``).
+    """
+    names = list(scenarios) if scenarios is not None else list(SUITE)
+    unknown = [n for n in names if n not in SUITE]
+    if unknown:
+        raise KeyError(
+            f"unknown bench scenario(s): {', '.join(unknown)}; "
+            f"available: {', '.join(SUITE)}"
+        )
+    records: List[Dict[str, Any]] = []
+    for name in names:
+        record = run_scenario(
+            SUITE[name], scale=scale, seed=seed, repeats=repeats, mem=mem
+        )
+        records.append(record)
+        if progress is not None:
+            progress(
+                f"{name:<14} wall={record['wall_s']:8.3f} s  "
+                f"{record['events_per_sec']:10.0f} ev/s  "
+                f"Q={record['quality']:.4f}  E={record['energy']:.1f} J"
+            )
+    return {
+        "schema": BENCH_SCHEMA,
+        "label": label,
+        "created_unix": time.time(),
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "scale": scale,
+        "seed": seed,
+        "repeats": repeats,
+        "scenarios": records,
+    }
+
+
+_PathLike = Union[str, Path]
+
+
+def write_snapshot(snapshot: Dict[str, Any], path: _PathLike) -> None:
+    """Write a snapshot as stable, diff-friendly JSON."""
+    text = json.dumps(snapshot, indent=2, sort_keys=True)
+    Path(path).write_text(text + "\n", encoding="utf-8")
+
+
+def load_snapshot(path: _PathLike) -> Dict[str, Any]:
+    """Load and schema-check one ``BENCH_*.json`` snapshot."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    schema = data.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench schema {schema!r} "
+            f"(this reader understands {BENCH_SCHEMA!r})"
+        )
+    return data
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of ``compare_snapshots``: the report and the verdict."""
+
+    lines: List[str]
+    regressions: List[str]
+
+    @property
+    def ok(self) -> bool:
+        """True when no regression was detected."""
+        return not self.regressions
+
+    def render(self) -> str:
+        """The full report, regressions summarised at the end."""
+        out = list(self.lines)
+        if self.regressions:
+            out.append("")
+            out.append(f"REGRESSIONS ({len(self.regressions)}):")
+            out.extend(f"  - {r}" for r in self.regressions)
+        else:
+            out.append("")
+            out.append("no regressions")
+        return "\n".join(out)
+
+
+def _by_name(snapshot: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    return {s["name"]: s for s in snapshot.get("scenarios", [])}
+
+
+def _ratio(old: float, new: float) -> Optional[float]:
+    return new / old if old > 0 else None
+
+
+def compare_snapshots(
+    old: Dict[str, Any],
+    new: Dict[str, Any],
+    *,
+    threshold: float = 1.25,
+    fidelity_tol: float = 1e-6,
+    check_fidelity: bool = True,
+) -> BenchComparison:
+    """Diff two snapshots; regressions gate the CLI exit code.
+
+    A scenario regresses when its wall time grows past ``threshold``×
+    the old value, when an individually expensive phase does (phases
+    cheaper than 10 ms are noise-exempt), when quality/energy drift
+    beyond ``fidelity_tol`` (relative) under an identical config
+    fingerprint, when deterministic counters diverge (a determinism
+    break), or when it vanished from the new snapshot (a crash gate).
+    Comparing a snapshot to itself always passes.
+    """
+    if threshold <= 1.0:
+        raise ValueError(f"threshold must be > 1.0, got {threshold!r}")
+    lines: List[str] = []
+    regressions: List[str] = []
+    old_s, new_s = _by_name(old), _by_name(new)
+
+    lines.append(
+        f"old: {old.get('label', '?')} ({old.get('git_rev') or 'no rev'}, "
+        f"python {old.get('python', '?')})"
+    )
+    lines.append(
+        f"new: {new.get('label', '?')} ({new.get('git_rev') or 'no rev'}, "
+        f"python {new.get('python', '?')})"
+    )
+    lines.append(f"wall-time regression threshold: x{threshold:g}")
+    lines.append("")
+
+    for name, o in old_s.items():
+        n = new_s.get(name)
+        if n is None:
+            regressions.append(f"{name}: missing from the new snapshot")
+            lines.append(f"{name}: MISSING from new snapshot")
+            continue
+        ratio = _ratio(float(o["wall_s"]), float(n["wall_s"]))
+        ratio_txt = f"x{ratio:.2f}" if ratio is not None else "n/a"
+        lines.append(
+            f"{name}: wall {o['wall_s']:.3f} s -> {n['wall_s']:.3f} s "
+            f"({ratio_txt})  events/s {o['events_per_sec']:.0f} -> "
+            f"{n['events_per_sec']:.0f}"
+        )
+        if ratio is not None and ratio > threshold:
+            regressions.append(
+                f"{name}: wall time x{ratio:.2f} (threshold x{threshold:g})"
+            )
+
+        same_setup = o.get("config_fingerprint") == n.get("config_fingerprint")
+        if check_fidelity and same_setup:
+            for key in ("quality", "energy"):
+                ov, nv = float(o[key]), float(n[key])
+                if abs(nv - ov) > fidelity_tol * max(1.0, abs(ov)):
+                    regressions.append(
+                        f"{name}: {key} drifted {ov!r} -> {nv!r} "
+                        "(perf change altered simulated results)"
+                    )
+            oc, nc = o.get("counters", {}), n.get("counters", {})
+            for key in ("events", "reschedules", "jobs"):
+                if key in oc and key in nc and oc[key] != nc[key]:
+                    regressions.append(
+                        f"{name}: deterministic counter {key} changed "
+                        f"{oc[key]} -> {nc[key]} (determinism break)"
+                    )
+        elif check_fidelity and not same_setup:
+            lines.append(
+                "  (config fingerprints differ — fidelity/counters not compared)"
+            )
+
+        # Per-phase delta table (inclusive wall time).
+        phases = sorted(set(o.get("phases", {})) | set(n.get("phases", {})))
+        for phase in phases:
+            op = o.get("phases", {}).get(phase)
+            np_ = n.get("phases", {}).get(phase)
+            o_total = float(op["total_s"]) if op else 0.0
+            n_total = float(np_["total_s"]) if np_ else 0.0
+            p_ratio = _ratio(o_total, n_total)
+            p_txt = f"x{p_ratio:.2f}" if p_ratio is not None else "  new"
+            lines.append(
+                f"    {phase:<22} {o_total * 1e3:9.2f} ms -> "
+                f"{n_total * 1e3:9.2f} ms  ({p_txt})"
+            )
+            if (
+                p_ratio is not None
+                and p_ratio > threshold
+                and o_total >= _PHASE_FLOOR_S
+            ):
+                regressions.append(
+                    f"{name}: phase {phase} x{p_ratio:.2f} "
+                    f"({o_total * 1e3:.1f} ms -> {n_total * 1e3:.1f} ms)"
+                )
+
+    for name in new_s:
+        if name not in old_s:
+            lines.append(f"{name}: new scenario (no baseline)")
+
+    return BenchComparison(lines=lines, regressions=regressions)

@@ -40,11 +40,16 @@ PAPER_RATES: tuple = (100.0, 125.0, 150.0, 175.0, 200.0, 225.0, 250.0)
 
 
 def scaled_config(scale: float, seed: int, **overrides: object) -> SimulationConfig:
-    """Paper defaults with the horizon scaled and fields overridden."""
+    """Paper defaults with the horizon scaled and fields overridden.
+
+    Explicit ``horizon`` or ``seed`` entries in ``overrides`` win over
+    the positional ``scale``/``seed`` arguments, so callers can pin an
+    exact horizon without reverse-engineering the 600 s baseline.
+    """
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale!r}")
-    base = SimulationConfig(seed=seed, **overrides)
-    return base.with_overrides(horizon=600.0 * scale)
+    overrides.setdefault("horizon", 600.0 * scale)
+    return SimulationConfig(seed=seed, **overrides)
 
 
 def default_rates(scale: float) -> List[float]:

@@ -33,19 +33,23 @@ from repro.obs.analyze import (
     summarize,
 )
 from repro.obs.export import (
+    TRACE_SCHEMA,
     read_jsonl,
     trace_records,
     write_jsonl,
     write_spans_csv,
     write_timeline_csv,
 )
-from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.prof import NULL_PROFILER, NullProfiler, PhaseHandle, PhaseProfiler
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, PhaseTimer
 from repro.obs.spans import EventRecord, SpanRecord
 from repro.obs.timeline import CoreTimelineSampler, TimelineSample
 from repro.obs.tracer import NULL_TRACER, NullTracer, Trace, Tracer
 
 __all__ = [
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "TRACE_SCHEMA",
     "Counter",
     "CoreTimelineSampler",
     "EventRecord",
@@ -53,7 +57,11 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ModeInterval",
+    "NullProfiler",
     "NullTracer",
+    "PhaseHandle",
+    "PhaseProfiler",
+    "PhaseTimer",
     "SpanRecord",
     "TimelineSample",
     "Trace",

@@ -200,6 +200,13 @@ def summarize(trace: Trace) -> str:
                 lines.append(f"  {name:<32} {snap['value']:g}")
             elif snap["kind"] == "gauge":
                 lines.append(f"  {name:<32} {snap['value']:g} (last)")
+            elif snap["kind"] == "phase":
+                lines.append(
+                    f"  {name:<32} n={snap['count']} "
+                    f"total={snap['total_s'] * 1e3:.2f} ms "
+                    f"mean={snap['mean_s'] * 1e6:.1f} µs "
+                    f"max={snap['max_s'] * 1e6:.1f} µs"
+                )
             else:
                 lines.append(
                     f"  {name:<32} n={snap['count']} mean={snap['mean']:g} "

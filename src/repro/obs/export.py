@@ -29,12 +29,18 @@ from repro.obs.timeline import TimelineSample
 from repro.obs.tracer import Trace, Tracer
 
 __all__ = [
+    "TRACE_SCHEMA",
     "read_jsonl",
     "trace_records",
     "write_jsonl",
     "write_spans_csv",
     "write_timeline_csv",
 ]
+
+#: Version tag stamped on the JSONL header (the ``meta`` record).  Bump
+#: the integer on any backwards-incompatible record-layout change so a
+#: reader can tell what it is parsing from the artifact alone.
+TRACE_SCHEMA = "repro.trace/1"
 
 _PathLike = Union[str, Path]
 
@@ -46,7 +52,9 @@ def _as_trace(trace: Union[Trace, Tracer]) -> Trace:
 def trace_records(trace: Union[Trace, Tracer]) -> Iterator[Dict[str, Any]]:
     """Yield the trace as JSON-native dicts in canonical JSONL order."""
     trace = _as_trace(trace)
-    yield {"type": "meta", "meta": dict(trace.meta)}
+    # The schema tag lives on the record, not inside ``meta``, so the
+    # write→read round trip reproduces the original Trace exactly.
+    yield {"type": "meta", "schema": TRACE_SCHEMA, "meta": dict(trace.meta)}
     timed: List[Dict[str, Any]] = [s.to_record() for s in trace.spans]
     timed.extend(e.to_record() for e in trace.events)
     timed.sort(key=lambda r: r["seq"])
@@ -82,6 +90,12 @@ def read_jsonl(path: _PathLike) -> Trace:
             record = json.loads(line)
             rtype = record.get("type")
             if rtype == "meta":
+                schema = record.get("schema", TRACE_SCHEMA)
+                if schema != TRACE_SCHEMA:
+                    raise ValueError(
+                        f"{path}:{lineno}: unsupported trace schema {schema!r} "
+                        f"(this reader understands {TRACE_SCHEMA!r})"
+                    )
                 meta = dict(record["meta"])
             elif rtype == "span":
                 spans.append(SpanRecord.from_record(record))

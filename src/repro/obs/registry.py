@@ -10,7 +10,10 @@ general monitoring system:
 * :class:`Counter` — monotone count;
 * :class:`Gauge` — last-written value;
 * :class:`Histogram` — streaming count/sum/min/max plus fixed linear
-  buckets over ``[0, bound)`` for cheap shape inspection.
+  buckets over ``[0, bound)`` for cheap shape inspection;
+* :class:`PhaseTimer` — aggregated wall time of one profiled phase
+  (fed by :class:`repro.obs.prof.PhaseProfiler`, the only component
+  allowed to read the monotonic clock).
 
 ``snapshot()`` renders everything to JSON-native dicts for export.
 """
@@ -19,7 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "PhaseTimer"]
 
 
 class Counter:
@@ -112,6 +115,48 @@ class Histogram:
         }
 
 
+class PhaseTimer:
+    """Aggregated wall time of one profiled phase.
+
+    Tracks call count plus total and max *elapsed wall seconds*.  The
+    values measure host-side cost (scheduler overhead, planner math) and
+    never feed back into simulated time — a run's results are identical
+    whatever these read.  Written by
+    :class:`repro.obs.prof.PhaseProfiler`; this class itself never
+    touches a clock.
+    """
+
+    __slots__ = ("name", "count", "total", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, elapsed: float) -> None:
+        """Add one timed call of ``elapsed`` wall seconds."""
+        self.count += 1
+        self.total += elapsed
+        if elapsed > self.max:
+            self.max = elapsed
+
+    @property
+    def mean(self) -> float:
+        """Mean wall seconds per call (0 when never called)."""
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-native state."""
+        return {
+            "kind": "phase",
+            "count": self.count,
+            "total_s": self.total,
+            "max_s": self.max,
+            "mean_s": self.mean,
+        }
+
+
 class MetricsRegistry:
     """Name → instrument map with get-or-create accessors."""
 
@@ -142,6 +187,10 @@ class MetricsRegistry:
         return self._get(
             name, lambda: Histogram(name, bound=bound, nbuckets=nbuckets), Histogram
         )
+
+    def phase_timer(self, name: str) -> PhaseTimer:
+        """Get or create the named phase timer."""
+        return self._get(name, lambda: PhaseTimer(name), PhaseTimer)
 
     def names(self) -> List[str]:
         """Registered metric names, sorted."""

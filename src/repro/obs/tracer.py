@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
+from repro.obs.prof import NULL_PROFILER, PhaseProfiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import EventRecord, SpanRecord
 from repro.obs.timeline import CoreTimelineSampler, TimelineSample
@@ -114,6 +115,9 @@ class Tracer:
         self.events: List[EventRecord] = []
         self.samples: List[TimelineSample] = []
         self.metrics = MetricsRegistry()
+        #: Hot-path phase profiler publishing into :attr:`metrics`
+        #: (``prof.*`` phase timers; see :mod:`repro.obs.prof`).
+        self.profiler = PhaseProfiler(self.metrics)
         self.meta: Dict[str, Any] = {}
         self._seq = 0
         self._next_span_id = 0
@@ -265,9 +269,14 @@ class Tracer:
         self.meta.update(meta)
         self.meta["start"] = float(time)
 
-    def run_finished(self, machine: MulticoreServer, time: float) -> None:
-        """Take the final core sample and stamp the run duration."""
+    def run_finished(self, machine: MulticoreServer, time: float, **meta: Any) -> None:
+        """Take the final core sample and stamp the run duration.
+
+        Extra keyword arguments (e.g. ``events=...`` from the harness)
+        are merged into the trace metadata.
+        """
         self.sample_cores(machine, time)
+        self.meta.update(meta)
         self.meta["end"] = float(time)
 
     def open_spans(self) -> List[SpanRecord]:
@@ -297,6 +306,10 @@ class NullTracer:
     __slots__ = ()
 
     enabled = False
+
+    #: Shared null profiler, so ``tracer.profiler.phase(...)`` is a
+    #: no-op without a guard (mirrors :attr:`Tracer.profiler`).
+    profiler = NULL_PROFILER
 
     def begin_span(
         self,
@@ -353,7 +366,7 @@ class NullTracer:
     def run_started(self, time: float, **meta: Any) -> None:
         return None
 
-    def run_finished(self, machine: MulticoreServer, time: float) -> None:
+    def run_finished(self, machine: MulticoreServer, time: float, **meta: Any) -> None:
         return None
 
 

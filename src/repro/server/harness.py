@@ -220,6 +220,7 @@ class SimulationHarness:
                 cores=cfg.m,
                 budget=cfg.budget,
                 q_ge=cfg.q_ge,
+                config_fingerprint=cfg.fingerprint(),
             )
             self.tracer.sample_cores(self.machine, self.sim.now)
         # Drain until the last deadline so every job settles, even when
@@ -233,10 +234,19 @@ class SimulationHarness:
                 self.scheduler.quantum, self._quantum_tick,
                 priority=PRIORITY_LOW, name="quantum",
             )
-        self.sim.run(until=self._drain_until)
+        # The phase covers the whole event loop (dispatch + scheduler
+        # work, which nests its own prof.* phases inside); divide by
+        # ``sim.events_processed`` for the events/sec rate.
+        with self.tracer.profiler.phase("sim.run"):
+            self.sim.run(until=self._drain_until)
         self.scheduler.on_run_end()
         if self.tracer.enabled:
-            self.tracer.run_finished(self.machine, self.sim.now)
+            self.tracer.metrics.gauge("sim.events_processed").set(
+                self.sim.events_processed
+            )
+            self.tracer.run_finished(
+                self.machine, self.sim.now, events=self.sim.events_processed
+            )
         if self.metrics.jobs != self._total_jobs:  # pragma: no cover - invariant
             raise SchedulingError(
                 f"settled {self.metrics.jobs} of {self._total_jobs} jobs — "

@@ -36,6 +36,19 @@ class TestSIM001WallClock:
         src = "import time\n\ndef f() -> object:\n    return time.struct_time\n"
         assert "SIM001" not in codes(src, "repro.sim.engine")
 
+    def test_obs_package_is_deterministic(self):
+        # repro.obs joined the deterministic tree: telemetry must not
+        # read wall clocks ... except the sanctioned profiler module.
+        src = "import time\n\ndef now() -> float:\n    return time.perf_counter()\n"
+        assert "SIM001" in codes(src, "repro.obs.tracer")
+
+    def test_profiler_module_allowlisted(self):
+        from repro.check.rules import SIM001_MODULE_ALLOWLIST
+
+        assert "repro.obs.prof" in SIM001_MODULE_ALLOWLIST
+        src = "import time\n\ndef now() -> float:\n    return time.perf_counter()\n"
+        assert "SIM001" not in codes(src, "repro.obs.prof")
+
 
 class TestSIM002UnseededRandomness:
     def test_flags_random_module(self):

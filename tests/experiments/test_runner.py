@@ -65,3 +65,36 @@ def test_quality_energy_series_fills_panels():
     assert len(e.y) == 2
     assert all(0 <= v <= 1 for v in q.y)
     assert all(v > 0 for v in e.y)
+
+
+def test_scaled_config_explicit_horizon_override_wins():
+    cfg = scaled_config(0.01, seed=3, horizon=42.0)
+    assert cfg.horizon == 42.0
+
+
+def test_scaled_config_seed_cannot_be_smuggled_in_overrides():
+    # ``seed`` is a named parameter, so a duplicate in overrides is a
+    # call-site TypeError rather than a silent precedence surprise.
+    with pytest.raises(TypeError):
+        scaled_config(0.01, 3, **{"seed": 7})
+
+
+def test_scaled_config_near_zero_scale_is_valid():
+    cfg = scaled_config(1e-9, seed=1)
+    assert cfg.horizon == pytest.approx(6.0e-7)
+
+
+def test_scaled_config_negative_scale_rejected():
+    with pytest.raises(ValueError):
+        scaled_config(-0.5, seed=1)
+
+
+def test_sweep_rates_empty_rates_yields_empty_series():
+    cfg = scaled_config(0.005, seed=1)
+    results = sweep_rates(cfg, {"GE": make_ge}, [])
+    assert results == {"GE": []}
+
+
+def test_sweep_rates_no_factories():
+    cfg = scaled_config(0.005, seed=1)
+    assert sweep_rates(cfg, {}, [100.0]) == {}
