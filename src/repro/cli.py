@@ -190,6 +190,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="relative tolerance for quality/energy drift")
     cmp_p.add_argument("--no-fidelity", action="store_true",
                        help="skip the fidelity and determinism gates")
+    cmp_p.add_argument("--scenarios", dest="cmp_scenarios", default=None,
+                       metavar="NAMES",
+                       help="comma-separated scenario names to compare "
+                            "(default: all; scenarios outside the filter "
+                            "are ignored rather than counted as missing)")
     return parser
 
 
@@ -390,13 +395,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             except (OSError, ValueError) as exc:
                 print(f"bench compare: {exc}")
                 return 2
-            comparison = bench_mod.compare_snapshots(
-                old,
-                new,
-                threshold=args.threshold,
-                fidelity_tol=args.fidelity_tol,
-                check_fidelity=not args.no_fidelity,
-            )
+            cmp_names = None
+            if args.cmp_scenarios:
+                cmp_names = [
+                    n.strip() for n in args.cmp_scenarios.split(",") if n.strip()
+                ]
+            try:
+                comparison = bench_mod.compare_snapshots(
+                    old,
+                    new,
+                    threshold=args.threshold,
+                    fidelity_tol=args.fidelity_tol,
+                    check_fidelity=not args.no_fidelity,
+                    scenarios=cmp_names,
+                )
+            except ValueError as exc:
+                print(f"bench compare: {exc}")
+                return 2
             print(comparison.render())
             return 0 if comparison.ok else 1
         if args.list_scenarios:

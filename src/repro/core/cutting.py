@@ -25,13 +25,14 @@ to the *cumulative* quality the monitor tracks, not just the batch.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.quality.aggregate import quality_ratio
 from repro.quality.functions import QualityFunction
 
-__all__ = ["lf_cut_waterline", "lf_cut_stepwise"]
+__all__ = ["WaterlineMemo", "lf_cut_waterline", "lf_cut_stepwise"]
 
 
 def _batch_quality(
@@ -41,9 +42,50 @@ def _batch_quality(
     base_achieved: float,
     base_potential: float,
 ) -> float:
+    """Aggregate quality of a batch cut to ``targets``, on top of history.
+
+    An empty batch with zero history has ``potential == 0``; the ratio
+    is then defined as 1.0 — the cut is vacuously satisfied, matching
+    :func:`repro.quality.aggregate.quality_ratio` and the monitor's
+    start-up convention (GE begins in AES mode).  The BQ compensation
+    switch is driven by the *monitor's* cumulative quality, which only
+    reports 1.0 while nothing has settled, so the convention cannot
+    mask a genuine quality deficit.
+    """
     achieved = base_achieved + float(np.sum(f(targets)))
     potential = base_potential + float(np.sum(f(demands)))
-    return achieved / potential if potential > 0 else 1.0
+    return quality_ratio(achieved, potential)
+
+
+class WaterlineMemo:
+    """Single-entry cross-round cache for :func:`lf_cut_waterline`.
+
+    The GE scheduler re-cuts the *same* demand vector whenever a round
+    fires without the active set changing (quantum ticks between
+    arrivals).  The memo keys on the exact demand bytes plus the target
+    and history terms, so any change — membership, order, target, or
+    monitor history — invalidates it.  Stored and returned arrays are
+    copies; callers may mutate their result freely.
+    """
+
+    __slots__ = ("_key", "_targets", "hits", "misses")
+
+    def __init__(self) -> None:
+        self._key: Optional[Tuple[bytes, float, float, float]] = None
+        self._targets: Optional[np.ndarray] = None
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple[bytes, float, float, float]) -> Optional[np.ndarray]:
+        if self._key == key and self._targets is not None:
+            self.hits += 1
+            return self._targets.copy()
+        self.misses += 1
+        return None
+
+    def put(self, key: Tuple[bytes, float, float, float], targets: np.ndarray) -> None:
+        self._key = key
+        self._targets = targets.copy()
 
 
 def lf_cut_waterline(
@@ -55,6 +97,7 @@ def lf_cut_waterline(
     base_potential: float = 0.0,
     tol: float = 1e-6,
     max_iter: int = 60,
+    memo: Optional[WaterlineMemo] = None,
 ) -> np.ndarray:
     """LF cut as a waterline: targets are ``min(p_j, L)``.
 
@@ -66,6 +109,15 @@ def lf_cut_waterline(
     If even full processing cannot reach the target (the history is too
     far underwater), no cutting is performed (targets = demands); the
     mode controller will be in BQ mode in that situation anyway.
+
+    Feasibility guarantee: whenever cutting happens (full processing
+    would exceed the target), the returned targets satisfy
+    ``_batch_quality(f, targets, demands, ...) >= q_target`` — the
+    binary search keeps ``hi`` on the feasible side of the bracket at
+    every step, so the returned level is never the infeasible ``lo``.
+
+    ``memo`` optionally caches the last result across rounds; see
+    :class:`WaterlineMemo`.
     """
     demands_arr = np.asarray(demands, dtype=float)
     if demands_arr.size == 0:
@@ -75,29 +127,60 @@ def lf_cut_waterline(
     if not 0.0 < q_target <= 1.0:
         raise ValueError(f"q_target must be in (0, 1], got {q_target!r}")
 
+    key: Optional[Tuple[bytes, float, float, float]] = None
+    if memo is not None:
+        key = (demands_arr.tobytes(), q_target, base_achieved, base_potential)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+
     top = float(np.max(demands_arr))
-    full_q = _batch_quality(f, demands_arr, demands_arr, base_achieved, base_potential)
+    # Evaluate f over the demand vector once; every bisection step below
+    # reuses these per-job values instead of recomputing the whole batch.
+    f_demands = np.asarray(f(demands_arr), dtype=float)
+    sum_f_demands = float(np.sum(f_demands))
+    potential = base_potential + sum_f_demands
+    full_q = quality_ratio(base_achieved + sum_f_demands, potential)
     if full_q <= q_target:
-        return demands_arr.copy()  # cannot afford any cutting
-    zero_q = _batch_quality(
-        f, np.zeros_like(demands_arr), demands_arr, base_achieved, base_potential
+        targets = demands_arr.copy()  # cannot afford any cutting
+        if memo is not None and key is not None:
+            memo.put(key, targets)
+        return targets
+    zero_q = quality_ratio(
+        base_achieved + float(np.sum(f(np.zeros_like(demands_arr)))), potential
     )
     if zero_q >= q_target:
-        return np.zeros_like(demands_arr)  # history surplus covers the whole batch
+        targets = np.zeros_like(demands_arr)  # history surplus covers the batch
+        if memo is not None and key is not None:
+            memo.put(key, targets)
+        return targets
 
     lo, hi = 0.0, top
+    q_hi = full_q  # quality at the feasible (hi) end of the bracket
     for _ in range(max_iter):
         mid = 0.5 * (lo + hi)
-        q = _batch_quality(
-            f, np.minimum(demands_arr, mid), demands_arr, base_achieved, base_potential
+        # min(d_j, mid) maps each job to either its own f(d_j) — already
+        # in f_demands — or to f(mid); the shape-preserving select keeps
+        # the summation order identical to evaluating f on the clipped
+        # vector, so the search trajectory is bit-for-bit unchanged.
+        f_mid = float(f(np.float64(mid)))
+        achieved = base_achieved + float(
+            np.sum(np.where(demands_arr <= mid, f_demands, f_mid))
         )
+        q = quality_ratio(achieved, potential)
         if q < q_target:
             lo = mid
         else:
             hi = mid
+            q_hi = q
         if hi - lo <= tol * max(1.0, top):
             break
-    return np.minimum(demands_arr, hi)
+    if q_hi < q_target:  # pragma: no cover - the invariant above forbids this
+        hi, q_hi = top, full_q  # defensive: fall back to the known-feasible end
+    targets = np.minimum(demands_arr, hi)
+    if memo is not None and key is not None:
+        memo.put(key, targets)
+    return targets
 
 
 def lf_cut_stepwise(

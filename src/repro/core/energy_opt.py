@@ -44,6 +44,66 @@ class BlockSpeed:
     speed: float
 
 
+#: Batch size below which the pure-Python staircase beats the numpy one
+#: (per-core GE batches are almost always this small).
+_SMALL_N = 32
+
+
+def _yds_staircase_small(
+    vols: Sequence[float], dls: Sequence[float], now: float, max_speed: float
+) -> List[BlockSpeed]:
+    """Pure-Python staircase for small batches.
+
+    Mirrors the vectorized loop in :func:`yds_schedule` operation for
+    operation — sequential prefix sums are bitwise equal to
+    ``np.cumsum``, and max/threshold selection uses the same float
+    comparisons — so both paths produce identical blocks (asserted by
+    ``tests/core/test_energy_opt.py``).
+    """
+    vlist = vols if isinstance(vols, list) else np.asarray(vols).tolist()
+    dlist = dls if isinstance(dls, list) else np.asarray(dls).tolist()
+    n = len(vlist)
+    prefix = [0.0] * (n + 1)
+    acc = 0.0
+    for i, v in enumerate(vlist):
+        acc += v
+        prefix[i + 1] = acc
+    blocks: List[BlockSpeed] = []
+    start = 0
+    t = now
+    cap_slack = max_speed * (1.0 + 1e-9)
+    while start < n:
+        base = prefix[start]
+        peak = -math.inf
+        intensities = []
+        for k in range(start, n):
+            span = dlist[k] - t
+            if span <= 0:
+                raise InfeasibleError(
+                    "deadline at or before block start — infeasible batch"
+                )
+            intensity = (prefix[k + 1] - base) / span
+            intensities.append(intensity)
+            if intensity > peak:
+                peak = intensity
+        # Longest prefix achieving the peak (canonical maximal block).
+        threshold = peak * (1.0 - 1e-12)
+        k_sel = 0
+        for i, intensity in enumerate(intensities):
+            if intensity >= threshold:
+                k_sel = i
+        speed = intensities[k_sel]
+        if speed > cap_slack:
+            raise InfeasibleError(
+                f"required speed {speed:.6g} exceeds cap {max_speed:.6g} units/s"
+            )
+        speed = min(speed, max_speed)
+        blocks.append(BlockSpeed(jobs=tuple(range(start, start + k_sel + 1)), speed=speed))
+        t = t + (prefix[start + k_sel + 1] - base) / speed
+        start += k_sel + 1
+    return blocks
+
+
 def yds_schedule(
     volumes: Sequence[float],
     deadlines: Sequence[float],
@@ -79,30 +139,57 @@ def yds_schedule(
     prefix run at exactly that intensity and finish at ``d_k``, after
     which the argument repeats on the suffix starting at ``d_k``.
     """
-    vols = np.asarray(volumes, dtype=float)
-    dls = np.asarray(deadlines, dtype=float)
-    if vols.shape != dls.shape:
+    # The whole small-batch path (validation included) runs on Python
+    # lists: scalar compares/subtract/divide are bitwise equal to the
+    # np.any/np.diff formulation they replaced, and list inputs from the
+    # planner skip array construction entirely.
+    if isinstance(volumes, np.ndarray):
+        vlist = volumes.tolist()
+    else:
+        vlist = [float(v) for v in volumes]
+    if isinstance(deadlines, np.ndarray):
+        dlist = deadlines.tolist()
+    else:
+        dlist = [float(d) for d in deadlines]
+    n = len(vlist)
+    if n != len(dlist):
         raise ValueError("volumes and deadlines must have equal length")
-    if np.any(vols <= 0):
-        raise ValueError("volumes must be positive (filter zero work before calling)")
-    if np.any(np.diff(dls) < 0):
-        raise ValueError("deadlines must be non-decreasing (EDF order)")
-    if vols.size and dls[0] <= now:
-        raise InfeasibleError(f"first deadline {dls[0]!r} is not after now={now!r}")
-
-    if vols.size == 1:
-        # Single-job fast path: one block at the exact intensity.
-        speed = float(vols[0]) / (float(dls[0]) - now)
+    if n == 1:
+        # Single-job fast path: the monotonicity check is vacuous for
+        # one job; one block at the exact intensity.
+        v0 = vlist[0]
+        if v0 <= 0:
+            raise ValueError(
+                "volumes must be positive (filter zero work before calling)"
+            )
+        d0 = dlist[0]
+        if d0 <= now:
+            raise InfeasibleError(f"first deadline {d0!r} is not after now={now!r}")
+        speed = v0 / (d0 - now)
         if speed > max_speed * (1.0 + 1e-9):
             raise InfeasibleError(
                 f"required speed {speed:.6g} exceeds cap {max_speed:.6g} units/s"
             )
         return [BlockSpeed(jobs=(0,), speed=min(speed, max_speed))]
+    for v in vlist:
+        if v <= 0:
+            raise ValueError(
+                "volumes must be positive (filter zero work before calling)"
+            )
+    for i in range(n - 1):
+        if dlist[i + 1] - dlist[i] < 0:
+            raise ValueError("deadlines must be non-decreasing (EDF order)")
+    if n and dlist[0] <= now:
+        raise InfeasibleError(f"first deadline {dlist[0]!r} is not after now={now!r}")
 
+    if n <= _SMALL_N:
+        return _yds_staircase_small(vlist, dlist, now, max_speed)
+
+    vols = np.asarray(vlist, dtype=float)
+    dls = np.asarray(dlist, dtype=float)
     blocks: List[BlockSpeed] = []
     start = 0
     t = now
-    n = vols.size
     prefix = np.concatenate([[0.0], np.cumsum(vols)])
     while start < n:
         # Intensity of each candidate prefix of the remaining jobs.

@@ -20,24 +20,31 @@ class (§IV-A-1) and are exposed via :func:`make_be` / :func:`make_oq`;
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Literal, Optional
+from typing import TYPE_CHECKING, Dict, List, Literal, Optional, Tuple
 
 import numpy as np
 
 from repro.core.assignment import AssignmentPolicy, CumulativeRoundRobin
 from repro.core.decisions import DecisionLog
 from repro.errors import SchedulingError
-from repro.core.cutting import lf_cut_waterline
+from repro.core.cutting import WaterlineMemo, lf_cut_waterline
 from repro.core.load import ArrivalRateEstimator
 from repro.core.modes import ExecutionMode, ModeController
 from repro.core.planner import build_core_plan, core_power_demand, edf_sort
 from repro.obs.tracer import TracerLike
-from repro.power.distribution import EqualSharing, HybridDistribution, WaterFilling
+from repro.power.distribution import (
+    EqualSharing,
+    HybridDistribution,
+    PowerDistributionPolicy,
+    WaterFilling,
+)
+from repro.server.core import Segment
 from repro.server.scheduler import Scheduler
 from repro.workload.job import Job
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.server.harness import SimulationHarness
+    from repro.server.machine import MulticoreServer
 
 __all__ = ["GEScheduler", "make_ge", "make_be", "make_oq"]
 
@@ -110,6 +117,12 @@ class GEScheduler(Scheduler):
         self._q_target = 1.0
         self._reschedules = 0
         self._last_policy: Optional[str] = None
+        # Hot-path caches (sized in bind(); see docs/performance.md).
+        self._waterline_memo = WaterlineMemo()
+        self._zero_demands = np.zeros(0)
+        self._plan_keys: List[Optional[Tuple[float, float, Tuple]]] = []
+        self._plan_segments: List[Optional[List[Segment]]] = []
+        self._cap_memo: List[Optional[Tuple[float, float, float]]] = []
 
     # ------------------------------------------------------------------
     def bind(self, harness: "SimulationHarness") -> None:
@@ -128,6 +141,11 @@ class GEScheduler(Scheduler):
         if self._assignment is None:
             self._assignment = CumulativeRoundRobin(cfg.m)
         self._active = [[] for _ in range(cfg.m)]
+        self._waterline_memo = WaterlineMemo()
+        self._zero_demands = np.zeros(cfg.m)
+        self._plan_keys = [None] * cfg.m
+        self._plan_segments = [None] * cfg.m
+        self._cap_memo = [None] * cfg.m
 
     # ------------------------------------------------------------------
     # Triggers (paper §III-E)
@@ -212,12 +230,15 @@ class GEScheduler(Scheduler):
             core.checkpoint()
 
         # 1. Batch-assign the queue with C-RR (jobs stay pinned forever).
+        # An empty batch skips the policy call (and the O(m·jobs) load
+        # scan feeding it) — no built-in policy acts on zero jobs.
         batch = harness.take_all_queued()
-        for job, core_idx in self._assignment.assign(batch, self._core_loads()):
-            job.assign(core_idx)
-            self._active[core_idx].append(job)
-            if tracing:
-                tracer.job_assigned(job, core_idx, now)
+        if batch:
+            for job, core_idx in self._assignment.assign(batch, self._core_loads()):
+                job.assign(core_idx)
+                self._active[core_idx].append(job)
+                if tracing:
+                    tracer.job_assigned(job, core_idx, now)
 
         # Refresh active sets: drop settled jobs and jobs whose deadline
         # has passed (their expiry event settles them this instant).
@@ -255,18 +276,15 @@ class GEScheduler(Scheduler):
 
         # 4. Power demands and distribution (per-core models support the
         # heterogeneous-machine extension; identical when homogeneous).
+        # The branch is picked first: ES ignores the demand values, so
+        # the per-core demand scan runs only for the WF branch.
         with prof.phase("power.distribute"):
-            extras_per_core: List[np.ndarray] = []
-            demands_w = np.zeros(machine.m)
-            for idx, jobs in enumerate(per_core):
-                extras = np.array(
-                    [max(0.0, target_of[j.jid] - j.processed) for j in jobs]
-                )
-                extras_per_core.append(extras)
-                demands_w[idx] = core_power_demand(
-                    jobs, extras, now, machine.models[idx]
-                )
-            distribution = self._distribute(demands_w, machine.budget, now)
+            policy = self._policy_for(now)
+            if policy.needs_demands:
+                demands_w = self._power_demands(per_core, target_of, now, machine)
+            else:
+                demands_w = self._zero_demands
+            distribution = policy.distribute(demands_w, machine.budget)
             caps = distribution.caps
 
         if tracing and self._last_policy not in (None, distribution.policy):
@@ -298,34 +316,83 @@ class GEScheduler(Scheduler):
             ):
                 tracer.decision(decision)
 
-        # 5. Per-core planning and installation.
+        # 5. Per-core planning and installation.  A core whose queue
+        # state (jids, progress, targets) and power cap are unchanged
+        # since the previous round *at this same instant* would rebuild
+        # the exact same plan; the cached segments are reinstalled
+        # instead (see docs/performance.md for the invalidation rules).
         quality_opt_calls = 0
         energy_opt_calls = 0
+        plan_cache_hits = 0
+        caps_n = len(caps)
+        # The default allocator is a pure function of the cache key; an
+        # injected one (the mixed-class extension) may read shared
+        # monitor state, so plan reuse is disabled for it.
+        cacheable = self._allocator is None
         with prof.phase("planner.build"):
             for idx, jobs in enumerate(per_core):
+                core = machine.cores[idx]
+                if not jobs:
+                    # Nothing to plan.  Clearing an already-idle core is
+                    # a no-op (the speed timeline dedupes same-value
+                    # writes), so only cores holding stale segments need
+                    # the call.
+                    if core.has_work:
+                        core.set_plan([])
+                    self._plan_keys[idx] = None
+                    continue
+                cap = float(caps[idx]) if caps_n else 0.0
+                key = (
+                    now,
+                    cap,
+                    tuple((j.jid, j.processed, target_of[j.jid]) for j in jobs),
+                )
+                if cacheable and key == self._plan_keys[idx]:
+                    segments = self._plan_segments[idx]
+                    assert segments is not None
+                    core.set_plan(segments)
+                    plan_cache_hits += 1
+                    continue
+                cap_memo = self._cap_memo[idx]
+                if cap_memo is not None and cap_memo[0] == cap:
+                    speed_cap, capacity = cap_memo[1], cap_memo[2]
+                else:
+                    speed_cap = machine.scales[idx].max_speed_at_power(cap)
+                    capacity = machine.models[idx].throughput(speed_cap)
+                    self._cap_memo[idx] = (cap, speed_cap, capacity)
                 plan = build_core_plan(
                     jobs,
                     [target_of[j.jid] for j in jobs],
                     now,
-                    float(caps[idx]) if len(caps) else 0.0,
+                    cap,
                     machine.models[idx],
                     machine.scales[idx],
                     allocator=self._allocator,
                     profiler=prof,
+                    speed_cap=speed_cap,
+                    capacity=capacity,
                 )
-                if tracing and jobs:
+                if tracing:
                     quality_opt_calls += 1  # Quality-OPT runs once per planned core
                     if plan.segments:
                         energy_opt_calls += 1  # Energy-OPT ran on the survivors
-                machine.cores[idx].set_plan(plan.segments)
-                for job, outcome in plan.settle_now:
-                    harness.settle_job(job, outcome)
+                core.set_plan(plan.segments)
+                if plan.settle_now:
+                    for job, outcome in plan.settle_now:
+                        harness.settle_job(job, outcome)
+                    # Settling changed the live set; the stored plan
+                    # could never match the next key anyway.
+                    self._plan_keys[idx] = None
+                else:
+                    self._plan_keys[idx] = key
+                    self._plan_segments[idx] = plan.segments
 
         if tracing:
             metrics = tracer.metrics
             metrics.counter("scheduler.rounds").inc()
             metrics.counter("planner.quality_opt_calls").inc(quality_opt_calls)
             metrics.counter("planner.energy_opt_calls").inc(energy_opt_calls)
+            metrics.counter("planner.plan_cache_hits").inc(plan_cache_hits)
             metrics.gauge("scheduler.queue_depth").set(queue_depth)
             metrics.histogram("scheduler.batch_size", bound=64).observe(len(batch))
             metrics.histogram("scheduler.active_jobs", bound=256).observe(len(all_jobs))
@@ -352,10 +419,37 @@ class GEScheduler(Scheduler):
                 self._q_target,
                 base_achieved=base_achieved,
                 base_potential=base_potential,
+                memo=self._waterline_memo,
             )
         else:
             targets = np.array([j.demand for j in all_jobs])
         return {job.jid: float(t) for job, t in zip(all_jobs, targets)}
+
+    def _policy_for(self, now: float) -> PowerDistributionPolicy:
+        """The distribution branch for this round (may tick the estimator)."""
+        if self.distribution_mode == "es":
+            return self._hybrid.light
+        if self.distribution_mode == "wf":
+            return self._hybrid.heavy
+        heavy = self.estimator.is_heavy(now, self._critical_rate)
+        return self._hybrid.heavy if heavy else self._hybrid.light
+
+    def _power_demands(
+        self,
+        per_core: List[List[Job]],
+        target_of: Dict[int, float],
+        now: float,
+        machine: "MulticoreServer",
+    ) -> np.ndarray:
+        """Per-core power demands (W) for the water-filling branch."""
+        demands_w = np.zeros(machine.m)
+        models = machine.models
+        for idx, jobs in enumerate(per_core):
+            if not jobs:
+                continue  # an empty core demands exactly 0 W
+            extras = [max(0.0, target_of[j.jid] - j.processed) for j in jobs]
+            demands_w[idx] = core_power_demand(jobs, extras, now, models[idx])
+        return demands_w
 
     def _distribute(self, demands_w: np.ndarray, budget: float, now: float):
         if self.distribution_mode == "es":

@@ -56,15 +56,23 @@ def core_power_demand(
     over EDF prefixes — exactly the top step of the YDS staircase, and
     therefore the smallest constant-speed power that keeps the plan
     feasible.  Jobs must already be EDF-sorted and have deadlines > now.
+
+    Implemented as a plain Python scan: batches are a handful of jobs,
+    where the interpreter loop beats numpy's per-call overhead several
+    times over, and a sequential running sum is bitwise equal to the
+    ``np.cumsum``/``np.max`` formulation it replaced.
     """
-    extras_arr = np.asarray(extras, dtype=float)
-    mask = extras_arr > _WORK_EPS
-    if not np.any(mask):
+    cumulative = 0.0
+    peak = -float("inf")
+    for job, extra in zip(jobs, extras):
+        if extra > _WORK_EPS:
+            cumulative += extra
+            intensity = cumulative / (job.deadline - now)
+            if intensity > peak:
+                peak = intensity
+    if peak == -float("inf"):
         return 0.0
-    vols = extras_arr[mask]
-    dls = np.array([j.deadline for j, keep in zip(jobs, mask) if keep])
-    intensity = float(np.max(np.cumsum(vols) / (dls - now)))
-    return model.power(model.speed_for_throughput(intensity))
+    return model.power(model.speed_for_throughput(float(peak)))
 
 
 @dataclass
@@ -102,6 +110,9 @@ def build_core_plan(
     scale: SpeedScale,
     allocator: Optional[Callable[..., np.ndarray]] = None,
     profiler: ProfilerLike = NULL_PROFILER,
+    *,
+    speed_cap: Optional[float] = None,
+    capacity: Optional[float] = None,
 ) -> CorePlan:
     """Plan one core: first cut → Quality-OPT → Energy-OPT → segments.
 
@@ -124,34 +135,57 @@ def build_core_plan(
         Phase profiler recording the ``planner.quality_opt`` and
         ``planner.energy_opt`` wall-time phases; defaults to the
         zero-cost null profiler.
+    speed_cap, capacity:
+        Optional precomputed ``scale.max_speed_at_power(power_cap)`` and
+        ``model.throughput(speed_cap)``.  Both are pure functions of
+        ``power_cap``, so schedulers that replan the same cap every
+        round memoize them per core; when omitted they are computed
+        here.
     """
     plan = CorePlan()
     if not jobs:
         return plan
-    targets_arr = np.asarray(targets, dtype=float)
-    processed = np.array([j.processed for j in jobs])
-    extras = np.maximum(0.0, targets_arr - processed)
+    # The hot path works on Python lists: per-element scalar arithmetic
+    # is bitwise equal to the elementwise numpy expressions it replaced
+    # and several times cheaper on the small per-core batches planned
+    # here.  Only the custom-allocator branch still builds arrays (its
+    # implementations expect them).
+    processed = [j.processed for j in jobs]
+    extras = []
+    for t, p in zip(targets, processed):
+        e = float(t) - p
+        extras.append(e if e > 0.0 else 0.0)  # == np.maximum(0.0, t - p)
 
-    speed_cap = scale.max_speed_at_power(power_cap)
-    capacity = model.throughput(speed_cap)  # units/second at the cap
+    if speed_cap is None:
+        speed_cap = scale.max_speed_at_power(power_cap)
+    if capacity is None:
+        capacity = model.throughput(speed_cap)  # units/second at the cap
 
     # Second cut: fit the extras into the capacity before each deadline.
-    deadlines = np.array([j.deadline for j in jobs])
+    deadlines = [j.deadline for j in jobs]
     with profiler.phase("planner.quality_opt"):
         if allocator is None:
             granted = quality_opt(extras, deadlines, now, capacity, offsets=processed)
         else:
-            granted = allocator(jobs, extras, deadlines, now, capacity, processed)
+            granted = allocator(
+                jobs,
+                np.asarray(extras, dtype=float),
+                np.asarray(deadlines, dtype=float),
+                now,
+                capacity,
+                np.asarray(processed, dtype=float),
+            )
+    glist = granted.tolist() if isinstance(granted, np.ndarray) else list(granted)
 
-    live_idx = [i for i in range(len(jobs)) if granted[i] > _WORK_EPS]
+    live_idx = [i for i in range(len(jobs)) if glist[i] > _WORK_EPS]
     for i in range(len(jobs)):
-        if granted[i] <= _WORK_EPS:
+        if glist[i] <= _WORK_EPS:
             plan.settle_now.append((jobs[i], _immediate_outcome(jobs[i])))
     if not live_idx:
         return plan
 
-    live_vols = granted[live_idx]
-    live_dls = deadlines[live_idx]
+    live_vols = [glist[i] for i in live_idx]
+    live_dls = [deadlines[i] for i in live_idx]
     with profiler.phase("planner.energy_opt"):
         blocks = yds_schedule(
             live_vols, live_dls, now, max_speed=capacity * (1 + 1e-9)

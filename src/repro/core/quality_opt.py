@@ -58,23 +58,36 @@ def _waterline_for_budget(
     if float(np.sum(bounds)) <= budget + _EPS:
         return float("inf")
     # The allocation Σ clip(w − o_i, 0, b_i) is piecewise linear and
-    # non-decreasing in w with breakpoints at offsets and tops.
-    points = np.unique(np.concatenate([offsets, tops]))
+    # non-decreasing in w with breakpoints at offsets and tops.  The
+    # breakpoint set is deduped/sorted in Python — same values as the
+    # ``np.unique(np.concatenate(...))`` it replaced (inputs are
+    # non-negative, so no −0.0/+0.0 representative ambiguity) at a
+    # fraction of the per-call cost on the small arrays seen here.
+    olist = offsets.tolist()
+    tlist = tops.tolist()
+    points = np.asarray(sorted(set(olist) | set(tlist)))
 
-    def allocated(w: float) -> float:
-        return float(np.sum(np.clip(w - offsets, 0.0, bounds)))
-
-    # Find the bracketing breakpoints, then solve the linear piece.
-    lo = float(points[0])
-    hi = float(points[-1])
-    for p in points:
-        if allocated(float(p)) >= budget - _EPS:
-            hi = float(p)
-            break
-        lo = float(p)
-    alloc_lo = allocated(lo)
+    # Find the bracketing breakpoints, then solve the linear piece.  The
+    # allocation at every breakpoint is computed in one 2-D reduction;
+    # numpy's row-wise ``np.sum(..., axis=1)`` is bitwise equal to the
+    # per-point 1-D ``np.sum`` scan it replaced (asserted in
+    # tests/core/test_quality_opt.py).
+    alloc_all = np.sum(np.clip(points[:, None] - offsets, 0.0, bounds), axis=1)
+    mask = alloc_all >= budget - _EPS
+    if mask.any():
+        idx = int(np.argmax(mask))
+        hi = float(points[idx])
+        lo = float(points[idx - 1]) if idx > 0 else float(points[0])
+        alloc_lo = float(alloc_all[idx - 1]) if idx > 0 else float(alloc_all[0])
+    else:  # pragma: no cover - Σ bounds > budget guarantees a hit
+        lo = hi = float(points[-1])
+        alloc_lo = float(alloc_all[-1])
     # On (lo, hi] the slope is the number of jobs with offset <= lo < top.
-    active = np.sum((offsets <= lo + _EPS) & (tops > lo + _EPS))
+    lo_eps = lo + _EPS
+    active = 0
+    for o, tp in zip(olist, tlist):
+        if o <= lo_eps and tp > lo_eps:
+            active += 1
     if active <= 0:
         return hi
     return lo + (budget - alloc_lo) / float(active)
@@ -117,51 +130,122 @@ def quality_opt(
     quality function, so the caller does not pass ``f`` at all.  (With
     per-job quality functions this would no longer hold.)
     """
-    bounds_arr = np.asarray(bounds, dtype=float)
-    dls = np.asarray(deadlines, dtype=float)
-    if bounds_arr.shape != dls.shape:
+    # Validation and the per-deadline capacities run on Python lists:
+    # scalar compare/multiply/subtract are bitwise equal to the
+    # elementwise numpy expressions they replaced, the interpreter beats
+    # numpy's per-call overhead on these small batches, and list inputs
+    # from the planner skip array construction entirely.
+    if isinstance(bounds, np.ndarray):
+        blist = bounds.tolist()
+    else:
+        blist = [float(b) for b in bounds]
+    if isinstance(deadlines, np.ndarray):
+        dlist = deadlines.tolist()
+    else:
+        dlist = [float(d) for d in deadlines]
+    n = len(blist)
+    if n != len(dlist):
         raise ValueError("bounds and deadlines must have equal length")
-    n = bounds_arr.size
     if n == 0:
         return np.zeros(0)
-    if np.any(bounds_arr < 0):
-        raise ValueError("bounds must be non-negative")
-    if np.any(np.diff(dls) < 0):
-        raise ValueError("deadlines must be non-decreasing (EDF order)")
+    if n == 1:
+        # Single-job scalar path (the common case on lightly loaded
+        # cores): the objective is monotone, so grant everything that
+        # fits.  Checks and arithmetic mirror the general path below.
+        b0 = blist[0]
+        if b0 < 0:
+            raise ValueError("bounds must be non-negative")
+        if capacity_per_second < 0:
+            raise InfeasibleError(f"negative capacity {capacity_per_second!r}")
+        if offsets is not None:
+            if len(offsets) != 1 or float(offsets[0]) < 0:
+                raise ValueError("offsets must be non-negative and match bounds")
+        cap0 = capacity_per_second * (dlist[0] - now)
+        if cap0 < -_EPS:
+            raise InfeasibleError("a deadline lies in the past")
+        if not cap0 > 0.0:  # matches np.maximum(cap0, 0.0), -0.0 included
+            cap0 = 0.0
+        return np.array([min(b0, cap0)])
+    for b in blist:
+        if b < 0:
+            raise ValueError("bounds must be non-negative")
+    for i in range(n - 1):
+        if dlist[i + 1] - dlist[i] < 0:
+            raise ValueError("deadlines must be non-decreasing (EDF order)")
     if capacity_per_second < 0:
         raise InfeasibleError(f"negative capacity {capacity_per_second!r}")
-    offs = (
-        np.zeros(n)
-        if offsets is None
-        else np.asarray(offsets, dtype=float)
-    )
-    if offs.shape != bounds_arr.shape or np.any(offs < 0):
-        raise ValueError("offsets must be non-negative and match bounds")
+    if offsets is None:
+        olist = [0.0] * n
+    else:
+        if isinstance(offsets, np.ndarray):
+            olist = offsets.tolist()
+        else:
+            olist = [float(o) for o in offsets]
+        if len(olist) != n:
+            raise ValueError("offsets must be non-negative and match bounds")
+        for o in olist:
+            if o < 0:
+                raise ValueError("offsets must be non-negative and match bounds")
+    bounds_arr = np.asarray(blist)
+    offs = np.asarray(olist)
 
-    capacities = capacity_per_second * (dls - now)
-    if np.any(capacities < -_EPS):
-        raise InfeasibleError("a deadline lies in the past")
-    capacities = np.maximum(capacities, 0.0)
+    clist = []
+    for d in dlist:
+        c = capacity_per_second * (d - now)
+        if c < -_EPS:
+            raise InfeasibleError("a deadline lies in the past")
+        clist.append(c if c > 0.0 else 0.0)  # == np.maximum(c, 0.0)
 
-    if n == 1:
-        # Single-job fast path (the common case on lightly loaded cores):
-        # the objective is monotone, so grant everything that fits.
-        return np.array([min(bounds_arr[0], capacities[0])])
+    # All-fits fast path: when every EDF prefix fits its capacity, no
+    # prefix binds and the nested water-filling below grants every bound
+    # in full (its ``best_w == inf`` exit).  Prefix sums are tracked
+    # with a cheap sequential running sum; numpy's pairwise ``np.sum``
+    # (which the general loop evaluates) can differ from it by at most
+    # ~(k+1)·eps relative, so comparisons landing inside a conservative
+    # error band are re-decided with the exact ``np.sum`` expression.
+    # Taking this path therefore cannot change the result by even an
+    # ulp.
+    all_fit = True
+    running = 0.0
+    for k in range(n):
+        cap_k = clist[k]
+        if cap_k <= _EPS:
+            all_fit = False
+            break
+        running += blist[k]
+        gap = running - (cap_k + _EPS)
+        tol = (k + 1) * 1e-14 * running  # >> (k+1)·eps·Σ summation error
+        if gap > tol:
+            all_fit = False
+            break
+        if gap > -tol and float(np.sum(bounds_arr[: k + 1])) > cap_k + _EPS:
+            all_fit = False
+            break
+    if all_fit:
+        return bounds_arr.copy()
 
     result = np.zeros(n)
     start = 0
     consumed = 0.0
+    pos_idx = 0  # first index >= start holding a bound > _EPS (lazily advanced)
     while start < n:
         # Waterline for every candidate prefix of the remaining jobs.
         best_k = None
         best_w = float("inf")
         sub_off = offs[start:]
         sub_bnd = bounds_arr[start:]
+        if pos_idx < start:
+            pos_idx = start
+        while pos_idx < n and not blist[pos_idx] > _EPS:
+            pos_idx += 1
         for k in range(n - start):
-            budget = capacities[start + k] - consumed
+            budget = clist[start + k] - consumed
             if budget <= _EPS:
                 # No capacity before this deadline: its prefix gets 0.
-                w = -float("inf") if np.any(sub_bnd[: k + 1] > _EPS) else float("inf")
+                # (The prefix holds positive work iff the first positive
+                # bound at or past ``start`` falls inside it — same truth
+                # value as ``np.any(sub_bnd[:k+1] > _EPS)``.)
+                w = -float("inf") if pos_idx <= start + k else float("inf")
                 if w < best_w:
                     best_w = w
                     best_k = k

@@ -378,6 +378,7 @@ def compare_snapshots(
     threshold: float = 1.25,
     fidelity_tol: float = 1e-6,
     check_fidelity: bool = True,
+    scenarios: Optional[Sequence[str]] = None,
 ) -> BenchComparison:
     """Diff two snapshots; regressions gate the CLI exit code.
 
@@ -388,12 +389,24 @@ def compare_snapshots(
     fingerprint, when deterministic counters diverge (a determinism
     break), or when it vanished from the new snapshot (a crash gate).
     Comparing a snapshot to itself always passes.
+
+    ``scenarios`` restricts the comparison to the named scenarios — the
+    smoke-bench CI job records a one-scenario snapshot, and without the
+    filter every other baseline scenario would count as "missing".
+    Unknown names raise ``ValueError``.
     """
     if threshold <= 1.0:
         raise ValueError(f"threshold must be > 1.0, got {threshold!r}")
     lines: List[str] = []
     regressions: List[str] = []
     old_s, new_s = _by_name(old), _by_name(new)
+    if scenarios is not None:
+        wanted = list(dict.fromkeys(scenarios))
+        unknown = [n for n in wanted if n not in old_s and n not in new_s]
+        if unknown:
+            raise ValueError(f"unknown scenario(s): {', '.join(unknown)}")
+        old_s = {n: s for n, s in old_s.items() if n in wanted}
+        new_s = {n: s for n, s in new_s.items() if n in wanted}
 
     lines.append(
         f"old: {old.get('label', '?')} ({old.get('git_rev') or 'no rev'}, "

@@ -95,10 +95,18 @@ class PhaseProfiler:
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
+        # name → PhaseTimer, so the hot phase() call skips the string
+        # concatenation and the registry's instrument bookkeeping after
+        # the first entry of each phase (timers are never unregistered).
+        self._timers: Dict[str, PhaseTimer] = {}
 
     def phase(self, name: str) -> PhaseHandle:
         """A context manager timing one entry into phase ``name``."""
-        return PhaseHandle(self.registry.phase_timer(PHASE_PREFIX + name))
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self.registry.phase_timer(PHASE_PREFIX + name)
+            self._timers[name] = timer
+        return PhaseHandle(timer)
 
     def timer(self, name: str) -> PhaseTimer:
         """The phase's underlying timer (hoist out of tight loops)."""

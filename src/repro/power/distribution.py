@@ -45,7 +45,15 @@ def water_fill(demands: np.ndarray, budget: float) -> np.ndarray:
     common ``level`` is the water line at which the budget is exactly
     exhausted.
 
-    Runs in O(n log n) via a sorted prefix scan.
+    Runs in O(n log n) via a sorted prefix scan; the level itself is the
+    closed form ``(budget − Σ_{i<k} d_i) / (n − k)`` of the first sort
+    position ``k`` whose candidate falls inside its bracket, evaluated
+    for every position at once.
+
+    The scarce branch guarantees ``Σ caps ≤ budget`` exactly: the
+    closed-form level exhausts the budget only up to float rounding, so
+    any accumulated excess (observed up to ~7e-13 on 16 cores) is
+    subtracted from the largest allocation.
     """
     demands = np.asarray(demands, dtype=float)
     if budget < 0:
@@ -58,24 +66,48 @@ def water_fill(demands: np.ndarray, budget: float) -> np.ndarray:
     if total <= budget:
         return demands.copy()
 
-    # Find the water level L with sum(min(d_i, L)) == budget.
+    # Find the water level L with sum(min(d_i, L)) == budget: with the
+    # k smallest demands fully satisfied and the rest capped at
+    # L >= sorted_d[k-1], solve prefix[k-1] + (n-k)L = budget.  The
+    # candidate levels for every k come from one vectorized expression;
+    # the valid k is the first whose candidate sits inside its bracket.
     order = np.argsort(demands, kind="stable")
     sorted_d = demands[order]
     prefix = np.cumsum(sorted_d)
     n = demands.size
-    level = None
-    for k in range(n):
-        # Suppose the k smallest demands are fully satisfied and the
-        # rest capped at L >= sorted_d[k-1]: prefix[k-1] + (n-k)L = budget.
-        below = prefix[k - 1] if k > 0 else 0.0
-        candidate = (budget - below) / (n - k)
-        lo = sorted_d[k - 1] if k > 0 else 0.0
-        if lo - 1e-12 <= candidate <= sorted_d[k] + 1e-12:
-            level = candidate
-            break
-    if level is None:  # pragma: no cover - unreachable given total > budget
+    below = np.concatenate([[0.0], prefix[:-1]])
+    lo_bounds = np.concatenate([[0.0], sorted_d[:-1]])
+    candidates = (budget - below) / (n - np.arange(n))
+    valid = (lo_bounds - 1e-12 <= candidates) & (candidates <= sorted_d + 1e-12)
+    if np.any(valid):
+        level = float(candidates[int(np.argmax(valid))])
+    else:  # pragma: no cover - unreachable given total > budget
         level = budget / n
-    return np.minimum(demands, level)
+    caps = np.minimum(demands, level)
+    # Rounding in the level can overshoot the budget by a few ulps;
+    # charge the excess to the largest allocation so the cap-sum
+    # invariant (Σ caps ≤ budget) holds exactly.
+    _renormalize_caps(caps, budget)
+    return caps
+
+
+def _renormalize_caps(caps: np.ndarray, budget: float) -> None:
+    """Shave ulp overshoot off the largest cap until ``Σ caps ≤ budget``.
+
+    A single subtraction is not always enough: ``caps[top] - excess``
+    itself rounds, so the new sum can still sit one ulp over budget
+    (found by the hypothesis case in tests/power/test_distribution.py).
+    The loop forces at least one-ulp progress per step and terminates
+    after a handful of iterations at most.
+    """
+    excess = float(np.sum(caps)) - budget
+    while excess > 0.0:
+        top = int(np.argmax(caps))
+        reduced = caps[top] - excess
+        if reduced == caps[top]:  # excess below the cap's ulp: step down
+            reduced = np.nextafter(caps[top], -np.inf)
+        caps[top] = reduced
+        excess = float(np.sum(caps)) - budget
 
 
 @dataclass(frozen=True)
@@ -86,7 +118,10 @@ class DistributionDecision:
     ----------
     caps:
         Per-core power caps (W); ``caps.sum() <= budget`` always holds
-        for WF, and ``caps`` may sum to exactly the budget for ES.
+        for WF (the allocator renormalizes float drift away), and
+        ``caps`` may sum to exactly the budget for ES.  Policies may
+        return a *cached* decision when the inputs repeat, so callers
+        must treat ``caps`` as read-only.
     policy:
         Short name of the policy that produced the caps ("ES"/"WF").
     """
@@ -99,6 +134,10 @@ class PowerDistributionPolicy(ABC):
     """Strategy interface: demands + budget → per-core power caps."""
 
     name: str = "?"
+    #: Whether :meth:`distribute` reads the demand values at all.  ES
+    #: only uses their count, so the scheduler can skip computing the
+    #: per-core power demands entirely on the light-load branch.
+    needs_demands: bool = True
 
     @abstractmethod
     def distribute(self, demands: np.ndarray, budget: float) -> DistributionDecision:
@@ -109,9 +148,17 @@ class PowerDistributionPolicy(ABC):
 
 
 class EqualSharing(PowerDistributionPolicy):
-    """ES: every core is capped at ``budget / m`` regardless of demand."""
+    """ES: every core is capped at ``budget / m`` regardless of demand.
+
+    The decision depends only on ``(m, budget)``, so consecutive calls
+    with the same shape and budget return one cached decision object.
+    """
 
     name = "ES"
+    needs_demands = False
+
+    def __init__(self) -> None:
+        self._cache: tuple[int, float, DistributionDecision] | None = None
 
     def distribute(self, demands: np.ndarray, budget: float) -> DistributionDecision:
         demands = np.asarray(demands, dtype=float)
@@ -119,8 +166,13 @@ class EqualSharing(PowerDistributionPolicy):
             raise InfeasibleError(f"negative power budget {budget!r}")
         if demands.size == 0:
             return DistributionDecision(caps=demands.copy(), policy=self.name)
+        cached = self._cache
+        if cached is not None and cached[0] == demands.size and cached[1] == budget:
+            return cached[2]
         caps = np.full(demands.shape, budget / demands.size)
-        return DistributionDecision(caps=caps, policy=self.name)
+        decision = DistributionDecision(caps=caps, policy=self.name)
+        self._cache = (demands.size, budget, decision)
+        return decision
 
 
 class WaterFilling(PowerDistributionPolicy):
@@ -129,21 +181,40 @@ class WaterFilling(PowerDistributionPolicy):
     When total demand exceeds the budget, demands are capped at the
     water level.  When it does not, surplus budget is granted as *extra
     headroom* spread equally — matching the policy's role in BE-style
-    schedulers where a core may later need to exceed its estimate.
+    schedulers where a core may later need to exceed its estimate.  In
+    both branches the caps are renormalized so their sum never exceeds
+    the budget by float rounding.
+
+    The allocation is a pure function of ``(demands, budget)``; the
+    last decision is cached and returned when the inputs repeat, which
+    makes the distribution incremental across scheduler rounds whose
+    active-core load vector did not change.
     """
 
     name = "WF"
 
     def __init__(self, grant_surplus: bool = True) -> None:
         self.grant_surplus = grant_surplus
+        self._cache: tuple[bytes, float, DistributionDecision] | None = None
 
     def distribute(self, demands: np.ndarray, budget: float) -> DistributionDecision:
-        base = water_fill(np.asarray(demands, dtype=float), budget)
+        demands = np.asarray(demands, dtype=float)
+        key = demands.tobytes()
+        cached = self._cache
+        if cached is not None and cached[0] == key and cached[1] == budget:
+            return cached[2]
+        base = water_fill(demands, budget)
         if self.grant_surplus and base.size:
             surplus = budget - float(np.sum(base))
             if surplus > 1e-12:
                 base = base + surplus / base.size
-        return DistributionDecision(caps=base, policy=self.name)
+                # The equal spread can re-introduce a few ulps of
+                # overshoot; charge them to the largest cap so
+                # Σ caps ≤ budget stays exact.
+                _renormalize_caps(base, budget)
+        decision = DistributionDecision(caps=base, policy=self.name)
+        self._cache = (key, budget, decision)
+        return decision
 
 
 class HybridDistribution(PowerDistributionPolicy):

@@ -52,6 +52,16 @@ class PowerModel:
             raise ConfigurationError("units_per_ghz_second must be positive")
 
     # -- speed <-> power ---------------------------------------------------
+    # ``power`` and ``speed`` must stay on the numpy path even for scalar
+    # inputs: numpy's vectorized ``**`` loop and C's libm ``pow`` differ
+    # by an ulp on a few percent of inputs, and which one a 0-d operand
+    # hits depends on the expression shape (``arr**beta`` stays a 0-d
+    # ufunc call; ``(arr/a)**e`` demotes to ``np.float64`` first, whose
+    # ``**`` is libm).  A hand-written scalar shortcut would silently
+    # change simulated bits, so only the mul/div-only methods below take
+    # scalar fast paths — IEEE ``*`` and ``/`` are correctly rounded in
+    # every implementation, so scalar and array results are bitwise
+    # identical there (asserted in tests/power/test_models.py).
     def power(self, speed: ArrayOrFloat) -> ArrayOrFloat:
         """Dynamic power (W) at ``speed`` (GHz)."""
         arr = np.asarray(speed, dtype=float)
@@ -71,12 +81,16 @@ class PowerModel:
     # -- speed <-> throughput ----------------------------------------------
     def throughput(self, speed: ArrayOrFloat) -> ArrayOrFloat:
         """Processing units per second at ``speed`` (GHz)."""
+        if type(speed) is float or type(speed) is int:
+            return float(speed) * self.units_per_ghz_second
         arr = np.asarray(speed, dtype=float)
         out = arr * self.units_per_ghz_second
         return float(out) if np.isscalar(speed) or arr.ndim == 0 else out
 
     def speed_for_throughput(self, units_per_second: ArrayOrFloat) -> ArrayOrFloat:
         """Speed (GHz) needed to process ``units_per_second``."""
+        if type(units_per_second) is float or type(units_per_second) is int:
+            return float(units_per_second) / self.units_per_ghz_second
         arr = np.asarray(units_per_second, dtype=float)
         out = arr / self.units_per_ghz_second
         return float(out) if np.isscalar(units_per_second) or arr.ndim == 0 else out

@@ -211,3 +211,64 @@ class TestEnergyCrossCheck:
         with pytest.raises(SanitizerViolation) as err:
             harness.run()
         assert err.value.invariant == "energy_conservation"
+
+
+class _DriftingCapScheduler(Scheduler):
+    """Plans every core exactly at its water-filling cap times a drift
+    factor — a stand-in for the pre-renormalization bug where float
+    rounding let Σ caps creep past H across rounds."""
+
+    name = "DRIFT"
+    quantum = 0.5
+
+    def __init__(self, drift: float) -> None:
+        super().__init__()
+        self.drift = drift
+
+    def on_arrival(self, job: Job) -> None:
+        import numpy as np
+
+        from repro.power.distribution import water_fill
+
+        harness = self.harness
+        harness.take_from_queue(job)
+        m = harness.machine.m
+        core = harness.machine.cores[job.jid % m]
+        job.assign(core.index)
+        # Every core demands 3/4 of the budget -> scarce branch: the
+        # water level splits the budget exactly evenly.
+        budget = harness.config.budget
+        caps = water_fill(np.full(m, 0.75 * budget), budget)
+        target_power = float(caps[core.index]) * self.drift
+        speed = (target_power / 5.0) ** 0.5  # invert P(s) = 5 s^2
+        core.enqueue(Segment(job=job, volume=job.demand, speed=speed))
+
+    def on_core_idle(self, core_index: int) -> None:
+        pass
+
+
+class TestCapDriftTrip:
+    """S2 regression: caps amplified by more than the sanitizer's 1e-6
+    relative slack trip the power_budget invariant, while exact
+    water-filling caps saturate the budget and pass.  Before water_fill
+    renormalized its closed-form level, cumulative rounding produced
+    exactly this kind of over-budget plan."""
+
+    def _config(self):
+        return SimulationConfig(
+            arrival_rate=80.0, horizon=4.0, seed=5, m=2, budget=40.0
+        )
+
+    def test_drifted_caps_trip_power_check(self):
+        scheduler = _DriftingCapScheduler(drift=1.0 + 5e-6)
+        tracer = SanitizingTracer.for_run(self._config(), scheduler)
+        with pytest.raises(SanitizerViolation) as err:
+            SimulationHarness(self._config(), scheduler, tracer=tracer).run()
+        assert err.value.invariant == "power_budget"
+        assert err.value.context["total_power"] > 40.0
+
+    def test_exact_caps_saturate_budget_and_pass(self):
+        scheduler = _DriftingCapScheduler(drift=1.0)
+        tracer = SanitizingTracer.for_run(self._config(), scheduler)
+        SimulationHarness(self._config(), scheduler, tracer=tracer).run()
+        assert tracer.checks_run > 0

@@ -142,3 +142,159 @@ def test_property_monotone_in_demand_order(demands, q):
     order = np.argsort(demands)
     sorted_targets = np.asarray(targets)[order]
     assert np.all(np.diff(sorted_targets) >= -1e-6)
+
+
+# ---------------------------------------------------------------------------
+# S1: the waterline cut must land on the *feasible* side of the target —
+# returned targets never leave aggregate quality below q_target when
+# cutting actually happened.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    demands=st.lists(st.floats(min_value=1.0, max_value=1000.0), min_size=1, max_size=20),
+    q=st.floats(min_value=0.05, max_value=0.999),
+)
+def test_property_waterline_feasible_side(demands, q):
+    targets = lf_cut_waterline(F, demands, q)
+    full_q = batch_quality(demands, demands)
+    if full_q <= q:
+        # Cannot afford cutting: targets must be the full demands.
+        assert np.asarray(targets).tolist() == [float(d) for d in demands]
+    else:
+        assert batch_quality(targets, demands) >= q - 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    demands=st.lists(st.floats(min_value=1.0, max_value=1000.0), min_size=1, max_size=12),
+    q=st.floats(min_value=0.3, max_value=0.99),
+    base_a=st.floats(min_value=0.0, max_value=50.0),
+    base_extra=st.floats(min_value=0.0, max_value=30.0),
+)
+def test_property_waterline_feasible_side_with_history(demands, q, base_a, base_extra):
+    """The guarantee holds on top of monitor history (base terms)."""
+    base_p = base_a + base_extra  # potential >= achieved, as the monitor keeps it
+    targets = lf_cut_waterline(
+        F, demands, q, base_achieved=base_a, base_potential=base_p
+    )
+    full_q = batch_quality(demands, demands, base_a=base_a, base_p=base_p)
+    if full_q > q:
+        assert batch_quality(targets, demands, base_a=base_a, base_p=base_p) >= q - 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    demands=st.lists(st.floats(min_value=1.0, max_value=1000.0), min_size=2, max_size=12),
+    q=st.floats(min_value=0.3, max_value=0.99),
+)
+def test_property_waterline_vs_stepwise_agree(demands, q):
+    """Regression vs the paper-literal procedure: same quality outcome
+    and near-identical targets."""
+    wl = lf_cut_waterline(F, demands, q)
+    sw = lf_cut_stepwise(F, demands, q)
+    assert batch_quality(wl, demands) == pytest.approx(
+        batch_quality(sw, demands), abs=5e-3
+    )
+    assert np.allclose(wl, sw, atol=1e-2 * max(demands))
+
+
+# ---------------------------------------------------------------------------
+# S3: the _batch_quality empty/zero-potential convention, pinned.
+# ---------------------------------------------------------------------------
+
+
+class TestBatchQualityConvention:
+    def test_empty_batch_zero_history_is_vacuous_one(self):
+        from repro.core.cutting import _batch_quality
+        from repro.quality.aggregate import quality_ratio
+
+        empty = np.zeros(0)
+        assert quality_ratio(0.0, 0.0) == 1.0
+        assert _batch_quality(F, empty, empty, 0.0, 0.0) == 1.0
+
+    def test_empty_batch_with_history_is_the_history_ratio(self):
+        from repro.core.cutting import _batch_quality
+        from repro.quality.aggregate import quality_ratio
+
+        empty = np.zeros(0)
+        assert _batch_quality(F, empty, empty, 3.0, 4.0) == quality_ratio(3.0, 4.0)
+        assert _batch_quality(F, empty, empty, 3.0, 4.0) == pytest.approx(0.75)
+
+    def test_matches_quality_ratio_on_real_batches(self):
+        from repro.core.cutting import _batch_quality
+        from repro.quality.aggregate import quality_ratio
+
+        demands = np.array([500.0, 200.0])
+        targets = np.array([300.0, 200.0])
+        expected = quality_ratio(
+            1.0 + float(np.sum(F(targets))), 2.0 + float(np.sum(F(demands)))
+        )
+        assert _batch_quality(F, targets, demands, 1.0, 2.0) == expected
+
+
+# ---------------------------------------------------------------------------
+# WaterlineMemo: the cross-round cache must be a pure, mutation-safe
+# single-entry memo whose key covers every input that can change the cut.
+# ---------------------------------------------------------------------------
+
+
+class TestWaterlineMemo:
+    def _cut(self, memo, demands, q=0.9, base_a=0.0, base_p=0.0):
+        from repro.core.cutting import lf_cut_waterline
+
+        return lf_cut_waterline(
+            F, demands, q, base_achieved=base_a, base_potential=base_p, memo=memo
+        )
+
+    def test_hit_returns_equal_result_and_counts(self):
+        from repro.core.cutting import WaterlineMemo
+
+        memo = WaterlineMemo()
+        demands = np.array([900.0, 620.0, 380.0])
+        first = self._cut(memo, demands)
+        assert (memo.hits, memo.misses) == (0, 1)
+        second = self._cut(memo, demands)
+        assert (memo.hits, memo.misses) == (1, 1)
+        assert first.tolist() == second.tolist()
+
+    def test_cached_result_is_mutation_safe(self):
+        from repro.core.cutting import WaterlineMemo
+
+        memo = WaterlineMemo()
+        demands = np.array([900.0, 620.0, 380.0])
+        first = self._cut(memo, demands)
+        pristine = first.tolist()
+        first[:] = -1.0  # caller trashes its copy
+        second = self._cut(memo, demands)
+        assert second.tolist() == pristine
+
+    def test_any_key_component_change_misses(self):
+        from repro.core.cutting import WaterlineMemo
+
+        memo = WaterlineMemo()
+        demands = np.array([900.0, 620.0, 380.0])
+        self._cut(memo, demands)
+        self._cut(memo, np.array([900.0, 620.0, 381.0]))  # demands changed
+        assert memo.hits == 0
+        self._cut(memo, np.array([900.0, 620.0, 381.0]), q=0.8)  # target changed
+        assert memo.hits == 0
+        self._cut(memo, np.array([900.0, 620.0, 381.0]), q=0.8, base_a=1.0, base_p=2.0)
+        assert memo.hits == 0  # history changed
+        self._cut(memo, np.array([900.0, 620.0, 381.0]), q=0.8, base_a=1.0, base_p=2.0)
+        assert memo.hits == 1
+        assert memo.misses == 4
+
+    def test_memoized_equals_unmemoized(self):
+        from repro.core.cutting import WaterlineMemo
+
+        rng = np.random.default_rng(11)
+        memo = WaterlineMemo()
+        for _ in range(30):
+            demands = rng.uniform(1.0, 1000.0, int(rng.integers(1, 10)))
+            q = float(rng.uniform(0.3, 0.99))
+            plain = lf_cut_waterline(F, demands, q)
+            memod = self._cut(memo, demands, q=q)
+            memod2 = self._cut(memo, demands, q=q)  # hit path
+            assert plain.tolist() == memod.tolist() == memod2.tolist()

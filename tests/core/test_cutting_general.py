@@ -125,3 +125,38 @@ class TestMixedCut:
         achieved = aggregate(functions, targets, demands)
         assert achieved >= q - 1e-2
         assert np.all(targets <= np.asarray(demands) + 1e-9)
+
+
+class TestMixedCutEdgeShapes:
+    """S4 edge shapes: the KKT bisection must behave on the degenerate
+    batches the scheduler actually produces — a single job, and a batch
+    of identical jobs (where the problem collapses to one variable)."""
+
+    def test_single_job_hits_target_exactly(self):
+        # One job: the constraint is f(c) = q · f(p), directly invertible.
+        p, q = 800.0, 0.8
+        targets = lf_cut_mixed([F_SEARCH], [p], q)
+        assert targets.shape == (1,)
+        expected = F_SEARCH.inverse(q * float(F_SEARCH(p)))
+        assert float(targets[0]) == pytest.approx(expected, abs=1e-2)
+        assert aggregate([F_SEARCH], targets, [p]) == pytest.approx(q, abs=1e-3)
+
+    def test_single_job_generous_target_keeps_demand(self):
+        # f(p)/f(p) = 1 >= q for any q <= 1, but only q == 1 forbids
+        # cutting entirely; below that the cut trims the free tail.
+        targets = lf_cut_mixed([F_SEARCH], [300.0], 1.0)
+        assert float(targets[0]) == pytest.approx(300.0)
+
+    def test_all_equal_demands_get_equal_targets(self):
+        n, p, q = 6, 750.0, 0.85
+        targets = lf_cut_mixed([F_SEARCH] * n, [p] * n, q)
+        assert np.max(targets) - np.min(targets) < 1e-6
+        assert aggregate([F_SEARCH] * n, targets, [p] * n) == pytest.approx(
+            q, abs=5e-3
+        )
+
+    def test_all_equal_demands_match_shared_waterline(self):
+        n, p, q = 5, 900.0, 0.8
+        mixed = lf_cut_mixed([F_SEARCH] * n, [p] * n, q)
+        classic = lf_cut_waterline(F_SEARCH, [p] * n, q)
+        assert np.allclose(mixed, classic, atol=1.0)

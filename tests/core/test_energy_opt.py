@@ -167,3 +167,46 @@ class TestYdsGeneral:
             yds_schedule_general([0.0], [1.0], [0.0])
         with pytest.raises(ValueError):
             yds_schedule_general([0.0, 0.0], [1.0], [1.0, 1.0])
+
+
+class TestSmallStaircaseBitwise:
+    """The pure-Python small-batch staircase must produce exactly the
+    same blocks (indices AND speed bits) as the vectorized numpy path —
+    the contract promised in `_yds_staircase_small`'s docstring."""
+
+    def _shape(self, blocks):
+        return [(b.jobs, b.speed) for b in blocks]
+
+    def test_random_batches_bitwise_equal(self, monkeypatch):
+        import repro.core.energy_opt as eo
+
+        rng = np.random.default_rng(2024)
+        for _ in range(300):
+            n = int(rng.integers(2, 33))
+            vols = rng.uniform(0.1, 200.0, n)
+            gaps = rng.uniform(0.0, 1.5, n)
+            gaps[rng.uniform(size=n) < 0.3] = 0.0  # duplicate deadlines
+            now = float(rng.uniform(0.0, 3.0))
+            dls = now + 1e-3 + np.cumsum(gaps)
+            small = yds_schedule(vols, dls, now)
+            with monkeypatch.context() as m:
+                m.setattr(eo, "_SMALL_N", 0)  # force the numpy path
+                big = yds_schedule(vols, dls, now)
+            assert self._shape(small) == self._shape(big)
+
+    def test_list_and_array_inputs_agree(self):
+        vols = [30.0, 10.0, 80.0, 5.0]
+        dls = [1.0, 1.0, 2.5, 4.0]
+        a = yds_schedule(vols, dls, 0.0)
+        b = yds_schedule(np.asarray(vols), np.asarray(dls), 0.0)
+        assert self._shape(a) == self._shape(b)
+
+    def test_single_job_cap_slack_and_errors(self):
+        blocks = yds_schedule([100.0], [1.0], 0.0, max_speed=100.0)
+        assert blocks[0].speed == 100.0  # 1e-9 slack admits the exact cap
+        with pytest.raises(InfeasibleError):
+            yds_schedule([100.0], [1.0], 0.0, max_speed=99.0)
+        with pytest.raises(ValueError, match="positive"):
+            yds_schedule([0.0], [1.0], 0.0)
+        with pytest.raises(InfeasibleError, match="not after"):
+            yds_schedule([1.0], [1.0], 1.0)

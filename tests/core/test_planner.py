@@ -125,3 +125,72 @@ class TestBuildCorePlan:
     def test_empty_jobs(self):
         plan = build_core_plan([], [], 0.0, 20.0, MODEL, SCALE)
         assert not plan.segments and not plan.settle_now
+
+
+class TestDiscreteDvfsBatches:
+    """S4: discrete-DVFS planning on the degenerate batch shapes —
+    every emitted speed must sit ON the ladder, never above the
+    power-cap's rectified maximum level."""
+
+    LADDER = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0]
+
+    def _scale(self):
+        return DiscreteSpeedScale(MODEL, levels=self.LADDER)
+
+    def test_all_equal_demands_one_merged_block_on_ladder(self):
+        scale = self._scale()
+        n = 4
+        jobs = [job(i, 1.0, 300.0) for i in range(n)]
+        plan = build_core_plan(jobs, [300.0] * n, 0.0, 320.0, MODEL, scale)
+        assert len(plan.segments) == n
+        # Equal deadlines and demands merge into one YDS block: every
+        # segment carries the same ladder speed.
+        speeds = {seg.speed for seg in plan.segments}
+        assert len(speeds) == 1
+        (speed,) = speeds
+        assert speed in self.LADDER
+        # 4 × 300 units in 1 s needs 1.2 GHz -> ceil to 1.25 on the ladder.
+        assert speed == 1.25
+
+    def test_all_equal_demands_capped_by_power(self):
+        scale = self._scale()
+        n = 4
+        jobs = [job(i, 1.0, 300.0) for i in range(n)]
+        # 5 W cap -> 1.0 GHz max; the 1.2 GHz need is rectified to 1.0.
+        plan = build_core_plan(jobs, [300.0] * n, 0.0, 5.0, MODEL, scale)
+        for seg in plan.segments:
+            assert seg.speed <= scale.max_speed_at_power(5.0) + 1e-12
+            assert seg.speed in self.LADDER
+
+    def test_staircase_speeds_stay_on_ladder(self):
+        scale = self._scale()
+        jobs = [job(1, 0.25, 200.0), job(2, 1.0, 300.0), job(3, 2.0, 100.0)]
+        plan = build_core_plan(
+            jobs, [200.0, 300.0, 100.0], 0.0, 320.0, MODEL, scale
+        )
+        cap = scale.max_speed_at_power(320.0)
+        assert plan.segments
+        for seg in plan.segments:
+            assert seg.speed in self.LADDER
+            assert seg.speed <= cap + 1e-12
+
+    def test_precomputed_cap_kwargs_change_nothing(self):
+        """The speed_cap/capacity memo kwargs must be pure shortcuts."""
+        scale = self._scale()
+        jobs = [job(1, 0.5, 200.0), job(2, 1.0, 300.0)]
+        targets = [200.0, 300.0]
+        base = build_core_plan(jobs, targets, 0.0, 20.0, MODEL, scale)
+        cap = scale.max_speed_at_power(20.0)
+        memod = build_core_plan(
+            jobs,
+            targets,
+            0.0,
+            20.0,
+            MODEL,
+            scale,
+            speed_cap=cap,
+            capacity=MODEL.throughput(cap),
+        )
+        assert [
+            (s.job.jid, s.volume, s.speed) for s in base.segments
+        ] == [(s.job.jid, s.volume, s.speed) for s in memod.segments]

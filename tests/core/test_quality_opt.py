@@ -141,3 +141,165 @@ class TestQualityOpt:
         scale = min(1.0, capacity / total)
         naive = sum(float(F(b * scale)) for b in bounds)
         assert opt_val >= naive - 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Bitwise equivalence of the list-based hot path against the original
+# all-numpy formulation it replaced (see the comments in quality_opt.py:
+# the rewrite must not change simulated results by even an ulp).
+# ---------------------------------------------------------------------------
+
+_EPS = 1e-12
+
+
+def _waterline_ref(offsets, bounds, budget):
+    """Verbatim copy of the pre-optimization `_waterline_for_budget`."""
+    tops = offsets + bounds
+    if float(np.sum(bounds)) <= budget + _EPS:
+        return float("inf")
+    points = np.unique(np.concatenate([offsets, tops]))
+
+    def allocated(w):
+        return float(np.sum(np.clip(w - offsets, 0.0, bounds)))
+
+    lo = float(points[0])
+    hi = float(points[-1])
+    for p in points:
+        if allocated(float(p)) >= budget - _EPS:
+            hi = float(p)
+            break
+        lo = float(p)
+    alloc_lo = allocated(lo)
+    active = np.sum((offsets <= lo + _EPS) & (tops > lo + _EPS))
+    if active <= 0:
+        return hi
+    return lo + (budget - alloc_lo) / float(active)
+
+
+def _quality_opt_ref(bounds, deadlines, now, capacity_per_second, offsets=None):
+    """Verbatim copy of the pre-optimization `quality_opt` main path."""
+    bounds_arr = np.asarray(bounds, dtype=float)
+    dls = np.asarray(deadlines, dtype=float)
+    n = bounds_arr.size
+    if n == 0:
+        return np.zeros(0)
+    offs = np.zeros(n) if offsets is None else np.asarray(offsets, dtype=float)
+    capacities = capacity_per_second * (dls - now)
+    capacities = np.maximum(capacities, 0.0)
+    if n == 1:
+        return np.array([min(bounds_arr[0], capacities[0])])
+    result = np.zeros(n)
+    start = 0
+    consumed = 0.0
+    while start < n:
+        best_k = None
+        best_w = float("inf")
+        sub_off = offs[start:]
+        sub_bnd = bounds_arr[start:]
+        for k in range(n - start):
+            budget = capacities[start + k] - consumed
+            if budget <= _EPS:
+                w = -float("inf") if np.any(sub_bnd[: k + 1] > _EPS) else float("inf")
+                if w < best_w:
+                    best_w = w
+                    best_k = k
+                continue
+            w = _waterline_ref(sub_off[: k + 1], sub_bnd[: k + 1], budget)
+            if w < best_w - _EPS:
+                best_w = w
+                best_k = k
+        if best_k is None or best_w == float("inf"):
+            result[start:] = bounds_arr[start:]
+            break
+        block = slice(start, start + best_k + 1)
+        if best_w == -float("inf"):
+            alloc = np.zeros(best_k + 1)
+        else:
+            alloc = np.clip(best_w - offs[block], 0.0, bounds_arr[block])
+        result[block] = alloc
+        consumed += float(np.sum(alloc))
+        start = start + best_k + 1
+    return result
+
+
+class TestBitwiseAgainstReference:
+    """The optimized quality_opt must match the original algorithm bit
+    for bit on random batches covering every regime: all-fits fast path,
+    binding prefixes, zero-capacity prefixes, nonzero offsets, and
+    duplicate deadlines."""
+
+    def _random_case(self, rng):
+        n = int(rng.integers(1, 12))
+        bounds = rng.uniform(0.0, 300.0, n)
+        # Occasionally zero out bounds to exercise the pos_idx pointer.
+        bounds[rng.uniform(size=n) < 0.15] = 0.0
+        gaps = rng.uniform(0.0, 2.0, n)
+        # Duplicate-deadline clusters with probability ~1/3.
+        gaps[rng.uniform(size=n) < 0.3] = 0.0
+        now = float(rng.uniform(0.0, 5.0))
+        deadlines = now + 1e-3 + np.cumsum(gaps)
+        capacity = float(rng.uniform(0.0, 400.0))
+        offsets = None
+        if rng.uniform() < 0.5:
+            offsets = rng.uniform(0.0, 150.0, n)
+        return bounds, deadlines, now, capacity, offsets
+
+    def test_random_batches_bitwise_equal(self):
+        rng = np.random.default_rng(1234)
+        for _ in range(400):
+            bounds, dls, now, cap, offs = self._random_case(rng)
+            got = quality_opt(bounds, dls, now, cap, offsets=offs)
+            ref = _quality_opt_ref(bounds, dls, now, cap, offsets=offs)
+            assert got.tolist() == ref.tolist()
+
+    def test_generous_capacity_hits_fast_path_bitwise(self):
+        rng = np.random.default_rng(99)
+        for _ in range(100):
+            n = int(rng.integers(1, 10))
+            bounds = rng.uniform(0.1, 50.0, n)
+            deadlines = 1.0 + np.cumsum(rng.uniform(0.1, 1.0, n))
+            cap = float(np.sum(bounds)) * 10.0  # every prefix fits
+            got = quality_opt(bounds, deadlines, 0.0, cap)
+            ref = _quality_opt_ref(bounds, deadlines, 0.0, cap)
+            assert got.tolist() == ref.tolist() == bounds.tolist()
+
+    def test_list_and_array_inputs_agree(self):
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            bounds, dls, now, cap, offs = self._random_case(rng)
+            from_arrays = quality_opt(bounds, dls, now, cap, offsets=offs)
+            from_lists = quality_opt(
+                bounds.tolist(),
+                dls.tolist(),
+                now,
+                cap,
+                offsets=None if offs is None else offs.tolist(),
+            )
+            assert from_arrays.tolist() == from_lists.tolist()
+
+    def test_row_reduction_matches_per_point_scan(self):
+        """The 2-D `np.sum(..., axis=1)` inside `_waterline_for_budget`
+        must be bitwise equal to the per-point 1-D scan it replaced
+        (promised in the quality_opt.py comment)."""
+        rng = np.random.default_rng(5)
+        for _ in range(300):
+            n = int(rng.integers(1, 16))
+            offsets = rng.uniform(0.0, 200.0, n)
+            bounds = rng.uniform(0.0, 200.0, n)
+            points = np.unique(np.concatenate([offsets, offsets + bounds]))
+            rows = np.sum(np.clip(points[:, None] - offsets, 0.0, bounds), axis=1)
+            scan = [float(np.sum(np.clip(p - offsets, 0.0, bounds))) for p in points]
+            assert rows.tolist() == scan
+
+    def test_single_job_edge_cases(self):
+        assert quality_opt([5.0], [2.0], 0.0, 10.0).tolist() == [5.0]
+        assert quality_opt([5.0], [1.0], 0.0, 2.0).tolist() == [2.0]
+        assert quality_opt([5.0], [1.0], 1.0, 2.0).tolist() == [0.0]
+        with pytest.raises(ValueError, match="non-negative"):
+            quality_opt([-1.0], [1.0], 0.0, 2.0)
+        with pytest.raises(InfeasibleError):
+            quality_opt([5.0], [0.5], 1.0, 2.0)
+        with pytest.raises(InfeasibleError):
+            quality_opt([5.0], [1.0], 0.0, -2.0)
+        with pytest.raises(ValueError, match="offsets"):
+            quality_opt([5.0], [1.0], 0.0, 2.0, offsets=[-0.5])

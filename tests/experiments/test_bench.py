@@ -174,6 +174,25 @@ def test_compare_rejects_bad_threshold(snapshot):
         compare_snapshots(snapshot, snapshot, threshold=1.0)
 
 
+def test_compare_scenarios_filter_ignores_absent(snapshot):
+    """A filtered compare of a partial snapshot must not flag the
+    unselected scenarios as missing (the smoke-bench CI contract)."""
+    partial = copy.deepcopy(snapshot)
+    partial["scenarios"] = [
+        s for s in partial["scenarios"] if s["name"] == "ge_nominal"
+    ]
+    unfiltered = compare_snapshots(snapshot, partial)
+    assert any("missing" in r for r in unfiltered.regressions)
+    filtered = compare_snapshots(snapshot, partial, scenarios=["ge_nominal"])
+    assert filtered.ok
+    assert "fcfs_nominal" not in filtered.render()
+
+
+def test_compare_scenarios_filter_rejects_unknown(snapshot):
+    with pytest.raises(ValueError, match="unknown scenario"):
+        compare_snapshots(snapshot, snapshot, scenarios=["nope"])
+
+
 # ---------------------------------------------------------------- CLI
 
 

@@ -96,3 +96,65 @@ def test_vectorized():
 def test_inverse_property(a, beta, s):
     model = PowerModel(a=a, beta=beta)
     assert model.speed(model.power(s)) == pytest.approx(s, abs=1e-9, rel=1e-9)
+
+
+class TestScalarArrayBitwise:
+    """The scalar fast paths must return the very same bits as the
+    vectorized path (the contract stated in power/models.py).  Only the
+    mul/div-only methods take scalar shortcuts: IEEE ``*`` and ``/`` are
+    correctly rounded everywhere, so scalar and array results agree
+    bitwise.  ``power``/``speed`` deliberately have NO scalar shortcut —
+    numpy's vectorized ``**`` and libm ``pow`` disagree by an ulp on a
+    few percent of inputs — so their scalar results must equal the
+    1-element-array results by construction."""
+
+    def test_throughput_roundtrip_bitwise(self):
+        rng = np.random.default_rng(42)
+        for _ in range(500):
+            model = PowerModel(
+                a=float(rng.uniform(0.5, 20.0)),
+                beta=float(rng.uniform(1.1, 4.0)),
+                units_per_ghz_second=float(rng.uniform(1.0, 2000.0)),
+            )
+            s = float(rng.uniform(0.0, 10.0))
+            u = float(rng.uniform(0.0, 5000.0))
+            assert model.throughput(s) == float(model.throughput(np.array([s]))[0])
+            assert model.speed_for_throughput(u) == float(
+                model.speed_for_throughput(np.array([u]))[0]
+            )
+
+    def test_power_speed_scalar_semantics_pinned(self):
+        # Pin the pow-path semantics the comment in power/models.py
+        # documents: a scalar into ``power`` stays a 0-d ufunc pow and
+        # matches the array path bitwise, while a scalar into ``speed``
+        # demotes to np.float64 after the division and takes libm pow
+        # (== the plain Python formula).  Any "optimization" of these
+        # methods that flips either pin changes simulated bits.
+        rng = np.random.default_rng(43)
+        for _ in range(500):
+            a = float(rng.uniform(0.5, 20.0))
+            beta = float(rng.uniform(1.1, 4.0))
+            model = PowerModel(a=a, beta=beta)
+            s = float(rng.uniform(0.0, 10.0))
+            p = float(rng.uniform(0.0, 500.0))
+            assert model.power(s) == float(model.power(np.array([s]))[0])
+            assert model.speed(p) == (p / a) ** (1.0 / beta)
+            assert model.speed(p) == pytest.approx(
+                float(model.speed(np.array([p]))[0]), rel=1e-12
+            )
+
+    def test_int_inputs_match_float(self):
+        assert PAPER.power(2) == PAPER.power(2.0)
+        assert PAPER.speed(20) == PAPER.speed(20.0)
+        assert PAPER.throughput(3) == PAPER.throughput(3.0)
+        assert PAPER.speed_for_throughput(1500) == PAPER.speed_for_throughput(1500.0)
+
+    def test_scalar_paths_return_python_floats(self):
+        assert type(PAPER.power(1.5)) is float
+        assert type(PAPER.speed(11.0)) is float
+        assert type(PAPER.throughput(1.5)) is float
+        assert type(PAPER.speed_for_throughput(800.0)) is float
+
+    def test_np_float64_input_takes_array_path(self):
+        s = np.float64(1.7)
+        assert PAPER.power(s) == PAPER.power(float(s))

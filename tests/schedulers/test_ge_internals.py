@@ -138,3 +138,69 @@ class TestReporting:
         h.run()
         # After the run everything settled: loads are zero.
         assert sched._core_loads() == [0.0, 0.0]
+
+
+class _CacheClearingGE(GEScheduler):
+    """GE with every cross-round cache wiped at the top of each round:
+    the control experiment proving the caches are pure memoization."""
+
+    def _run_round(self, tracer):
+        from repro.core.cutting import WaterlineMemo
+
+        m = len(self._plan_keys)
+        self._plan_keys = [None] * m
+        self._cap_memo = [None] * m
+        self._waterline_memo = WaterlineMemo()
+        self._hybrid.light._cache = None
+        self._hybrid.heavy._cache = None
+        super()._run_round(tracer)
+
+
+class TestPlanCacheSoundness:
+    """The plan cache, cap memo, waterline memo, and distribution
+    decision caches must never change a simulated result: a GE whose
+    caches are cleared every round produces the identical outcome."""
+
+    def _run(self, scheduler, **overrides):
+        from repro.config import SimulationConfig
+
+        cfg = SimulationConfig(arrival_rate=150.0, horizon=5.0, seed=3).with_overrides(
+            **overrides
+        )
+        return SimulationHarness(cfg, scheduler).run()
+
+    @pytest.mark.parametrize("overrides", [
+        {},                              # paper defaults (hybrid ES/WF)
+        {"arrival_rate": 400.0},         # heavy load -> WF branch
+        {"m": 4, "budget": 80.0},        # small machine, tight budget
+    ], ids=["nominal", "heavy", "tight"])
+    def test_cached_run_matches_cache_free_run(self, overrides):
+        cached = self._run(GEScheduler(name="GE"), **overrides)
+        cleared = self._run(_CacheClearingGE(name="GE"), **overrides)
+        assert cached == cleared
+
+    def test_plan_cache_engages_on_same_instant_triggers(self):
+        """Plan reuse keys on the round instant, so it engages when a
+        burst of same-instant arrivals fires several rounds at one time
+        with most cores' queues and caps unchanged."""
+        from repro.config import SimulationConfig
+        from repro.obs import Tracer
+
+        jobs = [Job(jid=i, arrival=0.2, deadline=1.4, demand=400.0) for i in range(8)]
+        cfg = SimulationConfig(arrival_rate=100.0, horizon=2.0, m=2, seed=1)
+        tracer = Tracer()
+        sched = GEScheduler(name="GE")
+        SimulationHarness(
+            cfg, sched, workload=StaticWorkload(jobs), tracer=tracer
+        ).run()
+        metrics = tracer.to_trace().metrics
+        assert metrics["planner.plan_cache_hits"]["value"] > 0
+
+    def test_waterline_memo_engages_under_load(self):
+        from repro.config import SimulationConfig
+
+        cfg = SimulationConfig(arrival_rate=150.0, horizon=5.0, seed=3)
+        sched = GEScheduler(name="GE")
+        SimulationHarness(cfg, sched).run()
+        assert sched._waterline_memo.hits > 0
+        assert sched._waterline_memo.misses > 0
