@@ -118,15 +118,27 @@ _DETERMINISTIC = (
     "repro.obs",
 )
 
-#: SIM001 module allowlist.  ``repro.obs.prof`` is the single sanctioned
-#: home for monotonic-clock reads: the hot-path profiler measures host
-#: wall time (scheduler overhead, planner math) that is *written* to
-#: telemetry and never read back by simulation logic, so it cannot
-#: perturb results.  Code elsewhere must route timing through a
+#: SIM001 module allowlist — the sanctioned homes for host-clock reads:
+#:
+#: * ``repro.obs.prof`` — the hot-path profiler reads the monotonic
+#:   clock to measure host wall time (scheduler overhead, planner
+#:   math) that is *written* to telemetry and never read back by
+#:   simulation logic, so it cannot perturb results;
+#: * ``repro.obs.runs`` — the run registry stamps stored artifacts
+#:   with a wall-clock ``created_unix`` so humans can order store
+#:   entries; the stamp is storage metadata, applied after the run
+#:   finished, and never enters simulated time.
+#:
+#: Code elsewhere must route timing through a
 #: :class:`repro.obs.prof.PhaseProfiler` instead of reading the clock —
 #: inline ``# simlint: ignore[SIM001]`` pragmas are no longer used in
-#: ``src/repro``.  Documented in ``docs/static-analysis.md``.
-SIM001_MODULE_ALLOWLIST: FrozenSet[str] = frozenset({"repro.obs.prof"})
+#: ``src/repro``.  In particular the *streaming* telemetry modules
+#: (``repro.obs.stream``, ``repro.obs.slo``) are deliberately NOT
+#: exempt: windowing and SLO evaluation are over simulated seconds
+#: only.  Documented in ``docs/static-analysis.md``.
+SIM001_MODULE_ALLOWLIST: FrozenSet[str] = frozenset(
+    {"repro.obs.prof", "repro.obs.runs"}
+)
 
 _WALL_CLOCK: FrozenSet[str] = frozenset(
     {
@@ -591,9 +603,11 @@ RULES: List[Rule] = [
             "Results must be a pure function of (config, seed): the paper's "
             "figures are time integrals over *simulated* time (§II-B, §IV-B). "
             "A wall-clock read couples output to host load. The only "
-            "exemption is the SIM001_MODULE_ALLOWLIST (repro.obs.prof), "
-            "where the phase profiler reads the monotonic clock to measure "
-            "host-side overhead that never feeds back into the simulation."
+            "exemptions are the SIM001_MODULE_ALLOWLIST modules: "
+            "repro.obs.prof (the phase profiler measures host-side "
+            "overhead that never feeds back into the simulation) and "
+            "repro.obs.runs (the run registry stamps stored artifacts "
+            "with a wall-clock creation time)."
         ),
         applies=lambda ctx: (
             ctx.in_package(*_DETERMINISTIC)

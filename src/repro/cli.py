@@ -108,14 +108,40 @@ def _build_parser() -> argparse.ArgumentParser:
     scen.add_argument("--seed", type=int, default=1)
     _add_trace_flags(scen)
 
-    report = sub.add_parser("report", help="regenerate figures into a markdown report")
+    report = sub.add_parser(
+        "report",
+        help="regenerate figures into a markdown report, or render an "
+             "HTML dashboard for a run (--run / --trace)",
+    )
     report.add_argument("--scale", type=float, default=None,
                         help="horizon scale for every figure (default: per-figure)")
     report.add_argument("--seed", type=int, default=1)
     report.add_argument("--out", metavar="PATH", default=None,
-                        help="write to a file instead of stdout")
+                        help="write to a file instead of stdout "
+                             "(HTML mode default: report.html)")
     report.add_argument("--figures", nargs="*", default=None,
                         help="subset of figure ids (default: all twelve)")
+    report.add_argument("--run", metavar="ID", default=None,
+                        help="render the HTML dashboard of a stored run "
+                             "(accepts unique id prefixes)")
+    report.add_argument("--trace", metavar="PATH", default=None,
+                        help="render the HTML dashboard of a JSONL trace file")
+    _add_runs_dir_flag(report)
+
+    runs = sub.add_parser("runs", help="inspect the stored run registry")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list stored runs, newest first")
+    runs_show = runs_sub.add_parser("show", help="show one stored run summary")
+    runs_show.add_argument("run_id", help="run id (unique prefixes accepted)")
+    runs_diff = runs_sub.add_parser(
+        "diff", help="diff two stored runs (results, SLOs, counters, phases)"
+    )
+    runs_diff.add_argument("a", help="baseline run id")
+    runs_diff.add_argument("b", help="candidate run id")
+    runs_delete = runs_sub.add_parser("delete", help="delete one stored run")
+    runs_delete.add_argument("run_id", help="run id (unique prefixes accepted)")
+    for runs_parser in (runs_list, runs_show, runs_diff, runs_delete):
+        _add_runs_dir_flag(runs_parser)
 
     rep = sub.add_parser("replicate", help="replicate one scheduler across seeds")
     rep.add_argument("--scheduler", default="GE", choices=sorted(_SCHEDULERS))
@@ -146,7 +172,12 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--no-summary", action="store_true",
                        help="suppress the trace summary on stdout")
     _add_sanitize_flag(trace)
+    _add_stream_flags(trace)
     trace_sub = trace.add_subparsers(dest="trace_command", required=False)
+    trace_show = trace_sub.add_parser(
+        "show", help="summarize a JSONL trace file (streaming, constant memory)"
+    )
+    trace_show.add_argument("path", help="input trace.jsonl")
     save = trace_sub.add_parser("save", help="materialize a workload to CSV")
     save.add_argument("path", help="output CSV file")
     save.add_argument("--rate", type=float, default=150.0)
@@ -176,6 +207,9 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--mem", action="store_true",
                        help="also record the tracemalloc allocation peak "
                             "(separate untimed run per scenario)")
+    bench.add_argument("--tracer", default="full", choices=("full", "stream"),
+                       help="telemetry sink under test: the buffering tracer "
+                            "or the constant-memory streaming one")
     bench.add_argument("--list", action="store_true", dest="list_scenarios",
                        help="list the suite's scenarios and exit")
     bench_sub = bench.add_subparsers(dest="bench_command", required=False)
@@ -205,6 +239,25 @@ def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace-out", metavar="PATH", default=None,
                         help="record a trace and write it as JSONL (implies --trace)")
     _add_sanitize_flag(parser)
+    _add_stream_flags(parser)
+
+
+def _add_stream_flags(parser: argparse.ArgumentParser) -> None:
+    """Attach the streaming-telemetry options (``--stream``/``--store``)."""
+    parser.add_argument("--stream", action="store_true",
+                        help="use the constant-memory streaming tracer: "
+                             "windowed aggregates + online SLO monitors "
+                             "instead of buffered records")
+    parser.add_argument("--store", action="store_true",
+                        help="save the run summary into the run registry "
+                             "(implies --stream; see 'repro-cli runs')")
+    _add_runs_dir_flag(parser)
+
+
+def _add_runs_dir_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--runs-dir", metavar="PATH", default=None,
+                        help="run registry root (default: $REPRO_RUNS_DIR "
+                             "or ./.repro-runs)")
 
 
 def _add_sanitize_flag(parser: argparse.ArgumentParser) -> None:
@@ -233,18 +286,29 @@ def _resolve_scenario(name: str) -> str:
 
 
 def _new_tracer_if(active: bool, *, sanitize: bool = False,
-                   config: Optional[SimulationConfig] = None, scheduler=None):
-    """A fresh Tracer when tracing/sanitizing was requested, else None.
+                   config: Optional[SimulationConfig] = None, scheduler=None,
+                   stream: bool = False, spill: Optional[str] = None):
+    """A fresh tracer when tracing/sanitizing was requested, else None.
 
     Sanitizing implies tracing: the invariant checks ride the trace
-    stream (:class:`repro.check.SanitizingTracer`).
+    stream (:class:`repro.check.SanitizingTracer`).  ``stream`` selects
+    the constant-memory :class:`repro.obs.StreamingTracer` instead of
+    the buffering one, spilling raw records to ``spill`` when given.
     """
     from repro.check.sanitizer import sanitize_requested
 
     if sanitize_requested(sanitize):
+        if stream:
+            print("--sanitize and --stream are mutually exclusive "
+                  "(the sanitizer rides the buffering tracer)")
+            raise SystemExit(2)
         from repro.check.sanitizer import SanitizingTracer
 
         return SanitizingTracer.for_run(config, scheduler)
+    if stream:
+        from repro.obs import StreamingTracer
+
+        return StreamingTracer(spill_path=spill)
     if not active:
         return None
     from repro.obs import Tracer
@@ -280,6 +344,40 @@ def _emit_trace(tracer, *, out=None, timeline_csv=None, spans_csv=None,
         print(summarize(trace))
 
 
+def _emit_stream(tracer, *, result, out=None, store=False, runs_dir=None,
+                 summary=True) -> None:
+    """Print (and optionally store) a finished streaming run's telemetry."""
+    from dataclasses import asdict
+
+    from repro.obs.runs import RunStore, format_run, make_summary
+
+    if out:
+        print(f"wrote {tracer.spilled_records} trace records to {out}")
+    doc = make_summary(tracer.summary(), result=asdict(result))
+    if store:
+        registry = RunStore(runs_dir)
+        run_id = registry.save(doc, trace_path=out)
+        print(f"stored run {run_id} in {registry.root}")
+    if summary:
+        print(format_run(doc))
+
+
+def _fold_trace_file(path: str):
+    """Fold a JSONL trace file into a run-style summary (constant memory)."""
+    from repro.obs import fold_records, iter_jsonl
+
+    agg = fold_records(iter_jsonl(path))
+    telemetry = agg.snapshot()
+    meta = dict(agg.meta)
+    telemetry["metrics"] = agg.registry.snapshot()
+    return {
+        "run_id": str(meta.get("config_fingerprint", path)),
+        "meta": meta,
+        "result": None,
+        "telemetry": telemetry,
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -311,13 +409,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             q_ge=args.q_ge,
         )
         scheduler = _SCHEDULERS[args.scheduler]()
+        stream = args.stream or args.store
         tracer = _new_tracer_if(args.trace or bool(args.trace_out),
                                 sanitize=args.sanitize, config=config,
-                                scheduler=scheduler)
+                                scheduler=scheduler, stream=stream,
+                                spill=args.trace_out)
         result = SimulationHarness(config, scheduler, tracer=tracer).run()
         print(result.row())
         _report_sanitizer(tracer)
-        if tracer is not None and (args.trace or args.trace_out):
+        if stream:
+            _emit_stream(tracer, result=result, out=args.trace_out,
+                         store=args.store, runs_dir=args.runs_dir)
+        elif tracer is not None and (args.trace or args.trace_out):
             _emit_trace(tracer, out=args.trace_out)
         return 0
 
@@ -352,17 +455,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             arrival_rate=args.rate, horizon=args.horizon, seed=args.seed,
         )
         scheduler = _SCHEDULERS[args.scheduler]()
+        stream = args.stream or args.store
         tracer = _new_tracer_if(args.trace or bool(args.trace_out),
                                 sanitize=args.sanitize, config=config,
-                                scheduler=scheduler)
+                                scheduler=scheduler, stream=stream,
+                                spill=args.trace_out)
         result = SimulationHarness(config, scheduler, tracer=tracer).run()
         print(result.row())
         _report_sanitizer(tracer)
-        if tracer is not None and (args.trace or args.trace_out):
+        if stream:
+            _emit_stream(tracer, result=result, out=args.trace_out,
+                         store=args.store, runs_dir=args.runs_dir)
+        elif tracer is not None and (args.trace or args.trace_out):
             _emit_trace(tracer, out=args.trace_out)
         return 0
 
     if args.command == "report":
+        if args.run or args.trace:
+            # HTML dashboard mode: a stored run or a raw JSONL trace.
+            from repro.errors import ReproError
+            from repro.obs import write_report
+
+            if args.run and args.trace:
+                print("report: give either --run or --trace, not both")
+                return 2
+            if args.run:
+                from repro.obs.runs import RunStore
+
+                try:
+                    summary = RunStore(args.runs_dir).load(args.run)
+                except ReproError as exc:
+                    print(f"report: {exc}")
+                    return 2
+            else:
+                summary = _fold_trace_file(args.trace)
+            out = args.out or "report.html"
+            nbytes = write_report(summary, out)
+            print(f"wrote HTML report ({nbytes} bytes) to {out}")
+            return 0
         from repro.experiments.paper_report import generate_report
 
         text = generate_report(scale=args.scale, seed=args.seed, figures=args.figures)
@@ -373,6 +503,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"wrote report to {args.out}")
         else:
             print(text)
+        return 0
+
+    if args.command == "runs":
+        from repro.errors import ReproError
+        from repro.obs.runs import (
+            RunStore,
+            diff_runs,
+            format_diff,
+            format_run,
+            format_runs_table,
+        )
+
+        registry = RunStore(args.runs_dir)
+        try:
+            if args.runs_command == "list":
+                print(format_runs_table(registry.list()))
+            elif args.runs_command == "show":
+                print(format_run(registry.load(args.run_id)))
+            elif args.runs_command == "diff":
+                print(format_diff(diff_runs(registry.load(args.a),
+                                            registry.load(args.b))))
+            elif args.runs_command == "delete":
+                run_id = registry.resolve(args.run_id)
+                registry.delete(run_id)
+                print(f"deleted run {run_id}")
+        except ReproError as exc:
+            print(f"runs: {exc}")
+            return 2
         return 0
 
     if args.command == "replicate":
@@ -429,6 +587,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 repeats=args.repeats,
                 scenarios=names,
                 mem=args.mem,
+                tracer=args.tracer,
                 progress=print,
             )
         except KeyError as exc:
@@ -460,18 +619,34 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     seed=args.seed,
                 )
             scheduler = _SCHEDULERS[args.scheduler]()
+            stream = args.stream or args.store
+            if stream and (args.timeline_csv or args.spans_csv):
+                print("--stream keeps no records to export as CSV; "
+                      "drop --timeline-csv/--spans-csv or the stream flag")
+                return 2
             tracer = _new_tracer_if(True, sanitize=args.sanitize,
-                                    config=config, scheduler=scheduler)
+                                    config=config, scheduler=scheduler,
+                                    stream=stream, spill=args.out)
             result = SimulationHarness(config, scheduler, tracer=tracer).run()
             print(result.row())
             _report_sanitizer(tracer)
-            _emit_trace(
-                tracer,
-                out=args.out,
-                timeline_csv=args.timeline_csv,
-                spans_csv=args.spans_csv,
-                summary=not args.no_summary,
-            )
+            if stream:
+                _emit_stream(tracer, result=result, out=args.out,
+                             store=args.store, runs_dir=args.runs_dir,
+                             summary=not args.no_summary)
+            else:
+                _emit_trace(
+                    tracer,
+                    out=args.out,
+                    timeline_csv=args.timeline_csv,
+                    spans_csv=args.spans_csv,
+                    summary=not args.no_summary,
+                )
+            return 0
+        if args.trace_command == "show":
+            from repro.obs.runs import format_run
+
+            print(format_run(_fold_trace_file(args.path)))
             return 0
         if args.trace_command == "save":
             config = SimulationConfig(

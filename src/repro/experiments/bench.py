@@ -32,6 +32,7 @@ catches crashes and step-change regressions, not host jitter.
 
 from __future__ import annotations
 
+import gc
 import json
 import platform
 import subprocess
@@ -46,7 +47,7 @@ from repro.config import SimulationConfig
 from repro.core.ge import make_be, make_ge, make_oq
 from repro.experiments.fig12_discrete_speed import DEFAULT_LADDER
 from repro.experiments.runner import SchedulerFactory, scaled_config
-from repro.obs import Tracer
+from repro.obs import StreamingTracer, Tracer, fold_records
 from repro.server.harness import SimulationHarness
 
 __all__ = [
@@ -54,6 +55,7 @@ __all__ = [
     "BenchComparison",
     "BenchScenario",
     "SUITE",
+    "TRACERS",
     "collect_snapshot",
     "compare_snapshots",
     "load_snapshot",
@@ -72,6 +74,14 @@ DEFAULT_SCALE = 0.02
 #: Phases cheaper than this (old-snapshot total seconds) are exempt from
 #: the per-phase regression gate; their ratios are pure noise.
 _PHASE_FLOOR_S = 0.010
+
+#: Tracer sinks the bench can drive (``repro bench --tracer``): the
+#: buffering tracer (the historical default) or the constant-memory
+#: streaming sink of :mod:`repro.obs.stream`.
+TRACERS: Dict[str, Callable[[], Tracer]] = {
+    "full": Tracer,
+    "stream": StreamingTracer,
+}
 
 
 @dataclass(frozen=True)
@@ -181,6 +191,20 @@ def _peak_rss_kb() -> Optional[float]:
     return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
 
 
+def _slo_summary(tracer: Tracer) -> Dict[str, Any]:
+    """The run's SLO compliance summary, whichever sink recorded it.
+
+    A :class:`StreamingTracer` evaluated the SLOs online; a buffering
+    :class:`Tracer` recorded the raw streams, which fold to the
+    bit-identical summary offline.
+    """
+    if isinstance(tracer, StreamingTracer):
+        slo = tracer.summary().get("slo", {})
+    else:
+        slo = fold_records(tracer.to_trace()).snapshot().get("slo", {})
+    return dict(slo)
+
+
 def run_scenario(
     scenario: BenchScenario,
     *,
@@ -188,6 +212,7 @@ def run_scenario(
     seed: int = 1,
     repeats: int = 1,
     mem: bool = False,
+    tracer_factory: Callable[[], Tracer] = Tracer,
 ) -> Dict[str, Any]:
     """Measure one scenario; returns its snapshot record.
 
@@ -195,7 +220,9 @@ def run_scenario(
     profiling enabled; the reported wall time and phase profile come
     from the fastest repeat (the one least disturbed by the host).
     Simulated results are asserted identical across repeats — the run is
-    deterministic, so any divergence is a real bug.
+    deterministic, so any divergence is a real bug.  ``tracer_factory``
+    selects the telemetry sink under test (see :data:`TRACERS`); every
+    record carries the run's SLO compliance summary either way.
     """
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats!r}")
@@ -203,7 +230,7 @@ def run_scenario(
     best: Optional[Dict[str, Any]] = None
     reference: Optional[Tuple[float, float, int, int]] = None
     for _ in range(repeats):
-        tracer = Tracer()
+        tracer = tracer_factory()
         harness = SimulationHarness(config, scenario.factory(), tracer=tracer)
         wall_start = time.perf_counter()
         result = harness.run()
@@ -248,8 +275,10 @@ def run_scenario(
             "quality": result.quality,
             "energy": result.energy,
             "phases": tracer.profiler.snapshot(),
+            "slo": _slo_summary(tracer),
             "peak_rss_kb": _peak_rss_kb(),
             "tracemalloc_peak_kb": None,
+            "telemetry_kb": None,
         }
 
     assert best is not None
@@ -258,11 +287,28 @@ def run_scenario(
         # so the allocation peak must never contaminate the timings.
         tracemalloc.start()
         try:
-            SimulationHarness(config, scenario.factory(), tracer=Tracer()).run()
+            mem_tracer = tracer_factory()
+            SimulationHarness(config, scenario.factory(), tracer=mem_tracer).run()
             _, peak = tracemalloc.get_traced_memory()
+            # Telemetry memory in isolation: live allocations made by
+            # repro.obs code at run end, while the tracer still holds
+            # its buffers/aggregates.  The global peak is dominated by
+            # the materialized workload (linear in the horizon for any
+            # sink); this filtered view is what the flat-vs-horizon
+            # memory test pins for the streaming sink.  Collect first:
+            # dropped records awaiting cycle collection are not
+            # retained memory.
+            gc.collect()
+            snapshot = tracemalloc.take_snapshot()
         finally:
             tracemalloc.stop()
+        obs_traces = snapshot.filter_traces(
+            [tracemalloc.Filter(True, "*/repro/obs/*")]
+        )
+        telemetry = sum(stat.size for stat in obs_traces.statistics("filename"))
+        del mem_tracer  # keep the buffers alive through take_snapshot
         best["tracemalloc_peak_kb"] = peak / 1024.0
+        best["telemetry_kb"] = telemetry / 1024.0
     return best
 
 
@@ -274,13 +320,15 @@ def collect_snapshot(
     repeats: int = 1,
     scenarios: Optional[Sequence[str]] = None,
     mem: bool = False,
+    tracer: str = "full",
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, Any]:
     """Run the bench suite and assemble the snapshot dict.
 
     ``scenarios`` selects a subset of :data:`SUITE` by name (default:
-    all); ``progress`` is called with a one-line status per scenario
-    (the CLI passes ``print``).
+    all); ``tracer`` selects the telemetry sink (see :data:`TRACERS`);
+    ``progress`` is called with a one-line status per scenario (the CLI
+    passes ``print``).
     """
     names = list(scenarios) if scenarios is not None else list(SUITE)
     unknown = [n for n in names if n not in SUITE]
@@ -289,17 +337,27 @@ def collect_snapshot(
             f"unknown bench scenario(s): {', '.join(unknown)}; "
             f"available: {', '.join(SUITE)}"
         )
+    if tracer not in TRACERS:
+        raise KeyError(
+            f"unknown tracer {tracer!r}; available: {', '.join(TRACERS)}"
+        )
     records: List[Dict[str, Any]] = []
     for name in names:
         record = run_scenario(
-            SUITE[name], scale=scale, seed=seed, repeats=repeats, mem=mem
+            SUITE[name], scale=scale, seed=seed, repeats=repeats, mem=mem,
+            tracer_factory=TRACERS[tracer],
         )
         records.append(record)
         if progress is not None:
+            slo = record.get("slo", {})
+            verdict = "-"
+            if "compliant" in slo:
+                verdict = "ok" if slo["compliant"] else f"{slo['violations']}!"
             progress(
                 f"{name:<14} wall={record['wall_s']:8.3f} s  "
                 f"{record['events_per_sec']:10.0f} ev/s  "
-                f"Q={record['quality']:.4f}  E={record['energy']:.1f} J"
+                f"Q={record['quality']:.4f}  E={record['energy']:.1f} J  "
+                f"slo={verdict}"
             )
     return {
         "schema": BENCH_SCHEMA,
@@ -313,6 +371,7 @@ def collect_snapshot(
         "scale": scale,
         "seed": seed,
         "repeats": repeats,
+        "tracer": tracer,
         "scenarios": records,
     }
 

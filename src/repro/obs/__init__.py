@@ -23,6 +23,18 @@ Tracing is off by default: every harness uses the shared
 :data:`NULL_TRACER` unless one is passed, at a cost of one attribute
 read per instrumentation point.  See ``docs/observability.md`` for the
 event schema.
+
+For long horizons, :class:`repro.obs.stream.StreamingTracer` replaces
+the buffering tracer with constant-memory windowed aggregation plus
+online SLO monitoring (:mod:`repro.obs.slo`); finished runs land in
+the run registry (:mod:`repro.obs.runs`) and render to an HTML
+dashboard (:mod:`repro.obs.report`)::
+
+    from repro.obs import StreamingTracer
+
+    tracer = StreamingTracer(spill_path="trace.jsonl")
+    result = SimulationHarness(config, make_ge(), tracer=tracer).run()
+    summary = tracer.summary()          # windows, SLOs, utilization
 """
 
 from repro.obs.analyze import (
@@ -34,6 +46,7 @@ from repro.obs.analyze import (
 )
 from repro.obs.export import (
     TRACE_SCHEMA,
+    iter_jsonl,
     read_jsonl,
     trace_records,
     write_jsonl,
@@ -41,8 +54,33 @@ from repro.obs.export import (
     write_timeline_csv,
 )
 from repro.obs.prof import NULL_PROFILER, NullProfiler, PhaseHandle, PhaseProfiler
-from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, PhaseTimer
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    P2Quantile,
+    PhaseTimer,
+    QuantileSketch,
+)
+from repro.obs.report import render_report, write_report
+from repro.obs.runs import (
+    RunStore,
+    diff_runs,
+    format_diff,
+    format_run,
+    format_runs_table,
+    make_summary,
+    run_id_for,
+)
+from repro.obs.slo import SLOSpec, SLOTracker, default_slos
 from repro.obs.spans import EventRecord, SpanRecord
+from repro.obs.stream import (
+    StreamAggregator,
+    StreamingTracer,
+    WindowSeries,
+    fold_records,
+)
 from repro.obs.timeline import CoreTimelineSampler, TimelineSample
 from repro.obs.tracer import NULL_TRACER, NullTracer, Trace, Tracer
 
@@ -59,20 +97,39 @@ __all__ = [
     "ModeInterval",
     "NullProfiler",
     "NullTracer",
+    "P2Quantile",
     "PhaseHandle",
     "PhaseProfiler",
     "PhaseTimer",
+    "QuantileSketch",
+    "RunStore",
+    "SLOSpec",
+    "SLOTracker",
     "SpanRecord",
+    "StreamAggregator",
+    "StreamingTracer",
     "TimelineSample",
     "Trace",
     "Tracer",
+    "WindowSeries",
     "core_utilization",
+    "default_slos",
+    "diff_runs",
+    "fold_records",
+    "format_diff",
+    "format_run",
+    "format_runs_table",
+    "iter_jsonl",
     "job_stats",
+    "make_summary",
     "mode_intervals",
     "read_jsonl",
+    "render_report",
+    "run_id_for",
     "summarize",
     "trace_records",
     "write_jsonl",
+    "write_report",
     "write_spans_csv",
     "write_timeline_csv",
 ]

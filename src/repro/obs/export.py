@@ -11,6 +11,9 @@ by ``"type"``:
 :func:`read_jsonl` inverts :func:`write_jsonl` exactly:
 ``read_jsonl(p) == trace`` after ``write_jsonl(trace, p)`` (Python's
 ``json`` emits shortest-repr floats, which round-trip bit-exactly).
+:func:`iter_jsonl` is the streaming variant — one record dict at a
+time, constant memory — for feeding :mod:`repro.obs.stream` and the
+iterator-aware analyzers in :mod:`repro.obs.analyze`.
 
 The CSV exporters are one-way conveniences for spreadsheets/plotting:
 :func:`write_timeline_csv` (per-core samples) and
@@ -30,6 +33,7 @@ from repro.obs.tracer import Trace, Tracer
 
 __all__ = [
     "TRACE_SCHEMA",
+    "iter_jsonl",
     "read_jsonl",
     "trace_records",
     "write_jsonl",
@@ -75,13 +79,20 @@ def write_jsonl(trace: Union[Trace, Tracer], path: _PathLike) -> int:
     return count
 
 
-def read_jsonl(path: _PathLike) -> Trace:
-    """Parse a JSONL trace file back into a :class:`Trace`."""
-    meta: Dict[str, Any] = {}
-    spans: List[SpanRecord] = []
-    events: List[EventRecord] = []
-    samples: List[TimelineSample] = []
-    metrics: Dict[str, Dict[str, Any]] = {}
+def iter_jsonl(path: _PathLike) -> Iterator[Dict[str, Any]]:
+    """Yield a JSONL trace's records one dict at a time.
+
+    The streaming complement of :func:`read_jsonl`: nothing is
+    materialized beyond the current line, so a multi-gigabyte trace
+    can be analyzed in constant memory (feed the iterator to
+    :func:`repro.obs.stream.fold_records`,
+    :func:`repro.obs.analyze.mode_intervals` or
+    :func:`repro.obs.analyze.core_utilization`).  Record order is the
+    file's order; ``meta`` headers validate their schema tag exactly
+    like :func:`read_jsonl`, and later headers supersede earlier ones
+    (a :class:`repro.obs.stream.StreamingTracer` spill file has a
+    provisional header and a final one).
+    """
     with open(path, "r", encoding="utf-8") as fh:
         for lineno, line in enumerate(fh, start=1):
             line = line.strip()
@@ -96,20 +107,37 @@ def read_jsonl(path: _PathLike) -> Trace:
                         f"{path}:{lineno}: unsupported trace schema {schema!r} "
                         f"(this reader understands {TRACE_SCHEMA!r})"
                     )
-                meta = dict(record["meta"])
-            elif rtype == "span":
-                spans.append(SpanRecord.from_record(record))
-            elif rtype == "event":
-                events.append(EventRecord.from_record(record))
-            elif rtype == "sample":
-                samples.append(TimelineSample.from_record(record))
-            elif rtype == "metric":
-                name = record["name"]
-                metrics[name] = {
-                    k: v for k, v in record.items() if k not in ("type", "name")
-                }
-            else:
+            elif rtype not in ("span", "event", "sample", "metric"):
                 raise ValueError(f"{path}:{lineno}: unknown record type {rtype!r}")
+            yield record
+
+
+def read_jsonl(path: _PathLike) -> Trace:
+    """Parse a JSONL trace file back into a :class:`Trace`.
+
+    Materializes everything; prefer :func:`iter_jsonl` plus the
+    streaming consumers for large files.
+    """
+    meta: Dict[str, Any] = {}
+    spans: List[SpanRecord] = []
+    events: List[EventRecord] = []
+    samples: List[TimelineSample] = []
+    metrics: Dict[str, Dict[str, Any]] = {}
+    for record in iter_jsonl(path):
+        rtype = record.get("type")
+        if rtype == "meta":
+            meta = dict(record["meta"])
+        elif rtype == "span":
+            spans.append(SpanRecord.from_record(record))
+        elif rtype == "event":
+            events.append(EventRecord.from_record(record))
+        elif rtype == "sample":
+            samples.append(TimelineSample.from_record(record))
+        else:  # "metric" — iter_jsonl rejects anything else
+            name = record["name"]
+            metrics[name] = {
+                k: v for k, v in record.items() if k not in ("type", "name")
+            }
     # Spans and events were merged by seq on export; re-splitting in file
     # order restores each list's original (seq-ascending) order.
     return Trace(meta=meta, spans=spans, events=events, samples=samples, metrics=metrics)

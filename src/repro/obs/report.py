@@ -1,0 +1,357 @@
+"""Self-contained HTML run report: the dashboard ``repro report`` writes.
+
+Renders one ``repro.run/1`` summary (see :func:`repro.obs.runs.make_summary`)
+into a single HTML file with no external assets, scripts or network
+fetches — inline CSS and inline SVG only, so the artifact is safe to
+archive with a run and opens identically years later:
+
+* header card — scheduler, workload, config fingerprint, headline
+  :class:`RunResult` numbers;
+* SLO panel — per-objective verdicts, compliance fractions, first
+  violations (from the online monitors of :mod:`repro.obs.slo`);
+* mode Gantt — the AES/BQ occupancy timeline;
+* time series — windowed quality vs the ``Q_GE`` floor, and windowed
+  total power vs the budget ``H`` (min/max band + mean line, straight
+  from the :class:`repro.obs.stream.WindowSeries` rows);
+* per-core utilization bars and a metrics table.
+
+Everything here is pure string building over the summary dict: no
+simulation imports, no I/O except :func:`write_report`, no printing.
+"""
+
+from __future__ import annotations
+
+from html import escape
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+__all__ = ["render_report", "write_report"]
+
+_CSS = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 62rem;
+       color: #1c2330; background: #f6f7f9; }
+h1 { font-size: 1.35rem; margin: 0 0 .25rem; }
+h2 { font-size: 1.05rem; margin: 1.6rem 0 .5rem; }
+.card { background: #fff; border: 1px solid #dde1e8; border-radius: 8px;
+        padding: 1rem 1.25rem; margin-bottom: 1rem; }
+.meta { color: #5b6575; font-size: .85rem; }
+table { border-collapse: collapse; width: 100%; font-size: .85rem; }
+th, td { text-align: left; padding: .3rem .6rem; border-bottom: 1px solid #eceff3; }
+th { color: #5b6575; font-weight: 600; }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+.ok { color: #186a3b; font-weight: 600; }
+.viol { color: #a93226; font-weight: 600; }
+.nodata { color: #8a93a3; }
+svg { display: block; width: 100%; height: auto; }
+.legend { font-size: .78rem; color: #5b6575; margin-top: .25rem; }
+.swatch { display: inline-block; width: .7rem; height: .7rem; border-radius: 2px;
+          margin: 0 .3rem 0 .9rem; vertical-align: -1px; }
+"""
+
+_AES_COLOR = "#2e86c1"
+_BQ_COLOR = "#e67e22"
+_BAND_COLOR = "#aed6f1"
+_LINE_COLOR = "#1a5276"
+_LIMIT_COLOR = "#a93226"
+
+
+def _fmt(value: Any, digits: int = 6) -> str:
+    if value is None:
+        return "–"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return escape(str(value))
+
+
+def _scale(
+    lo: float, hi: float, size: float, pad: float
+) -> Tuple[float, float]:
+    """Affine map of [lo, hi] onto [pad, size - pad] as (offset, factor)."""
+    span = hi - lo
+    if span <= 0:
+        span = 1.0
+    factor = (size - 2 * pad) / span
+    return pad - lo * factor, factor
+
+
+def _series_svg(
+    rows: List[Dict[str, Any]],
+    *,
+    limit: Optional[float] = None,
+    limit_label: str = "",
+    unit: str = "",
+    width: int = 880,
+    height: int = 180,
+) -> str:
+    """One windowed series as an SVG: min–max band, mean line, limit rule."""
+    if not rows:
+        return "<p class='nodata'>no data</p>"
+    xs = [0.5 * (r["start"] + r["end"]) for r in rows]
+    lo = min(r["min"] for r in rows)
+    hi = max(r["max"] for r in rows)
+    if limit is not None:
+        lo, hi = min(lo, limit), max(hi, limit)
+    x_off, x_f = _scale(min(r["start"] for r in rows),
+                        max(r["end"] for r in rows), float(width), 8.0)
+    y_off, y_f = _scale(lo, hi, float(height), 16.0)
+
+    def px(x: float) -> str:
+        return f"{x_off + x * x_f:.1f}"
+
+    def py(y: float) -> str:
+        # SVG y grows downward; flip.
+        return f"{height - (y_off + y * y_f):.1f}"
+
+    band = " ".join(f"{px(x)},{py(r['max'])}" for x, r in zip(xs, rows))
+    band += " " + " ".join(
+        f"{px(x)},{py(r['min'])}" for x, r in zip(reversed(xs), reversed(rows))
+    )
+    mean = " ".join(f"{px(x)},{py(r['mean'])}" for x, r in zip(xs, rows))
+    parts = [
+        f"<svg viewBox='0 0 {width} {height}' role='img'>",
+        f"<polygon points='{band}' fill='{_BAND_COLOR}' opacity='0.6'/>",
+        f"<polyline points='{mean}' fill='none' stroke='{_LINE_COLOR}' "
+        "stroke-width='1.6'/>",
+    ]
+    if limit is not None:
+        y = py(limit)
+        parts.append(
+            f"<line x1='0' y1='{y}' x2='{width}' y2='{y}' "
+            f"stroke='{_LIMIT_COLOR}' stroke-width='1.2' stroke-dasharray='6 4'/>"
+        )
+        if limit_label:
+            parts.append(
+                f"<text x='{width - 6}' y='{float(y) - 5:.1f}' text-anchor='end' "
+                f"font-size='11' fill='{_LIMIT_COLOR}'>"
+                f"{escape(limit_label)} = {_fmt(limit, 4)}{escape(unit)}</text>"
+            )
+    for value in (lo, hi):
+        parts.append(
+            f"<text x='4' y='{float(py(value)) - 3:.1f}' font-size='10' "
+            f"fill='#5b6575'>{_fmt(value, 3)}{escape(unit)}</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _gantt_svg(
+    intervals: List[Dict[str, Any]],
+    *,
+    start: float,
+    end: float,
+    width: int = 880,
+    height: int = 46,
+) -> str:
+    """The AES/BQ mode occupancy bar."""
+    if not intervals:
+        return "<p class='nodata'>no decisions recorded (non-GE scheduler?)</p>"
+    x_off, x_f = _scale(start, max(end, start + 1e-9), float(width), 8.0)
+    parts = [f"<svg viewBox='0 0 {width} {height}' role='img'>"]
+    for interval in intervals:
+        x0 = x_off + float(interval["start"]) * x_f
+        x1 = x_off + float(interval["end"]) * x_f
+        color = _BQ_COLOR if interval.get("mode") == "bq" else _AES_COLOR
+        parts.append(
+            f"<rect x='{x0:.1f}' y='8' width='{max(x1 - x0, 0.5):.1f}' "
+            f"height='24' fill='{color}'>"
+            f"<title>{escape(str(interval.get('mode', '?')))} "
+            f"[{_fmt(interval['start'], 5)}, {_fmt(interval['end'], 5)}] s</title>"
+            "</rect>"
+        )
+    for t in (start, end):
+        parts.append(
+            f"<text x='{x_off + t * x_f:.1f}' y='{height - 2}' font-size='10' "
+            f"fill='#5b6575'>{_fmt(t, 4)}s</text>"
+        )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _slo_table(slo: Dict[str, Any]) -> str:
+    slos = slo.get("slos") or {}
+    if not slos:
+        return "<p class='nodata'>no SLOs evaluated</p>"
+    rows = [
+        "<table><tr><th>objective</th><th>kind</th><th class='num'>threshold</th>"
+        "<th class='num'>compliance</th><th>verdict</th><th>first violation</th></tr>"
+    ]
+    for name, row in slos.items():
+        if row.get("no_data"):
+            verdict = "<span class='nodata'>no data</span>"
+        elif row.get("compliant"):
+            verdict = "<span class='ok'>compliant</span>"
+        else:
+            verdict = "<span class='viol'>violated</span>"
+        violation = row.get("first_violation")
+        first = "–"
+        if violation:
+            first = (f"t={_fmt(violation.get('time'), 5)}s, "
+                     f"value={_fmt(violation.get('value'), 5)}")
+        rows.append(
+            f"<tr><td>{escape(name)}</td><td>{escape(str(row.get('kind', '')))}</td>"
+            f"<td class='num'>{_fmt(row.get('threshold'), 4)}</td>"
+            f"<td class='num'>{_fmt(row.get('compliance'), 4)}</td>"
+            f"<td>{verdict}</td><td>{escape(first) if first == '–' else first}</td></tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _core_table(cores: Dict[str, Any]) -> str:
+    if not cores:
+        return "<p class='nodata'>no core telemetry</p>"
+    rows = [
+        "<table><tr><th>core</th><th class='num'>utilization</th>"
+        "<th class='num'>busy (s)</th><th class='num'>slices</th>"
+        "<th class='num'>volume</th><th class='num'>energy (J)</th><th></th></tr>"
+    ]
+    for core in sorted(cores, key=lambda c: int(c)):
+        row = cores[core]
+        util = float(row.get("utilization", 0.0))
+        bar_w = max(0.0, min(1.0, util)) * 160.0
+        bar = (
+            f"<svg viewBox='0 0 160 10' style='width:160px'>"
+            f"<rect x='0' y='0' width='160' height='10' fill='#eceff3'/>"
+            f"<rect x='0' y='0' width='{bar_w:.1f}' height='10' "
+            f"fill='{_AES_COLOR}'/></svg>"
+        )
+        rows.append(
+            f"<tr><td>{escape(str(core))}</td>"
+            f"<td class='num'>{util * 100:.1f}%</td>"
+            f"<td class='num'>{_fmt(row.get('busy'), 5)}</td>"
+            f"<td class='num'>{int(row.get('slices', 0))}</td>"
+            f"<td class='num'>{_fmt(row.get('volume'), 6)}</td>"
+            f"<td class='num'>{_fmt(row.get('energy'), 6)}</td>"
+            f"<td>{bar}</td></tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _metrics_table(metrics: Dict[str, Any]) -> str:
+    if not metrics:
+        return "<p class='nodata'>no metrics</p>"
+    rows = ["<table><tr><th>metric</th><th>kind</th><th>value</th></tr>"]
+    for name in sorted(metrics):
+        snap = metrics[name]
+        kind = snap.get("kind", "?")
+        if kind in ("counter", "gauge"):
+            value = _fmt(snap.get("value"), 6)
+        elif kind == "quantiles":
+            estimates = snap.get("estimates") or {}
+            value = "  ".join(
+                f"{escape(label)}={_fmt(est, 4)}" for label, est in estimates.items()
+            )
+            value += f"  (n={snap.get('count', 0)})"
+        elif kind == "phase":
+            value = (f"n={snap.get('count', 0)} "
+                     f"total={_fmt(snap.get('total_s'), 4)}s "
+                     f"mean={_fmt(snap.get('mean_s'), 3)}s")
+        else:  # histogram
+            value = (f"n={snap.get('count', 0)} mean={_fmt(snap.get('mean'), 4)} "
+                     f"min={_fmt(snap.get('min'), 4)} max={_fmt(snap.get('max'), 4)}")
+            if snap.get("overflow") or snap.get("underflow"):
+                value += (f" <span class='viol'>overflow={snap.get('overflow', 0)} "
+                          f"underflow={snap.get('underflow', 0)}</span>")
+        rows.append(
+            f"<tr><td>{escape(name)}</td><td>{escape(str(kind))}</td>"
+            f"<td class='num'>{value}</td></tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def render_report(summary: Dict[str, Any]) -> str:
+    """Render one run summary as a self-contained HTML document.
+
+    ``summary`` follows the ``repro.run/1`` layout of
+    :func:`repro.obs.runs.make_summary`; a raw
+    :meth:`~repro.obs.stream.StreamingTracer.summary` dict (telemetry
+    keys at the top level, ``meta`` inline) is accepted too.
+    """
+    if "telemetry" in summary:
+        telemetry: Dict[str, Any] = summary.get("telemetry") or {}
+        meta: Dict[str, Any] = summary.get("meta") or {}
+    else:
+        telemetry = summary
+        meta = summary.get("meta") or {}
+    result = summary.get("result") or {}
+    windows = telemetry.get("windows") or {}
+    start = float(meta.get("start", 0.0))
+    end = float(meta.get("end", start))
+
+    title = (f"{meta.get('scheduler', 'run')} · λ={_fmt(meta.get('arrival_rate'), 4)}/s"
+             f" · seed {_fmt(meta.get('seed'))}")
+    head_meta = (
+        f"fingerprint {_fmt(meta.get('config_fingerprint'))} · "
+        f"{_fmt(meta.get('cores'))} cores · H={_fmt(meta.get('budget'), 4)} W · "
+        f"Q<sub>GE</sub>={_fmt(meta.get('q_ge'), 4)} · "
+        f"span [{_fmt(start, 5)}, {_fmt(end, 5)}] s"
+    )
+    headline = ""
+    if result:
+        headline = (
+            "<table><tr><th class='num'>quality</th><th class='num'>energy (J)</th>"
+            "<th class='num'>jobs</th><th class='num'>mean speed</th>"
+            "<th class='num'>utilization</th><th class='num'>AES fraction</th></tr>"
+            f"<tr><td class='num'>{_fmt(result.get('quality'), 6)}</td>"
+            f"<td class='num'>{_fmt(result.get('energy'), 6)}</td>"
+            f"<td class='num'>{_fmt(result.get('jobs'))}</td>"
+            f"<td class='num'>{_fmt(result.get('mean_speed'), 4)}</td>"
+            f"<td class='num'>{_fmt(result.get('utilization'), 4)}</td>"
+            f"<td class='num'>{_fmt(result.get('aes_fraction'), 4)}</td></tr></table>"
+        )
+
+    quality_rows = (windows.get("quality") or {}).get("rows") or []
+    power_rows = (windows.get("power_total_w") or {}).get("rows") or []
+    q_ge = meta.get("q_ge")
+    budget = meta.get("budget")
+
+    sections = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>repro report · {escape(str(meta.get('scheduler', 'run')))}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<div class='card'><h1>{title}</h1>",
+        f"<p class='meta'>{head_meta}</p>{headline}</div>",
+        "<div class='card'><h2>SLO compliance</h2>",
+        _slo_table(telemetry.get("slo") or {}),
+        "</div>",
+        "<div class='card'><h2>Mode timeline (AES / BQ)</h2>",
+        _gantt_svg(telemetry.get("mode_intervals") or [], start=start, end=end),
+        "<p class='legend'>mode"
+        f"<span class='swatch' style='background:{_AES_COLOR}'></span>AES"
+        f"<span class='swatch' style='background:{_BQ_COLOR}'></span>BQ</p></div>",
+        "<div class='card'><h2>Quality (windowed)</h2>",
+        _series_svg(
+            quality_rows,
+            limit=float(q_ge) if q_ge is not None else None,
+            limit_label="Q_GE",
+        ),
+        "</div>",
+        "<div class='card'><h2>Total power (windowed)</h2>",
+        _series_svg(
+            power_rows,
+            limit=float(budget) if budget is not None else None,
+            limit_label="H",
+            unit=" W",
+        ),
+        "<p class='legend'>band = window min–max, line = window mean</p></div>",
+        "<div class='card'><h2>Per-core utilization</h2>",
+        _core_table(telemetry.get("core_utilization") or {}),
+        "</div>",
+        "<div class='card'><h2>Metrics</h2>",
+        _metrics_table(telemetry.get("metrics") or {}),
+        "</div>",
+        "</body></html>",
+    ]
+    return "".join(sections)
+
+
+def write_report(summary: Dict[str, Any], path: Union[str, Path]) -> int:
+    """Write :func:`render_report` output to ``path``; returns byte count."""
+    html = render_report(summary)
+    data = html.encode("utf-8")
+    Path(path).write_bytes(data)
+    return len(data)

@@ -1,0 +1,676 @@
+"""Streaming telemetry: bounded-memory aggregation over sim-time.
+
+The full :class:`repro.obs.tracer.Tracer` materializes every span,
+event and sample in memory — perfect for debugging a 10-second
+scenario, linear in the horizon for anything else.  This module is the
+constant-memory alternative:
+
+* :class:`WindowSeries` — tumbling/sliding window aggregates (count /
+  sum / min / max / mean / last) over **simulated** time.  The window
+  width defaults to ``horizon / DEFAULT_WINDOWS``, so the number of
+  retained rows is a constant (~:data:`DEFAULT_WINDOWS`) regardless of
+  how long the run is or how many records it emits;
+* :class:`StreamAggregator` — folds the trace streams (per-round
+  ``decision`` events, per-core timeline samples, settle events, exec
+  spans) into those windows, P² quantile sketches
+  (:class:`repro.obs.registry.QuantileSketch`), online mode intervals,
+  per-core utilization and the online SLO monitors of
+  :mod:`repro.obs.slo`;
+* :class:`StreamingTracer` — a drop-in tracer that feeds every record
+  to a :class:`StreamAggregator` **instead of buffering it**, and can
+  optionally spill the raw records to JSONL incrementally (constant
+  memory either way).
+
+**Exactness.**  Each aggregation stream folds exactly one record kind
+in its emission order — decisions by ``seq``, sample batches
+chronologically, exec spans per-core in close order (a core runs one
+slice at a time, so close order equals open order) — and the offline
+:func:`fold_records` replays the very same fold over exported JSONL.
+Online and offline aggregates therefore agree *bit-for-bit*, including
+the P² sketches, which are pure functions of the observation sequence
+(pinned by ``tests/obs/test_stream.py``).
+
+All windowing is in simulated seconds; nothing here reads a wall clock
+(sim-lint SIM001 applies to this module with no exemption).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    TextIO,
+    Union,
+)
+
+from repro.obs.registry import MetricsRegistry, QuantileSketch
+from repro.obs.slo import SLOSpec, SLOTracker, default_slos
+from repro.obs.spans import EventRecord, SpanRecord
+from repro.obs.timeline import TimelineSample
+from repro.obs.tracer import Trace, Tracer
+
+if TYPE_CHECKING:  # type-only: repro.obs stays import-light at runtime
+    from repro.server.machine import MulticoreServer
+    from repro.workload.job import Job
+
+__all__ = [
+    "DEFAULT_WINDOWS",
+    "StreamAggregator",
+    "StreamingTracer",
+    "WindowSeries",
+    "fold_records",
+]
+
+#: Default number of tumbling windows the horizon is divided into.
+#: Fixing the window *count* (not the width) is what makes streaming
+#: memory flat versus horizon: a 4x-longer run gets 4x-wider windows,
+#: not 4x more rows.
+DEFAULT_WINDOWS = 60
+
+#: Mode intervals retained verbatim for the Gantt display.  AES↔BQ
+#: switching continues for the whole run, so the interval list is the
+#: one naturally unbounded aggregate; past this cap further intervals
+#: fold into the (exact) ``mode_totals`` aggregate only and
+#: ``intervals_dropped`` records how many were not retained — a
+#: truncated Gantt, never silent truncation.
+MAX_MODE_INTERVALS = 64
+
+
+class WindowSeries:
+    """Tumbling/sliding window aggregates of one value stream.
+
+    Values are folded into *panes* of ``slide`` simulated seconds; a
+    window spans ``width / slide`` consecutive panes (``width ==
+    slide``, the default, is a plain tumbling window).  Pane aggregates
+    (count, sum, min, max, last) compose exactly, so a sliding-window
+    row equals the fold of its panes with no approximation.
+
+    ``observe`` must be called with non-decreasing times (trace streams
+    are chronological).  Completed rows accumulate in :attr:`rows` —
+    O(elapsed / slide) of them, independent of the observation count —
+    and windows with no observations produce no row, so sparse series
+    stay sparse.
+    """
+
+    __slots__ = ("name", "width", "slide", "rows", "_panes", "_pane_index", "_finished")
+
+    def __init__(self, name: str, *, width: float, slide: Optional[float] = None) -> None:
+        if width <= 0:
+            raise ValueError(f"window series {name}: width must be positive")
+        slide = width if slide is None else float(slide)
+        if slide <= 0 or slide > width:
+            raise ValueError(f"window series {name}: slide must be in (0, width]")
+        span = width / slide
+        if abs(span - round(span)) > 1e-9:
+            raise ValueError(f"window series {name}: width must be a multiple of slide")
+        self.name = name
+        self.width = float(width)
+        self.slide = slide
+        self.rows: List[Dict[str, Any]] = []
+        self._panes: List[Optional[Dict[str, Any]]] = []
+        self._pane_index = 0
+        self._finished = False
+
+    @property
+    def _panes_per_window(self) -> int:
+        return int(round(self.width / self.slide))
+
+    def observe(self, time: float, value: float) -> None:
+        """Fold one observation at simulated ``time``."""
+        if self._finished:
+            raise ValueError(f"window series {self.name}: already finished")
+        index = int(time / self.slide)
+        if not self._panes:
+            self._pane_index = index
+            self._panes = [None]
+        elif index > self._pane_index:
+            self._advance_to(index)
+        pane = self._panes[-1]
+        if pane is None:
+            pane = {"count": 0, "sum": 0.0, "min": value, "max": value, "last": value}
+            self._panes[-1] = pane
+        pane["count"] += 1
+        pane["sum"] += value
+        if value < pane["min"]:
+            pane["min"] = value
+        if value > pane["max"]:
+            pane["max"] = value
+        pane["last"] = value
+
+    def _advance_to(self, index: int) -> None:
+        """Open the pane at ``index``, emitting windows that completed."""
+        per_window = self._panes_per_window
+        while self._pane_index < index:
+            self._pane_index += 1
+            self._panes.append(None)
+            if len(self._panes) > per_window:
+                self._emit(self._pane_index - len(self._panes) + 1, per_window)
+                self._panes.pop(0)
+
+    def _emit(self, first_pane: int, npanes: int) -> None:
+        """Emit the window of ``npanes`` panes starting at ``first_pane``."""
+        live = [p for p in self._panes[:npanes] if p is not None]
+        if not live:
+            return  # fully empty window: no row
+        row: Dict[str, Any] = {
+            "start": first_pane * self.slide,
+            "end": first_pane * self.slide + self.width,
+            "count": sum(p["count"] for p in live),
+            "sum": sum(p["sum"] for p in live),
+            "min": min(p["min"] for p in live),
+            "max": max(p["max"] for p in live),
+            "last": live[-1]["last"],
+        }
+        row["mean"] = row["sum"] / row["count"]
+        self.rows.append(row)
+
+    def finish(self, end: float) -> None:
+        """Flush the final (possibly partial) window at run end."""
+        if self._finished:
+            return
+        self._finished = True
+        if self._panes:
+            self._emit(self._pane_index - len(self._panes) + 1, len(self._panes))
+            self._panes = []
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-native state: window geometry plus the emitted rows."""
+        return {
+            "width": self.width,
+            "slide": self.slide,
+            "rows": [dict(r) for r in self.rows],
+        }
+
+
+def _window_width(meta: Dict[str, Any]) -> float:
+    horizon = float(meta.get("horizon") or 0.0)
+    if horizon <= 0:
+        return 1.0
+    return horizon / DEFAULT_WINDOWS
+
+
+class StreamAggregator:
+    """Folds trace streams into bounded-memory aggregates.
+
+    One instance serves one run (or one offline replay of that run's
+    exported records).  The entry points mirror the record streams:
+
+    * :meth:`on_event` — ``decision`` / ``settle`` fold into windows,
+      sketches, mode intervals and SLO monitors; other kinds are
+      counted and ignored;
+    * :meth:`on_sample_batch` — one quantum boundary's per-core
+      timeline samples;
+    * :meth:`on_span_close` — a closed span (exec slices fold into
+      per-core utilization);
+    * :meth:`finish` — close time-weighted accumulators at run end.
+
+    The streams are independent — no accumulator mixes records of two
+    kinds — which is why the offline replay (whose canonical JSONL
+    groups samples after events) folds each stream in exactly the
+    online order.
+    """
+
+    def __init__(
+        self,
+        *,
+        registry: Optional[MetricsRegistry] = None,
+        slos: Optional[List[SLOSpec]] = None,
+        window_width: Optional[float] = None,
+        window_slide: Optional[float] = None,
+        on_violation: Optional[Callable[[str, float, float, float], None]] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._slos = slos
+        self._width = window_width
+        self._slide = window_slide
+        self._on_violation = on_violation
+        self.meta: Dict[str, Any] = {}
+        self.series: Dict[str, WindowSeries] = {}
+        self.slo: Optional[SLOTracker] = None
+        self.mode_intervals: List[Dict[str, Any]] = []
+        self.mode_totals: Dict[str, float] = {
+            "switches": 0, "aes_s": 0.0, "bq_s": 0.0, "intervals_dropped": 0,
+        }
+        self.record_counts: Dict[str, int] = {"span": 0, "event": 0, "sample": 0}
+        self._started = False
+        self._finished = False
+        self._mode: Optional[str] = None
+        self._mode_start = 0.0
+        self._last_decision: Optional[float] = None
+        self._cores: Dict[int, Dict[str, float]] = {}
+        self._gap_sketch: Optional[QuantileSketch] = None
+        self._end: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, meta: Dict[str, Any]) -> None:
+        """Arm the aggregator from the run's metadata.
+
+        Window width derives from ``meta["horizon"]`` (unless given
+        explicitly) and the default SLOs from ``q_ge`` / ``budget``
+        (see :func:`repro.obs.slo.default_slos`).  Metadata keys are
+        merged on every call, but arming happens once — an offline
+        replay may see both a provisional and a final header.
+        """
+        self.meta.update(meta)
+        if self._started:
+            return
+        self._started = True
+        width = self._width if self._width is not None else _window_width(self.meta)
+        for name in ("quality", "queue_depth", "power_total_w",
+                     "speed_mean_ghz", "reschedule_gap_s"):
+            self.series[name] = WindowSeries(name, width=width, slide=self._slide)
+        self._gap_sketch = self.registry.quantiles(
+            "stream.reschedule_gap_s", qs=(0.5, 0.9, 0.99)
+        )
+        specs = self._slos if self._slos is not None else default_slos(self.meta)
+        self.slo = SLOTracker(
+            specs, registry=self.registry, on_violation=self._on_violation
+        )
+        self._mode_start = float(self.meta.get("start", 0.0))
+
+    def _require_started(self) -> None:
+        # Headerless stream (unit tests, truncated files): arm with
+        # defaults so records are never silently dropped.
+        if not self._started:
+            self.start({})
+
+    # ------------------------------------------------------------------
+    # Stream entry points
+    # ------------------------------------------------------------------
+    def on_event(self, time: float, kind: str, attrs: Dict[str, Any]) -> None:
+        """Fold one event record."""
+        if kind == "slo_violation":
+            # Derived annotation emitted by the streaming sink itself,
+            # absent from a full tracer's record stream — not folded and
+            # not counted, so aggregates agree across sinks exactly.
+            return
+        self._require_started()
+        self.record_counts["event"] += 1
+        slo = self.slo
+        assert slo is not None
+        if kind == "decision":
+            quality = float(attrs["monitor_quality"])
+            mode = str(attrs["mode"])
+            self.series["quality"].observe(time, quality)
+            self.series["queue_depth"].observe(time, float(attrs.get("batch_size", 0)))
+            if self._last_decision is not None:
+                gap = time - self._last_decision
+                self.series["reschedule_gap_s"].observe(time, gap)
+                assert self._gap_sketch is not None
+                self._gap_sketch.observe(gap)
+            self._last_decision = time
+            if mode != self._mode:
+                if self._mode is not None:
+                    self._close_mode_interval(time)
+                    self.mode_totals["switches"] += 1
+                self._mode_start = time
+                self._mode = mode
+            slo.on_decision(time, mode=mode, quality=quality)
+        elif kind == "settle":
+            slo.on_settle(time, outcome=str(attrs.get("outcome", "")))
+
+    def on_sample_batch(self, time: float, samples: List[TimelineSample]) -> None:
+        """Fold one quantum boundary's core samples (one per core)."""
+        self._require_started()
+        if not samples:
+            return
+        self.record_counts["sample"] += len(samples)
+        total_power = 0.0
+        total_speed = 0.0
+        for sample in samples:
+            total_power += sample.power
+            total_speed += sample.speed
+            row = self._cores.setdefault(
+                sample.core,
+                {"busy": 0.0, "slices": 0.0, "volume": 0.0, "energy": 0.0},
+            )
+            row["energy"] = sample.energy  # cumulative: last sample wins
+        self.series["power_total_w"].observe(time, total_power)
+        self.series["speed_mean_ghz"].observe(time, total_speed / len(samples))
+        assert self.slo is not None
+        self.slo.on_power(time, total_power)
+
+    def on_span_close(self, span: SpanRecord) -> None:
+        """Fold one closed span (exec slices feed per-core totals)."""
+        self._require_started()
+        self.record_counts["span"] += 1
+        if span.name != "exec" or span.end is None:
+            return
+        core = int(span.attrs["core"])
+        row = self._cores.setdefault(
+            core, {"busy": 0.0, "slices": 0.0, "volume": 0.0, "energy": 0.0}
+        )
+        row["busy"] += span.end - span.start
+        row["slices"] += 1
+        row["volume"] += float(span.attrs.get("done", 0.0))
+
+    def finish(self, end: float) -> None:
+        """Close all time-weighted accumulators at simulated ``end``."""
+        self._require_started()
+        if self._finished:
+            return
+        self._finished = True
+        self._end = float(end)
+        if self._mode is not None:
+            self._close_mode_interval(float(end))
+        for series in self.series.values():
+            series.finish(float(end))
+        assert self.slo is not None
+        self.slo.finish(float(end))
+
+    def _close_mode_interval(self, end: float) -> None:
+        """Account the interval ending at ``end``; retain it if under the cap."""
+        assert self._mode is not None
+        key = "aes_s" if self._mode == "aes" else "bq_s"
+        self.mode_totals[key] += end - self._mode_start
+        if len(self.mode_intervals) < MAX_MODE_INTERVALS:
+            self.mode_intervals.append(
+                {"start": self._mode_start, "end": end, "mode": self._mode}
+            )
+        else:
+            self.mode_totals["intervals_dropped"] += 1
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def core_utilization(self) -> Dict[int, Dict[str, float]]:
+        """Per-core busy/slices/volume/energy/utilization.
+
+        Same shape as :func:`repro.obs.analyze.core_utilization`, built
+        incrementally instead of from a materialized trace.
+        """
+        start = float(self.meta.get("start", 0.0))
+        end = self._end if self._end is not None else start
+        span_len = end - start
+        out: Dict[int, Dict[str, float]] = {}
+        for core in sorted(self._cores):
+            row = dict(self._cores[core])
+            row["utilization"] = row["busy"] / span_len if span_len > 0 else 0.0
+            out[core] = row
+        return out
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-native aggregate state (the telemetry half of a run summary)."""
+        return {
+            "windows": {
+                name: series.snapshot() for name, series in sorted(self.series.items())
+            },
+            "mode_intervals": [dict(i) for i in self.mode_intervals],
+            "mode_totals": dict(self.mode_totals),
+            "core_utilization": {
+                str(core): row for core, row in self.core_utilization().items()
+            },
+            "slo": self.slo.summary() if self.slo is not None else {},
+            "record_counts": dict(self.record_counts),
+        }
+
+
+class StreamingTracer(Tracer):
+    """A tracer that aggregates instead of buffering.
+
+    Every record the instrumented simulator emits is folded into a
+    :class:`StreamAggregator` (windows, sketches, SLO monitors, mode
+    intervals, per-core totals) and then **dropped** — :attr:`spans` /
+    :attr:`events` / :attr:`samples` stay empty, so telemetry memory is
+    flat in the horizon (pinned by ``tests/obs/test_stream.py``).
+    Record ids (``seq``, ``span_id``) advance exactly as in the full
+    tracer, so spilled records are comparable across sinks.
+
+    Pass ``spill_path`` to additionally append every raw record to a
+    JSONL file as it is emitted (still constant memory).  Spans are
+    written when they *close*, so the file is ordered by close-seq
+    rather than the canonical open-seq of
+    :func:`repro.obs.export.write_jsonl`;
+    :func:`repro.obs.export.read_jsonl` accepts both.  A provisional
+    ``meta`` header is written at run start and superseded by the final
+    one at run end (readers keep the last header seen).
+
+    SLO specs default to :func:`repro.obs.slo.default_slos` over the
+    run metadata (quality floor ``Q_GE``, power budget ``H``,
+    deadline-miss rate, BQ dwell); pass ``slos`` to override.  First
+    violations are emitted as ``slo_violation`` events, and the
+    machine-readable compliance summary lands in ``meta["slo"]`` at run
+    end.
+    """
+
+    def __init__(
+        self,
+        *,
+        spill_path: Optional[str] = None,
+        slos: Optional[List[SLOSpec]] = None,
+        window_width: Optional[float] = None,
+        window_slide: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        self.aggregator = StreamAggregator(
+            registry=self.metrics,
+            slos=slos,
+            window_width=window_width,
+            window_slide=window_slide,
+            on_violation=self._emit_violation,
+        )
+        self._spill_fh: Optional[TextIO] = None
+        self._spilled = 0
+        self._closed = False
+        if spill_path is not None:
+            self._spill_fh = open(spill_path, "w", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Spill plumbing
+    # ------------------------------------------------------------------
+    @property
+    def spilled_records(self) -> int:
+        """Raw records written to the spill file so far."""
+        return self._spilled
+
+    def _spill(self, record: Dict[str, Any]) -> None:
+        if self._spill_fh is None:
+            return
+        self._spill_fh.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
+        self._spill_fh.write("\n")
+        self._spilled += 1
+
+    def _spill_meta(self) -> None:
+        from repro.obs.export import TRACE_SCHEMA
+
+        self._spill({"type": "meta", "schema": TRACE_SCHEMA, "meta": dict(self.meta)})
+
+    def _emit_violation(
+        self, name: str, time: float, value: float, threshold: float
+    ) -> None:
+        # Routed through the normal event path, so it is folded
+        # (count-only: the aggregator ignores unknown kinds) and
+        # spilled like any other scheduler event.
+        self.event(
+            "slo_violation", time, slo=name, value=float(value),
+            threshold=float(threshold),
+        )
+
+    # ------------------------------------------------------------------
+    # Overridden record sinks: fold + spill, never retain
+    # ------------------------------------------------------------------
+    def begin_span(
+        self,
+        name: str,
+        time: float,
+        *,
+        parent: Optional[SpanRecord] = None,
+        **attrs: Any,
+    ) -> SpanRecord:
+        """Open a span without retaining it (folded when it closes)."""
+        span = SpanRecord(
+            span_id=self._next_span_id,
+            name=name,
+            start=float(time),
+            seq=self._next_seq(),
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=attrs,
+        )
+        self._next_span_id += 1
+        return span
+
+    def end_span(self, span: SpanRecord, time: float, **attrs: Any) -> None:
+        """Close ``span``, fold it into the aggregates and spill it."""
+        span.close(time, **attrs)
+        self.aggregator.on_span_close(span)
+        self._spill(span.to_record())
+
+    def event(
+        self,
+        kind: str,
+        time: float,
+        *,
+        span: Optional[SpanRecord] = None,
+        **attrs: Any,
+    ) -> EventRecord:
+        """Fold and spill a point event without retaining it."""
+        record = EventRecord(
+            time=float(time),
+            kind=kind,
+            seq=self._next_seq(),
+            span_id=span.span_id if span is not None else None,
+            attrs=attrs,
+        )
+        self.aggregator.on_event(record.time, kind, attrs)
+        self._spill(record.to_record())
+        return record
+
+    def job_settled(self, job: Job, time: float) -> None:
+        """Close the job span through the folding/spilling path."""
+        span = self._job_spans.pop(job.jid, None)
+        if span is None:
+            return  # job predates the tracer (never happens via the harness)
+        self.event("settle", time, span=span, outcome=job.outcome.value)
+        self.end_span(span, time, outcome=job.outcome.value, processed=job.processed)
+
+    def exec_end(self, span: SpanRecord, time: float, done: float) -> None:
+        """Close an execution slice through the folding/spilling path."""
+        self.end_span(span, time, done=float(done))
+
+    def sample_cores(self, machine: MulticoreServer, time: float) -> None:
+        """Fold and spill one quantum boundary's core samples."""
+        samples = self._sampler.sample(machine, time)
+        self.aggregator.on_sample_batch(float(time), samples)
+        for sample in samples:
+            self._spill(sample.to_record())
+
+    # ------------------------------------------------------------------
+    # Run lifecycle
+    # ------------------------------------------------------------------
+    def run_started(self, time: float, **meta: Any) -> None:
+        super().run_started(time, **meta)
+        self.aggregator.start(self.meta)
+        self._spill_meta()  # provisional header, superseded at run end
+
+    def run_finished(self, machine: MulticoreServer, time: float, **meta: Any) -> None:
+        super().run_finished(machine, time, **meta)
+        self.close(end=float(time))
+
+    def close(self, end: Optional[float] = None) -> None:
+        """Finalize the aggregates; write the spill tail, close the file.
+
+        Idempotent.  Called automatically from :meth:`run_finished`;
+        call it directly when feeding records outside a harness run.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if end is None:
+            end = float(self.meta.get("end", self.meta.get("start", 0.0)))
+        self.aggregator.finish(end)
+        assert self.aggregator.slo is not None
+        self.meta["slo"] = self.aggregator.slo.summary()
+        if self._spill_fh is not None:
+            self._spill_meta()  # final, complete header
+            for name, snap in self.metrics.snapshot().items():
+                self._spill({"type": "metric", "name": name, **snap})
+            self._spill_fh.close()
+            self._spill_fh = None
+
+    def summary(self) -> Dict[str, Any]:
+        """The run's full streaming summary (JSON-native).
+
+        Window series, mode intervals, per-core utilization, SLO
+        compliance, record counts, the metrics snapshot and the run
+        metadata — everything ``repro report`` and the run registry
+        consume.
+        """
+        telemetry = self.aggregator.snapshot()
+        telemetry["meta"] = dict(self.meta)
+        telemetry["metrics"] = self.metrics.snapshot()
+        return telemetry
+
+
+def fold_records(
+    records: Union[Trace, Iterable[Dict[str, Any]]],
+    *,
+    slos: Optional[List[SLOSpec]] = None,
+    window_width: Optional[float] = None,
+    window_slide: Optional[float] = None,
+) -> StreamAggregator:
+    """Replay trace records through a fresh :class:`StreamAggregator`.
+
+    ``records`` is an iterable of JSON-native record dicts (e.g. from
+    :func:`repro.obs.export.iter_jsonl` or
+    :func:`repro.obs.export.trace_records`) or a materialized
+    :class:`~repro.obs.tracer.Trace`.  Sample records are regrouped
+    into per-boundary batches: cores are sampled in ascending index
+    order, so a batch ends when the core index stops increasing (two
+    consecutive batches may share a timestamp at the drain boundary,
+    so time alone cannot delimit them).  Returns the finished
+    aggregator, whose :meth:`~StreamAggregator.snapshot` equals the
+    online one of a :class:`StreamingTracer` on the same run exactly.
+    """
+    from repro.obs.export import trace_records
+
+    if isinstance(records, Trace):
+        records = trace_records(records)
+    agg = StreamAggregator(
+        slos=slos, window_width=window_width, window_slide=window_slide
+    )
+    pending: List[TimelineSample] = []
+
+    def flush_samples() -> None:
+        if pending:
+            agg.on_sample_batch(pending[0].time, pending)
+            pending.clear()
+
+    end: Optional[float] = None
+    for record in records:
+        rtype = record.get("type")
+        if rtype == "sample":
+            sample = TimelineSample.from_record(record)
+            if pending and sample.core <= pending[-1].core:
+                flush_samples()
+            pending.append(sample)
+            continue
+        flush_samples()
+        if rtype == "meta":
+            agg.start(dict(record["meta"]))
+            if "end" in record["meta"]:
+                end = float(record["meta"]["end"])
+        elif rtype == "event":
+            # Spilled ``slo_violation`` events pass through here too;
+            # the aggregator ignores them (the offline SLO tracker
+            # re-detects its own violations from the source streams).
+            agg.on_event(
+                float(record["time"]), str(record["kind"]),
+                dict(record.get("attrs", {})),
+            )
+        elif rtype == "span":
+            span = SpanRecord.from_record(record)
+            if span.end is not None:
+                agg.on_span_close(span)
+    flush_samples()
+    if end is None:
+        end = float(agg.meta.get("end", agg.meta.get("start", 0.0)))
+    agg.finish(end)
+    return agg

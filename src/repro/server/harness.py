@@ -223,6 +223,7 @@ class SimulationHarness:
                 cores=cfg.m,
                 budget=cfg.budget,
                 q_ge=cfg.q_ge,
+                quantum=self.scheduler.quantum,
                 config_fingerprint=cfg.fingerprint(),
             )
             self.tracer.sample_cores(self.machine, self.sim.now)

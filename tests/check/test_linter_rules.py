@@ -49,6 +49,23 @@ class TestSIM001WallClock:
         src = "import time\n\ndef now() -> float:\n    return time.perf_counter()\n"
         assert "SIM001" not in codes(src, "repro.obs.prof")
 
+    def test_run_registry_module_allowlisted(self):
+        # The run store stamps artifacts with a wall-clock created_unix;
+        # that is storage metadata, not simulated time.
+        from repro.check.rules import SIM001_MODULE_ALLOWLIST
+
+        assert "repro.obs.runs" in SIM001_MODULE_ALLOWLIST
+        src = "import time\n\ndef stamp() -> float:\n    return time.time()\n"
+        assert "SIM001" not in codes(src, "repro.obs.runs")
+
+    def test_streaming_modules_not_allowlisted(self):
+        # Windowing and SLO evaluation run on simulated seconds only:
+        # the streaming telemetry modules get no wall-clock exemption.
+        src = "import time\n\ndef now() -> float:\n    return time.time()\n"
+        assert "SIM001" in codes(src, "repro.obs.stream")
+        assert "SIM001" in codes(src, "repro.obs.slo")
+        assert "SIM001" in codes(src, "repro.obs.report")
+
 
 class TestSIM002UnseededRandomness:
     def test_flags_random_module(self):

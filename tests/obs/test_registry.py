@@ -47,6 +47,29 @@ class TestHistogram:
         assert h.buckets[4] == 1
         assert h.buckets[5] == 1
 
+    def test_overflow_underflow_counts_in_snapshot(self):
+        # Out-of-range observations must be counted explicitly, not
+        # silently folded into the edge buckets: overflow counts values
+        # >= bound, underflow values < 0 (clamped into bucket 0).
+        h = Histogram("x", bound=10.0, nbuckets=5)
+        for v in (-2.0, -0.5, 5.0, 10.0, 25.0):
+            h.observe(v)
+        assert h.underflow == 2
+        assert h.overflow == 2
+        assert h.count == 5  # out-of-range values still count/total
+        assert h.buckets[0] == 2  # underflow clamps into the first bucket
+        assert h.buckets[-1] == 2  # overflow bucket
+        snap = h.snapshot()
+        assert snap["overflow"] == 2
+        assert snap["underflow"] == 2
+        assert snap["min"] == -2.0 and snap["max"] == 25.0
+
+    def test_in_range_observations_leave_counts_zero(self):
+        h = Histogram("x", bound=10.0, nbuckets=5)
+        for v in (0.0, 5.0, 9.999):
+            h.observe(v)
+        assert h.overflow == 0 and h.underflow == 0
+
     def test_invalid_shape(self):
         with pytest.raises(ValueError):
             Histogram("x", bound=0.0)

@@ -217,3 +217,82 @@ def test_trace_with_sanitize(tmp_path, capsys):
     assert main(["trace", "--horizon", "2", "--sanitize", "--out", out_path,
                  "--no-summary"]) == 0
     assert "checks passed" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Streaming telemetry, run registry and HTML report commands
+# ----------------------------------------------------------------------
+def test_run_stream_prints_slo_panel(capsys):
+    code = main(["run", "--scheduler", "GE", "--rate", "120",
+                 "--horizon", "3", "--stream"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "slo:" in out and "quality_floor" in out
+
+
+def test_stream_conflicts_with_sanitize(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "--scheduler", "GE", "--rate", "100", "--horizon", "2",
+              "--stream", "--sanitize"])
+
+
+def test_store_and_runs_lifecycle(tmp_path, capsys):
+    runs_dir = str(tmp_path / "runs")
+    trace = str(tmp_path / "trace.jsonl")
+    # --store implies --stream; --trace-out spills the raw records too.
+    code = main(["run", "--scheduler", "GE", "--rate", "120", "--horizon", "3",
+                 "--store", "--runs-dir", runs_dir, "--trace-out", trace])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "stored run" in out
+    run_id = out.split("stored run ")[1].split()[0]
+
+    assert main(["runs", "list", "--runs-dir", runs_dir]) == 0
+    assert run_id in capsys.readouterr().out
+
+    assert main(["runs", "show", run_id[:8], "--runs-dir", runs_dir]) == 0
+    assert "quality_floor" in capsys.readouterr().out
+
+    report = str(tmp_path / "report.html")
+    assert main(["report", "--run", run_id[:8], "--runs-dir", runs_dir,
+                 "--out", report]) == 0
+    html = open(report, encoding="utf-8").read()
+    assert "Mode timeline" in html and "<svg" in html
+
+    assert main(["runs", "delete", run_id, "--runs-dir", runs_dir]) == 0
+    assert main(["runs", "list", "--runs-dir", runs_dir]) == 0
+    assert "no stored runs" in capsys.readouterr().out
+
+
+def test_runs_diff_two_schedulers(tmp_path, capsys):
+    runs_dir = str(tmp_path / "runs")
+    for sched in ("GE", "BE"):
+        assert main(["run", "--scheduler", sched, "--rate", "120",
+                     "--horizon", "3", "--store", "--runs-dir", runs_dir]) == 0
+    out = capsys.readouterr().out
+    ids = [line.split("stored run ")[1].split()[0]
+           for line in out.splitlines() if "stored run" in line]
+    assert len(ids) == 2
+    assert main(["runs", "diff", ids[0], ids[1], "--runs-dir", runs_dir]) == 0
+    diff_out = capsys.readouterr().out
+    assert "scheduler" in diff_out and "result:" in diff_out
+
+
+def test_runs_show_unknown_id_errors(tmp_path, capsys):
+    code = main(["runs", "show", "nope", "--runs-dir", str(tmp_path)])
+    assert code == 2
+    assert "no stored run" in capsys.readouterr().out
+
+
+def test_report_from_trace_and_trace_show(tmp_path, capsys):
+    trace = str(tmp_path / "trace.jsonl")
+    assert main(["trace", "--scheduler", "GE", "--rate", "120", "--horizon", "3",
+                 "--stream", "--out", trace, "--no-summary"]) == 0
+    capsys.readouterr()
+    report = str(tmp_path / "report.html")
+    assert main(["report", "--trace", trace, "--out", report]) == 0
+    assert "wrote" in capsys.readouterr().out
+    assert "SLO compliance" in open(report, encoding="utf-8").read()
+    # trace show folds the spill offline and prints the same panel.
+    assert main(["trace", "show", trace]) == 0
+    assert "quality_floor" in capsys.readouterr().out
