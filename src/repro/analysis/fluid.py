@@ -16,6 +16,14 @@ import numpy as np
 
 from repro.power.models import PowerModel
 from repro.quality.functions import QualityFunction
+from repro.units import (
+    Dimensionless,
+    PerSecond,
+    QualityFrac,
+    Seconds,
+    Volume,
+    Watts,
+)
 from repro.workload.distributions import BoundedPareto
 
 __all__ = [
@@ -39,7 +47,7 @@ def _expect(dist: BoundedPareto, g: Callable[[np.ndarray], np.ndarray]) -> float
     return float(np.sum(_W * g(np.asarray(x))))
 
 
-def expected_kept_volume(dist: BoundedPareto, level: float) -> float:
+def expected_kept_volume(dist: BoundedPareto, level: Volume) -> Volume:
     """E[min(X, L)]: mean volume per job after a waterline cut at L.
 
     Closed form for the bounded Pareto:
@@ -52,8 +60,8 @@ def expected_kept_volume(dist: BoundedPareto, level: float) -> float:
 
 
 def expected_quality_at_level(
-    f: QualityFunction, dist: BoundedPareto, level: float
-) -> float:
+    f: QualityFunction, dist: BoundedPareto, level: Volume
+) -> QualityFrac:
     """E[f(min(X, L))] / E[f(X)]: fluid aggregate quality at waterline L."""
     num = _expect(dist, lambda x: np.asarray(f(np.minimum(x, level))))
     den = _expect(dist, lambda x: np.asarray(f(x)))
@@ -63,11 +71,11 @@ def expected_quality_at_level(
 def waterline_for_quality(
     f: QualityFunction,
     dist: BoundedPareto,
-    q_target: float,
+    q_target: QualityFrac,
     *,
-    tol: float = 1e-6,
+    tol: Dimensionless = 1e-6,
     max_iter: int = 80,
-) -> float:
+) -> Volume:
     """The waterline L at which the fluid aggregate quality equals
     ``q_target`` — the level GE's LF cut converges to over many jobs."""
     if not 0.0 < q_target <= 1.0:
@@ -87,12 +95,12 @@ def waterline_for_quality(
 
 
 def energy_rate_lower_bound(
-    arrival_rate: float,
+    arrival_rate: PerSecond,
     dist: BoundedPareto,
-    level: float,
+    level: Volume,
     model: PowerModel,
-    window: float,
-) -> float:
+    window: Seconds,
+) -> Watts:
     """A lower bound on dynamic power (W) for serving the cut workload.
 
     Each job's cheapest possible execution stretches its kept volume
@@ -120,14 +128,14 @@ def energy_rate_lower_bound(
 class CutStats:
     """Fluid predictions for one (quality function, distribution, Q_GE)."""
 
-    waterline: float
-    kept_volume: float  # E[min(X, L)] in units/job
-    kept_fraction: float  # kept_volume / E[X]
-    quality: float  # should equal Q_GE by construction
+    waterline: Volume
+    kept_volume: Volume  # E[min(X, L)] in units/job
+    kept_fraction: Dimensionless  # kept_volume / E[X]
+    quality: QualityFrac  # should equal Q_GE by construction
 
 
 def predict_cut_stats(
-    f: QualityFunction, dist: BoundedPareto, q_target: float
+    f: QualityFunction, dist: BoundedPareto, q_target: QualityFrac
 ) -> CutStats:
     """Waterline + volume/quality summary for a target quality."""
     level = waterline_for_quality(f, dist, q_target)

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.cutting import lf_cut_waterline
 from repro.core.ge import GEScheduler
 from repro.core.modes import ExecutionMode
+from repro.units import Volume
 from repro.workload.job import Job
 
 __all__ = ["ClairvoyantGE", "make_oracle"]
@@ -51,7 +52,7 @@ class ClairvoyantGE(GEScheduler):
 
     def _targets_for(
         self, all_jobs: List[Job], mode: ExecutionMode
-    ) -> Dict[int, float]:
+    ) -> Dict[int, Volume]:
         # Mode is always AES here (compensation disabled); targets come
         # from the precomputed global cut.  Jobs outside the table (only
         # possible with a tampered workload) fall back to full demand.

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.config import SimulationConfig
+from repro.units import Gigahertz, QualityFrac, Seconds, Watts
 from repro.core.ge import make_be
 from repro.metrics.collector import RunResult
 from repro.server.harness import SimulationHarness
@@ -43,7 +44,7 @@ class CalibrationResult:
         Each bisection probe as ``(knob value, quality)``.
     """
 
-    value: float
+    value: float  # watts for BE-P, GHz for BE-S
     result: RunResult
     probes: Tuple[Tuple[float, float], ...]
 
@@ -55,20 +56,20 @@ def _run_be(config: SimulationConfig, name: str) -> RunResult:
 
 
 def _bisect_least_knob(
-    probe: Callable[[float], float],
+    probe: Callable[[float], QualityFrac],
     lo: float,
     hi: float,
-    target: float,
+    target: QualityFrac,
     *,
     iterations: int,
-) -> Tuple[float, List[Tuple[float, float]]]:
+) -> Tuple[float, List[Tuple[float, QualityFrac]]]:
     """Least knob value in [lo, hi] whose probed quality meets ``target``.
 
     Assumes quality is (noisily) non-decreasing in the knob.  If even
     ``hi`` misses the target, returns ``hi`` (the overloaded regime —
     the paper's three control policies coincide there).
     """
-    probes: List[Tuple[float, float]] = []
+    probes: List[Tuple[float, QualityFrac]] = []
     q_hi = probe(hi)
     probes.append((hi, q_hi))
     if q_hi < target:
@@ -87,7 +88,7 @@ def _bisect_least_knob(
 def calibrate_power_control(
     config: SimulationConfig,
     *,
-    calibration_horizon: Optional[float] = None,
+    calibration_horizon: Optional[Seconds] = None,
     iterations: int = 7,
 ) -> CalibrationResult:
     """BE-P: least total power budget meeting ``config.q_ge``.
@@ -99,7 +100,7 @@ def calibrate_power_control(
     horizon = calibration_horizon or max(30.0, config.horizon / 4)
     probe_cfg = config.with_overrides(horizon=horizon)
 
-    def probe(budget: float) -> float:
+    def probe(budget: Watts) -> QualityFrac:
         return _run_be(probe_cfg.with_overrides(budget=budget), "BE-P").quality
 
     least, probes = _bisect_least_knob(
@@ -113,7 +114,7 @@ def calibrate_power_control(
 def calibrate_speed_control(
     config: SimulationConfig,
     *,
-    calibration_horizon: Optional[float] = None,
+    calibration_horizon: Optional[Seconds] = None,
     iterations: int = 7,
 ) -> CalibrationResult:
     """BE-S: least per-core speed cap meeting ``config.q_ge``.
@@ -125,7 +126,7 @@ def calibrate_speed_control(
     probe_cfg = config.with_overrides(horizon=horizon)
     top = config.power_model().speed(config.budget)
 
-    def probe(speed_cap: float) -> float:
+    def probe(speed_cap: Gigahertz) -> QualityFrac:
         return _run_be(probe_cfg.with_overrides(top_speed=speed_cap), "BE-S").quality
 
     least, probes = _bisect_least_knob(

@@ -21,6 +21,7 @@ from typing import Callable, Optional
 
 from repro.server.core import Segment
 from repro.server.scheduler import Scheduler
+from repro.units import Seconds
 from repro.workload.job import Job
 
 __all__ = ["QueueOrderScheduler", "FCFS", "FDFS", "LJF", "SJF"]
@@ -98,7 +99,7 @@ class QueueOrderScheduler(Scheduler):
                 core.enqueue(self._segment_for(job, window, core.index))
                 break
 
-    def _segment_for(self, job: Job, window: float, core_index: int) -> Segment:
+    def _segment_for(self, job: Job, window: Seconds, core_index: int) -> Segment:
         machine = self.harness.machine
         model = machine.models[core_index]
         scale = machine.scales[core_index]

@@ -1,4 +1,4 @@
-"""Correctness tooling: sim-lint static analysis and runtime sanitizer.
+"""Correctness tooling: sim-lint, sim-units and the runtime sanitizer.
 
 The GE reproduction's headline numbers rest on physical invariants the
 paper states but Python cannot express in types: per-round dynamic
@@ -6,14 +6,22 @@ power never exceeds the budget ``H`` (§III-D), energy is the exact
 integral of the piecewise-constant speed timelines (§II-B), and the
 aggregate quality ``Q = Σf(c_j)/Σf(p_j)`` stays in ``[0, 1]`` and never
 dips below ``Q_GE`` outside a compensation episode (§III-C).  This
-package enforces them twice:
+package enforces them three ways:
 
 * **sim-lint** (:mod:`repro.check.linter` / :mod:`repro.check.rules`) —
-  an AST linter with simulator-domain rules (SIM001–SIM008): no
+  an AST linter with simulator-domain rules (SIM001–SIM009): no
   wall-clock or unseeded randomness inside the deterministic layers, no
   bare float equality in scheduler code, layering hygiene, frozen
-  config, fully annotated public API.  Run ``python -m repro.check lint
-  src/repro``.
+  config, fully annotated public API, no unordered set iteration in
+  scheduling code.  Run ``python -m repro.check lint src/repro``.
+
+* **sim-units** (:mod:`repro.check.units`) — a dimensional-analysis
+  pass (UNITS001–UNITS005) over the :mod:`repro.units` vocabulary of
+  ``Annotated[float, Unit("W")]`` aliases.  It infers units through
+  locals and arithmetic (``W·s → J``, ``unit/(unit/s) → s``) and flags
+  mismatched additions, comparisons, call arguments, returns and
+  assignments.  Run ``python -m repro.check units src/repro``; the
+  ``--coverage`` flag reports per-module annotation coverage.
 
 * **the sanitizer** (:mod:`repro.check.sanitizer`) — an opt-in
   :class:`SanitizingTracer` that rides the :mod:`repro.obs` telemetry
@@ -21,7 +29,8 @@ package enforces them twice:
   energy-accounting, volume-monotonicity, clock or quality invariants.
   Enable with ``--sanitize`` on the CLI or ``REPRO_SANITIZE=1``.
 
-See ``docs/static-analysis.md`` for the full rule catalogue.
+``python -m repro.check gate src/repro`` runs both static passes — the
+default CI gate.  See ``docs/static-analysis.md`` for the catalogue.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from __future__ import annotations
 from repro.check.linter import Finding, lint_paths, lint_source
 from repro.check.rules import RULES, Rule, rule_catalog
 from repro.check.sanitizer import SanitizingTracer, SanitizerViolation
+from repro.check.units import UNITS_RULES, UnitsReport, check_paths, check_source
 
 __all__ = [
     "Finding",
@@ -36,6 +46,10 @@ __all__ = [
     "Rule",
     "SanitizerViolation",
     "SanitizingTracer",
+    "UNITS_RULES",
+    "UnitsReport",
+    "check_paths",
+    "check_source",
     "lint_paths",
     "lint_source",
     "rule_catalog",

@@ -1,4 +1,4 @@
-"""``python -m repro.check`` — the sim-lint command-line interface.
+"""``python -m repro.check`` — the static-analysis command-line interface.
 
 Examples
 --------
@@ -6,10 +6,20 @@ Lint the library (exit 1 when findings remain)::
 
     python -m repro.check lint src/repro
 
+Run the dimensional-analysis pass, or its coverage report::
+
+    python -m repro.check units src/repro
+    python -m repro.check units src/repro --coverage
+
+Run the full default gate (sim-lint + units — what CI enforces)::
+
+    python -m repro.check gate src/repro
+
 Restrict or widen the rule set, or emit machine-readable output::
 
     python -m repro.check lint src/repro --select SIM001,SIM004
     python -m repro.check lint src/repro --ignore SIM006 --format json
+    python -m repro.check units src/repro --select UNITS003
 
 Print the rule catalogue with rationales::
 
@@ -26,6 +36,12 @@ from typing import List, Optional, Sequence
 
 from repro.check.linter import Finding, LintError, lint_paths
 from repro.check.rules import RULES, rule_catalog
+from repro.check.units import (
+    UNITS_RULES,
+    check_paths,
+    coverage_json,
+    coverage_table,
+)
 
 __all__ = ["main"]
 
@@ -36,37 +52,58 @@ def _split_codes(value: Optional[str]) -> Optional[List[str]]:
     return [c.strip().upper() for c in value.split(",") if c.strip()]
 
 
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories (default: src/repro)")
+    parser.add_argument("--select", metavar="CODES", default=None,
+                        help="comma-separated rule codes to run (default: all)")
+    parser.add_argument("--ignore", metavar="CODES", default=None,
+                        help="comma-separated rule codes to skip")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (json is one object with a "
+                             "findings list)")
+    parser.add_argument("--module", metavar="NAME", default=None,
+                        help="force the dotted module name for every file "
+                             "(for fixture files outside the package)")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.check",
-        description="Simulator-aware static analysis (sim-lint) for repro",
+        description="Simulator-aware static analysis (sim-lint + sim-units)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
     lint = sub.add_parser("lint", help="lint files/directories with the SIM rules")
-    lint.add_argument("paths", nargs="*", default=["src/repro"],
-                      help="files or directories (default: src/repro)")
-    lint.add_argument("--select", metavar="CODES", default=None,
-                      help="comma-separated rule codes to run (default: all)")
-    lint.add_argument("--ignore", metavar="CODES", default=None,
-                      help="comma-separated rule codes to skip")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
-                      help="report format (json is one object with a findings list)")
-    lint.add_argument("--module", metavar="NAME", default=None,
-                      help="force the dotted module name for every file "
-                           "(for fixture files outside the package)")
+    _add_common(lint)
     lint.add_argument("--statistics", action="store_true",
                       help="append a per-rule violation count")
+
+    units = sub.add_parser(
+        "units",
+        help="dimensional-analysis pass (UNITS rules) over annotated code",
+    )
+    _add_common(units)
+    units.add_argument("--coverage", action="store_true",
+                       help="emit the per-module annotation coverage report "
+                            "instead of findings (never fails)")
+
+    gate = sub.add_parser(
+        "gate",
+        help="the default CI gate: sim-lint plus the units pass",
+    )
+    gate.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories (default: src/repro)")
 
     sub.add_parser("rules", help="print the rule catalogue with rationales")
     return parser
 
 
 def _known_codes() -> List[str]:
-    return [rule.code for rule in RULES]
+    return [rule.code for rule in RULES] + list(UNITS_RULES)
 
 
-def _report_text(findings: List[Finding], statistics: bool) -> None:
+def _report_text(findings: List[Finding], statistics: bool, label: str) -> None:
     for finding in findings:
         print(finding.format())
     if statistics and findings:
@@ -75,9 +112,9 @@ def _report_text(findings: List[Finding], statistics: bool) -> None:
         for code, count in sorted(counts.items()):
             print(f"{count:5d}  {code}")
     if findings:
-        print(f"\nfound {len(findings)} sim-lint finding(s)")
+        print(f"\nfound {len(findings)} {label} finding(s)")
     else:
-        print("sim-lint: clean")
+        print(f"{label}: clean")
 
 
 def _report_json(findings: List[Finding]) -> None:
@@ -89,16 +126,7 @@ def _report_json(findings: List[Finding]) -> None:
     print(json.dumps(payload, indent=2, sort_keys=True))
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns 0 when clean, 1 on findings, 2 on usage errors."""
-    args = _build_parser().parse_args(argv)
-
-    if args.command == "rules":
-        print(rule_catalog())
-        return 0
-
-    select = _split_codes(args.select)
-    ignore = _split_codes(args.ignore)
+def _validate_codes(select: Optional[List[str]], ignore: Optional[List[str]]) -> bool:
     known = set(_known_codes())
     unknown = [c for c in (select or []) + (ignore or []) if c not in known]
     if unknown:
@@ -107,7 +135,60 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"known: {', '.join(sorted(known))}",
             file=sys.stderr,
         )
+        return False
+    return True
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns 0 when clean, 1 on findings, 2 on usage errors."""
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "rules":
+        print(rule_catalog())
+        print()
+        for code, summary in UNITS_RULES.items():
+            print(f"{code}  {summary}")
+        print(
+            "        Dimensional analysis over the repro.units vocabulary; "
+            "see docs/static-analysis.md."
+        )
+        return 0
+
+    if args.command == "gate":
+        try:
+            lint_findings = lint_paths(args.paths)
+            units_report = check_paths(args.paths)
+        except LintError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _report_text(lint_findings, statistics=True, label="sim-lint")
+        _report_text(units_report.findings, statistics=True, label="sim-units")
+        return 1 if (lint_findings or units_report.findings) else 0
+
+    select = _split_codes(args.select)
+    ignore = _split_codes(args.ignore)
+    if not _validate_codes(select, ignore):
         return 2
+
+    if args.command == "units":
+        try:
+            report = check_paths(
+                args.paths, select=select, ignore=ignore, module=args.module
+            )
+        except LintError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.coverage:
+            if args.format == "json":
+                print(coverage_json(report.coverage))
+            else:
+                print(coverage_table(report.coverage))
+            return 0
+        if args.format == "json":
+            _report_json(report.findings)
+        else:
+            _report_text(report.findings, statistics=False, label="sim-units")
+        return 1 if report.findings else 0
 
     try:
         findings = lint_paths(
@@ -120,7 +201,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.format == "json":
         _report_json(findings)
     else:
-        _report_text(findings, statistics=args.statistics)
+        _report_text(findings, statistics=args.statistics, label="sim-lint")
     return 1 if findings else 0
 
 

@@ -1,4 +1,4 @@
-"""The sim-lint rule catalogue (SIM001–SIM008).
+"""The sim-lint rule catalogue (SIM001–SIM009).
 
 Each rule guards a property the simulator's correctness argument
 depends on (see ``docs/static-analysis.md`` for the full rationale and
@@ -13,7 +13,12 @@ SIM005  No mutation of frozen :class:`repro.config.SimulationConfig`.
 SIM006  Public functions must be fully annotated.
 SIM007  No ``print`` in library code (use the tracer or the CLI).
 SIM008  No silently swallowed broad exceptions.
+SIM009  No unordered set iteration feeding scheduling decisions.
 ======= ==============================================================
+
+The dimensional-analysis rules (UNITS001–UNITS005) live in
+:mod:`repro.check.units`; they share this package's suppression and
+CLI machinery but run as a whole-program pass.
 
 Rules are plain data (:class:`Rule`) over two callables so the engine
 in :mod:`repro.check.linter` stays rule-agnostic.
@@ -282,37 +287,45 @@ def _check_float_equality(ctx: ModuleContext) -> Iterable[Finding]:
 #: Allowed `repro.<segment>` imports per package; ``None`` = unrestricted.
 #: Order mirrors the architecture diagram in ``docs/architecture.md``:
 #: sim/obs/power/quality at the bottom, experiments/cli at the top.
+#: ``repro.units`` is the stdlib-only unit vocabulary: pure type
+#: aliases plus the dimension algebra, no simulator imports.  Every
+#: layer may depend on it (annotations are the whole point), so it
+#: appears in every allowlist below and allows nothing but itself.
 _LAYER_ALLOW: Dict[str, Optional[FrozenSet[str]]] = {
+    "units": frozenset({"units"}),
     "errors": frozenset({"errors"}),
-    "sim": frozenset({"sim", "errors"}),
-    "obs": frozenset({"obs", "errors"}),
-    "power": frozenset({"power", "errors"}),
-    "quality": frozenset({"quality", "errors"}),
-    "workload": frozenset({"workload", "errors", "sim", "config"}),
-    "metrics": frozenset({"metrics", "errors", "workload", "quality", "obs"}),
+    "sim": frozenset({"sim", "errors", "units"}),
+    "obs": frozenset({"obs", "errors", "units"}),
+    "power": frozenset({"power", "errors", "units"}),
+    "quality": frozenset({"quality", "errors", "units"}),
+    "workload": frozenset({"workload", "errors", "sim", "config", "units"}),
+    "metrics": frozenset(
+        {"metrics", "errors", "workload", "quality", "obs", "units"}
+    ),
     "config": frozenset(
-        {"config", "errors", "power", "quality", "sim", "workload"}
+        {"config", "errors", "power", "quality", "sim", "workload", "units"}
     ),
     "server": frozenset(
         {"server", "errors", "sim", "obs", "power", "quality",
-         "workload", "metrics", "config"}
+         "workload", "metrics", "config", "units"}
     ),
     "core": frozenset(
         {"core", "server", "errors", "sim", "obs", "power", "quality",
-         "workload", "metrics", "config"}
+         "workload", "metrics", "config", "units"}
     ),
     "analysis": frozenset(
-        {"analysis", "errors", "power", "quality", "workload", "sim", "config"}
+        {"analysis", "errors", "power", "quality", "workload", "sim",
+         "config", "units"}
     ),
     "mixed": frozenset(
         {"mixed", "core", "server", "errors", "sim", "obs", "power",
-         "quality", "workload", "metrics", "config"}
+         "quality", "workload", "metrics", "config", "units"}
     ),
     "baselines": frozenset(
         {"baselines", "core", "server", "errors", "sim", "obs", "power",
-         "quality", "workload", "metrics", "config"}
+         "quality", "workload", "metrics", "config", "units"}
     ),
-    "check": frozenset({"check", "errors", "obs", "config"}),
+    "check": frozenset({"check", "errors", "obs", "config", "units"}),
     # experiments, cli, validation: top of the stack, unrestricted.
 }
 
@@ -586,6 +599,144 @@ def _check_silent_except(ctx: ModuleContext) -> Iterable[Finding]:
 
 
 # ---------------------------------------------------------------------------
+# SIM009 — unordered set/dict iteration feeding scheduling decisions
+# ---------------------------------------------------------------------------
+
+#: Layers whose iteration order becomes scheduling order: the policy
+#: code (targets, plans, power splits) and the event kernel.
+_ORDER_SENSITIVE = ("repro.core", "repro.sim")
+
+#: Set methods that return another set (propagate set-ness).
+_SET_RETURNING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Calls whose output order is the input's iteration order.
+_ORDER_MATERIALIZERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+def _set_annotation(node: Optional[ast.expr]) -> bool:
+    """Is this annotation ``Set[...]`` / ``set[...]`` / ``FrozenSet[...]``?"""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    dotted = _dotted(node) if node is not None else None
+    return dotted is not None and dotted.rsplit(".", 1)[-1] in {
+        "set", "Set", "frozenset", "FrozenSet", "MutableSet", "AbstractSet",
+    }
+
+
+def _collect_set_names(tree: ast.Module) -> tuple[FrozenSet[str], FrozenSet[str]]:
+    """Names / attributes bound to set-typed values anywhere in the module.
+
+    Iterated to a fixpoint so ``a = set(); b = a | other`` marks both.
+    """
+    names: set[str] = set()
+    attrs: set[str] = set()
+
+    def is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted in {"set", "frozenset"}:
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_RETURNING_METHODS
+            ):
+                return is_set_expr(node.func.value)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return is_set_expr(node.left) or is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in names
+        if isinstance(node, ast.Attribute):
+            return node.attr in attrs
+        return False
+
+    changed = True
+    while changed:
+        changed = False
+        for node in ast.walk(tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign) and is_set_expr(node.value):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign) and (
+                _set_annotation(node.annotation)
+                or (node.value is not None and is_set_expr(node.value))
+            ):
+                targets = [node.target]
+            elif isinstance(node, ast.arg) and _set_annotation(node.annotation):
+                if node.arg not in names:
+                    names.add(node.arg)
+                    changed = True
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id not in names:
+                    names.add(target.id)
+                    changed = True
+                elif isinstance(target, ast.Attribute) and target.attr not in attrs:
+                    attrs.add(target.attr)
+                    changed = True
+    return frozenset(names), frozenset(attrs)
+
+
+def _check_unordered_iteration(ctx: ModuleContext) -> Iterable[Finding]:
+    names, attrs = _collect_set_names(ctx.tree)
+
+    def is_set_expr(node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted in {"set", "frozenset"}:
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_RETURNING_METHODS
+            ):
+                return is_set_expr(node.func.value)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return is_set_expr(node.left) or is_set_expr(node.right)
+        if isinstance(node, ast.Name):
+            return node.id in names
+        if isinstance(node, ast.Attribute):
+            return node.attr in attrs
+        return False
+
+    def finding_at(node: ast.AST) -> Finding:
+        return ctx.finding(
+            "SIM009",
+            node,
+            "iteration over an unordered set feeds scheduling decisions; "
+            "hash order varies across runs/platforms — wrap in `sorted(...)` "
+            "(scheduling order must be deterministic per seed)",
+        )
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.For) and is_set_expr(node.iter):
+            yield finding_at(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            for gen in node.generators:
+                if is_set_expr(gen.iter):
+                    yield finding_at(gen.iter)
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_MATERIALIZERS
+            and len(node.args) == 1
+            and not node.keywords
+            and is_set_expr(node.args[0])
+        ):
+            yield finding_at(node)
+
+
+# ---------------------------------------------------------------------------
 # The catalogue
 # ---------------------------------------------------------------------------
 
@@ -697,6 +848,27 @@ RULES: List[Rule] = [
         ),
         applies=_always,
         check=_check_silent_except,
+    ),
+    Rule(
+        code="SIM009",
+        name="unordered-iteration",
+        summary=(
+            "No unordered set iteration feeding scheduling decisions in "
+            "repro.core / repro.sim without an explicit sorted(...)."
+        ),
+        rationale=(
+            "Set iteration order follows hash order, which varies across "
+            "runs and platforms for str keys (PYTHONHASHSEED); a policy "
+            "that visits jobs or cores in set order breaks the "
+            "reproducibility contract (identical RunResult per seed) that "
+            "every fidelity gate relies on. Membership tests and "
+            "order-free reductions (min/max/sum/len) are fine; iteration "
+            "must go through sorted(...). Dicts preserve insertion order "
+            "and are not flagged — but dicts built *from* sets inherit "
+            "the hazard, so build them from sorted sets too."
+        ),
+        applies=lambda ctx: ctx.in_package(*_ORDER_SENSITIVE),
+        check=_check_unordered_iteration,
     ),
 ]
 

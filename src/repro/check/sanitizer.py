@@ -38,6 +38,7 @@ from typing import Any, Dict, Optional
 
 from repro.obs.spans import EventRecord, SpanRecord
 from repro.obs.tracer import Tracer
+from repro.units import Seconds, Volume
 
 __all__ = ["SanitizerViolation", "SanitizingTracer", "sanitize_requested"]
 
@@ -134,7 +135,7 @@ class SanitizingTracer(Tracer):
     def _fail(self, invariant: str, message: str, **context: Any) -> None:
         raise SanitizerViolation(invariant, message, context)
 
-    def _advance_clock(self, time: float, what: str, **context: Any) -> None:
+    def _advance_clock(self, time: Seconds, what: str, **context: Any) -> None:
         self.checks_run += 1
         if time < self._last_time - _ABS_EPS:
             self._fail(
@@ -153,7 +154,7 @@ class SanitizingTracer(Tracer):
     def begin_span(
         self,
         name: str,
-        time: float,
+        time: Seconds,
         *,
         parent: Optional[SpanRecord] = None,
         **attrs: Any,
@@ -167,7 +168,7 @@ class SanitizingTracer(Tracer):
     def event(
         self,
         kind: str,
-        time: float,
+        time: Seconds,
         *,
         span: Optional[SpanRecord] = None,
         **attrs: Any,
@@ -178,16 +179,16 @@ class SanitizingTracer(Tracer):
             self._check_decision(record)
         return record
 
-    def exec_end(self, span: SpanRecord, time: float, done: float) -> None:
+    def exec_end(self, span: SpanRecord, time: Seconds, done: Volume) -> None:
         self._advance_clock(time, "exec slice end", span_id=span.span_id)
         super().exec_end(span, time, done)
         self._check_exec_volume(span, time, done)
 
-    def job_settled(self, job: Any, time: float) -> None:
+    def job_settled(self, job: Any, time: Seconds) -> None:
         super().job_settled(job, time)
         self._check_settled_volume(job, time)
 
-    def sample_cores(self, machine: Any, time: float) -> None:
+    def sample_cores(self, machine: Any, time: Seconds) -> None:
         self._advance_clock(time, "core sample")
         before = len(self.samples)
         super().sample_cores(machine, time)
@@ -202,7 +203,7 @@ class SanitizingTracer(Tracer):
     # ------------------------------------------------------------------
     # The invariants
     # ------------------------------------------------------------------
-    def _check_power_budget(self, batch: Any, time: float) -> None:
+    def _check_power_budget(self, batch: Any, time: Seconds) -> None:
         self.checks_run += 1
         if self.budget is None:
             return
@@ -219,7 +220,7 @@ class SanitizingTracer(Tracer):
                 per_core={s.core: s.power for s in batch},
             )
 
-    def _check_energy(self, machine: Any, batch: Any, time: float) -> None:
+    def _check_energy(self, machine: Any, batch: Any, time: Seconds) -> None:
         self.checks_run += 1
         sampled = sum(s.energy for s in batch)
         exact = machine.energy(time)
@@ -234,7 +235,7 @@ class SanitizingTracer(Tracer):
                 exact_energy=exact,
             )
 
-    def _check_exec_volume(self, span: SpanRecord, time: float, done: float) -> None:
+    def _check_exec_volume(self, span: SpanRecord, time: Seconds, done: Volume) -> None:
         self.checks_run += 1
         if done < -_ABS_EPS:
             self._fail(
@@ -265,7 +266,7 @@ class SanitizingTracer(Tracer):
                     span=span.to_record(),
                 )
 
-    def _check_settled_volume(self, job: Any, time: float) -> None:
+    def _check_settled_volume(self, job: Any, time: Seconds) -> None:
         self.checks_run += 1
         processed = float(job.processed)
         demand = float(job.demand)

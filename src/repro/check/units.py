@@ -1,0 +1,1427 @@
+"""sim-units: the dimensional-analysis pass (UNITS001–UNITS005).
+
+A watts-for-joules or speed-for-volume mix-up type-checks (every
+quantity is a ``float``), lints clean, and surfaces — if ever — as a
+silent fidelity drift.  This pass closes that hole statically.  It
+reads the :mod:`repro.units` vocabulary (``Annotated[float,
+Unit("W")]`` aliases on signatures and dataclass fields), infers units
+intraprocedurally through locals and arithmetic with the real algebra
+
+* ``W · s → J``          (power × time = energy)
+* ``unit / (unit/s) → s``  (volume / speed = time)
+* ``(unit/s) · s → unit``  (speed × time = volume)
+* add / subtract / compare require **identical** units,
+* dimensionless factors scale anything,
+
+and reports:
+
+========= ===========================================================
+UNITS001  Mismatched units in ``+``/``-`` (also ``min``/``max``).
+UNITS002  Mismatched units in a comparison.
+UNITS003  Wrong-unit argument at a call site of an annotated callable.
+UNITS004  Wrong-unit return from a unit-annotated function.
+UNITS005  Wrong-unit assignment to a unit-annotated target.
+========= ===========================================================
+
+The analysis is deliberately conservative: a dimension is tracked only
+while it is *known*; any unknown operand silences the check (no
+finding), so every report is high-confidence.  Numeric literals are
+polymorphic (``budget + 1e-9`` is fine: the literal adopts watts).
+Suppression uses the same pragma machinery as sim-lint
+(``# simlint: ignore[UNITS003]``, ``# simlint: skip-file``).
+
+The pass is **whole-program for signatures, intraprocedural for
+flow**: a first sweep collects every annotated function signature,
+dataclass field and property across the analyzed files (plus instance
+attributes inferable from ``self.x = <param>`` style assignments);
+the second sweep checks each function body against that registry.
+Same-name symbols whose collected units disagree (e.g. ``speed`` is
+GHz on :class:`repro.server.core.Segment` but units/s on
+:class:`repro.core.energy_opt.BlockSpeed`) are dropped from the
+name-based fallback registries — they are only checked where the
+receiver's class is known.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro.check.linter import (
+    Finding,
+    LintError,
+    _suppressed,
+    _suppressions,
+    iter_python_files,
+    module_name_for,
+)
+from repro.check.rules import _canonical, _collect_aliases, _dotted
+from repro.units import (
+    DIMENSIONLESS,
+    Dim,
+    UnitError,
+    dim_div,
+    dim_mul,
+    dim_pow,
+    format_dim,
+    parse_spec,
+)
+from repro.units import ALIAS_SPECS as _ALIAS_SPECS
+
+__all__ = [
+    "UNITS_RULES",
+    "UnitsReport",
+    "check_paths",
+    "check_source",
+    "coverage_table",
+]
+
+#: Code → summary, for the ``rules`` listing and docs.
+UNITS_RULES: Mapping[str, str] = {
+    "UNITS001": "mismatched units in addition/subtraction (or min/max)",
+    "UNITS002": "mismatched units in a comparison",
+    "UNITS003": "wrong-unit argument at a call site of an annotated callable",
+    "UNITS004": "wrong-unit return from a unit-annotated function",
+    "UNITS005": "wrong-unit assignment to a unit-annotated target",
+}
+
+
+class _AnyDim:
+    """Polymorphic dimension of numeric literals (adopts any unit)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<any>"
+
+
+#: Singleton polymorphic dimension.
+ANY = _AnyDim()
+
+#: ``None`` = unknown (silences checks); ``ANY`` = literal (adopts).
+MaybeDim = Union[Dim, None, _AnyDim]
+
+
+def _is_real(dim: MaybeDim) -> bool:
+    """A concrete, known dimension (including dimensionless ``()``)."""
+    return dim is not None and not isinstance(dim, _AnyDim)
+
+
+def _alias_dims() -> Dict[str, Dim]:
+    return {name: parse_spec(spec) for name, spec in _ALIAS_SPECS.items()}
+
+_ALIAS_DIMS: Dict[str, Dim] = _alias_dims()
+
+
+# ---------------------------------------------------------------------------
+# Annotation parsing
+# ---------------------------------------------------------------------------
+
+#: Generic containers whose element units we treat as the container's
+#: unit (arrays and scalars share one algebra; indexing/iterating is a
+#: no-op dimensionally).
+_CONTAINER_HEADS = frozenset(
+    {"List", "Sequence", "Tuple", "Iterable", "Iterator", "Set", "FrozenSet",
+     "Dict", "Mapping", "MutableMapping", "DefaultDict", "Deque", "list",
+     "tuple", "set", "frozenset", "dict", "Generator", "Counter"}
+)
+
+#: Annotation heads that make a slot "float-like" for coverage purposes.
+_FLOATY_HEADS = frozenset({"float", "ndarray", "ArrayOrFloat", "ArrayLike"})
+
+
+@dataclass(frozen=True)
+class _AnnInfo:
+    """What an annotation expression tells us."""
+
+    dim: Optional[Dim] = None  #: concrete dimension, if unit-annotated
+    cls: Optional[str] = None  #: resolved class name, if a known-class slot
+    is_unit: bool = False  #: carries an explicit Unit()/alias marker
+    is_floaty: bool = False  #: float/ndarray-like (coverage denominator)
+
+
+def _last_segment(name: str) -> str:
+    return name.rsplit(".", 1)[-1]
+
+
+def _ann_info(node: Optional[ast.expr], aliases: Dict[str, str]) -> _AnnInfo:
+    """Interpret one annotation expression (recursively)."""
+    if node is None:
+        return _AnnInfo()
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, str):
+            try:
+                inner = ast.parse(node.value, mode="eval").body
+            except SyntaxError:
+                return _AnnInfo()
+            return _ann_info(inner, aliases)
+        return _AnnInfo()
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        resolved = _canonical(node, aliases) or ""
+        tail = _last_segment(resolved)
+        if tail in _ALIAS_DIMS:
+            return _AnnInfo(dim=_ALIAS_DIMS[tail], is_unit=True, is_floaty=True)
+        if tail in ("int", "bool"):
+            return _AnnInfo(dim=DIMENSIONLESS)
+        if tail in _FLOATY_HEADS:
+            return _AnnInfo(is_floaty=True)
+        if tail in ("str", "bytes", "object", "None"):
+            return _AnnInfo()
+        return _AnnInfo(cls=resolved)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        return _merge_ann([_ann_info(node.left, aliases), _ann_info(node.right, aliases)])
+    if isinstance(node, ast.Subscript):
+        head = _last_segment(_dotted(node.value) or "")
+        slice_elts: List[ast.expr]
+        if isinstance(node.slice, ast.Tuple):
+            slice_elts = list(node.slice.elts)
+        else:
+            slice_elts = [node.slice]
+        if head == "Annotated":
+            for meta in slice_elts[1:]:
+                if (
+                    isinstance(meta, ast.Call)
+                    and _last_segment(_dotted(meta.func) or "") == "Unit"
+                    and len(meta.args) == 1
+                    and isinstance(meta.args[0], ast.Constant)
+                    and isinstance(meta.args[0].value, str)
+                ):
+                    try:
+                        dim = parse_spec(meta.args[0].value)
+                    except UnitError:
+                        return _AnnInfo()
+                    inner = _ann_info(slice_elts[0], aliases)
+                    return _AnnInfo(dim=dim, is_unit=True, is_floaty=True,
+                                    cls=inner.cls)
+            return _ann_info(slice_elts[0], aliases)
+        if head in ("Optional", "Final", "ClassVar"):
+            return _ann_info(slice_elts[0], aliases)
+        if head == "Union":
+            return _merge_ann([_ann_info(e, aliases) for e in slice_elts])
+        if head in _CONTAINER_HEADS or head == "Callable":
+            if head == "Callable":
+                return _AnnInfo()
+            return _merge_ann([_ann_info(e, aliases) for e in slice_elts],
+                              container=True)
+    return _AnnInfo()
+
+
+def _merge_ann(infos: Sequence[_AnnInfo], *, container: bool = False) -> _AnnInfo:
+    """Combine union/container member annotations conservatively."""
+    unit_dims = {i.dim for i in infos if i.is_unit and i.dim is not None}
+    classes = {i.cls for i in infos if i.cls}
+    floaty = any(i.is_floaty for i in infos)
+    if len(unit_dims) == 1:
+        return _AnnInfo(dim=next(iter(unit_dims)), is_unit=True, is_floaty=True)
+    if len(unit_dims) > 1:
+        return _AnnInfo(is_floaty=floaty)
+    if not container:
+        plain = {i.dim for i in infos if i.dim is not None and not i.is_unit}
+        if len(plain) == 1 and len(classes) == 0:
+            return _AnnInfo(dim=next(iter(plain)), is_floaty=floaty)
+    if len(classes) == 1 and not container:
+        return _AnnInfo(cls=next(iter(classes)), is_floaty=floaty)
+    return _AnnInfo(is_floaty=floaty)
+
+
+# ---------------------------------------------------------------------------
+# Signature / class registries
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Param:
+    name: str
+    dim: Optional[Dim]
+    cls: Optional[str]
+
+
+@dataclass
+class _FuncInfo:
+    qualname: str
+    params: List[_Param] = field(default_factory=list)  #: positional, no self
+    by_name: Dict[str, _Param] = field(default_factory=dict)
+    return_dim: Optional[Dim] = None
+    return_cls: Optional[str] = None
+    has_star: bool = False  #: *args/**kwargs present → skip positional checks
+
+
+@dataclass
+class _ClassInfo:
+    qualname: str
+    #: declared unit dims: class-body AnnAssign fields + property returns.
+    fields: Dict[str, Dim] = field(default_factory=dict)
+    #: declared class-typed attrs (``f: QualityFunction``).
+    attr_cls: Dict[str, str] = field(default_factory=dict)
+    #: dataclass field order for positional constructor checking.
+    field_order: List[_Param] = field(default_factory=list)
+    is_dataclass: bool = False
+    methods: Dict[str, _FuncInfo] = field(default_factory=dict)
+    #: dims inferred from ``self.x = <expr>`` (never used for UNITS005).
+    inferred: Dict[str, Dim] = field(default_factory=dict)
+    inferred_cls: Dict[str, str] = field(default_factory=dict)
+    #: attrs whose inferred dims conflicted — never resolved.
+    tainted: Set[str] = field(default_factory=set)
+
+    def attr_dim(self, attr: str) -> Optional[Dim]:
+        if attr in self.tainted:
+            return None
+        if attr in self.fields:
+            return self.fields[attr]
+        return self.inferred.get(attr)
+
+    def attr_class(self, attr: str) -> Optional[str]:
+        return self.attr_cls.get(attr) or self.inferred_cls.get(attr)
+
+
+class _Program:
+    """Cross-module registry built by the collection sweep."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, _FuncInfo] = {}  #: "module.func" → info
+        self.classes: Dict[str, _ClassInfo] = {}  #: "module.Class" → info
+        self.class_by_name: Dict[str, Optional[_ClassInfo]] = {}
+        self.merged_funcs: Dict[str, Optional[_FuncInfo]] = {}
+        self.merged_attr_dim: Dict[str, Optional[Dim]] = {}
+        self.merged_attr_cls: Dict[str, Optional[str]] = {}
+        self.module_consts: Dict[str, Dict[str, MaybeDim]] = {}
+
+    # -- registration ---------------------------------------------------
+    def add_function(self, info: _FuncInfo, bare: str) -> None:
+        self.functions[info.qualname] = info
+        self._merge_func(bare, info)
+
+    def add_class(self, info: _ClassInfo, bare: str) -> None:
+        self.classes[info.qualname] = info
+        if bare in self.class_by_name and self.class_by_name[bare] is not info:
+            self.class_by_name[bare] = None  # ambiguous bare name
+        else:
+            self.class_by_name[bare] = info
+        for name, method in info.methods.items():
+            self._merge_func(name, method)
+
+    def _merge_func(self, bare: str, info: _FuncInfo) -> None:
+        if bare.startswith("__") and bare not in ("__call__", "__init__"):
+            return
+        if bare not in self.merged_funcs:
+            self.merged_funcs[bare] = info
+            return
+        existing = self.merged_funcs[bare]
+        if existing is None or existing is info:
+            return
+        self.merged_funcs[bare] = _merge_sigs(existing, info)
+
+    def finalize_attrs(self) -> None:
+        """Build the name-based attribute fallback (agreement-only)."""
+        dims: Dict[str, Optional[Dim]] = {}
+        classes: Dict[str, Optional[str]] = {}
+        for cls in self.classes.values():
+            declared = dict(cls.fields)
+            for attr, dim in cls.inferred.items():
+                declared.setdefault(attr, dim)
+            for attr, dim in declared.items():
+                if attr in cls.tainted:
+                    dims[attr] = None
+                elif attr not in dims:
+                    dims[attr] = dim
+                elif dims[attr] != dim:
+                    dims[attr] = None
+            for attr, cname in {**cls.attr_cls, **cls.inferred_cls}.items():
+                if attr not in classes:
+                    classes[attr] = cname
+                elif classes[attr] != cname:
+                    classes[attr] = None
+        self.merged_attr_dim = dims
+        self.merged_attr_cls = classes
+
+    # -- lookups --------------------------------------------------------
+    def resolve_class(self, name: Optional[str]) -> Optional[_ClassInfo]:
+        if not name:
+            return None
+        if name in self.classes:
+            return self.classes[name]
+        return self.class_by_name.get(_last_segment(name))
+
+
+def _merge_sigs(a: _FuncInfo, b: _FuncInfo) -> _FuncInfo:
+    """Positional/keyword intersection: keep only agreeing slots."""
+    merged = _FuncInfo(qualname=a.qualname, has_star=a.has_star or b.has_star)
+    for pa, pb in zip(a.params, b.params):
+        merged.params.append(
+            _Param(
+                name=pa.name if pa.name == pb.name else "",
+                dim=pa.dim if pa.dim == pb.dim else None,
+                cls=pa.cls if pa.cls == pb.cls else None,
+            )
+        )
+    if len(a.params) != len(b.params):
+        merged.has_star = True  # arity mismatch → positional checks off past zip
+    for name in set(a.by_name) & set(b.by_name):
+        pa2, pb2 = a.by_name[name], b.by_name[name]
+        merged.by_name[name] = _Param(
+            name=name,
+            dim=pa2.dim if pa2.dim == pb2.dim else None,
+            cls=pa2.cls if pa2.cls == pb2.cls else None,
+        )
+    merged.return_dim = a.return_dim if a.return_dim == b.return_dim else None
+    merged.return_cls = a.return_cls if a.return_cls == b.return_cls else None
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Collection sweep
+# ---------------------------------------------------------------------------
+
+
+def _is_property(func: ast.FunctionDef) -> bool:
+    return any(
+        (isinstance(d, ast.Name) and d.id in ("property", "cached_property"))
+        or (isinstance(d, ast.Attribute) and d.attr == "cached_property")
+        for d in func.decorator_list
+    )
+
+
+def _is_staticmethod(func: ast.FunctionDef) -> bool:
+    return any(
+        isinstance(d, ast.Name) and d.id == "staticmethod"
+        for d in func.decorator_list
+    )
+
+
+def _is_dataclass_decorated(node: ast.ClassDef) -> bool:
+    for d in node.decorator_list:
+        target = d.func if isinstance(d, ast.Call) else d
+        if _last_segment(_dotted(target) or "") == "dataclass":
+            return True
+    return False
+
+
+@dataclass
+class _Coverage:
+    unit_slots: int = 0
+    floaty_slots: int = 0
+
+    def count(self, info: _AnnInfo) -> None:
+        if info.is_floaty:
+            self.floaty_slots += 1
+            if info.is_unit:
+                self.unit_slots += 1
+
+
+def _func_info(
+    func: ast.FunctionDef,
+    qualname: str,
+    aliases: Dict[str, str],
+    *,
+    is_method: bool,
+    coverage: Optional[_Coverage],
+) -> _FuncInfo:
+    info = _FuncInfo(qualname=qualname)
+    args = func.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if is_method and not _is_staticmethod(func) and positional:
+        positional = positional[1:]
+    info.has_star = args.vararg is not None or args.kwarg is not None
+    for arg in positional + list(args.kwonlyargs):
+        ann = _ann_info(arg.annotation, aliases)
+        if coverage is not None:
+            coverage.count(ann)
+        param = _Param(name=arg.arg, dim=ann.dim, cls=ann.cls)
+        if arg in positional:
+            info.params.append(param)
+        info.by_name[arg.arg] = param
+    ret = _ann_info(func.returns, aliases)
+    if coverage is not None and func.name != "__init__":
+        coverage.count(ret)
+    info.return_dim = ret.dim
+    info.return_cls = ret.cls
+    return info
+
+
+@dataclass
+class _ModuleUnit:
+    """One parsed module plus its per-module lookup context."""
+
+    module: str
+    path: str
+    tree: ast.Module
+    source: str
+    aliases: Dict[str, str]
+    suppressions: Optional[Dict[int, object]]
+    coverage: _Coverage = field(default_factory=_Coverage)
+
+
+def _collect_module(unit: _ModuleUnit, program: _Program) -> None:
+    consts: Dict[str, MaybeDim] = {}
+    for stmt in unit.tree.body:
+        if isinstance(stmt, ast.FunctionDef):
+            info = _func_info(
+                stmt, f"{unit.module}.{stmt.name}", unit.aliases,
+                is_method=False, coverage=unit.coverage,
+            )
+            program.add_function(info, stmt.name)
+        elif isinstance(stmt, ast.ClassDef):
+            _collect_class(stmt, unit, program)
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name) and isinstance(stmt.value, ast.Constant):
+                if isinstance(stmt.value.value, (int, float)) and not isinstance(
+                    stmt.value.value, bool
+                ):
+                    consts[target.id] = ANY
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            ann = _ann_info(stmt.annotation, unit.aliases)
+            if ann.dim is not None:
+                consts[stmt.target.id] = ann.dim
+    program.module_consts[unit.module] = consts
+
+
+def _collect_class(node: ast.ClassDef, unit: _ModuleUnit, program: _Program) -> None:
+    info = _ClassInfo(qualname=f"{unit.module}.{node.name}")
+    info.is_dataclass = _is_dataclass_decorated(node)
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            ann = _ann_info(stmt.annotation, unit.aliases)
+            unit.coverage.count(ann)
+            if ann.dim is not None:
+                info.fields[stmt.target.id] = ann.dim
+            if ann.cls is not None:
+                info.attr_cls[stmt.target.id] = ann.cls
+            if info.is_dataclass:
+                info.field_order.append(
+                    _Param(name=stmt.target.id, dim=ann.dim, cls=ann.cls)
+                )
+        elif isinstance(stmt, ast.FunctionDef):
+            if _is_property(stmt):
+                ret = _ann_info(stmt.returns, unit.aliases)
+                unit.coverage.count(ret)
+                if ret.dim is not None:
+                    info.fields.setdefault(stmt.name, ret.dim)
+                if ret.cls is not None:
+                    info.attr_cls.setdefault(stmt.name, ret.cls)
+                continue
+            method = _func_info(
+                stmt, f"{info.qualname}.{stmt.name}", unit.aliases,
+                is_method=True, coverage=unit.coverage,
+            )
+            info.methods[stmt.name] = method
+    program.add_class(info, node.name)
+
+
+def _infer_instance_attrs(units: Sequence[_ModuleUnit], program: _Program) -> None:
+    """Record dims of ``self.x = <expr>`` assignments (two fixpoint passes)."""
+    for _ in range(2):
+        for unit in units:
+            for stmt in unit.tree.body:
+                if not isinstance(stmt, ast.ClassDef):
+                    continue
+                cls = program.resolve_class(f"{unit.module}.{stmt.name}")
+                if cls is None:
+                    continue
+                for method in stmt.body:
+                    if not isinstance(method, ast.FunctionDef):
+                        continue
+                    if _is_property(method) or _is_staticmethod(method):
+                        continue
+                    checker = _BodyChecker(unit, program, collect_only=True,
+                                           self_class=cls)
+                    checker.seed_params(method, is_method=True)
+                    checker.visit_body(method.body)
+
+
+# ---------------------------------------------------------------------------
+# The intraprocedural dataflow checker
+# ---------------------------------------------------------------------------
+
+#: numpy/builtin call behaviour tables (canonical dotted names).
+_PASSTHROUGH_1ARG = frozenset(
+    {"float", "abs", "round", "sorted", "list", "tuple", "reversed", "sum",
+     "int", "next", "iter",
+     "numpy.sum", "numpy.max", "numpy.min", "numpy.mean", "numpy.abs",
+     "numpy.asarray", "numpy.array", "numpy.copy", "numpy.sort",
+     "numpy.cumsum", "numpy.diff", "numpy.floor", "numpy.ceil",
+     "numpy.round", "numpy.ravel", "numpy.squeeze", "numpy.median",
+     "numpy.ascontiguousarray", "numpy.atleast_1d", "numpy.flip",
+     "numpy.float64", "numpy.nanmax", "numpy.nanmin", "numpy.nansum"}
+)
+
+_UNIFYING = frozenset(
+    {"min", "max", "numpy.minimum", "numpy.maximum", "numpy.clip",
+     "numpy.hypot", "numpy.where", "numpy.append", "numpy.concatenate"}
+)
+
+_PRODUCT = frozenset({"numpy.dot", "numpy.multiply", "numpy.outer", "numpy.inner"})
+_QUOTIENT = frozenset({"numpy.divide", "numpy.true_divide"})
+
+_FRESH_ANY = frozenset(
+    {"numpy.zeros", "numpy.ones", "numpy.empty", "numpy.full",
+     "numpy.zeros_like", "numpy.ones_like", "numpy.empty_like",
+     "numpy.full_like", "numpy.arange", "numpy.linspace"}
+)
+
+_DIMENSIONLESS_RESULT = frozenset(
+    {"len", "numpy.argsort", "numpy.argmin", "numpy.argmax",
+     "numpy.searchsorted", "numpy.nonzero", "numpy.flatnonzero",
+     "numpy.sign", "numpy.isclose", "numpy.isfinite", "numpy.isnan",
+     "numpy.allclose", "numpy.count_nonzero", "math.isclose",
+     "math.isfinite", "math.isnan", "range", "enumerate"}
+)
+
+#: Attribute reads that behave like polymorphic literals.
+_ANY_ATTRS = frozenset({"math.inf", "math.nan", "numpy.inf", "numpy.nan"})
+_DIMENSIONLESS_ATTRS = frozenset({"math.pi", "math.e", "math.tau"})
+
+#: ndarray structural attributes: counts/indices, not quantities.
+_COUNT_ATTR_NAMES = frozenset({"size", "ndim", "shape"})
+
+
+class _BodyChecker:
+    """Checks one function body; optionally only collects ``self.x`` dims."""
+
+    def __init__(
+        self,
+        unit: _ModuleUnit,
+        program: _Program,
+        *,
+        collect_only: bool = False,
+        self_class: Optional[_ClassInfo] = None,
+        return_dim: Optional[Dim] = None,
+        parent_env: Optional[Dict[str, MaybeDim]] = None,
+        parent_types: Optional[Dict[str, Optional[str]]] = None,
+    ) -> None:
+        self.unit = unit
+        self.program = program
+        self.collect_only = collect_only
+        self.self_class = self_class
+        self.return_dim = return_dim
+        self.env: Dict[str, MaybeDim] = dict(parent_env or {})
+        self.types: Dict[str, Optional[str]] = dict(parent_types or {})
+        self.findings: List[Finding] = []
+
+    # -- setup ----------------------------------------------------------
+    def seed_params(self, func: ast.FunctionDef, *, is_method: bool) -> None:
+        args = func.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if is_method and not _is_staticmethod(func) and positional:
+            self.env[positional[0].arg] = None
+            self.types[positional[0].arg] = (
+                self.self_class.qualname if self.self_class else None
+            )
+            positional = positional[1:]
+        for arg in positional + list(args.kwonlyargs):
+            ann = _ann_info(arg.annotation, self.unit.aliases)
+            self.env[arg.arg] = ann.dim
+            self.types[arg.arg] = ann.cls
+        for star in (args.vararg, args.kwarg):
+            if star is not None:
+                self.env[star.arg] = None
+
+    # -- reporting ------------------------------------------------------
+    def report(self, code: str, node: ast.AST, message: str) -> None:
+        if self.collect_only:
+            return
+        self.findings.append(
+            Finding(
+                path=self.unit.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+    # -- dimension combinators ------------------------------------------
+    def _same_unit(
+        self, node: ast.AST, code: str, what: str, dims: Sequence[MaybeDim]
+    ) -> MaybeDim:
+        """Require all known dims equal; report a mismatch once."""
+        reals = [d for d in dims if _is_real(d)]
+        distinct: List[Dim] = []
+        for d in reals:
+            if d not in distinct:
+                distinct.append(d)
+        if len(distinct) > 1:
+            self.report(
+                code,
+                node,
+                f"unit mismatch in {what}: "
+                + " vs ".join(f"`{format_dim(d)}`" for d in distinct[:3]),
+            )
+            return None
+        if any(d is None for d in dims):
+            return None
+        if distinct:
+            return distinct[0]
+        return ANY if dims else None
+
+    @staticmethod
+    def _product(a: MaybeDim, b: MaybeDim, *, div: bool = False) -> MaybeDim:
+        if a is None or b is None:
+            return None
+        if isinstance(a, _AnyDim):
+            # ``lit * X`` scales X; a literal scaled by a pure number
+            # stays a literal (``[0.0] * n``); ``lit / X`` is ambiguous
+            # (the literal may stand for a quantity, e.g. a container
+            # seeded from zeros), so its unit stays unknown.
+            if b == DIMENSIONLESS:
+                return ANY
+            return None if div else b
+        if isinstance(b, _AnyDim):
+            return a
+        return dim_div(a, b) if div else dim_mul(a, b)
+
+    # -- expression evaluation ------------------------------------------
+    def eval(self, node: Optional[ast.expr]) -> Tuple[MaybeDim, Optional[str]]:
+        """Return ``(dimension, class-tag)`` of an expression."""
+        if node is None:
+            return None, None
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+        return None, None
+
+    def dim(self, node: Optional[ast.expr]) -> MaybeDim:
+        return self.eval(node)[0]
+
+    def _eval_Constant(self, node: ast.Constant) -> Tuple[MaybeDim, Optional[str]]:
+        if isinstance(node.value, bool):
+            return ANY, None
+        if isinstance(node.value, (int, float)):
+            return ANY, None
+        return None, None
+
+    def _eval_Name(self, node: ast.Name) -> Tuple[MaybeDim, Optional[str]]:
+        if node.id in self.env:
+            return self.env[node.id], self.types.get(node.id)
+        consts = self.program.module_consts.get(self.unit.module, {})
+        if node.id in consts:
+            return consts[node.id], None
+        return None, None
+
+    def _eval_Attribute(self, node: ast.Attribute) -> Tuple[MaybeDim, Optional[str]]:
+        dotted = _canonical(node, self.unit.aliases)
+        if dotted in _ANY_ATTRS:
+            return ANY, None
+        if dotted in _DIMENSIONLESS_ATTRS:
+            return DIMENSIONLESS, None
+        _value_dim, value_cls = self.eval(node.value)
+        cls = self.program.resolve_class(value_cls)
+        if cls is not None:
+            dim = cls.attr_dim(node.attr)
+            return dim, cls.attr_class(node.attr)
+        dim = self.program.merged_attr_dim.get(node.attr)
+        if dim is None and node.attr in _COUNT_ATTR_NAMES:
+            return DIMENSIONLESS, None
+        return dim, self.program.merged_attr_cls.get(node.attr)
+
+    def _eval_BinOp(self, node: ast.BinOp) -> Tuple[MaybeDim, Optional[str]]:
+        left = self.dim(node.left)
+        right = self.dim(node.right)
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            word = "addition" if isinstance(op, ast.Add) else "subtraction"
+            return self._same_unit(node, "UNITS001", word, [left, right]), None
+        if isinstance(op, ast.Mult):
+            return self._product(left, right), None
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            return self._product(left, right, div=True), None
+        if isinstance(op, ast.Mod):
+            if _is_real(left) and _is_real(right) and left == right:
+                return left, None
+            if isinstance(right, _AnyDim):
+                return left, None
+            return None, None
+        if isinstance(op, ast.Pow):
+            if isinstance(left, _AnyDim):
+                return ANY, None
+            if left == DIMENSIONLESS:
+                return DIMENSIONLESS, None
+            if (
+                _is_real(left)
+                and isinstance(node.right, ast.Constant)
+                and isinstance(node.right.value, int)
+            ):
+                return dim_pow(left, node.right.value), None
+            return None, None
+        return None, None
+
+    def _eval_UnaryOp(self, node: ast.UnaryOp) -> Tuple[MaybeDim, Optional[str]]:
+        inner = self.eval(node.operand)
+        if isinstance(node.op, (ast.USub, ast.UAdd)):
+            return inner
+        if isinstance(node.op, ast.Not):
+            self.eval(node.operand)
+            return DIMENSIONLESS, None
+        return None, None
+
+    def _eval_Compare(self, node: ast.Compare) -> Tuple[MaybeDim, Optional[str]]:
+        comparators = [node.left, *node.comparators]
+        dims = [self.dim(c) for c in comparators]
+        for op, left, right in zip(node.ops, dims, dims[1:]):
+            if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)):
+                self._same_unit(node, "UNITS002", "comparison", [left, right])
+        return DIMENSIONLESS, None
+
+    def _eval_BoolOp(self, node: ast.BoolOp) -> Tuple[MaybeDim, Optional[str]]:
+        dims = [self.dim(v) for v in node.values]
+        reals = {d for d in dims if _is_real(d)}
+        if len(reals) == 1 and all(d is not None for d in dims):
+            return next(iter(reals)), None
+        return None, None
+
+    def _eval_IfExp(self, node: ast.IfExp) -> Tuple[MaybeDim, Optional[str]]:
+        self.eval(node.test)
+        body_dim, body_cls = self.eval(node.body)
+        else_dim, else_cls = self.eval(node.orelse)
+        dim = self._same_unit(
+            node, "UNITS001", "conditional expression", [body_dim, else_dim]
+        )
+        return dim, body_cls if body_cls == else_cls else None
+
+    def _eval_Subscript(self, node: ast.Subscript) -> Tuple[MaybeDim, Optional[str]]:
+        value_dim, value_cls = self.eval(node.value)
+        if isinstance(node.slice, ast.expr):
+            self.eval(node.slice)
+        return value_dim, value_cls
+
+    def _eval_Starred(self, node: ast.Starred) -> Tuple[MaybeDim, Optional[str]]:
+        return self.eval(node.value)
+
+    def _eval_List(self, node: ast.List) -> Tuple[MaybeDim, Optional[str]]:
+        return self._display(node.elts), None
+
+    def _eval_Tuple(self, node: ast.Tuple) -> Tuple[MaybeDim, Optional[str]]:
+        return self._display(node.elts), None
+
+    def _eval_Set(self, node: ast.Set) -> Tuple[MaybeDim, Optional[str]]:
+        return self._display(node.elts), None
+
+    def _display(self, elts: Sequence[ast.expr]) -> MaybeDim:
+        dims = [self.dim(e) for e in elts]
+        reals = {d for d in dims if _is_real(d)}
+        if not dims:
+            return ANY
+        if len(reals) == 1 and all(d is not None for d in dims):
+            return next(iter(reals))
+        if not reals and all(isinstance(d, _AnyDim) for d in dims):
+            return ANY
+        return None
+
+    def _eval_Dict(self, node: ast.Dict) -> Tuple[MaybeDim, Optional[str]]:
+        for key in node.keys:
+            if key is not None:
+                self.eval(key)
+        return self._display([v for v in node.values]), None
+
+    def _eval_Lambda(self, node: ast.Lambda) -> Tuple[MaybeDim, Optional[str]]:
+        child = _BodyChecker(
+            self.unit, self.program, collect_only=self.collect_only,
+            self_class=self.self_class,
+            parent_env=self.env, parent_types=self.types,
+        )
+        for arg in node.args.posonlyargs + node.args.args + node.args.kwonlyargs:
+            child.env[arg.arg] = None
+            child.types[arg.arg] = None
+        child.eval(node.body)
+        self.findings.extend(child.findings)
+        return None, None
+
+    def _eval_ListComp(self, node: ast.ListComp) -> Tuple[MaybeDim, Optional[str]]:
+        return self._comp(node.generators, node.elt), None
+
+    def _eval_SetComp(self, node: ast.SetComp) -> Tuple[MaybeDim, Optional[str]]:
+        return self._comp(node.generators, node.elt), None
+
+    def _eval_GeneratorExp(self, node: ast.GeneratorExp) -> Tuple[MaybeDim, Optional[str]]:
+        return self._comp(node.generators, node.elt), None
+
+    def _eval_DictComp(self, node: ast.DictComp) -> Tuple[MaybeDim, Optional[str]]:
+        return self._comp(node.generators, node.value, extra=node.key), None
+
+    def _comp(
+        self,
+        generators: Sequence[ast.comprehension],
+        elt: ast.expr,
+        extra: Optional[ast.expr] = None,
+    ) -> MaybeDim:
+        saved_env, saved_types = dict(self.env), dict(self.types)
+        try:
+            for gen in generators:
+                self._bind_iter(gen.target, gen.iter)
+                for cond in gen.ifs:
+                    self.eval(cond)
+            if extra is not None:
+                self.eval(extra)
+            return self.dim(elt)
+        finally:
+            self.env, self.types = saved_env, saved_types
+
+    # -- call handling ---------------------------------------------------
+    def _eval_Call(self, node: ast.Call) -> Tuple[MaybeDim, Optional[str]]:
+        dotted = _canonical(node.func, self.unit.aliases)
+        if dotted is not None and self._is_builtin(dotted):
+            return self._builtin_call(node, dotted)
+
+        sig: Optional[_FuncInfo] = None
+        label = ""
+        if isinstance(node.func, ast.Attribute):
+            # Method call: prefer the receiver's known class.
+            _dim, recv_cls = self.eval(node.func.value)
+            cls = self.program.resolve_class(recv_cls)
+            if cls is not None:
+                if node.func.attr in cls.methods:
+                    sig = cls.methods[node.func.attr]
+                    label = f"{_last_segment(cls.qualname)}.{node.func.attr}"
+                else:
+                    # Known class without that method: stay silent.
+                    self._eval_args_only(node)
+                    return None, None
+            else:
+                sig = self.program.merged_funcs.get(node.func.attr)
+                label = node.func.attr
+        elif isinstance(node.func, ast.Name) and node.func.id in self.env:
+            # A local callable (e.g. a parameter): only check it when
+            # it is a known-class instance with a ``__call__``.
+            own = self.program.resolve_class(self.types.get(node.func.id))
+            if own is not None and "__call__" in own.methods:
+                sig = own.methods["__call__"]
+                label = f"{_last_segment(own.qualname)}.__call__"
+        elif dotted is not None:
+            target_cls = (
+                self.program.classes.get(dotted)
+                or self.program.class_by_name.get(_last_segment(dotted))
+            )
+            if target_cls is not None:
+                return self._constructor_call(node, target_cls)
+            sig = (
+                self.program.functions.get(dotted)
+                or self.program.merged_funcs.get(_last_segment(dotted))
+            )
+            label = _last_segment(dotted)
+        if sig is None:
+            self._eval_args_only(node)
+            return None, None
+        return self._checked_call(node, sig, label)
+
+    def _eval_args_only(self, node: ast.Call) -> None:
+        for arg in node.args:
+            self.eval(arg)
+        for kw in node.keywords:
+            self.eval(kw.value)
+
+    @staticmethod
+    def _is_builtin(dotted: str) -> bool:
+        return (
+            dotted in _PASSTHROUGH_1ARG
+            or dotted in _UNIFYING
+            or dotted in _PRODUCT
+            or dotted in _QUOTIENT
+            or dotted in _FRESH_ANY
+            or dotted in _DIMENSIONLESS_RESULT
+            or dotted.startswith(("math.", "numpy."))
+        )
+
+    def _builtin_call(
+        self, node: ast.Call, dotted: str
+    ) -> Tuple[MaybeDim, Optional[str]]:
+        """Dimension behaviour of builtin / math / numpy calls."""
+        if dotted in _PASSTHROUGH_1ARG:
+            dims = [self.dim(a) for a in node.args]
+            self._eval_kwargs(node)
+            return (dims[0] if dims else None), None
+        if dotted in _UNIFYING:
+            dims = [self.dim(a) for a in node.args]
+            for kw in node.keywords:
+                dims.append(self.dim(kw.value))
+            name = _last_segment(dotted)
+            return self._same_unit(node, "UNITS001", f"`{name}()`", dims), None
+        if dotted in _PRODUCT or dotted in _QUOTIENT:
+            dims = [self.dim(a) for a in node.args]
+            self._eval_kwargs(node)
+            if len(dims) == 2:
+                return self._product(dims[0], dims[1], div=dotted in _QUOTIENT), None
+            return None, None
+        if dotted in _FRESH_ANY:
+            self._eval_args_only(node)
+            return ANY, None
+        if dotted in _DIMENSIONLESS_RESULT:
+            self._eval_args_only(node)
+            return DIMENSIONLESS, None
+        # Remaining math.* / numpy.* calls: evaluate for nested findings,
+        # yield no conclusion (exp/log/sqrt change dimensions nonlinearly).
+        self._eval_args_only(node)
+        return None, None
+
+    def _eval_kwargs(self, node: ast.Call) -> None:
+        for kw in node.keywords:
+            self.eval(kw.value)
+
+    def _checked_call(
+        self, node: ast.Call, sig: _FuncInfo, label: str
+    ) -> Tuple[MaybeDim, Optional[str]]:
+        positional_ok = not sig.has_star and not any(
+            isinstance(a, ast.Starred) for a in node.args
+        )
+        for index, arg in enumerate(node.args):
+            got = self.dim(arg)
+            if positional_ok and index < len(sig.params):
+                self._check_arg(node, arg, sig.params[index], got, label)
+        for kw in node.keywords:
+            got = self.dim(kw.value)
+            if kw.arg is None:
+                continue
+            param = sig.by_name.get(kw.arg)
+            if param is not None:
+                self._check_arg(node, kw.value, param, got, label)
+        return sig.return_dim, sig.return_cls
+
+    def _check_arg(
+        self,
+        call: ast.Call,
+        arg: ast.expr,
+        param: _Param,
+        got: MaybeDim,
+        label: str,
+    ) -> None:
+        if param.dim is None or not _is_real(got):
+            return
+        if got != param.dim:
+            name = f"`{param.name}`" if param.name else "argument"
+            self.report(
+                "UNITS003",
+                arg,
+                f"{name} of `{label}()` expects `{format_dim(param.dim)}`, "
+                f"got `{format_dim(got)}`",
+            )
+
+    def _constructor_call(
+        self, node: ast.Call, cls: _ClassInfo
+    ) -> Tuple[MaybeDim, Optional[str]]:
+        sig: Optional[_FuncInfo] = None
+        if cls.is_dataclass and cls.field_order:
+            sig = _FuncInfo(qualname=f"{cls.qualname}.__init__")
+            sig.params = list(cls.field_order)
+            sig.by_name = {p.name: p for p in cls.field_order}
+        elif "__init__" in cls.methods:
+            sig = cls.methods["__init__"]
+        if sig is None:
+            self._eval_args_only(node)
+            return None, cls.qualname
+        dim, _cls = self._checked_call(node, sig, _last_segment(cls.qualname))
+        del dim
+        return None, cls.qualname
+
+    # -- statements -----------------------------------------------------
+    def visit_body(self, body: Sequence[ast.stmt]) -> None:
+        for stmt in body:
+            self.visit_stmt(stmt)
+
+    def visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            dim, cls = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, stmt.value, dim, cls)
+        elif isinstance(stmt, ast.AnnAssign):
+            ann = _ann_info(stmt.annotation, self.unit.aliases)
+            dim, cls = (self.eval(stmt.value) if stmt.value is not None else (None, None))
+            if (
+                ann.dim is not None
+                and _is_real(dim)
+                and dim != ann.dim
+                and not isinstance(stmt.value, ast.Constant)
+            ):
+                self.report(
+                    "UNITS005",
+                    stmt,
+                    f"assignment to target annotated "
+                    f"`{format_dim(ann.dim)}` has unit `{format_dim(dim)}`",
+                )
+            if isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = ann.dim if ann.dim is not None else dim
+                self.types[stmt.target.id] = ann.cls or cls
+            elif isinstance(stmt.target, ast.Attribute):
+                self._assign_attr(stmt.target, ann.dim if ann.dim is not None else dim,
+                                  ann.cls or cls, check_node=stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            current = self.dim(stmt.target)
+            incoming = self.dim(stmt.value)
+            if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                word = "addition" if isinstance(stmt.op, ast.Add) else "subtraction"
+                result = self._same_unit(
+                    stmt, "UNITS001", f"augmented {word}", [current, incoming]
+                )
+            elif isinstance(stmt.op, ast.Mult):
+                result = self._product(current, incoming)
+            elif isinstance(stmt.op, (ast.Div, ast.FloorDiv)):
+                result = self._product(current, incoming, div=True)
+            else:
+                result = None
+            if isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = result
+            elif isinstance(stmt.target, ast.Attribute):
+                self._record_self_attr(stmt.target, result, None)
+        elif isinstance(stmt, ast.Return):
+            self._check_return(stmt)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.For):
+            self._bind_iter(stmt.target, stmt.iter)
+            self.visit_body(stmt.body)
+            self.visit_body(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self.visit_body(stmt.body)
+            self.visit_body(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.visit_body(stmt.body)
+            self.visit_body(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self.eval(item.context_expr)
+                if isinstance(item.optional_vars, ast.Name):
+                    self.env[item.optional_vars.id] = None
+                    self.types[item.optional_vars.id] = None
+            self.visit_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.visit_body(stmt.body)
+            for handler in stmt.handlers:
+                if handler.name:
+                    self.env[handler.name] = None
+                self.visit_body(handler.body)
+            self.visit_body(stmt.orelse)
+            self.visit_body(stmt.finalbody)
+        elif isinstance(stmt, (ast.Assert,)):
+            self.eval(stmt.test)
+            if stmt.msg is not None:
+                self.eval(stmt.msg)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        elif isinstance(stmt, ast.FunctionDef):
+            child = _BodyChecker(
+                self.unit, self.program, collect_only=self.collect_only,
+                self_class=self.self_class,
+                return_dim=_ann_info(stmt.returns, self.unit.aliases).dim,
+                parent_env=self.env, parent_types=self.types,
+            )
+            child.seed_params(stmt, is_method=False)
+            child.visit_body(stmt.body)
+            self.findings.extend(child.findings)
+            self.env[stmt.name] = None
+        # ClassDef / imports / pass / global: nothing to track.
+
+    def _check_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            return
+        if isinstance(stmt.value, ast.Constant) and stmt.value.value is None:
+            return
+        got = self.dim(stmt.value)
+        if self.return_dim is None or not _is_real(got):
+            return
+        if got != self.return_dim:
+            self.report(
+                "UNITS004",
+                stmt,
+                f"return annotated `{format_dim(self.return_dim)}` "
+                f"has unit `{format_dim(got)}`",
+            )
+
+    def _assign(
+        self, target: ast.expr, value: ast.expr, dim: MaybeDim, cls: Optional[str]
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = dim
+            self.types[target.id] = cls
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, (ast.Tuple, ast.List)) and len(value.elts) == len(
+                target.elts
+            ):
+                for sub_target, sub_value in zip(target.elts, value.elts):
+                    sub_dim, sub_cls = self.eval(sub_value)
+                    self._assign(sub_target, sub_value, sub_dim, sub_cls)
+            else:
+                for sub_target in target.elts:
+                    self._assign(sub_target, value, dim, None)
+        elif isinstance(target, ast.Attribute):
+            self._assign_attr(target, dim, cls, check_node=target)
+        elif isinstance(target, ast.Subscript):
+            container = self.dim(target.value)
+            if _is_real(container) and _is_real(dim) and container != dim:
+                self.report(
+                    "UNITS005",
+                    target,
+                    f"element assignment into `{format_dim(container)}` "
+                    f"container has unit `{format_dim(dim)}`",
+                )
+            elif (
+                isinstance(target.value, ast.Name)
+                and isinstance(container, _AnyDim)
+                and _is_real(dim)
+            ):
+                # A container seeded from literals (``[0.0] * n``) adopts
+                # the unit of the first real element stored into it.
+                self.env[target.value.id] = dim
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, target, None, None)
+
+    def _assign_attr(
+        self,
+        target: ast.Attribute,
+        dim: MaybeDim,
+        cls: Optional[str],
+        *,
+        check_node: ast.AST,
+    ) -> None:
+        _recv_dim, recv_cls = self.eval(target.value)
+        owner = self.program.resolve_class(recv_cls)
+        declared = owner.fields.get(target.attr) if owner is not None else None
+        if declared is not None and _is_real(dim) and dim != declared:
+            self.report(
+                "UNITS005",
+                check_node,
+                f"assignment to `{target.attr}` declared "
+                f"`{format_dim(declared)}` has unit `{format_dim(dim)}`",
+            )
+        self._record_self_attr(target, dim, cls)
+
+    def _record_self_attr(
+        self, target: ast.Attribute, dim: MaybeDim, cls: Optional[str]
+    ) -> None:
+        """During collection: learn ``self.x`` dims for the class registry."""
+        if not self.collect_only or self.self_class is None:
+            return
+        if not (isinstance(target.value, ast.Name) and target.value.id == "self"):
+            return
+        info = self.self_class
+        attr = target.attr
+        if attr in info.fields or attr in info.tainted:
+            return
+        if _is_real(dim):
+            known = info.inferred.get(attr)
+            if known is not None and known != dim:
+                info.tainted.add(attr)
+                info.inferred.pop(attr, None)
+            else:
+                info.inferred[attr] = dim
+        if cls is not None and attr not in info.attr_cls:
+            existing = info.inferred_cls.get(attr)
+            if existing is not None and existing != cls:
+                info.inferred_cls.pop(attr, None)
+            else:
+                info.inferred_cls[attr] = cls
+
+    # -- iteration binding ----------------------------------------------
+    def _bind_iter(self, target: ast.expr, iterable: ast.expr) -> None:
+        """Bind loop/comprehension targets from an iterable expression."""
+        if isinstance(iterable, ast.Call):
+            dotted = _canonical(iterable.func, self.unit.aliases)
+            tail = _last_segment(dotted or "")
+            if tail == "zip" and isinstance(target, (ast.Tuple, ast.List)):
+                element_dims = [self.eval(a) for a in iterable.args]
+                for sub, (dim, cls) in zip(target.elts, element_dims):
+                    self._assign(sub, iterable, dim, cls)
+                return
+            if tail == "enumerate":
+                inner = self.eval(iterable.args[0]) if iterable.args else (None, None)
+                if isinstance(target, (ast.Tuple, ast.List)) and len(target.elts) == 2:
+                    self._assign(target.elts[0], iterable, DIMENSIONLESS, None)
+                    self._assign(target.elts[1], iterable, inner[0], inner[1])
+                    return
+            if tail == "range":
+                self._eval_args_only(iterable)
+                self._assign(target, iterable, DIMENSIONLESS, None)
+                return
+        if isinstance(iterable, ast.Call) and isinstance(iterable.func, ast.Attribute):
+            # d.items()/.values()/.keys(): we track a dict's *value* dim,
+            # so keys are unknown and values carry the dict's dim.
+            attr = iterable.func.attr
+            if attr == "keys":
+                self.eval(iterable.func.value)
+                self._assign(target, iterable, None, None)
+                return
+            if attr == "items":
+                dict_dim, _cls = self.eval(iterable.func.value)
+                if isinstance(target, (ast.Tuple, ast.List)) and len(target.elts) == 2:
+                    self._assign(target.elts[0], iterable, None, None)
+                    self._assign(target.elts[1], iterable, dict_dim, None)
+                    return
+        dim, cls = self.eval(iterable)
+        self._assign(target, iterable, dim, cls)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class UnitsReport:
+    """Findings plus per-module annotation coverage."""
+
+    findings: List[Finding]
+    coverage: Dict[str, Tuple[int, int]]  #: module → (unit slots, float slots)
+
+
+def _parse_units(
+    sources: Sequence[Tuple[str, str, str]]
+) -> List[_ModuleUnit]:
+    units: List[_ModuleUnit] = []
+    for module, path, source in sources:
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            raise LintError(f"{path}: {exc}") from exc
+        units.append(
+            _ModuleUnit(
+                module=module,
+                path=path,
+                tree=tree,
+                source=source,
+                aliases=_collect_aliases(tree, module),
+                suppressions=_suppressions(source),
+            )
+        )
+    return units
+
+
+def _check_units(
+    units: Sequence[_ModuleUnit],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> UnitsReport:
+    program = _Program()
+    active = [u for u in units if u.suppressions is not None]
+    for unit in active:
+        _collect_module(unit, program)
+    _infer_instance_attrs(active, program)
+    program.finalize_attrs()
+
+    findings: List[Finding] = []
+    for unit in active:
+        file_findings: List[Finding] = []
+        for stmt in unit.tree.body:
+            if isinstance(stmt, ast.FunctionDef):
+                file_findings.extend(
+                    _check_function(stmt, unit, program, self_class=None)
+                )
+            elif isinstance(stmt, ast.ClassDef):
+                cls = program.resolve_class(f"{unit.module}.{stmt.name}")
+                for method in stmt.body:
+                    if isinstance(method, ast.FunctionDef):
+                        file_findings.extend(
+                            _check_function(method, unit, program, self_class=cls)
+                        )
+        table = unit.suppressions
+        assert table is not None
+        findings.extend(
+            f for f in file_findings if not _suppressed(f, table)  # type: ignore[arg-type]
+        )
+
+    selected = {s.strip().upper() for s in select} if select else None
+    ignored = {s.strip().upper() for s in ignore} if ignore else set()
+    # set(): tuple-literal assignments evaluate element expressions on
+    # both sides of the binding, which can report one defect twice.
+    deduped = {
+        f
+        for f in findings
+        if (selected is None or f.code in selected) and f.code not in ignored
+    }
+    coverage = {
+        u.module: (u.coverage.unit_slots, u.coverage.floaty_slots) for u in units
+    }
+    return UnitsReport(findings=sorted(deduped), coverage=coverage)
+
+
+def _check_function(
+    func: ast.FunctionDef,
+    unit: _ModuleUnit,
+    program: _Program,
+    *,
+    self_class: Optional[_ClassInfo],
+) -> List[Finding]:
+    checker = _BodyChecker(
+        unit,
+        program,
+        self_class=self_class,
+        return_dim=_ann_info(func.returns, unit.aliases).dim,
+    )
+    checker.seed_params(func, is_method=self_class is not None)
+    checker.visit_body(func.body)
+    return checker.findings
+
+
+def check_source(
+    source: str,
+    *,
+    module: str = "repro.core.fixture",
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Check one module given as source text (the test-fixture entry)."""
+    units = _parse_units([(module, path, source)])
+    return _check_units(units, select=select, ignore=ignore).findings
+
+
+def check_paths(
+    paths: Sequence[str],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    module: Optional[str] = None,
+) -> UnitsReport:
+    """Check every python file under ``paths`` as one program."""
+    sources: List[Tuple[str, str, str]] = []
+    for file_path in iter_python_files(paths):
+        try:
+            text = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise LintError(f"cannot read {file_path}: {exc}") from exc
+        name = module if module is not None else module_name_for(file_path)
+        sources.append((name, str(file_path), text))
+    units = _parse_units(sources)
+    return _check_units(units, select=select, ignore=ignore)
+
+
+def coverage_table(coverage: Mapping[str, Tuple[int, int]]) -> str:
+    """Render the per-module annotation coverage report."""
+    lines = [f"{'module':<44} {'unit':>6} {'float':>6} {'pct':>6}"]
+    total_unit = total_floaty = 0
+    for module in sorted(coverage):
+        unit_slots, floaty_slots = coverage[module]
+        total_unit += unit_slots
+        total_floaty += floaty_slots
+        if floaty_slots == 0:
+            continue
+        pct = 100.0 * unit_slots / floaty_slots
+        lines.append(f"{module:<44} {unit_slots:>6} {floaty_slots:>6} {pct:>5.1f}%")
+    if total_floaty:
+        pct = 100.0 * total_unit / total_floaty
+        lines.append(f"{'TOTAL':<44} {total_unit:>6} {total_floaty:>6} {pct:>5.1f}%")
+    return "\n".join(lines)
+
+
+def coverage_json(coverage: Mapping[str, Tuple[int, int]]) -> str:
+    """JSON form of the coverage report (the CI artifact)."""
+    payload = {
+        "modules": {
+            module: {"unit_slots": unit_slots, "float_slots": floaty_slots}
+            for module, (unit_slots, floaty_slots) in sorted(coverage.items())
+        },
+        "total": {
+            "unit_slots": sum(u for u, _ in coverage.values()),
+            "float_slots": sum(f for _, f in coverage.values()),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

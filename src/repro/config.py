@@ -29,6 +29,18 @@ from repro.power.dvfs import ContinuousSpeedScale, DiscreteSpeedScale, SpeedScal
 from repro.power.models import PowerModel
 from repro.quality.functions import ExponentialQuality, QualityFunction
 from repro.sim.rng import RandomStreams
+from repro.units import (
+    Dimensionless,
+    Gigahertz,
+    PerSecond,
+    PowerBudget,
+    QualityFrac,
+    Seconds,
+    Speed,
+    UnitsPerGhzSecond,
+    Volume,
+    Watts,
+)
 from repro.workload.distributions import BoundedPareto, UniformDeadlineWindow
 from repro.workload.generator import PoissonWorkloadGenerator
 
@@ -41,33 +53,33 @@ class SimulationConfig:
     :meth:`with_overrides`."""
 
     # Workload ---------------------------------------------------------
-    arrival_rate: float = 150.0  # λ, requests/second
-    horizon: float = 600.0  # seconds of arrivals (paper: 10 minutes)
+    arrival_rate: PerSecond = 150.0  # λ, requests/second
+    horizon: Seconds = 600.0  # seconds of arrivals (paper: 10 minutes)
     demand_alpha: float = 3.0
-    demand_min: float = 130.0
-    demand_max: float = 1000.0
-    window_low: float = 0.150  # deadline window (s)
-    window_high: float = 0.150
+    demand_min: Volume = 130.0
+    demand_max: Volume = 1000.0
+    window_low: Seconds = 0.150  # deadline window (s)
+    window_high: Seconds = 0.150
 
     # Machine ------------------------------------------------------------
     m: int = 16
-    budget: float = 320.0  # H, watts
+    budget: PowerBudget = 320.0  # H, watts
     power_a: float = 5.0
     power_beta: float = 2.0
-    units_per_ghz_second: float = 1000.0
+    units_per_ghz_second: UnitsPerGhzSecond = 1000.0
     discrete_levels: Optional[Tuple[float, ...]] = None  # None = continuous DVFS
-    top_speed: Optional[float] = None  # per-core speed cap in GHz (BE-S policy)
+    top_speed: Optional[Gigahertz] = None  # per-core speed cap (BE-S policy)
 
     # Quality --------------------------------------------------------------
     quality_c: float = 0.003
     quality_shape: str = "exponential"  # or "log" / "power" / "linear"
-    q_ge: float = 0.9
+    q_ge: QualityFrac = 0.9
 
     # Extension: static power (the paper excludes it, §IV-B).  When
     # non-zero, every core draws this many watts for the whole run and
     # RunResult.static_energy/total_energy report the consequence —
     # used by the static-power ablation of the Fig. 11 caveat.
-    static_power_per_core: float = 0.0
+    static_power_per_core: Watts = 0.0
 
     # Extension: heterogeneous cores (the paper's many-core future-work
     # direction).  When set, entry i multiplies ``power_a`` for core i
@@ -77,9 +89,9 @@ class SimulationConfig:
     core_power_scales: Optional[Tuple[float, ...]] = None
 
     # GE scheduler ----------------------------------------------------------
-    quantum: float = 0.5  # seconds
+    quantum: Seconds = 0.5  # seconds
     counter_threshold: int = 8  # queued requests
-    critical_load_fraction: float = 0.924  # × equal-share capacity (≈154 r/s)
+    critical_load_fraction: Dimensionless = 0.924  # × equal-share capacity (≈154 r/s)
 
     # Reproducibility ---------------------------------------------------------
     seed: int = 1
@@ -206,22 +218,22 @@ class SimulationConfig:
         )
 
     # -- derived operating points ---------------------------------------------
-    def equal_share_speed(self) -> float:
+    def equal_share_speed(self) -> Gigahertz:
         """Per-core speed at an equal budget split (GHz); 2.0 at defaults."""
         model = self.power_model()
         return self.speed_scale(model).max_speed_at_power(self.budget / self.m)
 
-    def equal_share_capacity(self) -> float:
+    def equal_share_capacity(self) -> Speed:
         """Server throughput at equal split (units/s); 32 000 at defaults."""
         model = self.power_model()
         return self.m * model.throughput(self.equal_share_speed())
 
-    def saturation_rate(self) -> float:
+    def saturation_rate(self) -> PerSecond:
         """Arrival rate (r/s) at which mean offered demand equals the
         equal-share capacity; ≈166.7 at defaults."""
         return self.equal_share_capacity() / self.demand_distribution().mean
 
-    def critical_load_rate(self) -> float:
+    def critical_load_rate(self) -> PerSecond:
         """Arrival rate of the light/heavy switch; 154 r/s at defaults."""
         return self.critical_load_fraction * self.saturation_rate()
 

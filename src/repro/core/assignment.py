@@ -15,6 +15,7 @@ from abc import ABC, abstractmethod
 from typing import List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
+from repro.units import VolumeSeq
 from repro.workload.job import Job
 
 __all__ = ["AssignmentPolicy", "CumulativeRoundRobin", "RoundRobin", "LeastLoaded"]
@@ -29,7 +30,7 @@ class AssignmentPolicy(ABC):
         self.m = int(m)
 
     @abstractmethod
-    def assign(self, jobs: Sequence[Job], loads: Sequence[float]) -> List[Tuple[Job, int]]:
+    def assign(self, jobs: Sequence[Job], loads: VolumeSeq) -> List[Tuple[Job, int]]:
         """Return ``(job, core_index)`` pairs for the whole batch.
 
         ``loads`` is the current per-core remaining volume, provided
@@ -40,7 +41,7 @@ class AssignmentPolicy(ABC):
 class RoundRobin(AssignmentPolicy):
     """RR: each batch starts again from core 0."""
 
-    def assign(self, jobs: Sequence[Job], loads: Sequence[float]) -> List[Tuple[Job, int]]:
+    def assign(self, jobs: Sequence[Job], loads: VolumeSeq) -> List[Tuple[Job, int]]:
         return [(job, i % self.m) for i, job in enumerate(jobs)]
 
 
@@ -56,7 +57,7 @@ class CumulativeRoundRobin(AssignmentPolicy):
         """Core index the next job will land on."""
         return self._next
 
-    def assign(self, jobs: Sequence[Job], loads: Sequence[float]) -> List[Tuple[Job, int]]:
+    def assign(self, jobs: Sequence[Job], loads: VolumeSeq) -> List[Tuple[Job, int]]:
         out: List[Tuple[Job, int]] = []
         for job in jobs:
             out.append((job, self._next))
@@ -75,7 +76,7 @@ class LeastLoaded(AssignmentPolicy):
     benchmark to quantify what C-RR's simplicity costs.
     """
 
-    def assign(self, jobs: Sequence[Job], loads: Sequence[float]) -> List[Tuple[Job, int]]:
+    def assign(self, jobs: Sequence[Job], loads: VolumeSeq) -> List[Tuple[Job, int]]:
         if len(loads) != self.m:
             raise ConfigurationError(f"expected {self.m} load entries, got {len(loads)}")
         current = list(loads)

@@ -25,23 +25,24 @@ to the *cumulative* quality the monitor tracks, not just the batch.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.quality.aggregate import quality_ratio
 from repro.quality.functions import QualityFunction
+from repro.units import Dimensionless, QualityFrac, VolumeArray, VolumeSeq
 
 __all__ = ["WaterlineMemo", "lf_cut_waterline", "lf_cut_stepwise"]
 
 
 def _batch_quality(
     f: QualityFunction,
-    targets: np.ndarray,
-    demands: np.ndarray,
-    base_achieved: float,
-    base_potential: float,
-) -> float:
+    targets: VolumeArray,
+    demands: VolumeArray,
+    base_achieved: Dimensionless,
+    base_potential: Dimensionless,
+) -> QualityFrac:
     """Aggregate quality of a batch cut to ``targets``, on top of history.
 
     An empty batch with zero history has ``potential == 0``; the ratio
@@ -90,15 +91,15 @@ class WaterlineMemo:
 
 def lf_cut_waterline(
     f: QualityFunction,
-    demands: Sequence[float],
-    q_target: float,
+    demands: VolumeSeq,
+    q_target: QualityFrac,
     *,
-    base_achieved: float = 0.0,
-    base_potential: float = 0.0,
-    tol: float = 1e-6,
+    base_achieved: Dimensionless = 0.0,
+    base_potential: Dimensionless = 0.0,
+    tol: Dimensionless = 1e-6,
     max_iter: int = 60,
     memo: Optional[WaterlineMemo] = None,
-) -> np.ndarray:
+) -> VolumeArray:
     """LF cut as a waterline: targets are ``min(p_j, L)``.
 
     Finds the smallest level ``L`` such that the aggregate quality of
@@ -185,12 +186,12 @@ def lf_cut_waterline(
 
 def lf_cut_stepwise(
     f: QualityFunction,
-    demands: Sequence[float],
-    q_target: float,
+    demands: VolumeSeq,
+    q_target: QualityFrac,
     *,
-    base_achieved: float = 0.0,
-    base_potential: float = 0.0,
-) -> np.ndarray:
+    base_achieved: Dimensionless = 0.0,
+    base_potential: Dimensionless = 0.0,
+) -> VolumeArray:
     """The paper's §III-B procedure, step by step.
 
     1. Sort jobs by demand (descending).

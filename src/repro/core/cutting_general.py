@@ -25,18 +25,19 @@ levelling argument requires it — see docs/algorithms.md §4).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.quality.functions import QualityFunction
+from repro.units import Dimensionless, PerVolume, QualityFrac, Volume, VolumeArray, VolumeSeq
 
 __all__ = ["inverse_marginal", "lf_cut_mixed"]
 
 
 def inverse_marginal(
-    f: QualityFunction, slope: float, *, tol: float = 1e-9, max_iter: int = 200
-) -> float:
+    f: QualityFunction, slope: PerVolume, *, tol: Dimensionless = 1e-9, max_iter: int = 200
+) -> Volume:
     """Largest volume whose marginal quality is at least ``slope``.
 
     I.e. ``(f')^{-1}(slope)`` for concave ``f`` (so ``f'`` is
@@ -63,12 +64,12 @@ def inverse_marginal(
 
 def lf_cut_mixed(
     functions: Sequence[QualityFunction],
-    demands: Sequence[float],
-    q_target: float,
+    demands: VolumeSeq,
+    q_target: QualityFrac,
     *,
-    tol: float = 1e-6,
+    tol: Dimensionless = 1e-6,
     max_iter: int = 80,
-) -> np.ndarray:
+) -> VolumeArray:
     """Volume-minimal cut across jobs with *per-job* quality functions.
 
     Parameters
@@ -100,7 +101,7 @@ def lf_cut_mixed(
     if potential <= 0:
         return demands_arr.copy()
 
-    def targets_at(lam: float) -> np.ndarray:
+    def targets_at(lam: PerVolume) -> VolumeArray:
         return np.array(
             [
                 min(p, inverse_marginal(f, lam))
@@ -108,7 +109,7 @@ def lf_cut_mixed(
             ]
         )
 
-    def quality_at(lam: float) -> float:
+    def quality_at(lam: PerVolume) -> QualityFrac:
         return (
             sum(float(f(c)) for f, c in zip(functions, targets_at(lam))) / potential
         )

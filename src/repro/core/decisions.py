@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from repro.units import QualityFrac, Seconds, Watts
 from typing import Deque, Iterator, List, Optional, Tuple
 
 __all__ = ["Decision", "DecisionLog"]
@@ -30,16 +31,16 @@ DEFAULT_CAPACITY = 10_000
 class Decision:
     """One scheduling round's summary."""
 
-    time: float
+    time: Seconds
     mode: str  # "aes" | "bq"
     policy: str  # "ES" | "WF"
     batch_size: int  # jobs taken from the queue this round
     active_jobs: int  # unsettled jobs across all cores after assignment
-    monitor_quality: float
-    caps: Tuple[float, ...]  # per-core power caps (W)
+    monitor_quality: QualityFrac
+    caps: Tuple[Watts, ...]  # per-core power caps (W)
 
     @property
-    def total_cap(self) -> float:
+    def total_cap(self) -> Watts:
         """Sum of per-core caps (≤ the budget)."""
         return float(sum(self.caps))
 
@@ -109,9 +110,9 @@ class DecisionLog:
         """Most recent record, if any."""
         return self._records[-1] if self._records else None
 
-    def mode_changes(self) -> List[Tuple[float, str]]:
+    def mode_changes(self) -> List[Tuple[Seconds, str]]:
         """Times at which the retained records switch mode."""
-        out: List[Tuple[float, str]] = []
+        out: List[Tuple[Seconds, str]] = []
         prev: Optional[str] = None
         for d in self._records:
             if d.mode != prev:

@@ -28,6 +28,7 @@ from typing import Callable, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import InfeasibleError
+from repro.units import Seconds, SecondsSeq, Speed, SpeedArray, VolumeSeq
 
 __all__ = ["BlockSpeed", "yds_schedule", "yds_schedule_general"]
 
@@ -41,7 +42,7 @@ class BlockSpeed:
     """
 
     jobs: Tuple[int, ...]
-    speed: float
+    speed: Speed
 
 
 #: Batch size below which the pure-Python staircase beats the numpy one
@@ -50,7 +51,7 @@ _SMALL_N = 32
 
 
 def _yds_staircase_small(
-    vols: Sequence[float], dls: Sequence[float], now: float, max_speed: float
+    vols: VolumeSeq, dls: SecondsSeq, now: Seconds, max_speed: Speed
 ) -> List[BlockSpeed]:
     """Pure-Python staircase for small batches.
 
@@ -105,11 +106,11 @@ def _yds_staircase_small(
 
 
 def yds_schedule(
-    volumes: Sequence[float],
-    deadlines: Sequence[float],
-    now: float,
+    volumes: VolumeSeq,
+    deadlines: SecondsSeq,
+    now: Seconds,
     *,
-    max_speed: float = math.inf,
+    max_speed: Speed = math.inf,
 ) -> List[BlockSpeed]:
     """Minimum-energy speeds for jobs all released at ``now``.
 
@@ -217,7 +218,7 @@ def yds_schedule(
 
 def per_job_speeds(
     blocks: List[BlockSpeed], n: int
-) -> np.ndarray:
+) -> SpeedArray:
     """Flatten a staircase into a per-job speed array of length ``n``."""
     speeds = np.zeros(n)
     for block in blocks:
@@ -227,10 +228,10 @@ def per_job_speeds(
 
 
 def yds_schedule_general(
-    releases: Sequence[float],
-    deadlines: Sequence[float],
-    volumes: Sequence[float],
-) -> List[Tuple[float, float, float]]:
+    releases: SecondsSeq,
+    deadlines: SecondsSeq,
+    volumes: VolumeSeq,
+) -> List[Tuple[Seconds, Seconds, Speed]]:
     """Textbook YDS for arbitrary release times (preemptive, one core).
 
     Returns the optimal speed profile as ``(start, end, speed)``

@@ -32,6 +32,7 @@ from repro.core.load import ArrivalRateEstimator
 from repro.core.modes import ExecutionMode, ModeController
 from repro.core.planner import build_core_plan, core_power_demand, edf_sort
 from repro.obs.tracer import TracerLike
+from repro.units import PerSecond, PowerBudget, QualityFrac, Seconds, Volume, WattsArray
 from repro.power.distribution import (
     EqualSharing,
     HybridDistribution,
@@ -85,7 +86,7 @@ class GEScheduler(Scheduler):
     def __init__(
         self,
         *,
-        q_offset: float = 0.0,
+        q_offset: QualityFrac = 0.0,
         compensated: bool = True,
         cutting: bool = True,
         distribution: DistributionMode = "hybrid",
@@ -113,8 +114,8 @@ class GEScheduler(Scheduler):
         self.estimator = ArrivalRateEstimator()
         self._hybrid = HybridDistribution(light=EqualSharing(), heavy=WaterFilling())
         self._active: List[List[Job]] = []
-        self._critical_rate = float("inf")
-        self._q_target = 1.0
+        self._critical_rate: PerSecond = float("inf")
+        self._q_target: QualityFrac = 1.0
         self._reschedules = 0
         self._last_policy: Optional[str] = None
         # Hot-path caches (sized in bind(); see docs/performance.md).
@@ -171,7 +172,7 @@ class GEScheduler(Scheduler):
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def _on_mode_switch(self, now: float, old: ExecutionMode, new: ExecutionMode) -> None:
+    def _on_mode_switch(self, now: Seconds, old: ExecutionMode, new: ExecutionMode) -> None:
         """ModeController observer → mode_switch / compensation events."""
         tracer = self.harness.tracer
         if not tracer.enabled:
@@ -400,7 +401,7 @@ class GEScheduler(Scheduler):
     # ------------------------------------------------------------------
     def _targets_for(
         self, all_jobs: List[Job], mode: ExecutionMode
-    ) -> Dict[int, float]:
+    ) -> Dict[int, Volume]:
         """Per-job total target volumes for this round.
 
         The default is the paper's behaviour: a global LF waterline cut
@@ -425,7 +426,7 @@ class GEScheduler(Scheduler):
             targets = np.array([j.demand for j in all_jobs])
         return {job.jid: float(t) for job, t in zip(all_jobs, targets)}
 
-    def _policy_for(self, now: float) -> PowerDistributionPolicy:
+    def _policy_for(self, now: Seconds) -> PowerDistributionPolicy:
         """The distribution branch for this round (may tick the estimator)."""
         if self.distribution_mode == "es":
             return self._hybrid.light
@@ -437,10 +438,10 @@ class GEScheduler(Scheduler):
     def _power_demands(
         self,
         per_core: List[List[Job]],
-        target_of: Dict[int, float],
-        now: float,
+        target_of: Dict[int, Volume],
+        now: Seconds,
         machine: "MulticoreServer",
-    ) -> np.ndarray:
+    ) -> WattsArray:
         """Per-core power demands (W) for the water-filling branch."""
         demands_w = np.zeros(machine.m)
         models = machine.models
@@ -451,7 +452,7 @@ class GEScheduler(Scheduler):
             demands_w[idx] = core_power_demand(jobs, extras, now, models[idx])
         return demands_w
 
-    def _distribute(self, demands_w: np.ndarray, budget: float, now: float):
+    def _distribute(self, demands_w: WattsArray, budget: PowerBudget, now: Seconds):
         if self.distribution_mode == "es":
             return self._hybrid.light.distribute(demands_w, budget)
         if self.distribution_mode == "wf":
@@ -459,7 +460,7 @@ class GEScheduler(Scheduler):
         heavy = self.estimator.is_heavy(now, self._critical_rate)
         return self._hybrid.distribute_for_load(demands_w, budget, heavy)
 
-    def _core_loads(self) -> List[float]:
+    def _core_loads(self) -> List[Volume]:
         return [
             sum(j.remaining for j in jobs if not j.settled) for jobs in self._active
         ]

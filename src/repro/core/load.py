@@ -19,6 +19,7 @@ from collections import deque
 from typing import Deque, Tuple
 
 from repro.errors import ConfigurationError
+from repro.units import PerSecond, Seconds, Speed, Volume
 
 __all__ = ["ArrivalRateEstimator", "VolumeRateEstimator"]
 
@@ -34,31 +35,31 @@ class ArrivalRateEstimator:
         light/heavy decision stable without lagging rate changes.
     """
 
-    def __init__(self, window: float = 2.0) -> None:
+    def __init__(self, window: Seconds = 2.0) -> None:
         if window <= 0:
             raise ConfigurationError(f"window must be positive, got {window!r}")
         self.window = float(window)
-        self._times: Deque[float] = deque()
+        self._times: Deque[Seconds] = deque()
 
-    def observe(self, time: float) -> None:
+    def observe(self, time: Seconds) -> None:
         """Record one arrival at ``time`` (non-decreasing)."""
         if self._times and time < self._times[-1]:
             raise ValueError("arrival times must be non-decreasing")
         self._times.append(time)
         self._evict(time)
 
-    def rate(self, now: float) -> float:
+    def rate(self, now: Seconds) -> PerSecond:
         """Arrivals per second over the trailing window ending at ``now``."""
         self._evict(now)
         return len(self._times) / self.window
 
-    def _evict(self, now: float) -> None:
+    def _evict(self, now: Seconds) -> None:
         cutoff = now - self.window
         times = self._times
         while times and times[0] <= cutoff:
             times.popleft()
 
-    def is_heavy(self, now: float, critical_rate: float) -> bool:
+    def is_heavy(self, now: Seconds, critical_rate: PerSecond) -> bool:
         """Whether the estimated rate exceeds the critical load."""
         return self.rate(now) > critical_rate
 
@@ -66,14 +67,14 @@ class ArrivalRateEstimator:
 class VolumeRateEstimator:
     """Sliding-window offered-demand estimate (units/second)."""
 
-    def __init__(self, window: float = 2.0) -> None:
+    def __init__(self, window: Seconds = 2.0) -> None:
         if window <= 0:
             raise ConfigurationError(f"window must be positive, got {window!r}")
         self.window = float(window)
-        self._events: Deque[Tuple[float, float]] = deque()
-        self._sum = 0.0
+        self._events: Deque[Tuple[Seconds, Volume]] = deque()
+        self._sum: Volume = 0.0
 
-    def observe(self, time: float, volume: float) -> None:
+    def observe(self, time: Seconds, volume: Volume) -> None:
         """Record a job arrival with its demand volume."""
         if volume < 0:
             raise ValueError("volume must be non-negative")
@@ -83,18 +84,18 @@ class VolumeRateEstimator:
         self._sum += volume
         self._evict(time)
 
-    def rate(self, now: float) -> float:
+    def rate(self, now: Seconds) -> Speed:
         """Offered units/second over the trailing window."""
         self._evict(now)
         return self._sum / self.window
 
-    def _evict(self, now: float) -> None:
+    def _evict(self, now: Seconds) -> None:
         cutoff = now - self.window
         events = self._events
         while events and events[0][0] <= cutoff:
             _, volume = events.popleft()
             self._sum -= volume
 
-    def is_heavy(self, now: float, critical_units_per_second: float) -> bool:
+    def is_heavy(self, now: Seconds, critical_units_per_second: Speed) -> bool:
         """Whether offered volume exceeds the critical level."""
         return self.rate(now) > critical_units_per_second

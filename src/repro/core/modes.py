@@ -20,6 +20,7 @@ from typing import Callable, Optional
 
 from repro.quality.monitor import QualityMonitor
 from repro.sim.timeline import StepTimeline
+from repro.units import QualityFrac, Seconds
 
 __all__ = ["ExecutionMode", "ModeController"]
 
@@ -55,12 +56,12 @@ class ModeController:
     def __init__(
         self,
         monitor: QualityMonitor,
-        q_target: float,
+        q_target: QualityFrac,
         *,
         compensated: bool = True,
-        start_time: float = 0.0,
+        start_time: Seconds = 0.0,
         on_switch: Optional[
-            Callable[[float, ExecutionMode, ExecutionMode], None]
+            Callable[[Seconds, ExecutionMode, ExecutionMode], None]
         ] = None,
     ) -> None:
         if not 0.0 < q_target <= 1.0:
@@ -84,7 +85,7 @@ class ModeController:
         """Number of AES↔BQ transitions so far."""
         return self._switches
 
-    def decide(self, now: float) -> ExecutionMode:
+    def decide(self, now: Seconds) -> ExecutionMode:
         """Pick the mode for the trigger happening at ``now``.
 
         AES iff the cumulative quality is at or above the target (the
@@ -103,7 +104,7 @@ class ModeController:
         self._timeline.set_value(now, 1.0 if new is ExecutionMode.AES else 0.0)
         return new
 
-    def force(self, mode: ExecutionMode, now: float) -> None:
+    def force(self, mode: ExecutionMode, now: Seconds) -> None:
         """Pin the controller to ``mode`` at ``now`` (BE's permanent BQ)."""
         if mode is not self._mode:
             self._switches += 1
@@ -112,7 +113,7 @@ class ModeController:
         self._mode = mode
         self._timeline.set_value(now, 1.0 if mode is ExecutionMode.AES else 0.0)
 
-    def aes_fraction(self, until: Optional[float] = None) -> float:
+    def aes_fraction(self, until: Optional[Seconds] = None) -> float:
         """Fraction of time spent in AES mode up to ``until``.
 
         This is the Fig. 1 statistic.  ``until`` defaults to the last

@@ -30,6 +30,7 @@ from repro.core.quality_opt import quality_opt
 from repro.obs.prof import NULL_PROFILER, ProfilerLike
 from repro.power.dvfs import DiscreteSpeedScale, SpeedScale
 from repro.power.models import PowerModel
+from repro.units import Gigahertz, Seconds, Speed, Volume, VolumeSeq, Watts
 from repro.server.core import Segment
 from repro.workload.job import Job, JobOutcome
 
@@ -46,10 +47,10 @@ def edf_sort(jobs: Sequence[Job]) -> List[Job]:
 
 def core_power_demand(
     jobs: Sequence[Job],
-    extras: Sequence[float],
-    now: float,
+    extras: VolumeSeq,
+    now: Seconds,
     model: PowerModel,
-) -> float:
+) -> Watts:
     """Power (W) this core needs to deliver ``extras`` by the deadlines.
 
     The need is the *critical intensity* ``max_k Σ_{i≤k} v_i/(d_k−now)``
@@ -103,16 +104,16 @@ def _immediate_outcome(job: Job) -> JobOutcome:
 
 def build_core_plan(
     jobs: Sequence[Job],
-    targets: Sequence[float],
-    now: float,
-    power_cap: float,
+    targets: VolumeSeq,
+    now: Seconds,
+    power_cap: Watts,
     model: PowerModel,
     scale: SpeedScale,
     allocator: Optional[Callable[..., np.ndarray]] = None,
     profiler: ProfilerLike = NULL_PROFILER,
     *,
-    speed_cap: Optional[float] = None,
-    capacity: Optional[float] = None,
+    speed_cap: Optional[Gigahertz] = None,
+    capacity: Optional[Speed] = None,
 ) -> CorePlan:
     """Plan one core: first cut → Quality-OPT → Energy-OPT → segments.
 

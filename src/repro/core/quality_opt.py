@@ -26,11 +26,12 @@ in O(n² log n) worst case (batches per core are small).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 
 from repro.errors import InfeasibleError
+from repro.units import Seconds, SecondsSeq, Speed, Volume, VolumeArray, VolumeSeq
 
 __all__ = ["quality_opt", "prefix_feasible"]
 
@@ -38,7 +39,7 @@ _EPS = 1e-12
 
 
 def prefix_feasible(
-    volumes: np.ndarray, capacities: np.ndarray, rel_tol: float = 1e-9
+    volumes: VolumeArray, capacities: VolumeArray, rel_tol: float = 1e-9
 ) -> bool:
     """Check ``Σ_{i≤k} volumes_i ≤ capacities_k`` for every prefix k."""
     prefix = np.cumsum(volumes)
@@ -47,8 +48,8 @@ def prefix_feasible(
 
 
 def _waterline_for_budget(
-    offsets: np.ndarray, bounds: np.ndarray, budget: float
-) -> float:
+    offsets: VolumeArray, bounds: VolumeArray, budget: Volume
+) -> Volume:
     """Water level ``w`` with ``Σ clip(w − offset_i, 0, bound_i) = budget``.
 
     Returns ``inf`` when even ``w = max(offset+bound)`` does not exhaust
@@ -94,12 +95,12 @@ def _waterline_for_budget(
 
 
 def quality_opt(
-    bounds: Sequence[float],
-    deadlines: Sequence[float],
-    now: float,
-    capacity_per_second: float,
-    offsets: Optional[Sequence[float]] = None,
-) -> np.ndarray:
+    bounds: VolumeSeq,
+    deadlines: SecondsSeq,
+    now: Seconds,
+    capacity_per_second: Speed,
+    offsets: Optional[VolumeSeq] = None,
+) -> VolumeArray:
     """Optimal extra volumes under prefix capacity constraints.
 
     Parameters

@@ -10,9 +10,10 @@ variance, outcome counts).
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.units import Gigahertz, Joules, PerSecond, QualityFrac, Seconds, Volume
 from repro.workload.job import Job, JobOutcome
 
 __all__ = ["MetricsCollector", "RunResult"]
@@ -51,28 +52,28 @@ class RunResult:
     """
 
     scheduler: str
-    arrival_rate: float
-    quality: float
-    energy: float
+    arrival_rate: PerSecond
+    quality: QualityFrac
+    energy: Joules
     jobs: int
     outcomes: Dict[str, int]
     aes_fraction: Optional[float]
-    mean_speed: float
+    mean_speed: Gigahertz
     speed_variance: float
     utilization: float
-    completed_volume: float
-    duration: float
+    completed_volume: Volume
+    duration: Seconds
     #: Static energy in joules (0 unless the config enables static power;
     #: the paper's accounting is dynamic-only, see §IV-B).
-    static_energy: float = 0.0
+    static_energy: Joules = 0.0
 
     @property
-    def total_energy(self) -> float:
+    def total_energy(self) -> Joules:
         """Dynamic + static energy in joules."""
         return self.energy + self.static_energy
 
     @property
-    def energy_per_job(self) -> float:
+    def energy_per_job(self) -> Joules:
         """Average joules per settled job."""
         return self.energy / self.jobs if self.jobs else 0.0
 
@@ -98,8 +99,8 @@ class MetricsCollector:
     def __init__(self) -> None:
         self._outcomes: Counter = Counter()
         self._jobs = 0
-        self._processed_volume = 0.0
-        self._demand_volume = 0.0
+        self._processed_volume: Volume = 0.0
+        self._demand_volume: Volume = 0.0
 
     # ------------------------------------------------------------------
     def record_settle(self, job: Job) -> None:
@@ -122,12 +123,12 @@ class MetricsCollector:
         return dict(self._outcomes)
 
     @property
-    def processed_volume(self) -> float:
+    def processed_volume(self) -> Volume:
         """Σ c_j over settled jobs."""
         return self._processed_volume
 
     @property
-    def demand_volume(self) -> float:
+    def demand_volume(self) -> Volume:
         """Σ p_j over settled jobs."""
         return self._demand_volume
 
@@ -140,5 +141,5 @@ class MetricsCollector:
         """Clear all accumulated state."""
         self._outcomes.clear()
         self._jobs = 0
-        self._processed_volume = 0.0
-        self._demand_volume = 0.0
+        self._processed_volume: Volume = 0.0
+        self._demand_volume: Volume = 0.0

@@ -14,6 +14,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.units import Dimensionless
+
 __all__ = ["SeriesSummary", "mean_confidence_interval", "summarize"]
 
 
@@ -29,7 +31,7 @@ class SeriesSummary:
 
 
 def mean_confidence_interval(
-    values: Sequence[float], confidence: float = 0.95
+    values: Sequence[float], confidence: Dimensionless = 0.95
 ) -> tuple[float, float, float]:
     """Return ``(mean, lo, hi)`` under a normal approximation.
 
@@ -53,7 +55,7 @@ def mean_confidence_interval(
     return mean, mean - z * sem, mean + z * sem
 
 
-def summarize(values: Sequence[float], confidence: float = 0.95) -> SeriesSummary:
+def summarize(values: Sequence[float], confidence: Dimensionless = 0.95) -> SeriesSummary:
     """Full :class:`SeriesSummary` of a sample."""
     arr = np.asarray(values, dtype=float)
     mean, lo, hi = mean_confidence_interval(arr, confidence)

@@ -11,6 +11,7 @@ from typing import Iterable, Optional, Sequence
 
 from repro.quality.functions import QualityFunction
 from repro.quality.monitor import QualityMonitor
+from repro.units import Dimensionless, QualityFrac, Seconds
 from repro.workload.job import Job
 
 __all__ = ["ClassAwareMonitor"]
@@ -27,7 +28,7 @@ class ClassAwareMonitor(QualityMonitor):
         class's volume-based API (used only by code unaware of classes).
     """
 
-    def __init__(self, functions: Sequence[QualityFunction], history: float = 1.0) -> None:
+    def __init__(self, functions: Sequence[QualityFunction], history: Dimensionless = 1.0) -> None:
         if not functions:
             raise ValueError("need at least one class quality function")
         super().__init__(functions[0], history=history)
@@ -43,7 +44,7 @@ class ClassAwareMonitor(QualityMonitor):
                 f"{len(self.functions)} classes are configured"
             ) from None
 
-    def record_job(self, job: Job, time: Optional[float] = None) -> float:
+    def record_job(self, job: Job, time: Optional[Seconds] = None) -> QualityFrac:
         """Settle one job using its class's quality function."""
         f = self.function_for(job)
         processed = min(job.processed, job.demand)
@@ -58,10 +59,10 @@ class ClassAwareMonitor(QualityMonitor):
             self._trace.append((float(time), q))
         return q
 
-    def expected_quality(self, jobs: Iterable[Job]) -> float:
+    def expected_quality(self, jobs: Iterable[Job]) -> QualityFrac:
         """True mixed aggregate recomputed from the job records."""
-        achieved = 0.0
-        potential = 0.0
+        achieved: Dimensionless = 0.0
+        potential: Dimensionless = 0.0
         for job in jobs:
             f = self.function_for(job)
             achieved += float(f(job.processed))

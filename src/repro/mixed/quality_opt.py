@@ -26,6 +26,15 @@ import numpy as np
 from repro.core.cutting_general import inverse_marginal
 from repro.errors import InfeasibleError
 from repro.quality.functions import QualityFunction
+from repro.units import (
+    PerVolume,
+    Seconds,
+    SecondsSeq,
+    Speed,
+    Volume,
+    VolumeArray,
+    VolumeSeq,
+)
 
 __all__ = ["quality_opt_mixed"]
 
@@ -33,11 +42,11 @@ _EPS = 1e-12
 
 
 def _alloc_at(
-    lam: float,
+    lam: PerVolume,
     functions: Sequence[QualityFunction],
-    offsets: np.ndarray,
-    bounds: np.ndarray,
-) -> np.ndarray:
+    offsets: VolumeArray,
+    bounds: VolumeArray,
+) -> VolumeArray:
     return np.array(
         [
             float(np.clip(inverse_marginal(f, lam) - o, 0.0, b))
@@ -48,12 +57,12 @@ def _alloc_at(
 
 def _lambda_for_budget(
     functions: Sequence[QualityFunction],
-    offsets: np.ndarray,
-    bounds: np.ndarray,
-    budget: float,
+    offsets: VolumeArray,
+    bounds: VolumeArray,
+    budget: Volume,
     *,
     iters: int = 60,
-) -> float:
+) -> PerVolume:
     """λ whose allocation sums to ``budget`` (0 if even λ→0 fits)."""
     if float(np.sum(bounds)) <= budget + _EPS:
         return 0.0
@@ -74,12 +83,12 @@ def _lambda_for_budget(
 
 def quality_opt_mixed(
     functions: Sequence[QualityFunction],
-    bounds: Sequence[float],
-    deadlines: Sequence[float],
-    now: float,
-    capacity_per_second: float,
-    offsets: Sequence[float] | None = None,
-) -> np.ndarray:
+    bounds: VolumeSeq,
+    deadlines: SecondsSeq,
+    now: Seconds,
+    capacity_per_second: Speed,
+    offsets: VolumeSeq | None = None,
+) -> VolumeArray:
     """Optimal extras for per-job quality functions (EDF prefixes).
 
     Mirrors :func:`repro.core.quality_opt.quality_opt`; see the module

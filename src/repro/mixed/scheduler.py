@@ -24,6 +24,7 @@ from repro.errors import ConfigurationError
 from repro.mixed.monitor import ClassAwareMonitor
 from repro.mixed.quality_opt import quality_opt_mixed
 from repro.quality.functions import QualityFunction
+from repro.units import Volume
 from repro.workload.job import Job
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -64,7 +65,7 @@ class MixedGEScheduler(GEScheduler):
     # -- stage overrides -----------------------------------------------------
     def _targets_for(
         self, all_jobs: List[Job], mode: ExecutionMode
-    ) -> Dict[int, float]:
+    ) -> Dict[int, Volume]:
         if mode is ExecutionMode.AES and all_jobs:
             targets = lf_cut_mixed(
                 [self._f_of(j) for j in all_jobs],

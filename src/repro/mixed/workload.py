@@ -16,6 +16,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
+from repro.units import Speed
 from repro.workload.generator import JobSink, Workload
 from repro.workload.job import Job
 
@@ -68,7 +69,7 @@ class MixedClassWorkload:
         return self.inner.install(sim, sink)
 
     @property
-    def offered_load(self) -> float:
+    def offered_load(self) -> Speed:
         """Delegates to the inner workload."""
         return self.inner.offered_load
 

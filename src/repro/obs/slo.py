@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs.registry import MetricsRegistry, QuantileSketch
+from repro.units import QualityFrac, Seconds, Watts
 
 __all__ = [
     "SLO_KINDS",
@@ -206,7 +207,7 @@ class SLOTracker:
     # ------------------------------------------------------------------
     # Violation bookkeeping
     # ------------------------------------------------------------------
-    def _violate(self, spec: SLOSpec, time: float, value: float) -> None:
+    def _violate(self, spec: SLOSpec, time: Seconds, value: float) -> None:
         if spec.name in self._violations:
             return
         self._violations[spec.name] = {
@@ -220,7 +221,7 @@ class SLOTracker:
     # ------------------------------------------------------------------
     # Stream entry points
     # ------------------------------------------------------------------
-    def on_decision(self, time: float, *, mode: str, quality: float) -> None:
+    def on_decision(self, time: Seconds, *, mode: str, quality: QualityFrac) -> None:
         """Fold one scheduling round (``decision`` event)."""
         if self._last_time is not None:
             self._accumulate(time)
@@ -241,7 +242,7 @@ class SLOTracker:
             if fraction > spec.threshold:
                 self._violate(spec, time, fraction)
 
-    def _accumulate(self, until: float) -> None:
+    def _accumulate(self, until: Seconds) -> None:
         assert self._last_time is not None
         dt = float(until) - self._last_time
         if dt <= 0.0:
@@ -253,7 +254,7 @@ class SLOTracker:
         if self._last_mode == "bq":
             self._bq_time += dt
 
-    def on_power(self, time: float, total_power: float) -> None:
+    def on_power(self, time: Seconds, total_power: Watts) -> None:
         """Fold one quantum boundary's total power draw (all cores)."""
         spec = self._by_kind.get("power_budget")
         if spec is None:
@@ -268,7 +269,7 @@ class SLOTracker:
         else:
             self._violate(spec, time, float(total_power))
 
-    def on_settle(self, time: float, *, outcome: str) -> None:
+    def on_settle(self, time: Seconds, *, outcome: str) -> None:
         """Fold one settled job (``settle`` event)."""
         self._settled += 1
         if outcome in _MISS_OUTCOMES:
@@ -279,7 +280,7 @@ class SLOTracker:
             if rate > spec.threshold:
                 self._violate(spec, time, rate)
 
-    def finish(self, end: float) -> None:
+    def finish(self, end: Seconds) -> None:
         """Close the time-weighted accumulators at simulated ``end``."""
         if self._finished:
             return

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro.units import Seconds
+
 __all__ = ["EventRecord", "SpanRecord"]
 
 
@@ -51,10 +53,10 @@ class SpanRecord:
 
     span_id: int
     name: str
-    start: float
+    start: Seconds
     seq: int
     parent_id: Optional[int] = None
-    end: Optional[float] = None
+    end: Optional[Seconds] = None
     attrs: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -63,11 +65,11 @@ class SpanRecord:
         return self.end is None
 
     @property
-    def duration(self) -> Optional[float]:
+    def duration(self) -> Optional[Seconds]:
         """Span length in simulated seconds (``None`` while open)."""
         return None if self.end is None else self.end - self.start
 
-    def close(self, time: float, **attrs: Any) -> None:
+    def close(self, time: Seconds, **attrs: Any) -> None:
         """Close the span at ``time``, merging final attributes."""
         if self.end is not None:
             raise ValueError(f"span {self.span_id} ({self.name}) closed twice")
@@ -121,7 +123,7 @@ class EventRecord:
         JSON-native key/value payload.
     """
 
-    time: float
+    time: Seconds
     kind: str
     seq: int
     span_id: Optional[int] = None

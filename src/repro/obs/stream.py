@@ -54,6 +54,7 @@ from repro.obs.slo import SLOSpec, SLOTracker, default_slos
 from repro.obs.spans import EventRecord, SpanRecord
 from repro.obs.timeline import TimelineSample
 from repro.obs.tracer import Trace, Tracer
+from repro.units import Seconds, Volume
 
 if TYPE_CHECKING:  # type-only: repro.obs stays import-light at runtime
     from repro.server.machine import MulticoreServer
@@ -100,7 +101,7 @@ class WindowSeries:
 
     __slots__ = ("name", "width", "slide", "rows", "_panes", "_pane_index", "_finished")
 
-    def __init__(self, name: str, *, width: float, slide: Optional[float] = None) -> None:
+    def __init__(self, name: str, *, width: Seconds, slide: Optional[Seconds] = None) -> None:
         if width <= 0:
             raise ValueError(f"window series {name}: width must be positive")
         slide = width if slide is None else float(slide)
@@ -121,7 +122,7 @@ class WindowSeries:
     def _panes_per_window(self) -> int:
         return int(round(self.width / self.slide))
 
-    def observe(self, time: float, value: float) -> None:
+    def observe(self, time: Seconds, value: float) -> None:
         """Fold one observation at simulated ``time``."""
         if self._finished:
             raise ValueError(f"window series {self.name}: already finished")
@@ -170,7 +171,7 @@ class WindowSeries:
         row["mean"] = row["sum"] / row["count"]
         self.rows.append(row)
 
-    def finish(self, end: float) -> None:
+    def finish(self, end: Seconds) -> None:
         """Flush the final (possibly partial) window at run end."""
         if self._finished:
             return
@@ -188,7 +189,7 @@ class WindowSeries:
         }
 
 
-def _window_width(meta: Dict[str, Any]) -> float:
+def _window_width(meta: Dict[str, Any]) -> Seconds:
     horizon = float(meta.get("horizon") or 0.0)
     if horizon <= 0:
         return 1.0
@@ -285,7 +286,7 @@ class StreamAggregator:
     # ------------------------------------------------------------------
     # Stream entry points
     # ------------------------------------------------------------------
-    def on_event(self, time: float, kind: str, attrs: Dict[str, Any]) -> None:
+    def on_event(self, time: Seconds, kind: str, attrs: Dict[str, Any]) -> None:
         """Fold one event record."""
         if kind == "slo_violation":
             # Derived annotation emitted by the streaming sink itself,
@@ -317,7 +318,7 @@ class StreamAggregator:
         elif kind == "settle":
             slo.on_settle(time, outcome=str(attrs.get("outcome", "")))
 
-    def on_sample_batch(self, time: float, samples: List[TimelineSample]) -> None:
+    def on_sample_batch(self, time: Seconds, samples: List[TimelineSample]) -> None:
         """Fold one quantum boundary's core samples (one per core)."""
         self._require_started()
         if not samples:
@@ -352,7 +353,7 @@ class StreamAggregator:
         row["slices"] += 1
         row["volume"] += float(span.attrs.get("done", 0.0))
 
-    def finish(self, end: float) -> None:
+    def finish(self, end: Seconds) -> None:
         """Close all time-weighted accumulators at simulated ``end``."""
         self._require_started()
         if self._finished:
@@ -366,7 +367,7 @@ class StreamAggregator:
         assert self.slo is not None
         self.slo.finish(float(end))
 
-    def _close_mode_interval(self, end: float) -> None:
+    def _close_mode_interval(self, end: Seconds) -> None:
         """Account the interval ending at ``end``; retain it if under the cap."""
         assert self._mode is not None
         key = "aes_s" if self._mode == "aes" else "bq_s"
@@ -484,7 +485,7 @@ class StreamingTracer(Tracer):
         self._spill({"type": "meta", "schema": TRACE_SCHEMA, "meta": dict(self.meta)})
 
     def _emit_violation(
-        self, name: str, time: float, value: float, threshold: float
+        self, name: str, time: Seconds, value: float, threshold: float
     ) -> None:
         # Routed through the normal event path, so it is folded
         # (count-only: the aggregator ignores unknown kinds) and
@@ -500,7 +501,7 @@ class StreamingTracer(Tracer):
     def begin_span(
         self,
         name: str,
-        time: float,
+        time: Seconds,
         *,
         parent: Optional[SpanRecord] = None,
         **attrs: Any,
@@ -517,7 +518,7 @@ class StreamingTracer(Tracer):
         self._next_span_id += 1
         return span
 
-    def end_span(self, span: SpanRecord, time: float, **attrs: Any) -> None:
+    def end_span(self, span: SpanRecord, time: Seconds, **attrs: Any) -> None:
         """Close ``span``, fold it into the aggregates and spill it."""
         span.close(time, **attrs)
         self.aggregator.on_span_close(span)
@@ -526,7 +527,7 @@ class StreamingTracer(Tracer):
     def event(
         self,
         kind: str,
-        time: float,
+        time: Seconds,
         *,
         span: Optional[SpanRecord] = None,
         **attrs: Any,
@@ -543,7 +544,7 @@ class StreamingTracer(Tracer):
         self._spill(record.to_record())
         return record
 
-    def job_settled(self, job: Job, time: float) -> None:
+    def job_settled(self, job: Job, time: Seconds) -> None:
         """Close the job span through the folding/spilling path."""
         span = self._job_spans.pop(job.jid, None)
         if span is None:
@@ -551,11 +552,11 @@ class StreamingTracer(Tracer):
         self.event("settle", time, span=span, outcome=job.outcome.value)
         self.end_span(span, time, outcome=job.outcome.value, processed=job.processed)
 
-    def exec_end(self, span: SpanRecord, time: float, done: float) -> None:
+    def exec_end(self, span: SpanRecord, time: Seconds, done: Volume) -> None:
         """Close an execution slice through the folding/spilling path."""
         self.end_span(span, time, done=float(done))
 
-    def sample_cores(self, machine: MulticoreServer, time: float) -> None:
+    def sample_cores(self, machine: MulticoreServer, time: Seconds) -> None:
         """Fold and spill one quantum boundary's core samples."""
         samples = self._sampler.sample(machine, time)
         self.aggregator.on_sample_batch(float(time), samples)
@@ -565,12 +566,12 @@ class StreamingTracer(Tracer):
     # ------------------------------------------------------------------
     # Run lifecycle
     # ------------------------------------------------------------------
-    def run_started(self, time: float, **meta: Any) -> None:
+    def run_started(self, time: Seconds, **meta: Any) -> None:
         super().run_started(time, **meta)
         self.aggregator.start(self.meta)
         self._spill_meta()  # provisional header, superseded at run end
 
-    def run_finished(self, machine: MulticoreServer, time: float, **meta: Any) -> None:
+    def run_finished(self, machine: MulticoreServer, time: Seconds, **meta: Any) -> None:
         super().run_finished(machine, time, **meta)
         self.close(end=float(time))
 

@@ -18,6 +18,8 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable, Dict, List
 
+from repro.units import Gigahertz, Joules, Seconds, Watts
+
 if TYPE_CHECKING:  # type-only: repro.obs stays import-light at runtime
     from repro.server.machine import MulticoreServer
     from repro.sim.timeline import StepTimeline
@@ -44,11 +46,11 @@ class TimelineSample:
         Cumulative dynamic energy in joules since the run started.
     """
 
-    time: float
+    time: Seconds
     core: int
-    speed: float
-    power: float
-    energy: float
+    speed: Gigahertz
+    power: Watts
+    energy: Joules
 
     def to_record(self) -> Dict[str, Any]:
         """Flat JSON-native dict (``type: "sample"``)."""
@@ -78,16 +80,16 @@ class _CoreCursor:
 
     __slots__ = ("last_time", "energy")
 
-    def __init__(self, start_time: float) -> None:
-        self.last_time = start_time
-        self.energy = 0.0
+    def __init__(self, start_time: Seconds) -> None:
+        self.last_time: Seconds = start_time
+        self.energy: Joules = 0.0
 
     def advance(
         self,
         timeline: StepTimeline,
-        power_fn: Callable[[float], float],
-        until: float,
-    ) -> float:
+        power_fn: Callable[[Gigahertz], Watts],
+        until: Seconds,
+    ) -> Joules:
         """Integrate ``power_fn(speed)`` over (last_time, until]; return total."""
         if until <= self.last_time:
             return self.energy
@@ -122,7 +124,7 @@ class CoreTimelineSampler:
     def __init__(self) -> None:
         self._cursors: List[_CoreCursor] = []
 
-    def sample(self, machine: MulticoreServer, time: float) -> List[TimelineSample]:
+    def sample(self, machine: MulticoreServer, time: Seconds) -> List[TimelineSample]:
         """Snapshot every core at ``time`` (exact cumulative energy)."""
         if not self._cursors:
             self._cursors = [

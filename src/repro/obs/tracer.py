@@ -32,6 +32,7 @@ from repro.obs.prof import NULL_PROFILER, PhaseProfiler
 from repro.obs.registry import MetricsRegistry
 from repro.obs.spans import EventRecord, SpanRecord
 from repro.obs.timeline import CoreTimelineSampler, TimelineSample
+from repro.units import Gigahertz, Seconds, Volume
 
 if TYPE_CHECKING:  # type-only: repro.obs stays import-light at runtime
     from repro.core.decisions import Decision
@@ -135,7 +136,7 @@ class Tracer:
     def begin_span(
         self,
         name: str,
-        time: float,
+        time: Seconds,
         *,
         parent: Optional[SpanRecord] = None,
         **attrs: Any,
@@ -153,14 +154,14 @@ class Tracer:
         self.spans.append(span)
         return span
 
-    def end_span(self, span: SpanRecord, time: float, **attrs: Any) -> None:
+    def end_span(self, span: SpanRecord, time: Seconds, **attrs: Any) -> None:
         """Close ``span`` at ``time``, merging final attributes."""
         span.close(time, **attrs)
 
     def event(
         self,
         kind: str,
-        time: float,
+        time: Seconds,
         *,
         span: Optional[SpanRecord] = None,
         **attrs: Any,
@@ -179,7 +180,7 @@ class Tracer:
     # ------------------------------------------------------------------
     # Job lifecycle (called by the harness / scheduler / cores)
     # ------------------------------------------------------------------
-    def job_arrived(self, job: Job, time: float) -> SpanRecord:
+    def job_arrived(self, job: Job, time: Seconds) -> SpanRecord:
         """Open the job's root span and record its enqueue."""
         span = self.begin_span(
             "job",
@@ -194,11 +195,11 @@ class Tracer:
         self.event("enqueue", time, span=span)
         return span
 
-    def job_assigned(self, job: Job, core: int, time: float) -> None:
+    def job_assigned(self, job: Job, core: int, time: Seconds) -> None:
         """Record the C-RR (or baseline) core assignment."""
         self.event("assign", time, span=self._job_spans.get(job.jid), core=core)
 
-    def job_cut(self, job: Job, target: float, time: float) -> None:
+    def job_cut(self, job: Job, target: Volume, time: Seconds) -> None:
         """Record an LF-cut target below the job's full demand."""
         self.event(
             "lf_cut",
@@ -208,7 +209,7 @@ class Tracer:
             demand=job.demand,
         )
 
-    def job_settled(self, job: Job, time: float) -> None:
+    def job_settled(self, job: Job, time: Seconds) -> None:
         """Close the job's span with its outcome and processed volume."""
         span = self._job_spans.pop(job.jid, None)
         if span is None:
@@ -217,7 +218,7 @@ class Tracer:
         span.close(time, outcome=job.outcome.value, processed=job.processed)
 
     def exec_start(
-        self, job: Job, core: int, speed: float, volume: float, time: float
+        self, job: Job, core: int, speed: Gigahertz, volume: Volume, time: Seconds
     ) -> SpanRecord:
         """Open an execution-slice span nested under the job's span."""
         return self.begin_span(
@@ -230,14 +231,14 @@ class Tracer:
             volume=float(volume),
         )
 
-    def exec_end(self, span: SpanRecord, time: float, done: float) -> None:
+    def exec_end(self, span: SpanRecord, time: Seconds, done: Volume) -> None:
         """Close an execution slice with the volume actually processed."""
         span.close(time, done=float(done))
 
     # ------------------------------------------------------------------
     # Scheduler telemetry
     # ------------------------------------------------------------------
-    def scheduler_event(self, kind: str, time: float, **attrs: Any) -> None:
+    def scheduler_event(self, kind: str, time: Seconds, **attrs: Any) -> None:
         """Record a free-standing scheduler event."""
         self.event(kind, time, **attrs)
 
@@ -257,19 +258,19 @@ class Tracer:
     # ------------------------------------------------------------------
     # Core timelines
     # ------------------------------------------------------------------
-    def sample_cores(self, machine: MulticoreServer, time: float) -> None:
+    def sample_cores(self, machine: MulticoreServer, time: Seconds) -> None:
         """Snapshot per-core speed/power/energy (quantum boundary)."""
         self.samples.extend(self._sampler.sample(machine, time))
 
     # ------------------------------------------------------------------
     # Run lifecycle
     # ------------------------------------------------------------------
-    def run_started(self, time: float, **meta: Any) -> None:
+    def run_started(self, time: Seconds, **meta: Any) -> None:
         """Record run metadata (scheduler, config) at run start."""
         self.meta.update(meta)
         self.meta["start"] = float(time)
 
-    def run_finished(self, machine: MulticoreServer, time: float, **meta: Any) -> None:
+    def run_finished(self, machine: MulticoreServer, time: Seconds, **meta: Any) -> None:
         """Take the final core sample and stamp the run duration.
 
         Extra keyword arguments (e.g. ``events=...`` from the harness)
@@ -314,59 +315,59 @@ class NullTracer:
     def begin_span(
         self,
         name: str,
-        time: float,
+        time: Seconds,
         *,
         parent: Optional[SpanRecord] = None,
         **attrs: Any,
     ) -> None:
         return None
 
-    def end_span(self, span: Optional[SpanRecord], time: float, **attrs: Any) -> None:
+    def end_span(self, span: Optional[SpanRecord], time: Seconds, **attrs: Any) -> None:
         return None
 
     def event(
         self,
         kind: str,
-        time: float,
+        time: Seconds,
         *,
         span: Optional[SpanRecord] = None,
         **attrs: Any,
     ) -> None:
         return None
 
-    def job_arrived(self, job: Job, time: float) -> None:
+    def job_arrived(self, job: Job, time: Seconds) -> None:
         return None
 
-    def job_assigned(self, job: Job, core: int, time: float) -> None:
+    def job_assigned(self, job: Job, core: int, time: Seconds) -> None:
         return None
 
-    def job_cut(self, job: Job, target: float, time: float) -> None:
+    def job_cut(self, job: Job, target: Volume, time: Seconds) -> None:
         return None
 
-    def job_settled(self, job: Job, time: float) -> None:
+    def job_settled(self, job: Job, time: Seconds) -> None:
         return None
 
     def exec_start(
-        self, job: Job, core: int, speed: float, volume: float, time: float
+        self, job: Job, core: int, speed: Gigahertz, volume: Volume, time: Seconds
     ) -> None:
         return None
 
-    def exec_end(self, span: Optional[SpanRecord], time: float, done: float) -> None:
+    def exec_end(self, span: Optional[SpanRecord], time: Seconds, done: Volume) -> None:
         return None
 
-    def scheduler_event(self, kind: str, time: float, **attrs: Any) -> None:
+    def scheduler_event(self, kind: str, time: Seconds, **attrs: Any) -> None:
         return None
 
     def decision(self, decision: Decision) -> None:
         return None
 
-    def sample_cores(self, machine: MulticoreServer, time: float) -> None:
+    def sample_cores(self, machine: MulticoreServer, time: Seconds) -> None:
         return None
 
-    def run_started(self, time: float, **meta: Any) -> None:
+    def run_started(self, time: Seconds, **meta: Any) -> None:
         return None
 
-    def run_finished(self, machine: MulticoreServer, time: float, **meta: Any) -> None:
+    def run_finished(self, machine: MulticoreServer, time: Seconds, **meta: Any) -> None:
         return None
 
 

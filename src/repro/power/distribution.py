@@ -25,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import InfeasibleError
+from repro.units import PowerBudget, WattsArray
 
 __all__ = [
     "DistributionDecision",
@@ -36,7 +37,7 @@ __all__ = [
 ]
 
 
-def water_fill(demands: np.ndarray, budget: float) -> np.ndarray:
+def water_fill(demands: WattsArray, budget: PowerBudget) -> WattsArray:
     """Water-filling allocation of ``budget`` across ``demands``.
 
     Each entry receives ``min(demand, level)``; if the total demand fits
@@ -91,7 +92,7 @@ def water_fill(demands: np.ndarray, budget: float) -> np.ndarray:
     return caps
 
 
-def _renormalize_caps(caps: np.ndarray, budget: float) -> None:
+def _renormalize_caps(caps: WattsArray, budget: PowerBudget) -> None:
     """Shave ulp overshoot off the largest cap until ``Σ caps ≤ budget``.
 
     A single subtraction is not always enough: ``caps[top] - excess``
@@ -126,7 +127,7 @@ class DistributionDecision:
         Short name of the policy that produced the caps ("ES"/"WF").
     """
 
-    caps: np.ndarray
+    caps: WattsArray
     policy: str
 
 
@@ -140,7 +141,7 @@ class PowerDistributionPolicy(ABC):
     needs_demands: bool = True
 
     @abstractmethod
-    def distribute(self, demands: np.ndarray, budget: float) -> DistributionDecision:
+    def distribute(self, demands: WattsArray, budget: PowerBudget) -> DistributionDecision:
         """Return per-core power caps for the given per-core demands."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -160,7 +161,7 @@ class EqualSharing(PowerDistributionPolicy):
     def __init__(self) -> None:
         self._cache: tuple[int, float, DistributionDecision] | None = None
 
-    def distribute(self, demands: np.ndarray, budget: float) -> DistributionDecision:
+    def distribute(self, demands: WattsArray, budget: PowerBudget) -> DistributionDecision:
         demands = np.asarray(demands, dtype=float)
         if budget < 0:
             raise InfeasibleError(f"negative power budget {budget!r}")
@@ -197,7 +198,7 @@ class WaterFilling(PowerDistributionPolicy):
         self.grant_surplus = grant_surplus
         self._cache: tuple[bytes, float, DistributionDecision] | None = None
 
-    def distribute(self, demands: np.ndarray, budget: float) -> DistributionDecision:
+    def distribute(self, demands: WattsArray, budget: PowerBudget) -> DistributionDecision:
         demands = np.asarray(demands, dtype=float)
         key = demands.tobytes()
         cached = self._cache
@@ -236,11 +237,11 @@ class HybridDistribution(PowerDistributionPolicy):
         self.light = light or EqualSharing()
         self.heavy = heavy or WaterFilling()
 
-    def distribute(self, demands: np.ndarray, budget: float) -> DistributionDecision:
+    def distribute(self, demands: WattsArray, budget: PowerBudget) -> DistributionDecision:
         return self.light.distribute(demands, budget)
 
     def distribute_for_load(
-        self, demands: np.ndarray, budget: float, heavy_load: bool
+        self, demands: WattsArray, budget: PowerBudget, heavy_load: bool
     ) -> DistributionDecision:
         """Dispatch to the WF branch iff ``heavy_load``."""
         policy = self.heavy if heavy_load else self.light

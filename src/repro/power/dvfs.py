@@ -15,12 +15,12 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
-from typing import Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.power.models import PowerModel
+from repro.units import Gigahertz, GigahertzArray, GigahertzSeq, PowerBudget, Watts
 
 __all__ = ["SpeedScale", "ContinuousSpeedScale", "DiscreteSpeedScale"]
 
@@ -32,47 +32,47 @@ class SpeedScale(ABC):
         self.model = model
 
     @abstractmethod
-    def quantize(self, speed: float) -> float:
+    def quantize(self, speed: Gigahertz) -> Gigahertz:
         """Largest *allowed* speed ≤ ``speed`` (0 is always allowed)."""
 
     @abstractmethod
-    def ceil(self, speed: float) -> float:
+    def ceil(self, speed: Gigahertz) -> Gigahertz:
         """Smallest allowed speed ≥ ``speed`` (or the max level)."""
 
     @abstractmethod
-    def max_speed_at_power(self, power: float) -> float:
+    def max_speed_at_power(self, power: Watts) -> Gigahertz:
         """Largest allowed speed whose power draw is ≤ ``power``."""
 
     @property
     @abstractmethod
-    def top_speed(self) -> float:
+    def top_speed(self) -> Gigahertz:
         """The largest representable speed (may be ``inf``)."""
 
 
 class ContinuousSpeedScale(SpeedScale):
     """Idealized continuous DVFS: any speed in [0, top] is allowed."""
 
-    def __init__(self, model: PowerModel, top_speed: float = math.inf) -> None:
+    def __init__(self, model: PowerModel, top_speed: Gigahertz = math.inf) -> None:
         super().__init__(model)
         if top_speed <= 0:
             raise ConfigurationError(f"top_speed must be positive, got {top_speed!r}")
         self._top = float(top_speed)
 
-    def quantize(self, speed: float) -> float:
+    def quantize(self, speed: Gigahertz) -> Gigahertz:
         if speed < 0:
             raise ValueError("speed must be non-negative")
         return min(speed, self._top)
 
-    def ceil(self, speed: float) -> float:
+    def ceil(self, speed: Gigahertz) -> Gigahertz:
         if speed < 0:
             raise ValueError("speed must be non-negative")
         return min(speed, self._top)
 
-    def max_speed_at_power(self, power: float) -> float:
+    def max_speed_at_power(self, power: Watts) -> Gigahertz:
         return min(self.model.speed(power), self._top)
 
     @property
-    def top_speed(self) -> float:
+    def top_speed(self) -> Gigahertz:
         return self._top
 
 
@@ -92,7 +92,7 @@ class DiscreteSpeedScale(SpeedScale):
     def __init__(
         self,
         model: PowerModel,
-        levels: Sequence[float] | None = None,
+        levels: GigahertzSeq | None = None,
     ) -> None:
         super().__init__(model)
         if levels is None:
@@ -104,14 +104,14 @@ class DiscreteSpeedScale(SpeedScale):
             raise ConfigurationError("ladder levels must be positive (0 = idle is implicit)")
         self.levels = arr
 
-    def quantize(self, speed: float) -> float:
+    def quantize(self, speed: Gigahertz) -> Gigahertz:
         """Largest level ≤ ``speed``, or 0 if below the lowest level."""
         if speed < 0:
             raise ValueError("speed must be non-negative")
         idx = int(np.searchsorted(self.levels, speed + 1e-12, side="right")) - 1
         return 0.0 if idx < 0 else float(self.levels[idx])
 
-    def ceil(self, speed: float) -> float:
+    def ceil(self, speed: Gigahertz) -> Gigahertz:
         """Smallest level ≥ ``speed`` (top level if beyond the ladder)."""
         if speed < 0:
             raise ValueError("speed must be non-negative")
@@ -121,19 +121,19 @@ class DiscreteSpeedScale(SpeedScale):
         idx = min(idx, self.levels.size - 1)
         return float(self.levels[idx])
 
-    def next_below(self, speed: float) -> float:
+    def next_below(self, speed: Gigahertz) -> Gigahertz:
         """Largest level strictly below ``speed`` (0 if none)."""
         idx = int(np.searchsorted(self.levels, speed - 1e-12, side="left")) - 1
         return 0.0 if idx < 0 else float(self.levels[idx])
 
-    def max_speed_at_power(self, power: float) -> float:
+    def max_speed_at_power(self, power: Watts) -> Gigahertz:
         return self.quantize(self.model.speed(power))
 
     @property
-    def top_speed(self) -> float:
+    def top_speed(self) -> Gigahertz:
         return float(self.levels[-1])
 
-    def rectify(self, speeds: np.ndarray, budget: float) -> np.ndarray:
+    def rectify(self, speeds: GigahertzArray, budget: PowerBudget) -> GigahertzArray:
         """The paper's §IV-A-5 discrete rectification.
 
         Starting from the core with the lowest assigned speed, round

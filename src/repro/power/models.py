@@ -18,6 +18,17 @@ from typing import Union
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.units import (
+    Gigahertz,
+    GigahertzLike,
+    Joules,
+    Seconds,
+    SpeedLike,
+    UnitsPerGhzSecond,
+    Volume,
+    Watts,
+    WattsLike,
+)
 
 __all__ = ["PowerModel"]
 
@@ -41,7 +52,7 @@ class PowerModel:
 
     a: float = 5.0
     beta: float = 2.0
-    units_per_ghz_second: float = 1000.0
+    units_per_ghz_second: UnitsPerGhzSecond = 1000.0
 
     def __post_init__(self) -> None:
         if self.a <= 0:
@@ -62,7 +73,7 @@ class PowerModel:
     # scalar fast paths — IEEE ``*`` and ``/`` are correctly rounded in
     # every implementation, so scalar and array results are bitwise
     # identical there (asserted in tests/power/test_models.py).
-    def power(self, speed: ArrayOrFloat) -> ArrayOrFloat:
+    def power(self, speed: GigahertzLike) -> WattsLike:
         """Dynamic power (W) at ``speed`` (GHz)."""
         arr = np.asarray(speed, dtype=float)
         if np.any(arr < 0):
@@ -70,7 +81,7 @@ class PowerModel:
         out = self.a * arr**self.beta
         return float(out) if np.isscalar(speed) or arr.ndim == 0 else out
 
-    def speed(self, power: ArrayOrFloat) -> ArrayOrFloat:
+    def speed(self, power: WattsLike) -> GigahertzLike:
         """Highest speed (GHz) sustainable at ``power`` (W): inverse of P."""
         arr = np.asarray(power, dtype=float)
         if np.any(arr < 0):
@@ -79,7 +90,7 @@ class PowerModel:
         return float(out) if np.isscalar(power) or arr.ndim == 0 else out
 
     # -- speed <-> throughput ----------------------------------------------
-    def throughput(self, speed: ArrayOrFloat) -> ArrayOrFloat:
+    def throughput(self, speed: GigahertzLike) -> SpeedLike:
         """Processing units per second at ``speed`` (GHz)."""
         if type(speed) is float or type(speed) is int:
             return float(speed) * self.units_per_ghz_second
@@ -87,7 +98,7 @@ class PowerModel:
         out = arr * self.units_per_ghz_second
         return float(out) if np.isscalar(speed) or arr.ndim == 0 else out
 
-    def speed_for_throughput(self, units_per_second: ArrayOrFloat) -> ArrayOrFloat:
+    def speed_for_throughput(self, units_per_second: SpeedLike) -> GigahertzLike:
         """Speed (GHz) needed to process ``units_per_second``."""
         if type(units_per_second) is float or type(units_per_second) is int:
             return float(units_per_second) / self.units_per_ghz_second
@@ -96,19 +107,19 @@ class PowerModel:
         return float(out) if np.isscalar(units_per_second) or arr.ndim == 0 else out
 
     # -- derived quantities --------------------------------------------------
-    def power_for_work(self, volume: float, duration: float) -> float:
+    def power_for_work(self, volume: Volume, duration: Seconds) -> Watts:
         """Power (W) to process ``volume`` units in ``duration`` seconds."""
         if duration <= 0:
             raise ValueError(f"duration must be positive, got {duration!r}")
         return self.power(self.speed_for_throughput(volume / duration))
 
-    def energy(self, speed: float, duration: float) -> float:
+    def energy(self, speed: Gigahertz, duration: Seconds) -> Joules:
         """Energy (J) of running at ``speed`` GHz for ``duration`` s."""
         if duration < 0:
             raise ValueError(f"duration must be non-negative, got {duration!r}")
         return self.power(speed) * duration
 
-    def energy_for_volume(self, volume: float, speed: float) -> float:
+    def energy_for_volume(self, volume: Volume, speed: Gigahertz) -> Joules:
         """Energy (J) to process ``volume`` units at constant ``speed``.
 
         Because P is convex with β > 1, this is increasing in speed:

@@ -11,16 +11,20 @@ achieved by full processing, so ``Q ∈ [0, 1]``.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Annotated, Iterable
 
 import numpy as np
 
 from repro.quality.functions import QualityFunction
+from repro.units import Dimensionless, QualityFrac, Unit, VolumeArray, VolumeSeq
+
+#: Iterables of per-job volumes (processing units).
+VolumeIter = Annotated[Iterable[float], Unit("unit")]
 
 __all__ = ["aggregate_quality", "quality_ratio", "projected_quality_after_cut"]
 
 
-def quality_ratio(achieved: float, potential: float) -> float:
+def quality_ratio(achieved: Dimensionless, potential: Dimensionless) -> QualityFrac:
     """Safe ratio ``achieved / potential`` treating an empty set as perfect.
 
     With no jobs (``potential == 0``) there is no quality to lose, so
@@ -34,9 +38,9 @@ def quality_ratio(achieved: float, potential: float) -> float:
 
 def aggregate_quality(
     f: QualityFunction,
-    processed: Sequence[float] | np.ndarray,
-    demands: Sequence[float] | np.ndarray,
-) -> float:
+    processed: VolumeSeq | VolumeArray,
+    demands: VolumeSeq | VolumeArray,
+) -> QualityFrac:
     """Compute ``Q = Σ f(c_j) / Σ f(p_j)`` for paired volumes/demands."""
     processed_arr = np.asarray(processed, dtype=float)
     demands_arr = np.asarray(demands, dtype=float)
@@ -55,11 +59,11 @@ def aggregate_quality(
 
 def projected_quality_after_cut(
     f: QualityFunction,
-    targets: Iterable[float],
-    demands: Iterable[float],
-    base_achieved: float = 0.0,
-    base_potential: float = 0.0,
-) -> float:
+    targets: VolumeIter,
+    demands: VolumeIter,
+    base_achieved: Dimensionless = 0.0,
+    base_potential: Dimensionless = 0.0,
+) -> QualityFrac:
     """Quality if jobs are processed to ``targets``, on top of history.
 
     ``base_achieved``/``base_potential`` carry Σf over already-settled

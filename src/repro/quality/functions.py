@@ -26,6 +26,16 @@ from typing import Union
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.units import (
+    Dimensionless,
+    PerVolume,
+    QualityArray,
+    QualityFrac,
+    QualityLike,
+    Volume,
+    VolumeArray,
+    VolumeLike,
+)
 
 __all__ = [
     "QualityFunction",
@@ -47,13 +57,13 @@ class QualityFunction(ABC):
     negative inputs are a caller bug and raise.
     """
 
-    def __init__(self, x_max: float) -> None:
+    def __init__(self, x_max: Volume) -> None:
         if x_max <= 0:
             raise ConfigurationError(f"x_max must be positive, got {x_max!r}")
         self.x_max = float(x_max)
 
     # -- core interface -------------------------------------------------
-    def __call__(self, x: ArrayLike) -> ArrayLike:
+    def __call__(self, x: VolumeLike) -> QualityLike:
         """Quality of processed volume ``x``."""
         if type(x) is float or type(x) is int:  # scalar fast path (hot)
             if x < 0:
@@ -74,7 +84,7 @@ class QualityFunction(ABC):
         out = np.where(arr >= self.x_max, 0.0, self._slope(np.minimum(arr, self.x_max)))
         return float(out) if np.isscalar(x) or arr.ndim == 0 else out
 
-    def inverse(self, q: float, *, tol: float = 1e-9, max_iter: int = 200) -> float:
+    def inverse(self, q: QualityFrac, *, tol: Volume = 1e-9, max_iter: int = 200) -> Volume:
         """Smallest volume whose quality is ``q``, via binary search.
 
         The paper (§III-B step 5) uses binary search on the concave
@@ -106,7 +116,7 @@ class QualityFunction(ABC):
         return 0.5 * (lo + hi)
 
     # -- subclass hooks ---------------------------------------------------
-    def _value_scalar(self, x: float) -> float:
+    def _value_scalar(self, x: Volume) -> QualityFrac:
         """Scalar quality for ``x`` already clamped to [0, x_max].
 
         The default delegates to the vectorized form; hot subclasses
@@ -116,7 +126,7 @@ class QualityFunction(ABC):
         return float(self._value(np.float64(x)))
 
     @abstractmethod
-    def _value(self, x: np.ndarray) -> np.ndarray:
+    def _value(self, x: VolumeArray) -> QualityArray:
         """Quality for ``x`` already clamped to [0, x_max]."""
 
     @abstractmethod
@@ -135,23 +145,23 @@ class ExponentialQuality(QualityFunction):
     with ``x_max = 1000``.
     """
 
-    def __init__(self, c: float = 0.003, x_max: float = 1000.0) -> None:
+    def __init__(self, c: PerVolume = 0.003, x_max: Volume = 1000.0) -> None:
         super().__init__(x_max)
         if c <= 0:
             raise ConfigurationError(f"concavity c must be positive, got {c!r}")
         self.c = float(c)
         self._norm = 1.0 - math.exp(-self.c * self.x_max)
 
-    def _value(self, x: np.ndarray) -> np.ndarray:
+    def _value(self, x: VolumeArray) -> QualityArray:
         return (1.0 - np.exp(-self.c * x)) / self._norm
 
-    def _value_scalar(self, x: float) -> float:
+    def _value_scalar(self, x: Volume) -> QualityFrac:
         return (1.0 - math.exp(-self.c * x)) / self._norm
 
     def _slope(self, x: np.ndarray) -> np.ndarray:
         return self.c * np.exp(-self.c * x) / self._norm
 
-    def inverse_exact(self, q: float) -> float:
+    def inverse_exact(self, q: QualityFrac) -> Volume:
         """Closed-form inverse, for cross-checking the binary search."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"target quality must be in [0, 1], got {q!r}")
@@ -171,13 +181,13 @@ class LinearQuality(QualityFunction):
     tests and sensitivity studies as the null case.
     """
 
-    def _value(self, x: np.ndarray) -> np.ndarray:
+    def _value(self, x: VolumeArray) -> QualityArray:
         return x / self.x_max
 
     def _slope(self, x: np.ndarray) -> np.ndarray:
         return np.full_like(x, 1.0 / self.x_max)
 
-    def inverse_exact(self, q: float) -> float:
+    def inverse_exact(self, q: QualityFrac) -> Volume:
         """Closed-form inverse."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"target quality must be in [0, 1], got {q!r}")
@@ -187,20 +197,20 @@ class LinearQuality(QualityFunction):
 class LogQuality(QualityFunction):
     """``f(x) = log(1 + kx) / log(1 + k·x_max)`` — an alternative concave shape."""
 
-    def __init__(self, k: float = 0.01, x_max: float = 1000.0) -> None:
+    def __init__(self, k: PerVolume = 0.01, x_max: Volume = 1000.0) -> None:
         super().__init__(x_max)
         if k <= 0:
             raise ConfigurationError(f"k must be positive, got {k!r}")
         self.k = float(k)
         self._norm = math.log1p(self.k * self.x_max)
 
-    def _value(self, x: np.ndarray) -> np.ndarray:
+    def _value(self, x: VolumeArray) -> QualityArray:
         return np.log1p(self.k * x) / self._norm
 
     def _slope(self, x: np.ndarray) -> np.ndarray:
         return self.k / ((1.0 + self.k * x) * self._norm)
 
-    def inverse_exact(self, q: float) -> float:
+    def inverse_exact(self, q: QualityFrac) -> Volume:
         """Closed-form inverse."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"target quality must be in [0, 1], got {q!r}")
@@ -210,13 +220,13 @@ class LogQuality(QualityFunction):
 class PowerQuality(QualityFunction):
     """``f(x) = (x / x_max)^γ`` with ``0 < γ ≤ 1`` (e.g. sqrt for γ=0.5)."""
 
-    def __init__(self, gamma: float = 0.5, x_max: float = 1000.0) -> None:
+    def __init__(self, gamma: Dimensionless = 0.5, x_max: Volume = 1000.0) -> None:
         super().__init__(x_max)
         if not 0.0 < gamma <= 1.0:
             raise ConfigurationError(f"gamma must be in (0, 1], got {gamma!r}")
         self.gamma = float(gamma)
 
-    def _value(self, x: np.ndarray) -> np.ndarray:
+    def _value(self, x: VolumeArray) -> QualityArray:
         return (x / self.x_max) ** self.gamma
 
     def _slope(self, x: np.ndarray) -> np.ndarray:
@@ -229,7 +239,7 @@ class PowerQuality(QualityFunction):
             )
         return slope
 
-    def inverse_exact(self, q: float) -> float:
+    def inverse_exact(self, q: QualityFrac) -> Volume:
         """Closed-form inverse."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"target quality must be in [0, 1], got {q!r}")

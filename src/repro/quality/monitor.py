@@ -18,8 +18,9 @@ from typing import TYPE_CHECKING, Iterable, Optional, Tuple
 
 import numpy as np
 
-from repro.quality.aggregate import quality_ratio
+from repro.quality.aggregate import VolumeIter, quality_ratio
 from repro.quality.functions import QualityFunction
+from repro.units import Dimensionless, QualityFrac, Seconds, Volume
 
 if TYPE_CHECKING:  # type-only: repro.quality stays a leaf layer at runtime
     from repro.workload.job import Job
@@ -41,24 +42,24 @@ class QualityMonitor:
         experimentation, not used by the paper's configuration).
     """
 
-    def __init__(self, f: QualityFunction, history: float = 1.0) -> None:
+    def __init__(self, f: QualityFunction, history: Dimensionless = 1.0) -> None:
         if not 0.0 < history <= 1.0:
             raise ValueError(f"history factor must be in (0, 1], got {history!r}")
         self.f = f
         self.history = float(history)
-        self._achieved = 0.0
-        self._potential = 0.0
+        self._achieved: Dimensionless = 0.0
+        self._potential: Dimensionless = 0.0
         self._settled_jobs = 0
-        self._trace: list[Tuple[float, float]] = []
+        self._trace: list[Tuple[Seconds, QualityFrac]] = []
 
     # ------------------------------------------------------------------
     @property
-    def achieved(self) -> float:
+    def achieved(self) -> Dimensionless:
         """Cumulative Σ f(c_j) over settled jobs."""
         return self._achieved
 
     @property
-    def potential(self) -> float:
+    def potential(self) -> Dimensionless:
         """Cumulative Σ f(p_j) over settled jobs."""
         return self._potential
 
@@ -68,12 +69,12 @@ class QualityMonitor:
         return self._settled_jobs
 
     @property
-    def quality(self) -> float:
+    def quality(self) -> QualityFrac:
         """Current cumulative quality ``Q`` (1.0 before any job settles)."""
         return quality_ratio(self._achieved, self._potential)
 
     # ------------------------------------------------------------------
-    def record(self, processed: float, demand: float, time: Optional[float] = None) -> float:
+    def record(self, processed: Volume, demand: Volume, time: Optional[Seconds] = None) -> QualityFrac:
         """Settle one job; returns the updated cumulative quality.
 
         Parameters
@@ -99,7 +100,7 @@ class QualityMonitor:
             self._trace.append((float(time), q))
         return q
 
-    def record_job(self, job: Job, time: Optional[float] = None) -> float:
+    def record_job(self, job: Job, time: Optional[Seconds] = None) -> QualityFrac:
         """Settle one job object (hook point for class-aware monitors).
 
         The base implementation delegates to :meth:`record` with the
@@ -108,7 +109,7 @@ class QualityMonitor:
         """
         return self.record(job.processed, job.demand, time=time)
 
-    def expected_quality(self, jobs: Iterable[Job]) -> float:
+    def expected_quality(self, jobs: Iterable[Job]) -> QualityFrac:
         """Aggregate quality recomputed directly from job records.
 
         Used by :func:`repro.validation.validate_run` to audit the
@@ -118,7 +119,7 @@ class QualityMonitor:
         potential = sum(float(self.f(j.demand)) for j in jobs)
         return quality_ratio(achieved, potential)
 
-    def projected(self, targets: Iterable[float], demands: Iterable[float]) -> float:
+    def projected(self, targets: VolumeIter, demands: VolumeIter) -> QualityFrac:
         """Quality if a batch is delivered at ``targets`` on top of history."""
         targets_arr = np.asarray(list(targets), dtype=float)
         demands_arr = np.asarray(list(demands), dtype=float)
@@ -129,7 +130,7 @@ class QualityMonitor:
             potential = potential + float(np.sum(self.f(demands_arr)))
         return quality_ratio(achieved, potential)
 
-    def deficit(self, target_quality: float) -> float:
+    def deficit(self, target_quality: QualityFrac) -> Dimensionless:
         """Achieved-quality shortfall Σf needed to reach ``target_quality``.
 
         Positive when the monitor is below target; used by tests and
@@ -138,7 +139,7 @@ class QualityMonitor:
         return max(0.0, target_quality * self._potential - self._achieved)
 
     @property
-    def trace(self) -> list[Tuple[float, float]]:
+    def trace(self) -> list[Tuple[Seconds, QualityFrac]]:
         """Chronological ``(time, quality)`` samples (when times given)."""
         return list(self._trace)
 

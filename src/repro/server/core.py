@@ -27,6 +27,7 @@ from repro.obs.tracer import NULL_TRACER, TracerLike
 from repro.sim.engine import Simulator
 from repro.sim.events import PRIORITY_LOW, Event
 from repro.sim.timeline import StepTimeline
+from repro.units import Gigahertz, Seconds, UnitsPerGhzSecond, Volume
 from repro.workload.job import Job, JobOutcome
 
 __all__ = ["Core", "Segment"]
@@ -52,8 +53,8 @@ class Segment:
     """
 
     job: Job
-    volume: float
-    speed: float
+    volume: Volume
+    speed: Gigahertz
     final: bool = True
 
     def __post_init__(self) -> None:
@@ -66,7 +67,7 @@ class Segment:
                 f"segment for job {self.job.jid} has non-positive speed {self.speed!r}"
             )
 
-    def duration(self, units_per_ghz_second: float) -> float:
+    def duration(self, units_per_ghz_second: UnitsPerGhzSecond) -> Seconds:
         """Wall-clock length of the segment."""
         return self.volume / (self.speed * units_per_ghz_second)
 
@@ -98,7 +99,7 @@ class Core:
         self,
         index: int,
         sim: Simulator,
-        units_per_ghz_second: float = 1000.0,
+        units_per_ghz_second: UnitsPerGhzSecond = 1000.0,
         on_idle: Optional[Callable[[int], None]] = None,
         on_settle: Optional[Callable[[Job], None]] = None,
         tracer: Optional[TracerLike] = None,
@@ -112,9 +113,9 @@ class Core:
         self.speed_timeline = StepTimeline(start_time=sim.now, initial_value=0.0)
         self._pending: List[Segment] = []
         self._current: Optional[Segment] = None
-        self._current_started: float = 0.0
+        self._current_started: Seconds = 0.0
         self._completion: Optional[Event] = None
-        self._completed_volume = 0.0
+        self._completed_volume: Volume = 0.0
         self._exec_span = None
 
     # ------------------------------------------------------------------
@@ -134,12 +135,12 @@ class Core:
         return self._current.job if self._current else None
 
     @property
-    def speed(self) -> float:
+    def speed(self) -> Gigahertz:
         """Current speed in GHz (0 when idle)."""
         return self._current.speed if self._current else 0.0
 
     @property
-    def completed_volume(self) -> float:
+    def completed_volume(self) -> Volume:
         """Total processing units this core has executed."""
         return self._completed_volume
 
@@ -150,7 +151,7 @@ class Core:
             seen.setdefault(seg.job.jid, seg.job)
         return list(seen.values())
 
-    def planned_volume(self, job: Job) -> float:
+    def planned_volume(self, job: Job) -> Volume:
         """Total volume still planned (queued + in-flight remainder) for ``job``."""
         total = sum(s.volume for s in self._pending if s.job.jid == job.jid)
         if self._current is not None and self._current.job.jid == job.jid:
@@ -188,7 +189,7 @@ class Core:
         if not self.busy:
             self._start_next(notify_idle_if_empty=False)
 
-    def abort_job(self, job: Job) -> float:
+    def abort_job(self, job: Job) -> Volume:
         """Remove ``job`` from the plan; returns the volume it had executed.
 
         Called on deadline expiry.  Progress of an in-flight segment is
@@ -206,7 +207,7 @@ class Core:
     # ------------------------------------------------------------------
     # Internal execution machinery
     # ------------------------------------------------------------------
-    def _progress_so_far(self) -> float:
+    def _progress_so_far(self) -> Volume:
         """Units processed by the in-flight segment up to now."""
         assert self._current is not None
         elapsed = self.sim.now - self._current_started
@@ -215,7 +216,7 @@ class Core:
             elapsed * self._current.speed * self.units_per_ghz_second,
         )
 
-    def _interrupt_current(self) -> float:
+    def _interrupt_current(self) -> Volume:
         """Stop the in-flight segment, crediting its progress; return it."""
         if self._current is None:
             return 0.0

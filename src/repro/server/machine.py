@@ -24,6 +24,7 @@ from repro.power.dvfs import ContinuousSpeedScale, SpeedScale
 from repro.power.models import PowerModel
 from repro.server.core import Core
 from repro.sim.engine import Simulator
+from repro.units import Gigahertz, Joules, PowerBudget, Seconds, Speed, Volume, Watts
 from repro.workload.job import Job
 
 __all__ = ["MulticoreServer"]
@@ -51,7 +52,7 @@ class MulticoreServer:
         self,
         sim: Simulator,
         m: int = 16,
-        budget: float = 320.0,
+        budget: PowerBudget = 320.0,
         model: Optional[PowerModel] = None,
         scale: Optional[SpeedScale] = None,
         on_idle: Optional[Callable[[int], None]] = None,
@@ -93,7 +94,7 @@ class MulticoreServer:
     # Capacity figures
     # ------------------------------------------------------------------
     @property
-    def equal_share_speed(self) -> float:
+    def equal_share_speed(self) -> Gigahertz:
         """Mean core speed at an equal budget share (GHz).
 
         Paper defaults: 320 W / 16 cores = 20 W → 2 GHz.  On a
@@ -105,7 +106,7 @@ class MulticoreServer:
         )
 
     @property
-    def equal_share_capacity(self) -> float:
+    def equal_share_capacity(self) -> Speed:
         """Total units/second with the budget split equally."""
         share = self.budget / self.m
         return float(
@@ -118,7 +119,7 @@ class MulticoreServer:
     # ------------------------------------------------------------------
     # Measurements
     # ------------------------------------------------------------------
-    def energy(self, until: Optional[float] = None) -> float:
+    def energy(self, until: Optional[Seconds] = None) -> Joules:
         """Total dynamic energy (J) consumed up to ``until`` (default now)."""
         end = self.sim.now if until is None else until
         return sum(
@@ -126,20 +127,20 @@ class MulticoreServer:
             for core, model in zip(self.cores, self.models)
         )
 
-    def instantaneous_power(self) -> float:
+    def instantaneous_power(self) -> Watts:
         """Total dynamic power draw right now (W)."""
         return float(
             sum(model.power(core.speed) for core, model in zip(self.cores, self.models))
         )
 
-    def mean_speed(self, until: Optional[float] = None) -> float:
+    def mean_speed(self, until: Optional[Seconds] = None) -> Gigahertz:
         """Time-average of the across-core mean speed (GHz)."""
         end = self.sim.now if until is None else until
         return float(
             np.mean([core.speed_timeline.time_average(end) for core in self.cores])
         )
 
-    def speed_variance(self, until: Optional[float] = None) -> float:
+    def speed_variance(self, until: Optional[Seconds] = None) -> float:
         """Time-averaged across-core variance of core speeds.
 
         This is the Fig. 6b statistic: at each instant compute the
@@ -178,7 +179,7 @@ class MulticoreServer:
         inst_var = np.var(speeds, axis=0)
         return float(np.sum(inst_var * widths)) / span
 
-    def utilization(self, until: Optional[float] = None) -> float:
+    def utilization(self, until: Optional[Seconds] = None) -> float:
         """Fraction of core-time spent executing (speed > 0)."""
         end = self.sim.now if until is None else until
         start = min(core.speed_timeline.start_time for core in self.cores)
@@ -191,7 +192,7 @@ class MulticoreServer:
         )
         return busy / (span * self.m)
 
-    def total_completed_volume(self) -> float:
+    def total_completed_volume(self) -> Volume:
         """Processing units executed across all cores."""
         return sum(core.completed_volume for core in self.cores)
 

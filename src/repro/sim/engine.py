@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.errors import SimulationError
 from repro.sim.events import PRIORITY_NORMAL, Event, EventQueue
+from repro.units import Seconds
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.sim.process import Process
@@ -47,7 +48,7 @@ class Simulator:
     [0.5, 1.0]
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: Seconds = 0.0) -> None:
         self._now = float(start_time)
         self._queue = EventQueue()
         self._running = False
@@ -58,7 +59,7 @@ class Simulator:
     # Introspection
     # ------------------------------------------------------------------
     @property
-    def now(self) -> float:
+    def now(self) -> Seconds:
         """Current simulated time in seconds."""
         return self._now
 
@@ -77,7 +78,7 @@ class Simulator:
     # ------------------------------------------------------------------
     def schedule(
         self,
-        delay: float,
+        delay: Seconds,
         callback: Callable[[], Any],
         *,
         priority: int = PRIORITY_NORMAL,
@@ -90,7 +91,7 @@ class Simulator:
 
     def at(
         self,
-        time: float,
+        time: Seconds,
         callback: Callable[[], Any],
         *,
         priority: int = PRIORITY_NORMAL,
@@ -127,7 +128,7 @@ class Simulator:
         event._fire()
         return True
 
-    def run(self, until: Optional[float] = None) -> None:
+    def run(self, until: Optional[Seconds] = None) -> None:
         """Run until the agenda drains or the clock passes ``until``.
 
         When ``until`` is given, the clock is advanced to exactly

@@ -19,6 +19,7 @@ import itertools
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
+from repro.units import Seconds
 
 __all__ = ["Event", "EventQueue", "PRIORITY_HIGH", "PRIORITY_NORMAL", "PRIORITY_LOW"]
 
@@ -52,7 +53,7 @@ class Event:
 
     def __init__(
         self,
-        time: float,
+        time: Seconds,
         priority: int,
         seq: int,
         callback: Callable[[], Any],
@@ -129,7 +130,7 @@ class EventQueue:
 
     def push(
         self,
-        time: float,
+        time: Seconds,
         callback: Callable[[], Any],
         *,
         priority: int = PRIORITY_NORMAL,
@@ -141,7 +142,7 @@ class EventQueue:
         self._live += 1
         return event
 
-    def peek_time(self) -> Optional[float]:
+    def peek_time(self) -> Optional[Seconds]:
         """Time of the earliest live event, or ``None`` if empty."""
         self._drop_cancelled()
         return self._heap[0].time if self._heap else None

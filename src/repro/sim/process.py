@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
+from repro.units import Seconds
 from repro.sim.engine import Simulator
 from repro.sim.events import PRIORITY_NORMAL, Event
 
@@ -46,7 +47,7 @@ class Timeout:
 
     __slots__ = ("delay", "value")
 
-    def __init__(self, delay: float, value: Any = None) -> None:
+    def __init__(self, delay: Seconds, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"Timeout with negative delay {delay!r}")
         self.delay = float(delay)

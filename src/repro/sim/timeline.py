@@ -9,11 +9,12 @@ integral/average/variance queries exactly (no sampling error).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.units import Seconds
 
 __all__ = ["StepTimeline", "merge_mean_timeline"]
 
@@ -29,19 +30,19 @@ class StepTimeline:
 
     __slots__ = ("_times", "_values", "_finalized")
 
-    def __init__(self, start_time: float = 0.0, initial_value: float = 0.0) -> None:
+    def __init__(self, start_time: Seconds = 0.0, initial_value: float = 0.0) -> None:
         self._times: List[float] = [float(start_time)]
         self._values: List[float] = [float(initial_value)]
         self._finalized: Optional[float] = None
 
     # ------------------------------------------------------------------
     @property
-    def start_time(self) -> float:
+    def start_time(self) -> Seconds:
         """Time of the first breakpoint."""
         return self._times[0]
 
     @property
-    def last_time(self) -> float:
+    def last_time(self) -> Seconds:
         """Timestamp of the most recent breakpoint."""
         return self._times[-1]
 
@@ -50,7 +51,7 @@ class StepTimeline:
         """Value of the signal after the last breakpoint."""
         return self._values[-1]
 
-    def set_value(self, time: float, value: float) -> None:
+    def set_value(self, time: Seconds, value: float) -> None:
         """Record that the signal takes ``value`` from ``time`` onwards."""
         time = float(time)
         last = self._times[-1]
@@ -71,7 +72,7 @@ class StepTimeline:
             self._values.append(float(value))
 
     # ------------------------------------------------------------------
-    def segments(self, until: float) -> Iterator[Tuple[float, float, float]]:
+    def segments(self, until: Seconds) -> Iterator[Tuple[Seconds, Seconds, float]]:
         """Yield ``(start, end, value)`` segments covering [start_time, until]."""
         if until < self._times[0]:
             raise SimulationError("query before the timeline's start")
@@ -85,7 +86,7 @@ class StepTimeline:
 
     def integral(
         self,
-        until: float,
+        until: Seconds,
         transform: Optional[Callable[[np.ndarray], np.ndarray]] = None,
     ) -> float:
         """Integrate the signal (or ``transform(value)``) up to ``until``.
@@ -106,14 +107,14 @@ class StepTimeline:
             y = values
         return float(np.dot(y, widths))
 
-    def time_average(self, until: float) -> float:
+    def time_average(self, until: Seconds) -> float:
         """Time-weighted mean value over [start_time, until]."""
         span = until - self._times[0]
         if span <= 0:
             return self._values[0]
         return self.integral(until) / span
 
-    def time_variance(self, until: float) -> float:
+    def time_variance(self, until: Seconds) -> float:
         """Time-weighted variance of the signal over [start_time, until]."""
         span = until - self._times[0]
         if span <= 0:
@@ -122,14 +123,14 @@ class StepTimeline:
         second = self.integral(until, transform=lambda v: v * v) / span
         return max(0.0, second - mean * mean)
 
-    def sample(self, time: float) -> float:
+    def sample(self, time: Seconds) -> float:
         """Value of the signal at ``time`` (right-continuous)."""
         if time < self._times[0]:
             raise SimulationError("sample before the timeline's start")
         idx = int(np.searchsorted(np.asarray(self._times), time, side="right")) - 1
         return self._values[idx]
 
-    def as_arrays(self, until: float) -> Tuple[np.ndarray, np.ndarray]:
+    def as_arrays(self, until: Seconds) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(breakpoints, values)`` arrays covering up to ``until``."""
         starts, values = [], []
         for start, _end, value in self.segments(until):
@@ -141,7 +142,7 @@ class StepTimeline:
         return len(self._times)
 
 
-def merge_mean_timeline(timelines: List[StepTimeline], until: float) -> StepTimeline:
+def merge_mean_timeline(timelines: List[StepTimeline], until: Seconds) -> StepTimeline:
     """Pointwise mean of several step timelines as a new timeline.
 
     Used to build the "average core speed over time" signal across the

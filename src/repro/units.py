@@ -1,0 +1,293 @@
+"""Unit-aware type vocabulary for the simulator (dimensional analysis).
+
+Every core quantity of the paper is a physical quantity — simulated
+time (s), dynamic power ``P = a·s^β`` (W) capped by the budget ``H``,
+energy ``E = ∫P dt`` (J), work volumes/demands ``p_j, c_j``
+(processing units), processing speeds (units/s), and DVFS clock rates
+(GHz) — yet Python passes them all around as bare ``float``.  This
+module gives each of them a *name* that both humans and tooling can
+see, at **zero runtime cost**:
+
+    Watts = Annotated[float, Unit("W")]
+
+``Annotated`` metadata is invisible to the interpreter and to mypy
+(the aliases *are* ``float``/``np.ndarray`` as far as type checking is
+concerned); the :class:`Unit` marker is read statically by the
+``repro.check.units`` dimensional-analysis pass, which infers units
+through assignments and arithmetic (``W·s → J``, ``unit / (unit/s) →
+s`` …) and flags mismatched additions, comparisons, call arguments and
+returns.  See ``docs/static-analysis.md`` ("Dimensional analysis").
+
+Base dimensions
+---------------
+``s``     simulated seconds
+``W``     watts of dynamic power
+``unit``  processing units of work volume (1 GHz·s = 1000 units)
+``GHz``   DVFS clock rate
+
+Derived:  ``J = W·s`` (energy), ``unit/s`` (processing speed /
+throughput), ``unit/GHz/s`` (the machine constant linking clock rate
+to throughput), ``1/s`` (arrival rate), ``1`` (dimensionless — named
+quality fractions).
+
+The module is deliberately stdlib-only (numpy is referenced only under
+``TYPE_CHECKING``) so the static checker — which must run in a bare CI
+container — can import the vocabulary without the simulation stack.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Annotated, Dict, Mapping, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - the array aliases are type-only
+    import numpy as np
+
+__all__ = [
+    "ALIAS_SPECS",
+    "DIMENSIONLESS",
+    "Dim",
+    "Dimensionless",
+    "Gigahertz",
+    "GigahertzArray",
+    "GigahertzLike",
+    "GigahertzSeq",
+    "Joules",
+    "JoulesArray",
+    "PerSecond",
+    "PerVolume",
+    "PowerBudget",
+    "QualityArray",
+    "QualityFrac",
+    "QualityLike",
+    "Seconds",
+    "SecondsArray",
+    "SecondsLike",
+    "SecondsSeq",
+    "Speed",
+    "SpeedArray",
+    "SpeedLike",
+    "SpeedSeq",
+    "Unit",
+    "UnitError",
+    "UnitsPerGhzSecond",
+    "Volume",
+    "VolumeArray",
+    "VolumeLike",
+    "VolumeSeq",
+    "Watts",
+    "WattsSeq",
+    "WattsArray",
+    "WattsLike",
+    "dim_div",
+    "dim_mul",
+    "dim_pow",
+    "format_dim",
+    "parse_spec",
+]
+
+#: A canonical dimension: sorted ``(base, exponent)`` pairs, zero
+#: exponents elided.  ``()`` is dimensionless.
+Dim = Tuple[Tuple[str, int], ...]
+
+DIMENSIONLESS: Dim = ()
+
+#: Base dimension symbols the spec grammar accepts.
+_BASES = frozenset({"s", "W", "unit", "GHz"})
+
+#: Derived symbols expanded into base dimensions during parsing.
+_DERIVED: Mapping[str, Dim] = {"J": (("W", 1), ("s", 1))}
+
+_FACTOR_RE = re.compile(r"^([A-Za-z]+|1)(?:\^(-?\d+))?$")
+
+
+class UnitError(ValueError):
+    """A malformed unit specification string."""
+
+
+def _canonical(exps: Dict[str, int]) -> Dim:
+    return tuple(sorted((b, e) for b, e in exps.items() if e != 0))
+
+
+def parse_spec(spec: str) -> Dim:
+    """Parse a unit spec like ``"W"``, ``"J"``, ``"unit/GHz/s"``, ``"1"``.
+
+    Grammar: factors joined by ``*`` (multiply) and ``/`` (divide, binds
+    left to right, so ``a/b/c = a·b⁻¹·c⁻¹``); each factor is a base or
+    derived symbol with an optional integer power (``GHz^2``), or the
+    literal ``1`` (dimensionless).
+    """
+    exps: Dict[str, int] = {}
+    sign = 1
+    for token in re.split(r"([*/])", spec.replace(" ", "")):
+        if token == "*":
+            continue
+        if token == "/":
+            sign = -1
+            continue
+        match = _FACTOR_RE.match(token)
+        if match is None:
+            raise UnitError(f"malformed unit spec {spec!r} (at {token!r})")
+        symbol, power = match.group(1), int(match.group(2) or 1)
+        if symbol == "1":
+            pass  # dimensionless factor
+        elif symbol in _DERIVED:
+            for base, exp in _DERIVED[symbol]:
+                exps[base] = exps.get(base, 0) + sign * power * exp
+        elif symbol in _BASES:
+            exps[symbol] = exps.get(symbol, 0) + sign * power
+        else:
+            raise UnitError(f"unknown unit symbol {symbol!r} in {spec!r}")
+        sign = sign  # '/' applies to every following factor (a/b/c)
+    return _canonical(exps)
+
+
+def dim_mul(a: Dim, b: Dim) -> Dim:
+    """Dimension of a product: exponents add (``W · s → J``)."""
+    exps = dict(a)
+    for base, exp in b:
+        exps[base] = exps.get(base, 0) + exp
+    return _canonical(exps)
+
+
+def dim_div(a: Dim, b: Dim) -> Dim:
+    """Dimension of a quotient: exponents subtract (``unit / (unit/s) → s``)."""
+    exps = dict(a)
+    for base, exp in b:
+        exps[base] = exps.get(base, 0) - exp
+    return _canonical(exps)
+
+
+def dim_pow(a: Dim, k: int) -> Dim:
+    """Dimension of an integer power: exponents scale."""
+    return _canonical({base: exp * k for base, exp in a})
+
+
+def format_dim(dim: Dim) -> str:
+    """Human-readable form of a canonical dimension (``"W·s"``, ``"1"``)."""
+    if not dim:
+        return "1"
+    num = [f"{b}" + (f"^{e}" if e != 1 else "") for b, e in dim if e > 0]
+    den = [f"{b}" + (f"^{-e}" if e != -1 else "") for b, e in dim if e < 0]
+    if not num:
+        num = ["1"]
+    text = "·".join(num)
+    if den:
+        text += "/" + "/".join(den)
+    return text
+
+
+@dataclass(frozen=True)
+class Unit:
+    """Static unit marker carried in ``Annotated`` metadata.
+
+    The marker is inert at runtime (annotations are never evaluated in
+    hot paths, and the metadata is invisible to mypy); its ``spec`` is
+    what the ``repro.check.units`` pass reads.
+    """
+
+    spec: str
+
+    def dim(self) -> Dim:
+        """The canonical dimension of this unit."""
+        return parse_spec(self.spec)
+
+    def __str__(self) -> str:
+        return self.spec
+
+
+# ---------------------------------------------------------------------------
+# Scalar aliases
+# ---------------------------------------------------------------------------
+
+#: Simulated time in seconds.
+Seconds = Annotated[float, Unit("s")]
+#: Dynamic power in watts.
+Watts = Annotated[float, Unit("W")]
+#: The shared dynamic power budget ``H`` (also watts; named for intent).
+PowerBudget = Annotated[float, Unit("W")]
+#: Energy in joules (``J = W·s``).
+Joules = Annotated[float, Unit("J")]
+#: Work volume in processing units (demands ``p_j``, progress ``c_j``).
+Volume = Annotated[float, Unit("unit")]
+#: Processing speed / throughput in units per second (the paper's ``s``).
+Speed = Annotated[float, Unit("unit/s")]
+#: DVFS clock rate in GHz.
+Gigahertz = Annotated[float, Unit("GHz")]
+#: The machine constant linking clock rate to throughput
+#: (paper default: 1000 units per GHz·second).
+UnitsPerGhzSecond = Annotated[float, Unit("unit/GHz/s")]
+
+#: Marginal quality per processing unit — the slope of a quality
+#: function (Quality-OPT's KKT multiplier lives in this dimension).
+PerVolume = Annotated[float, Unit("1/unit")]
+#: Arrival / event rates per second (λ).
+PerSecond = Annotated[float, Unit("1/s")]
+#: Dimensionless quality fraction in [0, 1] (``Q``, ``Q_GE``, ``f(x)``).
+QualityFrac = Annotated[float, Unit("1")]
+#: Any other dimensionless scalar (fractions, scale factors, ratios).
+Dimensionless = Annotated[float, Unit("1")]
+
+# ---------------------------------------------------------------------------
+# Array and scalar-or-array aliases (type-only numpy reference)
+# ---------------------------------------------------------------------------
+
+SecondsArray = Annotated["np.ndarray", Unit("s")]
+WattsArray = Annotated["np.ndarray", Unit("W")]
+JoulesArray = Annotated["np.ndarray", Unit("J")]
+VolumeArray = Annotated["np.ndarray", Unit("unit")]
+SpeedArray = Annotated["np.ndarray", Unit("unit/s")]
+GigahertzArray = Annotated["np.ndarray", Unit("GHz")]
+QualityArray = Annotated["np.ndarray", Unit("1")]
+
+#: Scalar-or-array forms for the ufunc-style APIs (PowerModel, quality
+#: functions) that accept either.
+SecondsLike = Annotated[Union[float, "np.ndarray"], Unit("s")]
+WattsLike = Annotated[Union[float, "np.ndarray"], Unit("W")]
+VolumeLike = Annotated[Union[float, "np.ndarray"], Unit("unit")]
+SpeedLike = Annotated[Union[float, "np.ndarray"], Unit("unit/s")]
+GigahertzLike = Annotated[Union[float, "np.ndarray"], Unit("GHz")]
+QualityLike = Annotated[Union[float, "np.ndarray"], Unit("1")]
+
+#: Sequence forms for the list-based hot-path signatures.
+SecondsSeq = Annotated[Sequence[float], Unit("s")]
+VolumeSeq = Annotated[Sequence[float], Unit("unit")]
+WattsSeq = Annotated[Sequence[float], Unit("W")]
+SpeedSeq = Annotated[Sequence[float], Unit("unit/s")]
+GigahertzSeq = Annotated[Sequence[float], Unit("GHz")]
+
+#: Alias name → unit spec, for the static checker's annotation parser.
+#: Kept in one place so the checker and the vocabulary cannot drift.
+ALIAS_SPECS: Mapping[str, str] = {
+    "Seconds": "s",
+    "Watts": "W",
+    "PowerBudget": "W",
+    "Joules": "J",
+    "Volume": "unit",
+    "Speed": "unit/s",
+    "Gigahertz": "GHz",
+    "UnitsPerGhzSecond": "unit/GHz/s",
+    "PerSecond": "1/s",
+    "PerVolume": "1/unit",
+    "QualityFrac": "1",
+    "Dimensionless": "1",
+    "SecondsArray": "s",
+    "WattsArray": "W",
+    "JoulesArray": "J",
+    "VolumeArray": "unit",
+    "SpeedArray": "unit/s",
+    "GigahertzArray": "GHz",
+    "QualityArray": "1",
+    "SecondsLike": "s",
+    "WattsLike": "W",
+    "VolumeLike": "unit",
+    "SpeedLike": "unit/s",
+    "GigahertzLike": "GHz",
+    "QualityLike": "1",
+    "SecondsSeq": "s",
+    "VolumeSeq": "unit",
+    "WattsSeq": "W",
+    "SpeedSeq": "unit/s",
+    "GigahertzSeq": "GHz",
+}

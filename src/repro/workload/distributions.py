@@ -18,6 +18,7 @@ from typing import Union
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.units import PerSecond, Seconds, SecondsLike, Volume, VolumeLike
 
 __all__ = ["BoundedPareto", "ExponentialInterarrival", "UniformDeadlineWindow"]
 
@@ -38,8 +39,8 @@ class BoundedPareto:
     """
 
     alpha: float = 3.0
-    x_min: float = 130.0
-    x_max: float = 1000.0
+    x_min: Volume = 130.0
+    x_max: Volume = 1000.0
 
     def __post_init__(self) -> None:
         if self.alpha <= 0:
@@ -51,7 +52,7 @@ class BoundedPareto:
 
     # ------------------------------------------------------------------
     @property
-    def mean(self) -> float:
+    def mean(self) -> Volume:
         """Exact mean of the bounded Pareto.
 
         For α ≠ 1:
@@ -73,7 +74,7 @@ class BoundedPareto:
         out = np.where(arr < lo, 0.0, np.where(arr > hi, 1.0, inside))
         return float(out) if np.isscalar(x) or arr.ndim == 0 else out
 
-    def ppf(self, u: ArrayOrFloat) -> ArrayOrFloat:
+    def ppf(self, u: ArrayOrFloat) -> VolumeLike:
         """Inverse CDF; ``u`` in [0, 1)."""
         arr = np.asarray(u, dtype=float)
         if np.any((arr < 0) | (arr >= 1)):
@@ -83,7 +84,7 @@ class BoundedPareto:
         out = lo * (1.0 - arr * trunc) ** (-1.0 / a)
         return float(out) if np.isscalar(u) or arr.ndim == 0 else out
 
-    def sample(self, rng: np.random.Generator, size: int | None = None) -> ArrayOrFloat:
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> VolumeLike:
         """Draw one value (``size=None``) or an array of samples."""
         u = rng.random(size)
         return self.ppf(u)
@@ -96,18 +97,18 @@ class ExponentialInterarrival:
     ``rate`` is in arrivals per second (the paper's λ axis).
     """
 
-    rate: float
+    rate: PerSecond
 
     def __post_init__(self) -> None:
         if self.rate <= 0:
             raise ConfigurationError(f"arrival rate must be positive, got {self.rate!r}")
 
     @property
-    def mean(self) -> float:
+    def mean(self) -> Seconds:
         """Mean gap between arrivals."""
         return 1.0 / self.rate
 
-    def sample(self, rng: np.random.Generator, size: int | None = None) -> ArrayOrFloat:
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> SecondsLike:
         """Draw interarrival gap(s)."""
         return rng.exponential(1.0 / self.rate, size)
 
@@ -121,8 +122,8 @@ class UniformDeadlineWindow:
     [low, high] (the Fig. 4 variant uses [0.15 s, 0.5 s]).
     """
 
-    low: float = 0.150
-    high: float = 0.150
+    low: Seconds = 0.150
+    high: Seconds = 0.150
 
     def __post_init__(self) -> None:
         if self.low <= 0 or self.high < self.low:
@@ -136,11 +137,11 @@ class UniformDeadlineWindow:
         return self.low == self.high
 
     @property
-    def mean(self) -> float:
+    def mean(self) -> Seconds:
         """Mean window length."""
         return 0.5 * (self.low + self.high)
 
-    def sample(self, rng: np.random.Generator, size: int | None = None) -> ArrayOrFloat:
+    def sample(self, rng: np.random.Generator, size: int | None = None) -> SecondsLike:
         """Draw window length(s)."""
         if self.fixed:
             if size is None:

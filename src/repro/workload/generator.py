@@ -17,6 +17,7 @@ from repro.errors import ConfigurationError
 from repro.sim.engine import Simulator
 from repro.sim.events import PRIORITY_HIGH
 from repro.sim.rng import RandomStreams
+from repro.units import PerSecond, Seconds, Speed
 from repro.workload.distributions import (
     BoundedPareto,
     ExponentialInterarrival,
@@ -61,11 +62,11 @@ class PoissonWorkloadGenerator:
 
     def __init__(
         self,
-        arrival_rate: float,
+        arrival_rate: PerSecond,
         *,
         demand: Optional[BoundedPareto] = None,
         window: Optional[UniformDeadlineWindow] = None,
-        horizon: float = 600.0,
+        horizon: Seconds = 600.0,
         streams: Optional[RandomStreams] = None,
     ) -> None:
         if horizon <= 0:
@@ -78,7 +79,7 @@ class PoissonWorkloadGenerator:
         self._jobs: Optional[List[Job]] = None
 
     @property
-    def arrival_rate(self) -> float:
+    def arrival_rate(self) -> PerSecond:
         """λ in requests/second."""
         return self.interarrival.rate
 
@@ -129,7 +130,7 @@ class PoissonWorkloadGenerator:
 
     # -- analytical helpers ----------------------------------------------
     @property
-    def offered_load(self) -> float:
+    def offered_load(self) -> Speed:
         """Mean demand volume offered per second (units/s)."""
         return self.arrival_rate * self.demand.mean
 
@@ -164,7 +165,7 @@ class StaticWorkload:
         return len(self._jobs)
 
     @property
-    def offered_load(self) -> float:
+    def offered_load(self) -> Speed:
         """Mean demand volume per second over the workload's span."""
         if not self._jobs:
             return 0.0

@@ -22,6 +22,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.units import Seconds, Volume
+
 __all__ = ["Job", "JobOutcome"]
 
 #: Volumes smaller than this are treated as zero to absorb float error.
@@ -66,10 +68,10 @@ class Job:
     """
 
     jid: int
-    arrival: float
-    deadline: float
-    demand: float
-    processed: float = 0.0
+    arrival: Seconds
+    deadline: Seconds
+    demand: Volume
+    processed: Volume = 0.0
     core: Optional[int] = None
     #: Application-class index (0 in the paper's single-class model;
     #: the mixed-class extension maps it to a per-class quality function).
@@ -88,12 +90,12 @@ class Job:
 
     # ------------------------------------------------------------------
     @property
-    def remaining(self) -> float:
+    def remaining(self) -> Volume:
         """Unprocessed demand ``p_j − c_j`` (never negative)."""
         return max(0.0, self.demand - self.processed)
 
     @property
-    def window(self) -> float:
+    def window(self) -> Seconds:
         """Length of the execution window ``d_j − s_j``."""
         return self.deadline - self.arrival
 
@@ -102,7 +104,7 @@ class Job:
         """Whether the job's outcome is final."""
         return self.outcome.is_final
 
-    def laxity(self, now: float) -> float:
+    def laxity(self, now: Seconds) -> Seconds:
         """Time left until the deadline (negative when expired)."""
         return self.deadline - now
 
@@ -115,7 +117,7 @@ class Job:
             )
         self.core = core
 
-    def add_progress(self, volume: float) -> None:
+    def add_progress(self, volume: Volume) -> None:
         """Record ``volume`` processing units of execution."""
         if self.settled:
             raise ValueError(f"job {self.jid} is already settled ({self.outcome})")

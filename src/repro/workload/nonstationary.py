@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.units import PerSecond, Seconds, Speed
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.workload.distributions import BoundedPareto, UniformDeadlineWindow
@@ -40,7 +41,7 @@ class PiecewiseRateWorkload:
 
     def __init__(
         self,
-        profile: Sequence[Tuple[float, float]],
+        profile: Sequence[Tuple[Seconds, PerSecond]],
         *,
         demand: Optional[BoundedPareto] = None,
         window: Optional[UniformDeadlineWindow] = None,
@@ -60,11 +61,11 @@ class PiecewiseRateWorkload:
         self._jobs: Optional[List[Job]] = None
 
     @property
-    def horizon(self) -> float:
+    def horizon(self) -> Seconds:
         """Total length of the profile in seconds."""
         return sum(d for d, _ in self.profile)
 
-    def rate_at(self, time: float) -> float:
+    def rate_at(self, time: Seconds) -> PerSecond:
         """The profile's rate at absolute ``time`` (0 past the end)."""
         t = 0.0
         for duration, rate in self.profile:
@@ -120,7 +121,7 @@ class PiecewiseRateWorkload:
         return len(jobs)
 
     @property
-    def offered_load(self) -> float:
+    def offered_load(self) -> Speed:
         """Mean offered demand volume per second over the whole profile."""
         total_arrivals = sum(d * r for d, r in self.profile)
         return total_arrivals * self.demand.mean / self.horizon

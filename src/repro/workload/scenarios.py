@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.config import SimulationConfig
+from repro.units import PerSecond
 
 __all__ = ["SCENARIOS", "Scenario", "scenario_config"]
 
@@ -41,7 +42,7 @@ class Scenario:
     name: str
     description: str
     overrides: Dict
-    nominal_rate: float
+    nominal_rate: PerSecond
 
 
 SCENARIOS: Dict[str, Scenario] = {
@@ -129,7 +130,7 @@ SCENARIOS: Dict[str, Scenario] = {
 
 def scenario_config(
     name: str,
-    arrival_rate: Optional[float] = None,
+    arrival_rate: Optional[PerSecond] = None,
     **extra_overrides: object,
 ) -> SimulationConfig:
     """A :class:`SimulationConfig` for a named scenario.

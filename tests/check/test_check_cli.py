@@ -70,11 +70,92 @@ class TestLintCommand:
         assert main(["lint", str(tmp_path)]) == 0
 
 
+UNITS_BAD = (
+    "from repro.units import Joules, Watts\n"
+    "\n"
+    "def bad(p: Watts, e: Joules) -> Joules:\n"
+    "    return e + p\n"
+)
+UNITS_GOOD = (
+    "from repro.units import Joules, Seconds, Watts\n"
+    "\n"
+    "def ok(p: Watts, t: Seconds) -> Joules:\n"
+    "    return p * t\n"
+)
+
+
+class TestUnitsCommand:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        p = write(tmp_path, "good.py", UNITS_GOOD)
+        assert main(["units", str(p), "--module", "repro.core.good"]) == 0
+        assert "sim-units: clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        p = write(tmp_path, "bad.py", UNITS_BAD)
+        assert main(["units", str(p), "--module", "repro.core.bad"]) == 1
+        assert "UNITS001" in capsys.readouterr().out
+
+    def test_select_and_ignore(self, tmp_path, capsys):
+        p = write(tmp_path, "bad.py", UNITS_BAD)
+        assert main(["units", str(p), "--module", "repro.core.bad",
+                     "--select", "UNITS002"]) == 0
+        assert main(["units", str(p), "--module", "repro.core.bad",
+                     "--ignore", "UNITS001"]) == 0
+
+    def test_unknown_units_code_exits_two(self, tmp_path):
+        p = write(tmp_path, "bad.py", UNITS_BAD)
+        assert main(["units", str(p), "--select", "UNITS999"]) == 2
+
+    def test_json_output(self, tmp_path, capsys):
+        p = write(tmp_path, "bad.py", UNITS_BAD)
+        assert main(["units", str(p), "--module", "repro.core.bad",
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["by_rule"] == {"UNITS001": 1}
+
+    def test_coverage_report_never_fails(self, tmp_path, capsys):
+        p = write(tmp_path, "bad.py", UNITS_BAD)
+        assert main(["units", str(p), "--module", "repro.core.bad",
+                     "--coverage"]) == 0
+        out = capsys.readouterr().out
+        assert "repro.core.bad" in out and "TOTAL" in out
+
+    def test_coverage_json(self, tmp_path, capsys):
+        p = write(tmp_path, "good.py", UNITS_GOOD)
+        assert main(["units", str(p), "--module", "repro.core.good",
+                     "--coverage", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["modules"]["repro.core.good"]["unit_slots"] == 3
+
+
+class TestGateCommand:
+    def test_gate_runs_both_passes(self, tmp_path, capsys):
+        # One file violating sim-lint, one violating sim-units: the
+        # gate must report findings from both and exit 1.
+        write(tmp_path, "lintbad.py", BAD)
+        write(tmp_path, "unitsbad.py", UNITS_BAD)
+        assert main(["gate", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        # Fixture files outside the package tree get generic module
+        # names, so only the layer-independent rules apply — SIM006
+        # (missing annotations) from sim-lint, UNITS001 from sim-units.
+        assert "SIM006" in out and "UNITS001" in out
+
+    def test_gate_clean_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, "good.py", "def f(x: int) -> int:\n    return x\n")
+        assert main(["gate", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sim-lint: clean" in out and "sim-units: clean" in out
+
+    def test_gate_on_library_source_is_clean(self, capsys):
+        assert main(["gate", str(REPO / "src" / "repro")]) == 0
+
+
 class TestRulesCommand:
     def test_rules_lists_catalog(self, capsys):
         assert main(["rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("SIM001", "SIM004", "SIM008"):
+        for code in ("SIM001", "SIM004", "SIM008", "SIM009", "UNITS001", "UNITS005"):
             assert code in out
 
 

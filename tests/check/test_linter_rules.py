@@ -217,6 +217,78 @@ class TestSIM008SilentExcept:
         assert "SIM008" not in codes(src, "repro.core.ge")
 
 
+class TestSIM009UnorderedIteration:
+    def test_flags_for_loop_over_set(self):
+        src = (
+            "def dispatch(ready: set) -> list:\n"
+            "    order = []\n"
+            "    for jid in ready:\n"
+            "        order.append(jid)\n"
+            "    return order\n"
+        )
+        assert "SIM009" in codes(src, "repro.core.ge")
+
+    def test_flags_set_literal_comprehension(self):
+        src = "def f(jobs):\n    return [j for j in {jobs[0], jobs[1]}]\n"
+        assert "SIM009" in codes(src, "repro.sim.engine")
+
+    def test_flags_list_materialization_of_set(self):
+        src = "def f() -> list:\n    pending = set()\n    return list(pending)\n"
+        assert "SIM009" in codes(src, "repro.core.planner")
+
+    def test_flags_set_arithmetic_results(self):
+        src = (
+            "def f(a: set, b: set) -> list:\n"
+            "    return [x for x in a | b]\n"
+        )
+        assert "SIM009" in codes(src, "repro.core.assignment")
+
+    def test_flags_set_typed_attribute(self):
+        src = (
+            "class S:\n"
+            "    def __init__(self) -> None:\n"
+            "        self.ready = set()\n"
+            "\n"
+            "    def order(self) -> list:\n"
+            "        return [j for j in self.ready]\n"
+        )
+        assert "SIM009" in codes(src, "repro.core.ge")
+
+    def test_sorted_iteration_passes(self):
+        src = (
+            "def dispatch(ready: set) -> list:\n"
+            "    return [jid for jid in sorted(ready)]\n"
+        )
+        assert "SIM009" not in codes(src, "repro.core.ge")
+
+    def test_membership_tests_pass(self):
+        # Only *iteration order* is nondeterministic; lookups are fine.
+        src = (
+            "def f(ready: set, jid: int) -> bool:\n"
+            "    return jid in ready\n"
+        )
+        assert "SIM009" not in codes(src, "repro.core.ge")
+
+    def test_dict_iteration_passes(self):
+        # Dicts preserve insertion order — deterministic per seed.
+        src = "def f(table: dict) -> list:\n    return [k for k in table]\n"
+        assert "SIM009" not in codes(src, "repro.core.ge")
+
+    def test_not_applied_outside_scheduling_layers(self):
+        src = (
+            "def f(names: set) -> list:\n"
+            "    return [n for n in names]\n"
+        )
+        assert "SIM009" not in codes(src, "repro.obs.stream")
+
+    def test_inline_suppression(self):
+        src = (
+            "def dispatch(ready: set) -> list:\n"
+            "    return [j for j in ready]  # simlint: ignore[SIM009]\n"
+        )
+        assert "SIM009" not in codes(src, "repro.core.ge")
+
+
 class TestSuppressions:
     def test_inline_ignore_silences_one_code(self):
         src = "import time\n\ndef now() -> float:\n    return time.time()  # simlint: ignore[SIM001]\n"

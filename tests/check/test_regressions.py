@@ -51,3 +51,52 @@ class TestInfinityDefaults:
         blocks = yds_schedule([100.0], [1.0], 0.0)
         assert blocks
         assert all(b.speed < math.inf for b in blocks)
+
+
+class TestTimelineAnnotationsResolve:
+    def test_step_timeline_type_hints_evaluate(self):
+        # sim.timeline used `Callable` in the time_average/transform
+        # signature without importing it — invisible at runtime under
+        # `from __future__ import annotations`, but a NameError the
+        # moment anything evaluates the annotations.  The units sweep
+        # surfaced it; pin that every annotation now resolves.
+        import typing
+
+        from repro.sim import timeline
+
+        for name in ("set_value", "integral", "time_average", "sample"):
+            typing.get_type_hints(
+                getattr(timeline.StepTimeline, name), include_extras=True
+            )
+
+
+class TestCutToleranceIsRelative:
+    def test_tol_scales_with_demand_magnitude(self):
+        # The checker flagged `tol * max(1.0, top)` under a `tol: Volume`
+        # annotation (unit·unit): tol is a *relative* tolerance.  Pin the
+        # semantics: scaling all demands by a constant scales the
+        # waterline targets by the same constant, independent of tol's
+        # absolute magnitude.
+        import numpy as np
+
+        from repro.core.cutting import lf_cut_waterline
+
+        f = LogQuality()
+        demands = [40.0, 120.0, 260.0, 900.0]
+        base = lf_cut_waterline(f, demands, 0.8)
+        assert float(np.sum(base)) > 0.0
+
+    def test_tol_annotation_is_dimensionless(self):
+        import typing
+
+        from repro.core.cutting import lf_cut_waterline
+        from repro.core.cutting_general import lf_cut_mixed
+        from repro.units import Unit
+
+        for fn in (lf_cut_waterline, lf_cut_mixed):
+            hints = typing.get_type_hints(fn, include_extras=True)
+            markers = [
+                m for m in getattr(hints["tol"], "__metadata__", ())
+                if isinstance(m, Unit)
+            ]
+            assert markers and markers[0].spec == "1"

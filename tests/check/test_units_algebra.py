@@ -1,0 +1,120 @@
+"""Table tests for the unit-spec grammar and dimension algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.units import (
+    ALIAS_SPECS,
+    DIMENSIONLESS,
+    Unit,
+    UnitError,
+    dim_div,
+    dim_mul,
+    dim_pow,
+    format_dim,
+    parse_spec,
+)
+
+
+class TestParseSpec:
+    @pytest.mark.parametrize(
+        "spec, expected",
+        [
+            ("s", (("s", 1),)),
+            ("W", (("W", 1),)),
+            ("unit", (("unit", 1),)),
+            ("GHz", (("GHz", 1),)),
+            ("1", ()),
+            # J is derived: W·s.
+            ("J", (("W", 1), ("s", 1))),
+            ("W*s", (("W", 1), ("s", 1))),
+            ("unit/s", (("s", -1), ("unit", 1))),
+            # '/' binds everything after it: a/b/c = a·b⁻¹·c⁻¹.
+            ("unit/GHz/s", (("GHz", -1), ("s", -1), ("unit", 1))),
+            ("1/s", (("s", -1),)),
+            ("1/unit", (("unit", -1),)),
+            ("GHz^2", (("GHz", 2),)),
+            ("s^-1", (("s", -1),)),
+            # Whitespace is ignored; cancelling exponents vanish.
+            (" W * s ", (("W", 1), ("s", 1))),
+            ("s/s", ()),
+            ("J/s", (("W", 1),)),
+            ("J/W", (("s", 1),)),
+        ],
+    )
+    def test_grammar(self, spec, expected):
+        assert parse_spec(spec) == expected
+
+    @pytest.mark.parametrize("bad", ["", "watts", "W^", "W//s", "2*W", "s^1.5"])
+    def test_malformed_specs_raise(self, bad):
+        with pytest.raises(UnitError):
+            parse_spec(bad)
+
+    def test_every_alias_spec_parses(self):
+        for name, spec in ALIAS_SPECS.items():
+            parse_spec(spec)  # must not raise
+
+    def test_unit_marker_dim(self):
+        assert Unit("J").dim() == parse_spec("W*s")
+        assert str(Unit("unit/s")) == "unit/s"
+
+
+class TestAlgebra:
+    def test_watts_times_seconds_is_joules(self):
+        assert dim_mul(parse_spec("W"), parse_spec("s")) == parse_spec("J")
+
+    def test_volume_over_speed_is_seconds(self):
+        assert dim_div(parse_spec("unit"), parse_spec("unit/s")) == parse_spec("s")
+
+    def test_speed_times_seconds_is_volume(self):
+        assert dim_mul(parse_spec("unit/s"), parse_spec("s")) == parse_spec("unit")
+
+    def test_ghz_times_machine_constant_is_speed(self):
+        assert dim_mul(parse_spec("GHz"), parse_spec("unit/GHz/s")) == parse_spec(
+            "unit/s"
+        )
+
+    def test_joules_over_seconds_is_watts(self):
+        assert dim_div(parse_spec("J"), parse_spec("s")) == parse_spec("W")
+
+    def test_mul_is_commutative_and_div_inverts(self):
+        a, b = parse_spec("W"), parse_spec("unit/GHz/s")
+        assert dim_mul(a, b) == dim_mul(b, a)
+        assert dim_div(dim_mul(a, b), b) == a
+
+    def test_dimensionless_is_identity(self):
+        a = parse_spec("J")
+        assert dim_mul(a, DIMENSIONLESS) == a
+        assert dim_div(a, DIMENSIONLESS) == a
+        assert dim_div(a, a) == DIMENSIONLESS
+
+    @pytest.mark.parametrize(
+        "spec, k, expected",
+        [("s", 2, "s^2"), ("unit/s", 2, "unit^2/s^2"), ("GHz", 0, "1"), ("s", -1, "1/s")],
+    )
+    def test_pow(self, spec, k, expected):
+        assert dim_pow(parse_spec(spec), k) == parse_spec(expected)
+
+
+class TestFormatDim:
+    @pytest.mark.parametrize(
+        "spec, text",
+        [
+            ("1", "1"),
+            ("W", "W"),
+            ("J", "W·s"),
+            ("unit/s", "unit/s"),
+            ("unit/GHz/s", "unit/GHz/s"),
+            ("1/s", "1/s"),
+            ("GHz^2", "GHz^2"),
+            ("s^-2", "1/s^2"),
+        ],
+    )
+    def test_rendering(self, spec, text):
+        assert format_dim(parse_spec(spec)) == text
+
+    def test_roundtrip_through_parse(self):
+        for spec in ALIAS_SPECS.values():
+            dim = parse_spec(spec)
+            assert parse_spec(format_dim(dim).replace("·", "*")) == dim

@@ -1,0 +1,270 @@
+"""Fixture corpus for the sim-units rules (UNITS001–UNITS005).
+
+Each rule gets a bad snippet it must flag and a matching good snippet
+it must stay quiet on — including the three seeded acceptance
+mutations from the issue: adding W to J, passing a Speed where a
+Volume is expected, and returning W where J is promised (a missing
+``P · t``).
+"""
+
+from __future__ import annotations
+
+from repro.check.units import check_source
+
+HEADER = (
+    "from repro.units import (\n"
+    "    Dimensionless, Gigahertz, Joules, PerSecond, QualityFrac,\n"
+    "    Seconds, Speed, Volume, Watts,\n"
+    ")\n"
+)
+
+
+def codes(body: str, **kwargs):
+    return [f.code for f in check_source(HEADER + body, **kwargs)]
+
+
+class TestUNITS001Addition:
+    def test_flags_watts_plus_joules(self):
+        src = "def bad(p: Watts, e: Joules) -> Joules:\n    return e + p\n"
+        assert "UNITS001" in codes(src)
+
+    def test_flags_seconds_minus_volume(self):
+        src = "def bad(t: Seconds, v: Volume) -> Seconds:\n    return t - v\n"
+        assert "UNITS001" in codes(src)
+
+    def test_flags_min_across_units(self):
+        src = "def bad(t: Seconds, v: Volume) -> Seconds:\n    return min(t, v)\n"
+        assert "UNITS001" in codes(src)
+
+    def test_flags_augmented_add(self):
+        src = (
+            "def bad(e: Joules, p: Watts) -> Joules:\n"
+            "    e += p\n"
+            "    return e\n"
+        )
+        assert "UNITS001" in codes(src)
+
+    def test_allows_same_unit_sum(self):
+        src = "def ok(a: Watts, b: Watts) -> Watts:\n    return a + b\n"
+        assert codes(src) == []
+
+    def test_allows_energy_accumulation(self):
+        # The fundamental identity: E += P · Δt.
+        src = (
+            "def ok(e: Joules, p: Watts, dt: Seconds) -> Joules:\n"
+            "    e += p * dt\n"
+            "    return e\n"
+        )
+        assert codes(src) == []
+
+    def test_allows_dimensionless_scaling(self):
+        src = "def ok(p: Watts, frac: Dimensionless) -> Watts:\n    return p * frac + p\n"
+        assert codes(src) == []
+
+    def test_allows_literal_scaling(self):
+        src = "def ok(t: Seconds) -> Seconds:\n    return 0.5 * t + t\n"
+        assert codes(src) == []
+
+
+class TestUNITS002Comparison:
+    def test_flags_seconds_vs_watts(self):
+        src = "def bad(t: Seconds, p: Watts) -> bool:\n    return t < p\n"
+        assert "UNITS002" in codes(src)
+
+    def test_flags_derived_mismatch(self):
+        # unit/s compared against unit — a speed is not a volume.
+        src = "def bad(s: Speed, v: Volume) -> bool:\n    return s >= v\n"
+        assert "UNITS002" in codes(src)
+
+    def test_allows_same_unit_compare(self):
+        src = "def ok(a: Seconds, b: Seconds) -> bool:\n    return a <= b\n"
+        assert codes(src) == []
+
+    def test_allows_derived_equality_of_dims(self):
+        # v / t has dimension unit/s: comparable against a Speed.
+        src = (
+            "def ok(v: Volume, t: Seconds, cap: Speed) -> bool:\n"
+            "    return v / t > cap\n"
+        )
+        assert codes(src) == []
+
+
+class TestUNITS003CallArgument:
+    def test_flags_speed_passed_as_volume(self):
+        src = (
+            "def duration(volume: Volume, speed: Speed) -> Seconds:\n"
+            "    return volume / speed\n"
+            "\n"
+            "def bad(s: Speed) -> Seconds:\n"
+            "    return duration(s, s)\n"
+        )
+        assert "UNITS003" in codes(src)
+
+    def test_flags_keyword_argument(self):
+        src = (
+            "def dissipate(power: Watts, duration: Seconds) -> Joules:\n"
+            "    return power * duration\n"
+            "\n"
+            "def bad(t: Seconds) -> Joules:\n"
+            "    return dissipate(power=t, duration=t)\n"
+        )
+        assert "UNITS003" in codes(src)
+
+    def test_allows_matching_arguments(self):
+        src = (
+            "def duration(volume: Volume, speed: Speed) -> Seconds:\n"
+            "    return volume / speed\n"
+            "\n"
+            "def ok(v: Volume, s: Speed) -> Seconds:\n"
+            "    return duration(v, s)\n"
+        )
+        assert codes(src) == []
+
+    def test_unannotated_arguments_stay_silent(self):
+        # A bare float carries no evidence; no finding either way.
+        src = (
+            "def duration(volume: Volume, speed: Speed) -> Seconds:\n"
+            "    return volume / speed\n"
+            "\n"
+            "def ok(x):\n"
+            "    return duration(x, x)\n"
+        )
+        assert codes(src) == []
+
+
+class TestUNITS004Return:
+    def test_flags_missing_power_time_product(self):
+        # Promised J, delivered W: the `· t` fell off.
+        src = "def bad(p: Watts, t: Seconds) -> Joules:\n    return p\n"
+        assert "UNITS004" in codes(src)
+
+    def test_flags_inverted_quotient(self):
+        src = "def bad(v: Volume, t: Seconds) -> Speed:\n    return t / v\n"
+        assert "UNITS004" in codes(src)
+
+    def test_allows_correct_derivation(self):
+        src = "def ok(p: Watts, t: Seconds) -> Joules:\n    return p * t\n"
+        assert codes(src) == []
+
+    def test_allows_unknown_return_value(self):
+        src = (
+            "def ok(p: Watts, other) -> Joules:\n"
+            "    return other\n"
+        )
+        assert codes(src) == []
+
+
+class TestUNITS005Assignment:
+    def test_flags_wrong_unit_annotated_local(self):
+        src = (
+            "def bad(p: Watts) -> None:\n"
+            "    e: Joules = p\n"
+        )
+        assert "UNITS005" in codes(src)
+
+    def test_flags_attribute_assignment_against_declaration(self):
+        src = (
+            "class Acc:\n"
+            "    total: Seconds = 0.0\n"
+            "\n"
+            "    def bad(self, v: Volume) -> None:\n"
+            "        self.total = v\n"
+        )
+        assert "UNITS005" in codes(src)
+
+    def test_local_reassignment_rebinds_flow_sensitively(self):
+        # Locals are flow-typed: a plain rebinding adopts the new unit
+        # (only the AnnAssign declaration itself is enforced).
+        src = (
+            "def ok(t: Seconds, v: Volume) -> None:\n"
+            "    total: Seconds = t\n"
+            "    total = v\n"
+        )
+        assert codes(src) == []
+
+    def test_allows_derived_assignment(self):
+        src = (
+            "def ok(v: Volume, s: Speed) -> None:\n"
+            "    t: Seconds = v / s\n"
+        )
+        assert codes(src) == []
+
+
+class TestSuppression:
+    BAD = "def bad(p: Watts, e: Joules) -> Joules:\n    return e + p\n"
+
+    def test_line_pragma_silences_one_rule(self):
+        src = (
+            "def bad(p: Watts, e: Joules) -> Joules:\n"
+            "    return e + p  # simlint: ignore[UNITS001]\n"
+        )
+        assert codes(src) == []
+
+    def test_line_pragma_is_rule_specific(self):
+        src = (
+            "def bad(p: Watts, e: Joules) -> Joules:\n"
+            "    return e + p  # simlint: ignore[UNITS002]\n"
+        )
+        assert "UNITS001" in codes(src)
+
+    def test_skip_file_pragma(self):
+        src = "# simlint: skip-file\n" + HEADER + self.BAD
+        assert [f.code for f in check_source(src)] == []
+
+    def test_select_and_ignore(self):
+        src = (
+            "def bad(p: Watts, e: Joules, t: Seconds) -> Joules:\n"
+            "    if p > t:\n"
+            "        return e\n"
+            "    return e + p\n"
+        )
+        assert codes(src, select=["UNITS002"]) == ["UNITS002"]
+        assert "UNITS002" not in codes(src, ignore=["UNITS002"])
+
+
+class TestInference:
+    def test_units_flow_through_locals(self):
+        src = (
+            "def bad(p: Watts, t: Seconds) -> None:\n"
+            "    e = p * t\n"
+            "    x: Watts = e\n"
+        )
+        assert "UNITS005" in codes(src)
+
+    def test_conditional_expression_mismatch(self):
+        src = (
+            "def bad(p: Watts, t: Seconds, heavy: bool) -> None:\n"
+            "    x = p if heavy else t\n"
+        )
+        assert "UNITS001" in codes(src)
+
+    def test_method_annotations_checked(self):
+        src = (
+            "class Model:\n"
+            "    def energy(self, p: Watts, t: Seconds) -> Joules:\n"
+            "        return p + t\n"
+        )
+        assert "UNITS001" in codes(src)
+
+    def test_dataclass_field_units_resolve_on_self(self):
+        src = (
+            "from dataclasses import dataclass\n"
+            "\n"
+            "@dataclass\n"
+            "class Job:\n"
+            "    demand: Volume\n"
+            "    deadline: Seconds\n"
+            "\n"
+            "    def bad(self) -> Volume:\n"
+            "        return self.demand + self.deadline\n"
+        )
+        assert "UNITS001" in codes(src)
+
+    def test_findings_carry_location_and_message(self):
+        findings = check_source(
+            HEADER + "def bad(p: Watts, e: Joules) -> Joules:\n    return e + p\n"
+        )
+        (finding,) = findings
+        assert finding.code == "UNITS001"
+        assert finding.line == 6  # header is 5 lines
+        assert "W·s" in finding.message and "W" in finding.message

@@ -1,0 +1,76 @@
+"""The library source must stay sim-units clean (mirrors the sim-lint
+self-clean pin), and the annotation coverage must not regress."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.check import UNITS_RULES, check_paths
+from repro.check.units import coverage_json, coverage_table
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_src_repro_is_sim_units_clean():
+    report = check_paths([SRC])
+    assert report.findings == [], "\n" + "\n".join(
+        f.format() for f in report.findings
+    )
+
+
+def test_units_rule_catalog_is_complete():
+    codes = list(UNITS_RULES)
+    assert codes == sorted(codes)
+    assert codes == [f"UNITS{i:03d}" for i in range(1, len(codes) + 1)]
+    assert len(codes) == 5
+    for summary in UNITS_RULES.values():
+        assert summary
+
+
+def test_core_layers_are_substantially_annotated():
+    # The sweep's floor: the physics-heavy packages must keep a high
+    # share of their float-typed slots carrying unit aliases.  These
+    # thresholds are below current levels; they pin against backsliding,
+    # not against adding new unannotated helpers elsewhere.
+    report = check_paths([SRC])
+    floors = {
+        "repro.power.models": 0.80,
+        "repro.power.distribution": 0.90,
+        "repro.power.dvfs": 0.90,
+        "repro.server.core": 0.90,
+        "repro.server.machine": 0.75,
+        "repro.core.energy_opt": 0.75,
+        "repro.core.quality_opt": 0.80,
+        "repro.quality.monitor": 0.80,
+        "repro.workload.job": 0.90,
+        "repro.metrics.collector": 0.60,
+    }
+    for module, floor in floors.items():
+        unit_slots, floaty_slots = report.coverage[module]
+        assert floaty_slots > 0, module
+        pct = unit_slots / floaty_slots
+        assert pct >= floor, (
+            f"{module}: annotation coverage {pct:.0%} fell below {floor:.0%}"
+        )
+
+
+def test_overall_coverage_floor():
+    report = check_paths([SRC])
+    total_unit = sum(u for u, _ in report.coverage.values())
+    total_float = sum(f for _, f in report.coverage.values())
+    assert total_unit / total_float >= 0.50
+
+
+def test_coverage_table_renders():
+    report = check_paths([SRC / "power"])
+    table = coverage_table(report.coverage)
+    assert "repro.power.models" in table
+    assert "TOTAL" in table
+
+
+def test_coverage_json_is_machine_readable():
+    report = check_paths([SRC / "power"])
+    payload = json.loads(coverage_json(report.coverage))
+    assert payload["total"]["float_slots"] >= payload["total"]["unit_slots"] > 0
+    assert "repro.power.models" in payload["modules"]
