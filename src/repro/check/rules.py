@@ -133,6 +133,11 @@ _DETERMINISTIC = (
 #:   with a wall-clock ``created_unix`` so humans can order store
 #:   entries; the stamp is storage metadata, applied after the run
 #:   finished, and never enters simulated time.
+#: * ``repro.obs.bus`` — the fleet telemetry bus stamps messages with
+#:   ``sent_unix`` and tracks worker liveness (heartbeat staleness)
+#:   against the host clock; both are fleet-orchestration metadata
+#:   about *processes*, never about simulated time, and nothing in the
+#:   simulator reads them back.
 #:
 #: Code elsewhere must route timing through a
 #: :class:`repro.obs.prof.PhaseProfiler` instead of reading the clock —
@@ -142,7 +147,7 @@ _DETERMINISTIC = (
 #: exempt: windowing and SLO evaluation are over simulated seconds
 #: only.  Documented in ``docs/static-analysis.md``.
 SIM001_MODULE_ALLOWLIST: FrozenSet[str] = frozenset(
-    {"repro.obs.prof", "repro.obs.runs"}
+    {"repro.obs.prof", "repro.obs.runs", "repro.obs.bus"}
 )
 
 _WALL_CLOCK: FrozenSet[str] = frozenset(
@@ -377,7 +382,82 @@ def _layer_of(module: str) -> Optional[str]:
     return parts[1]
 
 
+#: The fleet-orchestration modules: process fan-out and the telemetry
+#: bus.  Confined on *both* sides — only the top-of-stack layers listed
+#: in :data:`_FLEET_IMPORTERS` may import them (the deterministic
+#: simulator must never grow a dependency on process orchestration),
+#: and they are the only modules allowed to import ``multiprocessing``
+#: at all (a stray Pool in a lower layer would fork the simulator's
+#: state and silently break per-seed reproducibility).
+_FLEET_MODULES: FrozenSet[str] = frozenset(
+    {"repro.obs.bus", "repro.experiments.fleet"}
+)
+
+#: Module prefixes allowed to import the fleet modules (besides the
+#: fleet modules themselves): the experiment drivers and the CLI.
+_FLEET_IMPORTERS = ("repro.experiments", "repro.cli")
+
+
+def _may_import_fleet(module: str) -> bool:
+    if module in _FLEET_MODULES:
+        return True
+    return any(
+        module == prefix or module.startswith(prefix + ".")
+        for prefix in _FLEET_IMPORTERS
+    )
+
+
+def _fleet_imports(ctx: ModuleContext) -> Iterable[tuple[ast.AST, str]]:
+    """Import nodes pulling in a fleet module, via any spelling.
+
+    Catches ``import repro.experiments.fleet``, ``from
+    repro.experiments.fleet import X`` *and* ``from repro.obs import
+    bus`` — the last resolves the submodule through the alias path the
+    plain layering walk treats as a ``repro.obs`` edge.
+    """
+    package_parts = ctx.module.split(".")[:-1]
+    guarded = _type_checking_imports(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if id(node) in guarded:
+            continue
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name in _FLEET_MODULES:
+                    yield node, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                prefix = package_parts[: len(package_parts) - (node.level - 1)]
+                base = ".".join(prefix + ([base] if base else []))
+            if base in _FLEET_MODULES:
+                yield node, base
+                continue
+            for alias in node.names:
+                full = f"{base}.{alias.name}" if base else alias.name
+                if full in _FLEET_MODULES:
+                    yield node, full
+
+
+def _multiprocessing_imports(ctx: ModuleContext) -> Iterable[ast.AST]:
+    guarded = _type_checking_imports(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if id(node) in guarded:
+            continue
+        if isinstance(node, ast.Import):
+            if any(
+                alias.name == "multiprocessing"
+                or alias.name.startswith("multiprocessing.")
+                for alias in node.names
+            ):
+                yield node
+        elif isinstance(node, ast.ImportFrom) and not node.level:
+            base = node.module or ""
+            if base == "multiprocessing" or base.startswith("multiprocessing."):
+                yield node
+
+
 def _check_layering(ctx: ModuleContext) -> Iterable[Finding]:
+    yield from _check_fleet_confinement(ctx)
     layer = _layer_of(ctx.module)
     if layer is None:
         return
@@ -403,6 +483,30 @@ def _check_layering(ctx: ModuleContext) -> Iterable[Finding]:
                 f"layering violation: `{ctx.module}` (layer `{layer}`) must "
                 f"not import `repro.{target}` (allowed: "
                 f"{', '.join(sorted(allowed))})",
+            )
+
+
+def _check_fleet_confinement(ctx: ModuleContext) -> Iterable[Finding]:
+    """The fleet-specific half of SIM004 (see :data:`_FLEET_MODULES`)."""
+    if not _may_import_fleet(ctx.module):
+        for node, imported in _fleet_imports(ctx):
+            yield ctx.finding(
+                "SIM004",
+                node,
+                f"fleet confinement: `{ctx.module}` must not import "
+                f"`{imported}`; only the fleet modules themselves, "
+                "`repro.experiments.*` and `repro.cli` may depend on "
+                "process orchestration",
+            )
+    if ctx.module not in _FLEET_MODULES:
+        for node in _multiprocessing_imports(ctx):
+            yield ctx.finding(
+                "SIM004",
+                node,
+                f"`{ctx.module}` imports `multiprocessing`; process "
+                "fan-out is confined to repro.obs.bus and "
+                "repro.experiments.fleet so the simulator stays a pure "
+                "function of (config, seed)",
             )
 
 
@@ -797,7 +901,11 @@ RULES: List[Rule] = [
         rationale=(
             "repro.sim must stay a generic discrete-event kernel and "
             "repro.obs import-light, so tracing can never perturb what it "
-            "observes (bit-identical traced runs)."
+            "observes (bit-identical traced runs). The fleet half of the "
+            "rule confines process orchestration: only repro.experiments.* "
+            "and repro.cli may import repro.obs.bus / "
+            "repro.experiments.fleet, and only those two fleet modules may "
+            "import multiprocessing at all."
         ),
         applies=_always,
         check=_check_layering,

@@ -131,6 +131,8 @@ def _build_parser() -> argparse.ArgumentParser:
     runs = sub.add_parser("runs", help="inspect the stored run registry")
     runs_sub = runs.add_subparsers(dest="runs_command", required=True)
     runs_list = runs_sub.add_parser("list", help="list stored runs, newest first")
+    runs_list.add_argument("--format", default="table", choices=("table", "json"),
+                           help="output format (json is machine-readable)")
     runs_show = runs_sub.add_parser("show", help="show one stored run summary")
     runs_show.add_argument("run_id", help="run id (unique prefixes accepted)")
     runs_diff = runs_sub.add_parser(
@@ -140,8 +142,61 @@ def _build_parser() -> argparse.ArgumentParser:
     runs_diff.add_argument("b", help="candidate run id")
     runs_delete = runs_sub.add_parser("delete", help="delete one stored run")
     runs_delete.add_argument("run_id", help="run id (unique prefixes accepted)")
-    for runs_parser in (runs_list, runs_show, runs_diff, runs_delete):
+    runs_gc = runs_sub.add_parser(
+        "gc", help="prune old runs, keeping the newest N (--pin ids never die)"
+    )
+    runs_gc.add_argument("--keep", type=int, required=True,
+                         help="number of newest runs to keep")
+    runs_gc.add_argument("--pin", action="append", default=[], metavar="ID",
+                         help="run id to protect from pruning "
+                              "(repeatable; unique prefixes accepted)")
+    for runs_parser in (runs_list, runs_show, runs_diff, runs_delete, runs_gc):
         _add_runs_dir_flag(runs_parser)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="run an experiment grid across worker processes with a "
+             "telemetry bus and fleet rollups",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    fleet_run = fleet_sub.add_parser(
+        "run", help="execute a scenario × seed × rate grid"
+    )
+    fleet_run.add_argument("--scenarios", default="ge_light,ge_nominal",
+                           help="comma-separated bench scenario names "
+                                "(see 'repro-cli bench --list')")
+    fleet_run.add_argument("--seeds", default="1,2",
+                           help="comma-separated seeds")
+    fleet_run.add_argument("--rates", default=None,
+                           help="comma-separated arrival-rate overrides "
+                                "(optional third grid axis)")
+    fleet_run.add_argument("--scale", type=float, default=None,
+                           help="horizon scale per task (default 0.02 ≈ 12 s)")
+    fleet_run.add_argument("--workers", type=int, default=2,
+                           help="worker processes (spawn start method)")
+    fleet_run.add_argument("--sequential", action="store_true",
+                           help="run in-process, one task at a time "
+                                "(the determinism reference)")
+    fleet_run.add_argument("--no-store", action="store_true",
+                           help="do not persist summaries into the run registry")
+    fleet_run.add_argument("--report", metavar="PATH", default=None,
+                           help="also write the fleet HTML dashboard")
+    fleet_run.add_argument("--min-slo-compliance", type=float, default=None,
+                           help="exit 1 unless the fleet-wide SLO compliance "
+                                "fraction reaches this value (CI gate)")
+    fleet_status = fleet_sub.add_parser(
+        "status", help="show a stored fleet rollup as text"
+    )
+    fleet_status.add_argument("run_id", nargs="?", default=None,
+                              help="fleet run id (default: the newest fleet)")
+    fleet_report = fleet_sub.add_parser(
+        "report", help="render a stored fleet rollup as an HTML dashboard"
+    )
+    fleet_report.add_argument("run_id", nargs="?", default=None,
+                              help="fleet run id (default: the newest fleet)")
+    fleet_report.add_argument("--out", metavar="PATH", default="fleet-report.html")
+    for fleet_parser in (fleet_run, fleet_status, fleet_report):
+        _add_runs_dir_flag(fleet_parser)
 
     rep = sub.add_parser("replicate", help="replicate one scheduler across seeds")
     rep.add_argument("--scheduler", default="GE", choices=sorted(_SCHEDULERS))
@@ -210,6 +265,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--tracer", default="full", choices=("full", "stream"),
                        help="telemetry sink under test: the buffering tracer "
                             "or the constant-memory streaming one")
+    bench.add_argument("--parallel", type=int, default=1, metavar="N",
+                       help="fan scenarios across N worker processes "
+                            "(results identical; wall times then measure a "
+                            "contended host — do not compare against a "
+                            "sequential baseline)")
     bench.add_argument("--list", action="store_true", dest="list_scenarios",
                        help="list the suite's scenarios and exit")
     bench_sub = bench.add_subparsers(dest="bench_command", required=False)
@@ -362,6 +422,35 @@ def _emit_stream(tracer, *, result, out=None, store=False, runs_dir=None,
         print(format_run(doc))
 
 
+def _interrupted(tracer, harness, *, out=None, store=False, runs_dir=None) -> int:
+    """Wind down after Ctrl-C: flush partial telemetry, then exit 130.
+
+    A :class:`~repro.obs.StreamingTracer` is closed at the interrupt's
+    simulated time, so the JSONL spill ends on a complete line (every
+    record is a single ``write``) with the final meta/metrics tail
+    appended, and the partial summary can still land in the run
+    registry — flagged ``interrupted`` so it is never mistaken for a
+    finished run.  Buffered tracers simply drop their records.
+    """
+    from repro.obs import StreamingTracer
+
+    now = float(getattr(harness.sim, "now", 0.0))
+    print(f"interrupted at simulated t={now:g}s")
+    if isinstance(tracer, StreamingTracer):
+        tracer.meta["interrupted"] = True
+        tracer.close(end=now)
+        if out:
+            print(f"flushed {tracer.spilled_records} trace records to {out}")
+        if store:
+            from repro.obs.runs import RunStore, make_summary
+
+            doc = make_summary(tracer.summary(), result=None)
+            registry = RunStore(runs_dir)
+            run_id = registry.save(doc, trace_path=out)
+            print(f"stored interrupted run {run_id} in {registry.root}")
+    return 130
+
+
 def _fold_trace_file(path: str):
     """Fold a JSONL trace file into a run-style summary (constant memory)."""
     from repro.obs import fold_records, iter_jsonl
@@ -414,7 +503,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                 sanitize=args.sanitize, config=config,
                                 scheduler=scheduler, stream=stream,
                                 spill=args.trace_out)
-        result = SimulationHarness(config, scheduler, tracer=tracer).run()
+        harness = SimulationHarness(config, scheduler, tracer=tracer)
+        try:
+            result = harness.run()
+        except KeyboardInterrupt:
+            return _interrupted(tracer, harness, out=args.trace_out,
+                                store=args.store, runs_dir=args.runs_dir)
         print(result.row())
         _report_sanitizer(tracer)
         if stream:
@@ -460,7 +554,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                                 sanitize=args.sanitize, config=config,
                                 scheduler=scheduler, stream=stream,
                                 spill=args.trace_out)
-        result = SimulationHarness(config, scheduler, tracer=tracer).run()
+        harness = SimulationHarness(config, scheduler, tracer=tracer)
+        try:
+            result = harness.run()
+        except KeyboardInterrupt:
+            return _interrupted(tracer, harness, out=args.trace_out,
+                                store=args.store, runs_dir=args.runs_dir)
         print(result.row())
         _report_sanitizer(tracer)
         if stream:
@@ -518,7 +617,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         registry = RunStore(args.runs_dir)
         try:
             if args.runs_command == "list":
-                print(format_runs_table(registry.list()))
+                rows = registry.list()
+                if args.format == "json":
+                    import json
+
+                    print(json.dumps(rows, indent=2, sort_keys=True))
+                else:
+                    print(format_runs_table(rows))
             elif args.runs_command == "show":
                 print(format_run(registry.load(args.run_id)))
             elif args.runs_command == "diff":
@@ -528,9 +633,107 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 run_id = registry.resolve(args.run_id)
                 registry.delete(run_id)
                 print(f"deleted run {run_id}")
+            elif args.runs_command == "gc":
+                deleted = registry.gc(args.keep, pin=args.pin)
+                for run_id in deleted:
+                    print(f"deleted run {run_id}")
+                print(f"gc: kept {len(registry.ids())} run(s), "
+                      f"deleted {len(deleted)}")
         except ReproError as exc:
             print(f"runs: {exc}")
             return 2
+        return 0
+
+    if args.command == "fleet":
+        from repro.errors import ReproError
+        from repro.obs.runs import FLEET_SCHEMA, RunStore, format_fleet
+
+        if args.fleet_command == "run":
+            from repro.experiments.bench import DEFAULT_SCALE
+            from repro.experiments.fleet import (
+                fleet_compliance,
+                run_fleet,
+                run_sequential,
+            )
+            from repro.experiments.registry import fleet_grid
+
+            scenarios = [s.strip() for s in args.scenarios.split(",") if s.strip()]
+            try:
+                seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+                rates = ([float(r) for r in args.rates.split(",") if r.strip()]
+                         if args.rates else None)
+                tasks = fleet_grid(
+                    scenarios, seeds, rates=rates,
+                    scale=args.scale if args.scale is not None else DEFAULT_SCALE,
+                )
+            except (KeyError, ValueError) as exc:
+                print(f"fleet: {exc.args[0] if exc.args else exc}")
+                return 2
+            store = not args.no_store
+            try:
+                if args.sequential or args.workers <= 1:
+                    outcome = run_sequential(
+                        tasks, runs_dir=args.runs_dir, store=store, progress=print
+                    )
+                else:
+                    outcome = run_fleet(
+                        tasks, workers=args.workers, runs_dir=args.runs_dir,
+                        store=store, progress=print,
+                    )
+            except KeyboardInterrupt:
+                print("fleet: interrupted")
+                return 130
+            except ReproError as exc:
+                print(f"fleet: {exc}")
+                return 2
+            print(format_fleet(outcome.summary))
+            if store:
+                print(f"stored fleet {outcome.fleet_id} "
+                      f"(+{len(outcome.run_ids)} run summaries) in "
+                      f"{RunStore(args.runs_dir).root}")
+            if args.report:
+                from repro.obs import write_report
+
+                nbytes = write_report(outcome.summary, args.report)
+                print(f"wrote fleet dashboard ({nbytes} bytes) to {args.report}")
+            if args.min_slo_compliance is not None:
+                compliance = fleet_compliance(outcome.summary["rollup"])
+                if compliance is None or compliance < args.min_slo_compliance:
+                    shown = "n/a" if compliance is None else f"{compliance:.3f}"
+                    print(f"fleet: SLO compliance {shown} below the "
+                          f"{args.min_slo_compliance:g} gate")
+                    return 1
+                print(f"fleet: SLO compliance {compliance:.3f} >= "
+                      f"{args.min_slo_compliance:g} gate")
+            return outcome.exit_code
+
+        registry = RunStore(args.runs_dir)
+        try:
+            fleet_id = args.run_id
+            if fleet_id is None:
+                fleet_id = next(
+                    (row["run_id"] for row in registry.list()
+                     if row.get("schema") == FLEET_SCHEMA),
+                    None,
+                )
+                if fleet_id is None:
+                    print(f"fleet: no stored fleet runs under {registry.root}")
+                    return 2
+            summary = registry.load(fleet_id)
+        except ReproError as exc:
+            print(f"fleet: {exc}")
+            return 2
+        if summary.get("schema") != FLEET_SCHEMA:
+            print(f"fleet: {summary.get('run_id', fleet_id)} is not a fleet "
+                  "rollup (see 'repro-cli runs show' for single runs)")
+            return 2
+        if args.fleet_command == "status":
+            print(format_fleet(summary))
+            return 0
+        from repro.obs import write_report
+
+        nbytes = write_report(summary, args.out)
+        print(f"wrote fleet dashboard ({nbytes} bytes) to {args.out}")
         return 0
 
     if args.command == "replicate":
@@ -588,11 +791,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 scenarios=names,
                 mem=args.mem,
                 tracer=args.tracer,
+                parallel=args.parallel,
                 progress=print,
             )
         except KeyError as exc:
             print(f"bench: {exc.args[0]}")
             return 2
+        except KeyboardInterrupt:
+            print("bench: interrupted — no snapshot written")
+            return 130
         out = args.out or f"BENCH_{args.label}.json"
         bench_mod.write_snapshot(snapshot, out)
         print(f"wrote bench snapshot ({len(snapshot['scenarios'])} scenarios) to {out}")
@@ -627,7 +834,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             tracer = _new_tracer_if(True, sanitize=args.sanitize,
                                     config=config, scheduler=scheduler,
                                     stream=stream, spill=args.out)
-            result = SimulationHarness(config, scheduler, tracer=tracer).run()
+            harness = SimulationHarness(config, scheduler, tracer=tracer)
+            try:
+                result = harness.run()
+            except KeyboardInterrupt:
+                return _interrupted(tracer, harness, out=args.out,
+                                    store=args.store, runs_dir=args.runs_dir)
             print(result.row())
             _report_sanitizer(tracer)
             if stream:

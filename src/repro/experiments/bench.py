@@ -312,6 +312,34 @@ def run_scenario(
     return best
 
 
+def _progress_line(record: Dict[str, Any]) -> str:
+    """One status line per finished scenario (shared by both paths)."""
+    slo = record.get("slo", {})
+    verdict = "-"
+    if "compliant" in slo:
+        verdict = "ok" if slo["compliant"] else f"{slo['violations']}!"
+    return (
+        f"{record['name']:<14} wall={record['wall_s']:8.3f} s  "
+        f"{record['events_per_sec']:10.0f} ev/s  "
+        f"Q={record['quality']:.4f}  E={record['energy']:.1f} J  "
+        f"slo={verdict}"
+    )
+
+
+def _scenario_cell(args: Tuple[str, float, int, int, bool, str]) -> Dict[str, Any]:
+    """One scenario run for the parallel path.
+
+    Module-level and keyed by scenario *name* (the suite's config
+    builders are closures and do not pickle) so the spawn start method
+    can ship it to a pool worker.
+    """
+    name, scale, seed, repeats, mem, tracer = args
+    return run_scenario(
+        SUITE[name], scale=scale, seed=seed, repeats=repeats, mem=mem,
+        tracer_factory=TRACERS[tracer],
+    )
+
+
 def collect_snapshot(
     label: str,
     *,
@@ -321,6 +349,7 @@ def collect_snapshot(
     scenarios: Optional[Sequence[str]] = None,
     mem: bool = False,
     tracer: str = "full",
+    parallel: int = 1,
     progress: Optional[Callable[[str], None]] = None,
 ) -> Dict[str, Any]:
     """Run the bench suite and assemble the snapshot dict.
@@ -328,7 +357,11 @@ def collect_snapshot(
     ``scenarios`` selects a subset of :data:`SUITE` by name (default:
     all); ``tracer`` selects the telemetry sink (see :data:`TRACERS`);
     ``progress`` is called with a one-line status per scenario (the CLI
-    passes ``print``).
+    passes ``print``).  ``parallel > 1`` fans scenarios across a
+    spawn-context process pool — simulated results and counters are
+    unchanged (each scenario is a pure function of config + seed), but
+    wall times then measure *contended* hosts: never compare a parallel
+    snapshot against a sequential baseline.
     """
     names = list(scenarios) if scenarios is not None else list(SUITE)
     unknown = [n for n in names if n not in SUITE]
@@ -342,23 +375,20 @@ def collect_snapshot(
             f"unknown tracer {tracer!r}; available: {', '.join(TRACERS)}"
         )
     records: List[Dict[str, Any]] = []
-    for name in names:
-        record = run_scenario(
-            SUITE[name], scale=scale, seed=seed, repeats=repeats, mem=mem,
-            tracer_factory=TRACERS[tracer],
-        )
-        records.append(record)
+    if parallel > 1:
+        from repro.experiments.fleet import parallel_map  # local: avoid cycle
+
+        cells = [(name, scale, seed, repeats, mem, tracer) for name in names]
+        records = parallel_map(_scenario_cell, cells, workers=parallel)
         if progress is not None:
-            slo = record.get("slo", {})
-            verdict = "-"
-            if "compliant" in slo:
-                verdict = "ok" if slo["compliant"] else f"{slo['violations']}!"
-            progress(
-                f"{name:<14} wall={record['wall_s']:8.3f} s  "
-                f"{record['events_per_sec']:10.0f} ev/s  "
-                f"Q={record['quality']:.4f}  E={record['energy']:.1f} J  "
-                f"slo={verdict}"
-            )
+            for record in records:
+                progress(_progress_line(record))
+    else:
+        for name in names:
+            record = _scenario_cell((name, scale, seed, repeats, mem, tracer))
+            records.append(record)
+            if progress is not None:
+                progress(_progress_line(record))
     return {
         "schema": BENCH_SCHEMA,
         "label": label,
@@ -372,6 +402,7 @@ def collect_snapshot(
         "seed": seed,
         "repeats": repeats,
         "tracer": tracer,
+        "parallel": parallel,
         "scenarios": records,
     }
 

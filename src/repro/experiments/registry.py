@@ -2,13 +2,17 @@
 
 Used by the CLI (``repro-cli fig 3``) and by the benchmark suite's
 parametrization, so the list of reproducible figures lives in exactly
-one place.
+one place.  The fleet executor's task grid
+(:class:`FleetTask` / :func:`fleet_grid`) also lives here: a fleet is
+just the paper's scenario × seed × rate evaluation grid written down
+as data, and the registry is where grid-shaped experiment metadata
+belongs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import (
     fig01_aes_fraction,
@@ -26,7 +30,94 @@ from repro.experiments import (
 )
 from repro.experiments.report import FigureResult
 
-__all__ = ["FIGURES", "FigureSpec", "get_figure", "list_figures"]
+__all__ = [
+    "FIGURES",
+    "FigureSpec",
+    "FleetTask",
+    "fleet_grid",
+    "get_figure",
+    "list_figures",
+]
+
+#: Fault-injection hooks a :class:`FleetTask` may request (test/ops
+#: only): ``"raise"`` throws inside the task, ``"exit"`` hard-kills
+#: the worker process mid-task (``os._exit``), exercising the fleet's
+#: crash-isolation path.
+INJECT_MODES = (None, "raise", "exit")
+
+
+@dataclass(frozen=True)
+class FleetTask:
+    """One cell of the evaluation grid: scenario × seed × optional rate.
+
+    Scenarios are the bench suite's named configurations
+    (:data:`repro.experiments.bench.SUITE`); ``rate`` overrides the
+    scenario's arrival rate when set (the Figs. 3–12 rate-sweep axis),
+    and ``scale`` shrinks the horizon exactly like ``scaled_config``.
+    The task is pure data — frozen, hashable, picklable — because the
+    spawn start method ships it to worker processes by pickling.
+    """
+
+    scenario: str
+    seed: int
+    scale: float = 0.02
+    rate: Optional[float] = None
+    inject: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.inject not in INJECT_MODES:
+            raise ValueError(
+                f"unknown inject mode {self.inject!r}; "
+                f"expected one of {INJECT_MODES}"
+            )
+
+    @property
+    def key(self) -> str:
+        """Stable grid-cell id, e.g. ``ge_light-s1-x0.02-r120``."""
+        parts = [self.scenario, f"s{self.seed}", f"x{self.scale:g}"]
+        if self.rate is not None:
+            parts.append(f"r{self.rate:g}")
+        return "-".join(parts)
+
+
+def fleet_grid(
+    scenarios: Sequence[str],
+    seeds: Sequence[int],
+    *,
+    rates: Optional[Sequence[float]] = None,
+    scale: float = 0.02,
+) -> List[FleetTask]:
+    """Materialize the scenario × seed × rate cross product, in order.
+
+    The order is deterministic (scenarios outer, seeds middle, rates
+    inner — matching ``sweep_rates``'s iteration shape) so grid ids
+    and fleet summaries are reproducible.  Scenario names are
+    validated against the bench suite up front: a fleet should fail
+    before spawning workers, not inside one.
+    """
+    from repro.experiments.bench import SUITE  # local: avoid import cycle
+
+    if not scenarios:
+        raise ValueError("fleet_grid needs at least one scenario")
+    if not seeds:
+        raise ValueError("fleet_grid needs at least one seed")
+    unknown = sorted({name for name in scenarios if name not in SUITE})
+    if unknown:
+        raise KeyError(
+            f"unknown scenario(s): {', '.join(unknown)}; "
+            f"available: {', '.join(SUITE)}"
+        )
+    rate_axis: List[Optional[float]] = (
+        [None] if rates is None else [float(r) for r in rates]
+    )
+    if not rate_axis:
+        raise ValueError("fleet_grid got an empty rates list")
+    return [
+        FleetTask(scenario=name, seed=int(seed), scale=float(scale), rate=rate)
+        for name in scenarios
+        for seed in seeds
+        for rate in rate_axis
+    ]
 
 
 @dataclass(frozen=True)

@@ -63,11 +63,13 @@ from repro.obs.registry import (
     PhaseTimer,
     QuantileSketch,
 )
-from repro.obs.report import render_report, write_report
+from repro.obs.report import render_fleet_report, render_report, write_report
 from repro.obs.runs import (
+    FLEET_SCHEMA,
     RunStore,
     diff_runs,
     format_diff,
+    format_fleet,
     format_run,
     format_runs_table,
     make_summary,
@@ -85,6 +87,7 @@ from repro.obs.timeline import CoreTimelineSampler, TimelineSample
 from repro.obs.tracer import NULL_TRACER, NullTracer, Trace, Tracer
 
 __all__ = [
+    "FLEET_SCHEMA",
     "NULL_PROFILER",
     "NULL_TRACER",
     "TRACE_SCHEMA",
@@ -117,6 +120,7 @@ __all__ = [
     "diff_runs",
     "fold_records",
     "format_diff",
+    "format_fleet",
     "format_run",
     "format_runs_table",
     "iter_jsonl",
@@ -124,6 +128,7 @@ __all__ = [
     "make_summary",
     "mode_intervals",
     "read_jsonl",
+    "render_fleet_report",
     "render_report",
     "run_id_for",
     "summarize",

@@ -1,0 +1,529 @@
+"""The fleet telemetry bus: schema-versioned messages with drop accounting.
+
+A *fleet* run (see :mod:`repro.experiments.fleet`) fans one task grid
+across worker processes.  Each worker ships its telemetry to the
+central aggregator over a bounded ``multiprocessing.Queue`` as
+``repro.bus/1`` messages; this module owns that protocol end to end —
+the message schema, the sending discipline, and the fold that turns a
+message stream into fleet-level rollups:
+
+* :func:`make_message` / :func:`validate_message` — the ``repro.bus/1``
+  envelope (type, worker id, per-worker sequence number, task key,
+  payload, wall-clock send stamp);
+* :class:`BusSender` — the worker side.  Telemetry messages
+  (``progress`` / ``snapshot`` / ``slo_violation``) are *droppable*:
+  when the bounded queue is full they are counted and discarded, never
+  blocking the simulation.  Lifecycle messages (``hello`` / ``result``
+  / ``error`` / ``bye``) are *reliable*: they block (bounded by a
+  timeout) because losing one would corrupt the fleet's bookkeeping.
+  Every drop is accounted per message type and reported in ``bye``;
+* :class:`FleetAggregator` — the receiver side.  Folds the message
+  stream into per-task results and error records, per-scenario
+  rollups, cross-run quantiles, worker liveness (heartbeat watchdog
+  via :meth:`stale_workers`) and fleet-wide drop accounting.
+
+**Reliability model.**  The queue is bounded so a fast worker can never
+exhaust the parent's memory; the cost is that telemetry messages are
+best-effort.  Drops are *never silent*: the sender counts them per
+type, ships the counts in its ``bye`` message, and the rollup sums
+them fleet-wide, so a truncated live view is always visible as such.
+
+**Determinism.**  Nothing in this module feeds back into a simulation:
+workers are side-effect-free over simulator state, and the bus carries
+results *out* only.  Per-task ``RunResult`` payloads therefore stay
+bit-identical to a sequential execution of the same grid.  The one
+non-deterministic ingredient — wall-clock send/arrival stamps for
+liveness — never enters any simulated quantity.
+
+This module is the sanctioned home for wall-clock reads
+(``sent_unix`` stamps, heartbeat bookkeeping) and ``multiprocessing``
+types in the observability layer: sim-lint exempts it via
+``SIM001_MODULE_ALLOWLIST`` and confines ``multiprocessing`` imports
+to it plus :mod:`repro.experiments.fleet` (see SIM004 in
+``docs/static-analysis.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from queue import Full
+from typing import Any, Dict, List, Optional, Protocol, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "BUS_SCHEMA",
+    "DROPPABLE_TYPES",
+    "MESSAGE_TYPES",
+    "BusSender",
+    "FleetAggregator",
+    "WorkerState",
+    "cross_run_quantiles",
+    "make_message",
+    "validate_message",
+]
+
+#: Version tag carried by every bus message.
+BUS_SCHEMA = "repro.bus/1"
+
+#: Every message type of the ``repro.bus/1`` protocol, in lifecycle
+#: order: one ``hello`` per worker, then per task a ``progress``
+#: (phase ``start``), droppable ``progress``/``snapshot``/
+#: ``slo_violation`` telemetry while it runs, exactly one ``result``
+#: or ``error``, and finally one ``bye`` carrying the drop counts.
+MESSAGE_TYPES: Tuple[str, ...] = (
+    "hello", "progress", "snapshot", "slo_violation", "result", "error", "bye",
+)
+
+#: Telemetry types the sender may discard (with accounting) when the
+#: bounded queue is full.  Everything else is reliable.
+DROPPABLE_TYPES = frozenset({"progress", "snapshot", "slo_violation"})
+
+#: How long a reliable send may block before the worker gives up (the
+#: parent is then presumed dead; the worker dies loudly, not silently).
+RELIABLE_SEND_TIMEOUT_S = 30.0
+
+
+class _QueueLike(Protocol):
+    """The slice of ``multiprocessing.Queue`` the bus uses.
+
+    ``queue.Queue`` satisfies it too, so the protocol can be unit
+    tested without spawning processes.
+    """
+
+    def put(self, item: Any, block: bool = ..., timeout: Optional[float] = ...) -> None: ...
+
+    def put_nowait(self, item: Any) -> None: ...
+
+
+def make_message(
+    type: str,
+    *,
+    worker: int,
+    seq: int,
+    task: Optional[str] = None,
+    payload: Optional[Dict[str, Any]] = None,
+    sent_unix: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Assemble one schema-versioned bus message.
+
+    ``task`` is the task key the message concerns (``None`` for
+    worker-lifecycle messages); ``seq`` is the per-worker send counter,
+    so the receiver can detect reordering or loss per worker.
+    """
+    if type not in MESSAGE_TYPES:
+        raise ReproError(
+            f"unknown bus message type {type!r} "
+            f"(expected one of {', '.join(MESSAGE_TYPES)})"
+        )
+    return {
+        "schema": BUS_SCHEMA,
+        "type": type,
+        "worker": int(worker),
+        "seq": int(seq),
+        "task": task,
+        "payload": dict(payload) if payload is not None else {},
+        "sent_unix": time.time() if sent_unix is None else float(sent_unix),
+    }
+
+
+def validate_message(message: Dict[str, Any]) -> Dict[str, Any]:
+    """Check one received message against the ``repro.bus/1`` schema.
+
+    Returns the message unchanged on success; raises
+    :class:`~repro.errors.ReproError` on schema or shape mismatches so
+    a version skew between parent and workers fails loudly instead of
+    folding garbage.
+    """
+    schema = message.get("schema")
+    if schema != BUS_SCHEMA:
+        raise ReproError(
+            f"unsupported bus schema {schema!r} "
+            f"(this receiver understands {BUS_SCHEMA!r})"
+        )
+    mtype = message.get("type")
+    if mtype not in MESSAGE_TYPES:
+        raise ReproError(f"unknown bus message type {mtype!r}")
+    if not isinstance(message.get("worker"), int):
+        raise ReproError(f"bus message has no integer worker id: {message!r}")
+    if not isinstance(message.get("payload"), dict):
+        raise ReproError(f"bus message has no payload dict: {message!r}")
+    return message
+
+
+class BusSender:
+    """The worker-side half of the bus: send with explicit drop accounting.
+
+    One sender per worker process.  ``send`` never raises on a full
+    queue for droppable telemetry types — the message is counted in
+    :attr:`dropped` and discarded.  Reliable types block up to
+    ``timeout`` seconds and then raise: a worker that cannot deliver a
+    ``result`` has lost its parent and must die loudly.
+    """
+
+    def __init__(
+        self,
+        queue: _QueueLike,
+        *,
+        worker: int,
+        timeout: float = RELIABLE_SEND_TIMEOUT_S,
+    ) -> None:
+        self.queue = queue
+        self.worker = int(worker)
+        self.timeout = float(timeout)
+        self.sent: Dict[str, int] = {}
+        self.dropped: Dict[str, int] = {}
+        self._seq = 0
+
+    def send(
+        self,
+        type: str,
+        *,
+        task: Optional[str] = None,
+        payload: Optional[Dict[str, Any]] = None,
+        reliable: Optional[bool] = None,
+    ) -> bool:
+        """Send one message; returns False when it was dropped.
+
+        ``reliable`` overrides the per-type default (e.g. the
+        ``progress``/``start`` marker is shipped reliably so the parent
+        can always attribute a crash to the task that was running).
+        """
+        message = make_message(
+            type, worker=self.worker, seq=self._seq, task=task, payload=payload
+        )
+        self._seq += 1
+        if reliable is None:
+            reliable = type not in DROPPABLE_TYPES
+        if reliable:
+            try:
+                self.queue.put(message, True, self.timeout)
+            except Full:
+                self.dropped[type] = self.dropped.get(type, 0) + 1
+                raise ReproError(
+                    f"bus queue full for {self.timeout:g}s sending reliable "
+                    f"{type!r} message — is the fleet aggregator alive?"
+                ) from None
+        else:
+            try:
+                self.queue.put_nowait(message)
+            except Full:
+                self.dropped[type] = self.dropped.get(type, 0) + 1
+                return False
+        self.sent[type] = self.sent.get(type, 0) + 1
+        return True
+
+    def drop_counts(self) -> Dict[str, int]:
+        """Per-type drop counts so far (shipped in the ``bye`` payload)."""
+        return dict(self.dropped)
+
+
+class WorkerState:
+    """Receiver-side view of one worker: liveness and accounting."""
+
+    def __init__(self, worker: int) -> None:
+        self.worker = worker
+        self.pid: Optional[int] = None
+        self.messages = 0
+        self.tasks_done = 0
+        self.tasks_failed = 0
+        self.current_task: Optional[str] = None
+        self.last_seen_unix: Optional[float] = None
+        self.last_seq: Optional[int] = None
+        self.said_hello = False
+        self.said_bye = False
+        self.dropped: Dict[str, int] = {}
+        self.exitcode: Optional[int] = None
+
+    def to_record(self) -> Dict[str, Any]:
+        """JSON-native worker row for the fleet summary."""
+        return {
+            "worker": self.worker,
+            "pid": self.pid,
+            "messages": self.messages,
+            "tasks_done": self.tasks_done,
+            "tasks_failed": self.tasks_failed,
+            "current_task": self.current_task,
+            "last_seen_unix": self.last_seen_unix,
+            "hello": self.said_hello,
+            "bye": self.said_bye,
+            "dropped": dict(self.dropped),
+            "exitcode": self.exitcode,
+        }
+
+
+def cross_run_quantiles(
+    values: List[float], qs: Tuple[float, ...] = (0.5, 0.9)
+) -> Dict[str, float]:
+    """Exact quantiles across per-run scalars (linear interpolation).
+
+    The fleet rollup merges telemetry *across* runs at this level —
+    per-run scalars, sorted, interpolated — because the within-run P²
+    sketches are streaming approximations whose internal states do not
+    compose exactly: folding two sketches' markers would give an
+    estimate that depends on merge order.  Cross-run quantiles over
+    exact per-run values are deterministic for a fixed task grid (see
+    the determinism caveats in ``docs/observability.md``).
+    """
+    if not values:
+        return {}
+    ordered = sorted(values)
+    out: Dict[str, float] = {}
+    n = len(ordered)
+    for q in qs:
+        pos = q * (n - 1)
+        lo = int(pos)
+        hi = min(lo + 1, n - 1)
+        frac = pos - lo
+        out[f"p{q * 100:g}"] = ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    return out
+
+
+class FleetAggregator:
+    """Folds the bus message stream into fleet-level state.
+
+    One instance per fleet run.  :meth:`on_message` folds one received
+    message (the receiver supplies its own wall-clock ``now`` so the
+    fold itself stays testable without sleeping); the accessors render
+    the folded state:
+
+    * :attr:`results` — task key → the worker's ``result`` payload
+      (task spec, ``RunResult`` dict, streaming summary, wall time);
+    * :attr:`errors` — structured error records (worker exceptions and
+      synthesized worker-death records);
+    * :meth:`rollup` — the fleet-level aggregate: per-scenario SLO
+      compliance and quality/energy statistics, cross-run quantiles,
+      aggregate events/sec, worker table, fleet-wide drop accounting;
+    * :meth:`stale_workers` — heartbeat watchdog input: workers not
+      heard from within a timeout.
+    """
+
+    def __init__(self) -> None:
+        self.workers: Dict[int, WorkerState] = {}
+        self.results: Dict[str, Dict[str, Any]] = {}
+        self.errors: List[Dict[str, Any]] = []
+        self.snapshots: Dict[str, Dict[str, Any]] = {}
+        self.violations: List[Dict[str, Any]] = []
+        self.messages = 0
+
+    def _worker(self, worker: int) -> WorkerState:
+        state = self.workers.get(worker)
+        if state is None:
+            state = self.workers[worker] = WorkerState(worker)
+        return state
+
+    # ------------------------------------------------------------------
+    # Folding
+    # ------------------------------------------------------------------
+    def on_message(self, message: Dict[str, Any], *, now: Optional[float] = None) -> None:
+        """Fold one received bus message (validated first)."""
+        validate_message(message)
+        self.messages += 1
+        state = self._worker(int(message["worker"]))
+        state.messages += 1
+        state.last_seen_unix = time.time() if now is None else float(now)
+        state.last_seq = int(message["seq"])
+        mtype = message["type"]
+        task = message.get("task")
+        payload = message["payload"]
+        if mtype == "hello":
+            state.said_hello = True
+            state.pid = payload.get("pid")
+        elif mtype == "progress":
+            if payload.get("phase") == "start":
+                state.current_task = task
+            elif task is not None:
+                self.snapshots.setdefault(task, {}).update(
+                    {"progress": dict(payload)}
+                )
+        elif mtype == "snapshot":
+            if task is not None:
+                self.snapshots.setdefault(task, {})["snapshot"] = dict(payload)
+        elif mtype == "slo_violation":
+            self.violations.append(
+                {"task": task, "worker": state.worker, **payload}
+            )
+        elif mtype == "result":
+            if task is not None:
+                self.results[task] = dict(payload)
+                self.results[task]["worker"] = state.worker
+            state.tasks_done += 1
+            state.current_task = None
+        elif mtype == "error":
+            self.errors.append({
+                "kind": "exception",
+                "task": task,
+                "worker": state.worker,
+                "exception": payload.get("exception"),
+                "traceback": payload.get("traceback"),
+                "spec": payload.get("task"),
+            })
+            state.tasks_failed += 1
+            state.current_task = None
+        elif mtype == "bye":
+            state.said_bye = True
+            dropped = payload.get("dropped") or {}
+            for key, count in dropped.items():
+                state.dropped[key] = state.dropped.get(key, 0) + int(count)
+
+    def mark_worker_dead(
+        self,
+        worker: int,
+        *,
+        exitcode: Optional[int],
+        now: Optional[float] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Record a worker death; synthesize an error for its in-flight task.
+
+        Returns the synthesized error record (also appended to
+        :attr:`errors`) when the worker had a task in flight, else None.
+        A worker that said ``bye`` died cleanly — no record.
+        """
+        state = self._worker(worker)
+        state.exitcode = exitcode
+        if state.said_bye:
+            return None
+        record: Optional[Dict[str, Any]] = None
+        if state.current_task is not None:
+            record = {
+                "kind": "worker-death",
+                "task": state.current_task,
+                "worker": worker,
+                "exception": f"worker {worker} died (exitcode {exitcode})",
+                "traceback": None,
+                "spec": None,
+            }
+            self.errors.append(record)
+            state.tasks_failed += 1
+            state.current_task = None
+        return record
+
+    def mark_task_unrun(self, task_key: str, reason: str) -> Dict[str, Any]:
+        """Record a task that never ran (e.g. every worker died first)."""
+        record = {
+            "kind": "unrun",
+            "task": task_key,
+            "worker": None,
+            "exception": reason,
+            "traceback": None,
+            "spec": None,
+        }
+        self.errors.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Watchdog
+    # ------------------------------------------------------------------
+    def stale_workers(self, *, now: float, timeout: float) -> List[int]:
+        """Workers not heard from within ``timeout`` wall seconds.
+
+        Workers that already said ``bye`` are never stale.  The caller
+        (the fleet's main loop) decides what staleness means — a
+        still-alive worker grinding a heavy task is merely slow, a dead
+        one is handled via :meth:`mark_worker_dead`.
+        """
+        stale = []
+        for worker in sorted(self.workers):
+            state = self.workers[worker]
+            if state.said_bye or state.last_seen_unix is None:
+                continue
+            if now - state.last_seen_unix > timeout:
+                stale.append(worker)
+        return stale
+
+    # ------------------------------------------------------------------
+    # Rollups
+    # ------------------------------------------------------------------
+    def dropped_total(self) -> Dict[str, int]:
+        """Fleet-wide per-type drop counts (sum over workers)."""
+        total: Dict[str, int] = {}
+        for state in self.workers.values():
+            for key, count in state.dropped.items():
+                total[key] = total.get(key, 0) + count
+        return total
+
+    def rollup(self) -> Dict[str, Any]:
+        """The fleet-level aggregate over everything folded so far.
+
+        Per-scenario rows aggregate the per-task ``RunResult`` and SLO
+        summaries; ``quantiles`` are exact cross-run quantiles over
+        per-run scalars (see :func:`cross_run_quantiles` for why P²
+        sketches are not merged); ``throughput`` sums simulator events
+        over summed worker wall time.
+        """
+        scenarios: Dict[str, Dict[str, Any]] = {}
+        qualities: List[float] = []
+        headrooms: List[float] = []
+        total_events = 0
+        total_wall = 0.0
+        for key in sorted(self.results):
+            payload = self.results[key]
+            spec = payload.get("task") or {}
+            result = payload.get("result") or {}
+            slo = ((payload.get("summary") or {}).get("slo")) or {}
+            name = str(spec.get("scenario", "?"))
+            row = scenarios.setdefault(name, {
+                "tasks": 0, "slo_compliant": 0, "slo_evaluated": 0,
+                "quality_min": None, "quality_mean": 0.0, "quality_max": None,
+                "energy_sum": 0.0, "events": 0,
+            })
+            row["tasks"] += 1
+            quality = result.get("quality")
+            if quality is not None:
+                quality = float(quality)
+                qualities.append(quality)
+                row["quality_mean"] += quality
+                row["quality_min"] = (
+                    quality if row["quality_min"] is None
+                    else min(row["quality_min"], quality)
+                )
+                row["quality_max"] = (
+                    quality if row["quality_max"] is None
+                    else max(row["quality_max"], quality)
+                )
+            if result.get("energy") is not None:
+                row["energy_sum"] += float(result["energy"])
+            if slo:
+                row["slo_evaluated"] += 1
+                if slo.get("compliant"):
+                    row["slo_compliant"] += 1
+                power = (slo.get("slos") or {}).get("power_budget") or {}
+                observed = power.get("observed") or {}
+                if observed.get("headroom_min_w") is not None:
+                    headrooms.append(float(observed["headroom_min_w"]))
+            events = payload.get("events")
+            if events is not None:
+                total_events += int(events)
+                row["events"] += int(events)
+            if payload.get("wall_s") is not None:
+                total_wall += float(payload["wall_s"])
+        for row in scenarios.values():
+            if row["tasks"]:
+                row["quality_mean"] = (
+                    row["quality_mean"] / row["tasks"]
+                    if row["quality_min"] is not None else None
+                )
+        failed = len(self.errors)
+        return {
+            "tasks": {
+                "total": len(self.results) + failed,
+                "succeeded": len(self.results),
+                "failed": failed,
+            },
+            "scenarios": scenarios,
+            "throughput": {
+                "events": total_events,
+                "worker_wall_s": total_wall,
+                "events_per_sec": total_events / total_wall if total_wall > 0 else 0.0,
+            },
+            "quantiles": {
+                "quality": cross_run_quantiles(qualities),
+                "power_headroom_min_w": cross_run_quantiles(headrooms),
+            },
+            "slo_violation_events": len(self.violations),
+            "dropped": self.dropped_total(),
+            "workers": {
+                str(worker): self.workers[worker].to_record()
+                for worker in sorted(self.workers)
+            },
+        }

@@ -15,6 +15,13 @@ archive with a run and opens identically years later:
   from the :class:`repro.obs.stream.WindowSeries` rows);
 * per-core utilization bars and a metrics table.
 
+A ``repro.fleet/1`` rollup document (see
+:mod:`repro.experiments.fleet`) renders through
+:func:`render_fleet_report` instead — a fleet dashboard with the
+rollup panel (per-scenario SLO compliance, cross-run quantiles,
+throughput, drop accounting), a worker table and the per-run grid;
+:func:`write_report` dispatches on the summary's ``schema`` tag.
+
 Everything here is pure string building over the summary dict: no
 simulation imports, no I/O except :func:`write_report`, no printing.
 """
@@ -25,7 +32,9 @@ from html import escape
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-__all__ = ["render_report", "write_report"]
+from repro.obs.runs import FLEET_SCHEMA
+
+__all__ = ["render_fleet_report", "render_report", "write_report"]
 
 _CSS = """
 body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 62rem;
@@ -349,9 +358,212 @@ def render_report(summary: Dict[str, Any]) -> str:
     return "".join(sections)
 
 
+# ----------------------------------------------------------------------
+# Fleet dashboard (repro.fleet/1)
+# ----------------------------------------------------------------------
+def _fleet_scenario_table(scenarios: Dict[str, Any]) -> str:
+    if not scenarios:
+        return "<p class='nodata'>no scenario rollups</p>"
+    rows = [
+        "<table><tr><th>scenario</th><th class='num'>tasks</th>"
+        "<th class='num'>SLO</th><th class='num'>Q min</th>"
+        "<th class='num'>Q mean</th><th class='num'>Q max</th>"
+        "<th class='num'>energy (J)</th><th class='num'>events</th></tr>"
+    ]
+    for name in sorted(scenarios):
+        row = scenarios[name]
+        evaluated = int(row.get("slo_evaluated", 0))
+        if evaluated:
+            compliant = int(row.get("slo_compliant", 0))
+            cls = "ok" if compliant == evaluated else "viol"
+            slo = f"<span class='{cls}'>{compliant}/{evaluated}</span>"
+        else:
+            slo = "<span class='nodata'>–</span>"
+        rows.append(
+            f"<tr><td>{escape(name)}</td>"
+            f"<td class='num'>{_fmt(row.get('tasks'))}</td>"
+            f"<td class='num'>{slo}</td>"
+            f"<td class='num'>{_fmt(row.get('quality_min'), 4)}</td>"
+            f"<td class='num'>{_fmt(row.get('quality_mean'), 4)}</td>"
+            f"<td class='num'>{_fmt(row.get('quality_max'), 4)}</td>"
+            f"<td class='num'>{_fmt(row.get('energy_sum'), 6)}</td>"
+            f"<td class='num'>{_fmt(row.get('events'))}</td></tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _fleet_worker_table(workers: Dict[str, Any]) -> str:
+    if not workers:
+        return "<p class='nodata'>no worker records</p>"
+    rows = [
+        "<table><tr><th>worker</th><th class='num'>pid</th>"
+        "<th class='num'>messages</th><th class='num'>done</th>"
+        "<th class='num'>failed</th><th>lifecycle</th>"
+        "<th class='num'>dropped</th><th class='num'>exit</th></tr>"
+    ]
+    for key in sorted(workers, key=lambda k: int(k)):
+        row = workers[key]
+        if row.get("bye"):
+            lifecycle = "<span class='ok'>clean</span>"
+        elif row.get("hello"):
+            lifecycle = "<span class='viol'>died</span>"
+        else:
+            lifecycle = "<span class='nodata'>never heard</span>"
+        dropped = sum((row.get("dropped") or {}).values())
+        rows.append(
+            f"<tr><td>{escape(str(row.get('worker', key)))}</td>"
+            f"<td class='num'>{_fmt(row.get('pid'))}</td>"
+            f"<td class='num'>{_fmt(row.get('messages'))}</td>"
+            f"<td class='num'>{_fmt(row.get('tasks_done'))}</td>"
+            f"<td class='num'>{_fmt(row.get('tasks_failed'))}</td>"
+            f"<td>{lifecycle}</td>"
+            f"<td class='num'>{dropped}</td>"
+            f"<td class='num'>{_fmt(row.get('exitcode'))}</td></tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _fleet_run_grid(tasks: List[Dict[str, Any]]) -> str:
+    if not tasks:
+        return "<p class='nodata'>no tasks</p>"
+    rows = [
+        "<table><tr><th>task</th><th>scenario</th><th class='num'>seed</th>"
+        "<th class='num'>rate</th><th>status</th><th class='num'>quality</th>"
+        "<th class='num'>energy (J)</th><th>SLO</th><th class='num'>wall (s)</th>"
+        "<th>run id</th></tr>"
+    ]
+    for task in tasks:
+        if task.get("ok"):
+            status = "<span class='ok'>ok</span>"
+        else:
+            status = "<span class='viol'>failed</span>"
+        slo = task.get("slo_compliant")
+        if slo is None:
+            slo_cell = "<span class='nodata'>–</span>"
+        elif slo:
+            slo_cell = "<span class='ok'>ok</span>"
+        else:
+            slo_cell = "<span class='viol'>viol</span>"
+        rows.append(
+            f"<tr><td>{escape(str(task.get('key', '?')))}</td>"
+            f"<td>{escape(str(task.get('scenario', '?')))}</td>"
+            f"<td class='num'>{_fmt(task.get('seed'))}</td>"
+            f"<td class='num'>{_fmt(task.get('rate'), 4)}</td>"
+            f"<td>{status}</td>"
+            f"<td class='num'>{_fmt(task.get('quality'), 6)}</td>"
+            f"<td class='num'>{_fmt(task.get('energy'), 6)}</td>"
+            f"<td>{slo_cell}</td>"
+            f"<td class='num'>{_fmt(task.get('wall_s'), 4)}</td>"
+            f"<td class='meta'>{_fmt(task.get('run_id'))}</td></tr>"
+        )
+    rows.append("</table>")
+    return "".join(rows)
+
+
+def _fleet_error_cards(errors: List[Dict[str, Any]]) -> str:
+    if not errors:
+        return "<p class='ok'>no task failures</p>"
+    parts = []
+    for error in errors:
+        parts.append(
+            f"<p><span class='viol'>[{escape(str(error.get('kind', '?')))}]</span> "
+            f"task <b>{escape(str(error.get('task', '?')))}</b> "
+            f"(worker {_fmt(error.get('worker'))}): "
+            f"{escape(str(error.get('exception', '')))}</p>"
+        )
+        if error.get("traceback"):
+            parts.append(
+                f"<pre style='font-size:.75rem;overflow-x:auto'>"
+                f"{escape(str(error['traceback']))}</pre>"
+            )
+    return "".join(parts)
+
+
+def render_fleet_report(summary: Dict[str, Any]) -> str:
+    """Render one ``repro.fleet/1`` rollup as a self-contained dashboard."""
+    meta = summary.get("meta") or {}
+    rollup = summary.get("rollup") or {}
+    tasks = rollup.get("tasks") or {}
+    throughput = rollup.get("throughput") or {}
+    quantiles = rollup.get("quantiles") or {}
+    dropped = rollup.get("dropped") or {}
+
+    failed = int(tasks.get("failed", 0) or 0)
+    verdict = (
+        "<span class='ok'>all tasks succeeded</span>" if not failed else
+        f"<span class='viol'>{failed} task(s) failed</span>"
+    )
+    headline = (
+        "<table><tr><th class='num'>tasks</th><th class='num'>succeeded</th>"
+        "<th class='num'>failed</th><th class='num'>events</th>"
+        "<th class='num'>events/s</th><th class='num'>worker wall (s)</th></tr>"
+        f"<tr><td class='num'>{_fmt(tasks.get('total'))}</td>"
+        f"<td class='num'>{_fmt(tasks.get('succeeded'))}</td>"
+        f"<td class='num'>{_fmt(tasks.get('failed'))}</td>"
+        f"<td class='num'>{_fmt(throughput.get('events'))}</td>"
+        f"<td class='num'>{_fmt(throughput.get('events_per_sec'), 6)}</td>"
+        f"<td class='num'>{_fmt(throughput.get('worker_wall_s'), 4)}</td></tr>"
+        "</table>"
+    )
+    quantile_rows = ["<table><tr><th>statistic</th><th class='num'>p50</th>"
+                     "<th class='num'>p90</th></tr>"]
+    for name in sorted(quantiles):
+        qs = quantiles[name] or {}
+        quantile_rows.append(
+            f"<tr><td>{escape(name)}</td>"
+            f"<td class='num'>{_fmt(qs.get('p50'), 5)}</td>"
+            f"<td class='num'>{_fmt(qs.get('p90'), 5)}</td></tr>"
+        )
+    quantile_rows.append("</table>")
+    drop_total = sum(dropped.values()) if dropped else 0
+    drop_note = (
+        f"<p class='meta'>dropped telemetry messages: {drop_total}"
+        + (" (" + ", ".join(f"{k}={v}" for k, v in sorted(dropped.items()) if v) + ")"
+           if drop_total else "")
+        + f" · live SLO violation events: {_fmt(rollup.get('slo_violation_events'))}</p>"
+    )
+
+    sections = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>repro fleet · {escape(str(summary.get('run_id', '?')))}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<div class='card'><h1>fleet {escape(str(summary.get('run_id', '?')))}</h1>",
+        f"<p class='meta'>mode {_fmt(meta.get('mode'))} · "
+        f"{_fmt(meta.get('workers'))} worker(s) · {verdict}</p>"
+        f"{headline}{drop_note}</div>",
+        "<div class='card'><h2>Per-scenario rollup</h2>",
+        _fleet_scenario_table(rollup.get("scenarios") or {}),
+        "</div>",
+        "<div class='card'><h2>Cross-run quantiles</h2>",
+        "".join(quantile_rows),
+        "<p class='legend'>exact quantiles over per-run scalars — "
+        "P² sketch states are never merged (see docs/observability.md)</p></div>",
+        "<div class='card'><h2>Workers</h2>",
+        _fleet_worker_table(rollup.get("workers") or {}),
+        "</div>",
+        "<div class='card'><h2>Per-run grid</h2>",
+        _fleet_run_grid(summary.get("tasks") or []),
+        "</div>",
+        "<div class='card'><h2>Failures</h2>",
+        _fleet_error_cards(summary.get("errors") or []),
+        "</div>",
+        "</body></html>",
+    ]
+    return "".join(sections)
+
+
 def write_report(summary: Dict[str, Any], path: Union[str, Path]) -> int:
-    """Write :func:`render_report` output to ``path``; returns byte count."""
-    html = render_report(summary)
+    """Write the summary's HTML rendering to ``path``; returns byte count.
+
+    Dispatches on the ``schema`` tag: ``repro.fleet/1`` documents get
+    the fleet dashboard, everything else the single-run report.
+    """
+    if summary.get("schema") == FLEET_SCHEMA:
+        html = render_fleet_report(summary)
+    else:
+        html = render_report(summary)
     data = html.encode("utf-8")
     Path(path).write_bytes(data)
     return len(data)

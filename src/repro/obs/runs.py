@@ -21,6 +21,11 @@ streaming telemetry (windowed aggregates, SLO compliance, per-core
 utilization, metrics) — everything ``repro runs diff`` and ``repro
 report`` consume, with no need to reload the raw trace.
 
+The registry also holds fleet rollup documents (schema
+``repro.fleet/1``, ids ``fleet-<grid digest>``) written by
+:mod:`repro.experiments.fleet`; they live alongside per-run entries
+and are rendered by :func:`format_fleet` / the fleet HTML dashboard.
+
 Same fingerprint + scheduler ⇒ same run id ⇒ storing again
 *overwrites* — runs are content-addressed, so a re-execution of an
 identical configuration produces an identical summary (the simulator
@@ -39,16 +44,18 @@ import os
 import shutil
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.errors import ReproError
 
 __all__ = [
+    "FLEET_SCHEMA",
     "RUN_SCHEMA",
     "RUNS_DIR_ENV",
     "RunStore",
     "diff_runs",
     "format_diff",
+    "format_fleet",
     "format_run",
     "format_runs_table",
     "make_summary",
@@ -57,6 +64,14 @@ __all__ = [
 
 #: Version tag stamped on every ``summary.json``.
 RUN_SCHEMA = "repro.run/1"
+
+#: Version tag of a fleet rollup document (see
+#: :mod:`repro.experiments.fleet`) — stored in the same registry,
+#: addressed as ``fleet-<grid digest>``.
+FLEET_SCHEMA = "repro.fleet/1"
+
+#: Schemas :meth:`RunStore.load` understands.
+_KNOWN_SCHEMAS = frozenset({RUN_SCHEMA, FLEET_SCHEMA})
 
 #: Environment variable overriding the default store root.
 RUNS_DIR_ENV = "REPRO_RUNS_DIR"
@@ -205,10 +220,10 @@ class RunStore:
         path = self.root / run_id / "summary.json"
         summary = json.loads(path.read_text(encoding="utf-8"))
         schema = summary.get("schema")
-        if schema != RUN_SCHEMA:
+        if schema not in _KNOWN_SCHEMAS:
             raise ReproError(
                 f"{path}: unsupported run schema {schema!r} "
-                f"(this reader understands {RUN_SCHEMA!r})"
+                f"(this reader understands {', '.join(sorted(_KNOWN_SCHEMAS))})"
             )
         return dict(summary)
 
@@ -218,7 +233,12 @@ class RunStore:
         return path if path.is_file() else None
 
     def list(self) -> List[Dict[str, Any]]:
-        """One row per stored run, newest first."""
+        """One row per stored run, newest first.
+
+        Ordering is deterministic: descending ``created_unix`` with the
+        run id as tie-breaker, so equal timestamps (coarse clocks,
+        fixture stores) still list identically everywhere.
+        """
         rows: List[Dict[str, Any]] = []
         for run_id in self.ids():
             summary = self.load(run_id)
@@ -227,6 +247,7 @@ class RunStore:
             slo = (summary.get("telemetry") or {}).get("slo", {})
             rows.append({
                 "run_id": run_id,
+                "schema": summary.get("schema"),
                 "created_unix": summary.get("created_unix"),
                 "scheduler": meta.get("scheduler"),
                 "arrival_rate": meta.get("arrival_rate"),
@@ -244,6 +265,31 @@ class RunStore:
     def delete(self, run_id: str) -> None:
         """Remove one stored run (directory and all artifacts)."""
         shutil.rmtree(self.root / self.resolve(run_id))
+
+    def gc(self, keep: int, *, pin: Sequence[str] = ()) -> List[str]:
+        """Prune the store down to the ``keep`` newest runs.
+
+        Age is ``created_unix`` via :meth:`list`'s deterministic
+        ordering.  Ids in ``pin`` (full ids or unique prefixes) are
+        never deleted and do not count against ``keep`` — pinned
+        baselines survive any gc.  Returns the deleted ids, oldest
+        last.
+        """
+        if keep < 0:
+            raise ReproError(f"gc keep count must be >= 0, got {keep}")
+        pinned = {self.resolve(p) for p in pin}
+        kept = 0
+        deleted: List[str] = []
+        for row in self.list():
+            run_id = str(row["run_id"])
+            if run_id in pinned:
+                continue
+            if kept < keep:
+                kept += 1
+                continue
+            self.delete(run_id)
+            deleted.append(run_id)
+        return deleted
 
 
 # ----------------------------------------------------------------------
@@ -407,6 +453,69 @@ def format_run(summary: Dict[str, Any]) -> str:
         lines.append(
             f"  records: {counts.get('span', 0)} spans, "
             f"{counts.get('event', 0)} events, {counts.get('sample', 0)} samples"
+        )
+    return "\n".join(lines)
+
+
+def format_fleet(summary: Dict[str, Any]) -> str:
+    """Render one ``repro.fleet/1`` rollup summary as text."""
+    meta = summary.get("meta", {})
+    rollup = summary.get("rollup") or {}
+    tasks = rollup.get("tasks") or {}
+    lines = [
+        f"fleet {summary.get('run_id', '?')}  "
+        f"mode={meta.get('mode', '?')}  workers={_fmt(meta.get('workers'))}"
+    ]
+    lines.append(
+        f"  tasks: {_fmt(tasks.get('total'))} total, "
+        f"{_fmt(tasks.get('succeeded'))} succeeded, "
+        f"{_fmt(tasks.get('failed'))} failed"
+    )
+    throughput = rollup.get("throughput") or {}
+    if throughput:
+        lines.append(
+            f"  throughput: {_fmt(throughput.get('events'))} events in "
+            f"{_fmt(throughput.get('worker_wall_s'), 4)}s worker-wall "
+            f"({_fmt(throughput.get('events_per_sec'), 6)} ev/s)"
+        )
+    scenarios = rollup.get("scenarios") or {}
+    if scenarios:
+        lines.append(
+            f"  {'scenario':<14} {'tasks':>5} {'slo':>9} "
+            f"{'Q min':>8} {'Q mean':>8} {'Q max':>8} {'energy J':>12}"
+        )
+        for name in sorted(scenarios):
+            row = scenarios[name]
+            evaluated = row.get("slo_evaluated", 0)
+            slo = "-"
+            if evaluated:
+                slo = f"{row.get('slo_compliant', 0)}/{evaluated}"
+            lines.append(
+                f"  {name:<14} {_fmt(row.get('tasks')):>5} {slo:>9} "
+                f"{_fmt(row.get('quality_min'), 4):>8} "
+                f"{_fmt(row.get('quality_mean'), 4):>8} "
+                f"{_fmt(row.get('quality_max'), 4):>8} "
+                f"{_fmt(row.get('energy_sum'), 6):>12}"
+            )
+    quantiles = rollup.get("quantiles") or {}
+    for name in sorted(quantiles):
+        qs = quantiles[name] or {}
+        if qs:
+            pairs = "  ".join(f"{k}={_fmt(v, 4)}" for k, v in sorted(qs.items()))
+            lines.append(f"  {name}: {pairs}")
+    dropped = rollup.get("dropped") or {}
+    total_dropped = sum(dropped.values()) if dropped else 0
+    if total_dropped:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(dropped.items()) if v)
+        lines.append(f"  dropped messages: {total_dropped} ({pairs})")
+    violations = rollup.get("slo_violation_events")
+    if violations:
+        lines.append(f"  live slo violation events: {violations}")
+    errors = summary.get("errors") or []
+    for error in errors:
+        lines.append(
+            f"  ERROR [{error.get('kind', '?')}] task={error.get('task', '?')} "
+            f"worker={_fmt(error.get('worker'))}: {error.get('exception', '')}"
         )
     return "\n".join(lines)
 

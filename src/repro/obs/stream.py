@@ -475,8 +475,12 @@ class StreamingTracer(Tracer):
     def _spill(self, record: Dict[str, Any]) -> None:
         if self._spill_fh is None:
             return
-        self._spill_fh.write(json.dumps(record, separators=(",", ":"), sort_keys=True))
-        self._spill_fh.write("\n")
+        # Single write call per record: an interrupt (SIGINT) between
+        # two writes could leave a record without its newline, breaking
+        # the partial-trace-is-valid-JSONL guarantee.
+        self._spill_fh.write(
+            json.dumps(record, separators=(",", ":"), sort_keys=True) + "\n"
+        )
         self._spilled += 1
 
     def _spill_meta(self) -> None:

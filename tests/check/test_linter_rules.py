@@ -138,6 +138,78 @@ class TestSIM004Layering:
         assert "SIM004" not in codes(src, "repro.sim.engine")
 
 
+class TestSIM004FleetConfinement:
+    def test_bus_module_allowlisted_for_wall_clock(self):
+        # The telemetry bus stamps messages and tracks worker liveness
+        # against the host clock — fleet metadata, not simulated time.
+        from repro.check.rules import SIM001_MODULE_ALLOWLIST
+
+        assert "repro.obs.bus" in SIM001_MODULE_ALLOWLIST
+        src = "import time\n\ndef stamp() -> float:\n    return time.time()\n"
+        assert "SIM001" not in codes(src, "repro.obs.bus")
+
+    def test_core_cannot_import_fleet(self):
+        src = "from repro.experiments.fleet import run_fleet\n"
+        assert "SIM004" in codes(src, "repro.core.ge")
+
+    def test_sim_cannot_import_bus(self):
+        src = "from repro.obs.bus import BusSender\n"
+        assert "SIM004" in codes(src, "repro.sim.engine")
+
+    def test_obs_siblings_cannot_import_bus(self):
+        # Even inside repro.obs (where plain layering would allow it),
+        # only the fleet side may depend on the bus.
+        src = "from repro.obs.bus import FleetAggregator\n"
+        assert "SIM004" in codes(src, "repro.obs.stream")
+
+    def test_submodule_spelling_is_caught(self):
+        src = "from repro.obs import bus\n"
+        assert "SIM004" in codes(src, "repro.metrics.collector")
+
+    def test_experiments_and_cli_may_import_fleet(self):
+        src = (
+            "from repro.experiments.fleet import run_fleet\n"
+            "from repro.obs.bus import BusSender\n"
+        )
+        assert "SIM004" not in codes(src, "repro.experiments.runner")
+        assert "SIM004" not in codes(src, "repro.cli")
+        assert "SIM004" not in codes(src, "repro.experiments.fleet")
+
+    def test_multiprocessing_confined_to_fleet_modules(self):
+        src = "import multiprocessing\n"
+        assert "SIM004" in codes(src, "repro.cli")
+        assert "SIM004" in codes(src, "repro.sim.engine")
+        assert "SIM004" in codes(src, "repro.experiments.runner")
+        assert "SIM004" not in codes(src, "repro.experiments.fleet")
+        assert "SIM004" not in codes(src, "repro.obs.bus")
+
+    def test_multiprocessing_from_import_and_submodule(self):
+        assert "SIM004" in codes(
+            "from multiprocessing import Queue\n", "repro.obs.stream"
+        )
+        assert "SIM004" in codes(
+            "import multiprocessing.pool\n", "repro.workload.generator"
+        )
+
+    def test_type_checking_multiprocessing_is_exempt(self):
+        src = (
+            "from typing import TYPE_CHECKING\n"
+            "if TYPE_CHECKING:\n"
+            "    import multiprocessing\n"
+        )
+        assert "SIM004" not in codes(src, "repro.obs.stream")
+
+    def test_streaming_telemetry_stays_unexempt(self):
+        # The fixture pins that the bus exemption did not leak onto the
+        # simulated-time telemetry modules.
+        from repro.check.rules import SIM001_MODULE_ALLOWLIST
+
+        src = "import time\n\ndef now() -> float:\n    return time.time()\n"
+        for module in ("repro.obs.stream", "repro.obs.slo", "repro.obs.tracer"):
+            assert module not in SIM001_MODULE_ALLOWLIST
+            assert "SIM001" in codes(src, module)
+
+
 class TestSIM005FrozenConfigMutation:
     def test_flags_object_setattr_on_config(self):
         src = (

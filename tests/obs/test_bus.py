@@ -1,0 +1,235 @@
+"""The fleet telemetry bus: schema, drop accounting, the aggregator fold."""
+
+from __future__ import annotations
+
+import queue
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.bus import (
+    BUS_SCHEMA,
+    DROPPABLE_TYPES,
+    MESSAGE_TYPES,
+    BusSender,
+    FleetAggregator,
+    cross_run_quantiles,
+    make_message,
+    validate_message,
+)
+
+
+def result_payload(scenario, *, quality, energy, compliant=True,
+                   headroom=None, events=100, wall_s=0.5):
+    """A minimal result-message payload shaped like execute_task's."""
+    slo = {"compliant": compliant, "slos": {}}
+    if headroom is not None:
+        slo["slos"]["power_budget"] = {
+            "observed": {"headroom_min_w": headroom}
+        }
+    return {
+        "task": {"scenario": scenario},
+        "result": {"quality": quality, "energy": energy},
+        "summary": {"slo": slo},
+        "events": events,
+        "wall_s": wall_s,
+    }
+
+
+class TestMessageSchema:
+    def test_make_message_envelope(self):
+        msg = make_message("hello", worker=3, seq=0, payload={"pid": 42})
+        assert msg["schema"] == BUS_SCHEMA
+        assert msg["type"] == "hello"
+        assert msg["worker"] == 3 and msg["seq"] == 0
+        assert msg["task"] is None
+        assert msg["payload"] == {"pid": 42}
+        assert msg["sent_unix"] > 0
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ReproError, match="unknown bus message type"):
+            make_message("gossip", worker=0, seq=0)
+
+    def test_validate_round_trip(self):
+        msg = make_message("result", worker=0, seq=1, task="k")
+        assert validate_message(msg) is msg
+
+    def test_validate_rejects_schema_skew(self):
+        msg = make_message("result", worker=0, seq=0)
+        msg["schema"] = "repro.bus/999"
+        with pytest.raises(ReproError, match="unsupported bus schema"):
+            validate_message(msg)
+
+    def test_validate_rejects_malformed(self):
+        msg = make_message("result", worker=0, seq=0)
+        bad = dict(msg, worker="zero")
+        with pytest.raises(ReproError, match="integer worker id"):
+            validate_message(bad)
+        bad = dict(msg, payload=None)
+        with pytest.raises(ReproError, match="payload dict"):
+            validate_message(bad)
+
+    def test_droppable_is_subset_of_types(self):
+        assert DROPPABLE_TYPES < set(MESSAGE_TYPES)
+
+
+class TestBusSender:
+    def test_sequence_numbers_increment(self):
+        q = queue.Queue()
+        sender = BusSender(q, worker=1)
+        sender.send("hello")
+        sender.send("progress", task="k")
+        assert [q.get_nowait()["seq"] for _ in range(2)] == [0, 1]
+
+    def test_droppable_overflow_is_counted_not_raised(self):
+        q = queue.Queue(maxsize=2)
+        sender = BusSender(q, worker=0)
+        assert sender.send("snapshot", task="k") is True
+        assert sender.send("snapshot", task="k") is True
+        # Queue full: droppable telemetry is discarded with accounting.
+        assert sender.send("snapshot", task="k") is False
+        assert sender.send("slo_violation", task="k") is False
+        assert sender.drop_counts() == {"snapshot": 1, "slo_violation": 1}
+        assert sender.sent == {"snapshot": 2}
+
+    def test_reliable_overflow_raises(self):
+        q = queue.Queue(maxsize=1)
+        sender = BusSender(q, worker=0, timeout=0.05)
+        sender.send("hello")
+        with pytest.raises(ReproError, match="aggregator alive"):
+            sender.send("result", task="k")
+        assert sender.drop_counts() == {"result": 1}
+
+    def test_reliable_override_on_droppable_type(self):
+        q = queue.Queue(maxsize=1)
+        sender = BusSender(q, worker=0, timeout=0.05)
+        sender.send("hello")
+        # The task-start marker is shipped reliably for crash attribution.
+        with pytest.raises(ReproError):
+            sender.send("progress", task="k", payload={"phase": "start"},
+                        reliable=True)
+
+
+class TestCrossRunQuantiles:
+    def test_empty_and_single(self):
+        assert cross_run_quantiles([]) == {}
+        assert cross_run_quantiles([2.0]) == {"p50": 2.0, "p90": 2.0}
+
+    def test_interpolated_and_order_free(self):
+        forward = cross_run_quantiles([1.0, 2.0, 3.0, 4.0])
+        assert forward["p50"] == pytest.approx(2.5)
+        assert forward["p90"] == pytest.approx(3.7)
+        assert cross_run_quantiles([4.0, 1.0, 3.0, 2.0]) == forward
+
+
+class TestFleetAggregator:
+    def feed(self, agg, sender, q):
+        while True:
+            try:
+                agg.on_message(q.get_nowait(), now=1000.0)
+            except queue.Empty:
+                return
+
+    def test_full_lifecycle_fold(self):
+        agg = FleetAggregator()
+        q = queue.Queue()
+        sender = BusSender(q, worker=0)
+        sender.send("hello", payload={"pid": 99})
+        sender.send("progress", task="a", payload={"phase": "start"},
+                    reliable=True)
+        sender.send("snapshot", task="a", payload={"t": 1.0})
+        sender.send("slo_violation", task="a", payload={"slo": "quality_floor"})
+        sender.send("result", task="a",
+                    payload=result_payload("ge_light", quality=0.9, energy=10.0))
+        sender.send("bye", payload={"dropped": {"snapshot": 2}})
+        self.feed(agg, sender, q)
+
+        state = agg.workers[0]
+        assert state.pid == 99 and state.said_hello and state.said_bye
+        assert state.tasks_done == 1 and state.current_task is None
+        assert agg.results["a"]["worker"] == 0
+        assert agg.snapshots["a"]["snapshot"] == {"t": 1.0}
+        assert agg.violations[0]["task"] == "a"
+        assert agg.dropped_total() == {"snapshot": 2}
+
+    def test_error_message_becomes_record(self):
+        agg = FleetAggregator()
+        msg = make_message("error", worker=2, seq=0, task="bad", payload={
+            "exception": "RuntimeError('boom')",
+            "traceback": "Traceback ...",
+            "task": {"scenario": "ge_light"},
+        })
+        agg.on_message(msg, now=0.0)
+        (record,) = agg.errors
+        assert record["kind"] == "exception"
+        assert record["task"] == "bad" and record["worker"] == 2
+        assert "boom" in record["exception"]
+        assert agg.workers[2].tasks_failed == 1
+
+    def test_worker_death_synthesizes_error_for_in_flight_task(self):
+        agg = FleetAggregator()
+        agg.on_message(make_message("hello", worker=0, seq=0), now=0.0)
+        agg.on_message(
+            make_message("progress", worker=0, seq=1, task="doomed",
+                         payload={"phase": "start"}),
+            now=0.0,
+        )
+        record = agg.mark_worker_dead(0, exitcode=43, now=1.0)
+        assert record is not None and record["kind"] == "worker-death"
+        assert record["task"] == "doomed"
+        assert "exitcode 43" in record["exception"]
+        assert agg.errors == [record]
+        assert agg.workers[0].exitcode == 43
+
+    def test_clean_death_after_bye_is_not_an_error(self):
+        agg = FleetAggregator()
+        agg.on_message(make_message("hello", worker=0, seq=0), now=0.0)
+        agg.on_message(make_message("bye", worker=0, seq=1), now=0.0)
+        assert agg.mark_worker_dead(0, exitcode=0, now=1.0) is None
+        assert agg.errors == []
+
+    def test_mark_task_unrun(self):
+        agg = FleetAggregator()
+        record = agg.mark_task_unrun("ghost", "no surviving worker")
+        assert record["kind"] == "unrun" and record["worker"] is None
+        assert agg.errors == [record]
+
+    def test_stale_workers_watchdog(self):
+        agg = FleetAggregator()
+        agg.on_message(make_message("hello", worker=0, seq=0), now=100.0)
+        agg.on_message(make_message("hello", worker=1, seq=0), now=130.0)
+        agg.on_message(make_message("bye", worker=2, seq=0), now=50.0)
+        assert agg.stale_workers(now=131.0, timeout=30.0) == [0]
+        # A worker that said bye is never stale, however old.
+        assert 2 not in agg.stale_workers(now=1000.0, timeout=1.0)
+
+    def test_rollup_scenario_and_quantile_shape(self):
+        agg = FleetAggregator()
+        q = queue.Queue()
+        sender = BusSender(q, worker=0)
+        sender.send("hello")
+        for key, quality, energy, compliant in (
+            ("a", 0.8, 10.0, True), ("b", 0.9, 12.0, False),
+        ):
+            sender.send("result", task=key, payload=result_payload(
+                "ge_light", quality=quality, energy=energy,
+                compliant=compliant, headroom=5.0))
+        sender.send("result", task="c", payload=result_payload(
+            "ge_nominal", quality=0.7, energy=20.0))
+        sender.send("bye")
+        self.feed(agg, sender, q)
+        agg.mark_task_unrun("d", "never ran")
+
+        rollup = agg.rollup()
+        assert rollup["tasks"] == {"total": 4, "succeeded": 3, "failed": 1}
+        light = rollup["scenarios"]["ge_light"]
+        assert light["tasks"] == 2
+        assert light["slo_compliant"] == 1 and light["slo_evaluated"] == 2
+        assert light["quality_min"] == 0.8 and light["quality_max"] == 0.9
+        assert light["quality_mean"] == pytest.approx(0.85)
+        assert light["energy_sum"] == pytest.approx(22.0)
+        assert rollup["throughput"]["events"] == 300
+        assert rollup["throughput"]["events_per_sec"] > 0
+        assert rollup["quantiles"]["quality"]["p50"] == pytest.approx(0.8)
+        assert rollup["quantiles"]["power_headroom_min_w"]["p50"] == 5.0
+        assert rollup["workers"]["0"]["tasks_done"] == 3

@@ -126,6 +126,93 @@ class TestRunStore:
             store.load("bad-run")
 
 
+class TestListOrderingAndGc:
+    def seeded_store(self, tmp_path, ge_doc, ids):
+        """A store with the given run ids, stamped strictly older→newer."""
+        store = RunStore(tmp_path)
+        for age, run_id in enumerate(ids):
+            store.save(dict(ge_doc, run_id=run_id))
+            # Rewrite the stamp so ordering is unambiguous even on
+            # coarse clocks: later saves are strictly newer.
+            path = store.path_for(run_id) / "summary.json"
+            doc = json.loads(path.read_text())
+            doc["created_unix"] = 1000.0 + age
+            path.write_text(json.dumps(doc))
+        return store
+
+    def test_list_orders_newest_first_with_id_tiebreak(self, tmp_path, ge_doc):
+        store = self.seeded_store(tmp_path, ge_doc, ["old-1-ge", "new-1-ge"])
+        # Force a timestamp tie to exercise the id tie-break.
+        for run_id in ("tie-b-ge", "tie-a-ge"):
+            store.save(dict(ge_doc, run_id=run_id))
+            path = store.path_for(run_id) / "summary.json"
+            doc = json.loads(path.read_text())
+            doc["created_unix"] = 2000.0
+            path.write_text(json.dumps(doc))
+        ordered = [row["run_id"] for row in store.list()]
+        assert ordered == ["tie-a-ge", "tie-b-ge", "new-1-ge", "old-1-ge"]
+        assert all("schema" in row for row in store.list())
+
+    def test_gc_keeps_newest(self, tmp_path, ge_doc):
+        store = self.seeded_store(
+            tmp_path, ge_doc, ["a-1-ge", "b-1-ge", "c-1-ge"]
+        )
+        deleted = store.gc(1)
+        assert deleted == ["b-1-ge", "a-1-ge"]
+        assert store.ids() == ["c-1-ge"]
+
+    def test_gc_pins_survive_and_do_not_count(self, tmp_path, ge_doc):
+        store = self.seeded_store(
+            tmp_path, ge_doc, ["a-1-ge", "b-1-ge", "c-1-ge"]
+        )
+        # Pin the oldest (by unique prefix): it survives, and `keep`
+        # still applies to the remaining two.
+        deleted = store.gc(1, pin=["a-1"])
+        assert deleted == ["b-1-ge"]
+        assert store.ids() == ["a-1-ge", "c-1-ge"]
+
+    def test_gc_keep_zero_and_validation(self, tmp_path, ge_doc):
+        store = self.seeded_store(tmp_path, ge_doc, ["a-1-ge", "b-1-ge"])
+        with pytest.raises(ReproError, match="keep count"):
+            store.gc(-1)
+        assert store.gc(0) == ["b-1-ge", "a-1-ge"]
+        assert store.ids() == []
+
+
+class TestFleetSchema:
+    @pytest.fixture(scope="class")
+    def fleet_doc(self, tmp_path_factory):
+        from repro.experiments.fleet import run_sequential
+        from repro.experiments.registry import fleet_grid
+
+        runs_dir = tmp_path_factory.mktemp("fleet-store")
+        fleet = run_sequential(
+            fleet_grid(["ge_light"], [1], scale=0.005),
+            runs_dir=str(runs_dir),
+        )
+        return fleet, runs_dir
+
+    def test_store_round_trips_fleet_documents(self, fleet_doc):
+        from repro.obs.runs import FLEET_SCHEMA
+
+        fleet, runs_dir = fleet_doc
+        store = RunStore(runs_dir)
+        loaded = store.load(fleet.fleet_id)
+        assert loaded["schema"] == FLEET_SCHEMA
+        rows = {row["run_id"]: row for row in store.list()}
+        assert rows[fleet.fleet_id]["schema"] == FLEET_SCHEMA
+        assert rows[fleet.fleet_id]["scheduler"] == "fleet"
+
+    def test_format_fleet_renders(self, fleet_doc):
+        from repro.obs.runs import format_fleet
+
+        fleet, _ = fleet_doc
+        text = format_fleet(fleet.summary)
+        assert fleet.fleet_id in text
+        assert "ge_light" in text
+        assert "tasks: 1 total" in text and "throughput:" in text
+
+
 class TestDiffAndRendering:
     @pytest.fixture(scope="class")
     def pair(self, ge_doc):

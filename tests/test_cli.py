@@ -296,3 +296,83 @@ def test_report_from_trace_and_trace_show(tmp_path, capsys):
     # trace show folds the spill offline and prints the same panel.
     assert main(["trace", "show", trace]) == 0
     assert "quality_floor" in capsys.readouterr().out
+
+
+def test_runs_list_json_format(tmp_path, capsys):
+    import json
+
+    runs_dir = str(tmp_path / "runs")
+    assert main(["run", "--scheduler", "GE", "--rate", "120", "--horizon", "3",
+                 "--store", "--runs-dir", runs_dir]) == 0
+    capsys.readouterr()
+    assert main(["runs", "list", "--format", "json", "--runs-dir", runs_dir]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 1
+    assert rows[0]["scheduler"] == "GE"
+    assert rows[0]["schema"] == "repro.run/1"
+    # Empty store: valid JSON too, not the "no stored runs" prose.
+    assert main(["runs", "list", "--format", "json",
+                 "--runs-dir", str(tmp_path / "empty")]) == 0
+    assert json.loads(capsys.readouterr().out) == []
+
+
+def test_runs_gc_keeps_newest_and_pins(tmp_path, capsys):
+    runs_dir = str(tmp_path / "runs")
+    for seed in ("1", "2", "3"):
+        assert main(["run", "--scheduler", "GE", "--rate", "120",
+                     "--horizon", "2", "--seed", seed,
+                     "--store", "--runs-dir", runs_dir]) == 0
+    out = capsys.readouterr().out
+    ids = [line.split("stored run ")[1].split()[0]
+           for line in out.splitlines() if "stored run" in line]
+    assert len(ids) == 3
+    # Pin the oldest; keep 1 → only the middle run is collected.
+    assert main(["runs", "gc", "--keep", "1", "--pin", ids[0],
+                 "--runs-dir", runs_dir]) == 0
+    gc_out = capsys.readouterr().out
+    assert ids[1] in gc_out and "deleted 1" in gc_out
+    assert main(["runs", "list", "--runs-dir", runs_dir]) == 0
+    listed = capsys.readouterr().out
+    assert ids[0] in listed and ids[2] in listed and ids[1] not in listed
+
+
+def test_fleet_run_status_report_lifecycle(tmp_path, capsys):
+    runs_dir = str(tmp_path / "runs")
+    report = str(tmp_path / "fleet.html")
+    assert main(["fleet", "run", "--scenarios", "ge_light", "--seeds", "1,2",
+                 "--scale", "0.005", "--sequential", "--runs-dir", runs_dir,
+                 "--report", report, "--min-slo-compliance", "0.0"]) == 0
+    out = capsys.readouterr().out
+    assert "mode=sequential" in out
+    assert "2 total, 2 succeeded, 0 failed" in out
+    assert "stored fleet fleet-" in out
+    assert "SLO compliance" in out
+    assert "Per-scenario rollup" in open(report, encoding="utf-8").read()
+
+    # status / report resolve the newest stored fleet when no id given.
+    assert main(["fleet", "status", "--runs-dir", runs_dir]) == 0
+    assert "mode=sequential" in capsys.readouterr().out
+    report2 = str(tmp_path / "fleet2.html")
+    assert main(["fleet", "report", "--runs-dir", runs_dir,
+                 "--out", report2]) == 0
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_fleet_rejects_bad_grids(tmp_path, capsys):
+    assert main(["fleet", "run", "--scenarios", "no_such", "--seeds", "1",
+                 "--no-store", "--sequential",
+                 "--runs-dir", str(tmp_path)]) == 2
+    assert "no_such" in capsys.readouterr().out
+    assert main(["fleet", "status", "--runs-dir", str(tmp_path)]) == 2
+    assert "no stored fleet runs" in capsys.readouterr().out
+
+
+def test_fleet_status_rejects_single_run_ids(tmp_path, capsys):
+    runs_dir = str(tmp_path / "runs")
+    assert main(["run", "--scheduler", "GE", "--rate", "120", "--horizon", "2",
+                 "--store", "--runs-dir", runs_dir]) == 0
+    out = capsys.readouterr().out
+    run_id = [line.split("stored run ")[1].split()[0]
+              for line in out.splitlines() if "stored run" in line][0]
+    assert main(["fleet", "status", run_id, "--runs-dir", runs_dir]) == 2
+    assert "not a fleet rollup" in capsys.readouterr().out
