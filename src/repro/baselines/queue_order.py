@@ -84,7 +84,7 @@ class QueueOrderScheduler(Scheduler):
         harness = self.harness
         now = harness.sim.now
         for core in harness.machine.cores:
-            if core.has_work:
+            if core.has_work or core.failed:
                 continue
             while True:
                 job = self._pick()

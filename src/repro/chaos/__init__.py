@@ -1,0 +1,42 @@
+"""Deterministic disturbance injection (chaos engineering for the sim).
+
+``repro.chaos`` perturbs a running simulation through first-class,
+seeded, bit-reproducible events: core failures/recoveries, power-budget
+dips, arrival bursts and demand mis-estimation.  The declarative spec
+(:class:`DisturbanceSchedule`) lives on the simulation config and is
+content-addressed into its fingerprint; the mechanics
+(:class:`ChaosInjector`) ride the existing event heap.  See
+``docs/robustness.md``.
+"""
+
+from repro.chaos.injector import (
+    ChaosInjector,
+    InjectorLike,
+    NULL_INJECTOR,
+    NullInjector,
+)
+from repro.chaos.schedule import (
+    DISTURBANCE_KINDS,
+    FAIL_POLICIES,
+    Disturbance,
+    DisturbanceSchedule,
+    arrival_burst,
+    budget_dip,
+    core_fail,
+    misestimate,
+)
+
+__all__ = [
+    "DISTURBANCE_KINDS",
+    "FAIL_POLICIES",
+    "ChaosInjector",
+    "Disturbance",
+    "DisturbanceSchedule",
+    "InjectorLike",
+    "NULL_INJECTOR",
+    "NullInjector",
+    "arrival_burst",
+    "budget_dip",
+    "core_fail",
+    "misestimate",
+]

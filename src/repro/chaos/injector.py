@@ -1,0 +1,201 @@
+"""Deterministic disturbance injection via the simulation event heap.
+
+:class:`ChaosInjector` turns a declarative
+:class:`repro.chaos.schedule.DisturbanceSchedule` into first-class
+simulator events: core failures/recoveries and budget dips/restores are
+applied as state changes at their scheduled instants, while arrival
+bursts and demand mis-estimation — which modulate the *workload
+generator* before the run — get trace-only window markers so reports
+and monitors can show the window.
+
+Injection is bit-reproducible by construction: every event is placed on
+the heap at install time (the heap's ``(time, priority, seq)`` order is
+deterministic), the injector draws no randomness, and tracing is
+observation-only.  Chaos events run at arrival priority
+(``PRIORITY_HIGH``) so a disturbance at a quantum boundary is visible
+to that quantum's scheduling round.
+
+:data:`NULL_INJECTOR` is the zero-overhead twin used when a config has
+no schedule, mirroring :data:`repro.obs.tracer.NULL_TRACER`: a run with
+``disturbances=None`` takes the exact same code path as before the
+chaos subsystem existed.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import TYPE_CHECKING, Any, List, Union
+
+from repro.chaos.schedule import Disturbance, DisturbanceSchedule
+from repro.sim.events import PRIORITY_HIGH
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.server.harness import SimulationHarness
+    from repro.sim.engine import Simulator
+
+__all__ = ["ChaosInjector", "InjectorLike", "NULL_INJECTOR", "NullInjector"]
+
+#: Anything the harness accepts as its disturbance driver.
+InjectorLike = Union["ChaosInjector", "NullInjector"]
+
+
+class ChaosInjector:
+    """Applies one schedule's disturbances to one running harness.
+
+    Single-use, like the harness itself: construct with the bound
+    harness, :meth:`install` onto its simulator before the run, and let
+    the event loop do the rest.  Each applied disturbance is traced as
+    a ``chaos`` event (kind-specific attributes documented in
+    ``docs/robustness.md``); budget events carry the new ``budget_w``
+    so the sanitizer's power bound follows the *current* ``H``.
+    """
+
+    armed = True
+
+    def __init__(self, harness: "SimulationHarness", schedule: DisturbanceSchedule) -> None:
+        self.harness = harness
+        self.schedule = schedule
+        self.base_budget = float(harness.machine.budget)
+        #: Factors of the currently-active budget dips; the effective
+        #: budget is their product times the base, so overlapping dips
+        #: compose and restores revert exactly.
+        self._dip_factors: List[float] = []
+        #: Count of disturbance events actually applied (no-ops — e.g.
+        #: failing an already-dead core — do not count).
+        self.applied = 0
+
+    # ------------------------------------------------------------------
+    def install(self, sim: "Simulator") -> int:
+        """Place every disturbance (and its paired restore) on the heap.
+
+        Returns the number of events scheduled.  Events past the drain
+        point simply never fire — a dip that outlives the run leaves the
+        budget lowered until the end, which is the intended physics.
+        """
+        scheduled = 0
+        for d in self.schedule.disturbances:
+            if d.kind == "core_fail":
+                sim.at(d.time, partial(self._core_fail, d), priority=PRIORITY_HIGH, name="chaos")
+                scheduled += 1
+                if d.duration is not None:
+                    sim.at(
+                        d.time + d.duration, partial(self._core_recover, d),
+                        priority=PRIORITY_HIGH, name="chaos",
+                    )
+                    scheduled += 1
+            elif d.kind == "budget_dip":
+                assert d.duration is not None  # validated by Disturbance
+                sim.at(d.time, partial(self._budget_dip, d), priority=PRIORITY_HIGH, name="chaos")
+                sim.at(
+                    d.time + d.duration, partial(self._budget_restore, d),
+                    priority=PRIORITY_HIGH, name="chaos",
+                )
+                scheduled += 2
+            else:
+                # arrival_burst / misestimate act through the workload
+                # generator; these events only mark the window in the
+                # trace (they change no simulation state).
+                assert d.duration is not None
+                sim.at(
+                    d.time, partial(self._window_marker, d, "start"),
+                    priority=PRIORITY_HIGH, name="chaos",
+                )
+                sim.at(
+                    d.time + d.duration, partial(self._window_marker, d, "end"),
+                    priority=PRIORITY_HIGH, name="chaos",
+                )
+                scheduled += 2
+        return scheduled
+
+    # ------------------------------------------------------------------
+    def _trace(self, kind: str, **attrs: Any) -> None:
+        tracer = self.harness.tracer
+        if tracer.enabled:
+            tracer.scheduler_event(
+                "chaos", self.harness.sim.now, disturbance=kind, **attrs
+            )
+
+    def _core_fail(self, d: Disturbance) -> None:
+        harness = self.harness
+        machine = harness.machine
+        assert d.core is not None
+        if machine.cores[d.core].failed:
+            return  # overlapping schedules: failing a dead core is a no-op
+        affected = machine.fail_core(d.core)
+        live = [j for j in affected if not j.settled]
+        self.applied += 1
+        self._trace(
+            "core_fail",
+            core=d.core,
+            policy=d.policy,
+            jobs=len(live),
+            alive=machine.alive_count,
+        )
+        now = harness.sim.now
+        for job in live:
+            if d.policy == "kill":
+                harness.kill_job(job)
+            elif job.deadline > now:
+                harness.requeue_job(job)
+            # else: its deadline event at this very instant settles it.
+        harness.scheduler.on_core_failed(d.core)
+
+    def _core_recover(self, d: Disturbance) -> None:
+        machine = self.harness.machine
+        assert d.core is not None
+        if not machine.cores[d.core].failed:
+            return
+        machine.recover_core(d.core)
+        self.applied += 1
+        self._trace("core_recover", core=d.core, alive=machine.alive_count)
+        self.harness.scheduler.on_core_recovered(d.core)
+
+    def _budget_dip(self, d: Disturbance) -> None:
+        assert d.factor is not None
+        self._dip_factors.append(float(d.factor))
+        new = self._apply_budget()
+        self.applied += 1
+        self._trace("budget_dip", factor=d.factor, budget_w=new)
+        self.harness.scheduler.on_budget_change(new)
+
+    def _budget_restore(self, d: Disturbance) -> None:
+        assert d.factor is not None
+        self._dip_factors.remove(float(d.factor))
+        new = self._apply_budget()
+        self.applied += 1
+        self._trace("budget_restore", factor=d.factor, budget_w=new)
+        self.harness.scheduler.on_budget_change(new)
+
+    def _apply_budget(self) -> float:
+        budget = self.base_budget
+        for factor in self._dip_factors:
+            budget *= factor
+        self.harness.machine.set_budget(budget)
+        return budget
+
+    def _window_marker(self, d: Disturbance, edge: str) -> None:
+        self.applied += 1
+        self._trace(
+            d.kind, edge=edge, factor=d.factor, start=d.time, duration=d.duration
+        )
+
+
+class NullInjector:
+    """Disturbances disabled: installing is a no-op.
+
+    Mirrors :class:`repro.obs.tracer.NullTracer` — a config without a
+    schedule pays exactly one method call at run start and nothing else,
+    which is what keeps undisturbed runs bit-identical to the
+    pre-chaos simulator.
+    """
+
+    __slots__ = ()
+
+    armed = False
+
+    def install(self, sim: "Simulator") -> int:
+        return 0
+
+
+#: Shared process-wide null injector (stateless, safe to share).
+NULL_INJECTOR = NullInjector()

@@ -304,15 +304,20 @@ _LAYER_ALLOW: Dict[str, Optional[FrozenSet[str]]] = {
     "power": frozenset({"power", "errors", "units"}),
     "quality": frozenset({"quality", "errors", "units"}),
     "workload": frozenset({"workload", "errors", "sim", "config", "units"}),
+    # chaos is pure disturbance data + event-heap injection: it may see
+    # the sim kernel but never the schedulers it perturbs (the harness
+    # hands itself to the injector at runtime).
+    "chaos": frozenset({"chaos", "errors", "sim", "units"}),
     "metrics": frozenset(
         {"metrics", "errors", "workload", "quality", "obs", "units"}
     ),
     "config": frozenset(
-        {"config", "errors", "power", "quality", "sim", "workload", "units"}
+        {"config", "errors", "power", "quality", "sim", "workload", "units",
+         "chaos"}
     ),
     "server": frozenset(
         {"server", "errors", "sim", "obs", "power", "quality",
-         "workload", "metrics", "config", "units"}
+         "workload", "metrics", "config", "units", "chaos"}
     ),
     "core": frozenset(
         {"core", "server", "errors", "sim", "obs", "power", "quality",

@@ -177,6 +177,14 @@ class SanitizingTracer(Tracer):
         record = super().event(kind, time, span=span, **attrs)
         if kind == "decision":
             self._check_decision(record)
+        elif kind == "chaos":
+            # Budget dips/restores (repro.chaos) change H mid-run; the
+            # power-budget bound must follow the *current* H, so a plan
+            # that overdraws during a dip fails even though it would fit
+            # the configured budget.
+            budget_w = attrs.get("budget_w")
+            if budget_w is not None and self.budget is not None:
+                self.budget = float(budget_w)
         return record
 
     def exec_end(self, span: SpanRecord, time: Seconds, done: Volume) -> None:

@@ -198,6 +198,36 @@ def _build_parser() -> argparse.ArgumentParser:
     for fleet_parser in (fleet_run, fleet_status, fleet_report):
         _add_runs_dir_flag(fleet_parser)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run deterministic disturbance scenarios (repro.chaos) and "
+             "analyze degradation against the undisturbed twin",
+    )
+    chaos_sub = chaos.add_subparsers(dest="chaos_command", required=True)
+    chaos_sub.add_parser("list", help="list the chaos scenario catalog")
+    chaos_run = chaos_sub.add_parser(
+        "run", help="run one scenario and its undisturbed twin"
+    )
+    chaos_run.add_argument("name", help="catalog scenario name (see 'chaos list')")
+    chaos_run.add_argument("--scale", type=float, default=0.02,
+                           help="horizon scale (default 0.02 ≈ 12 s)")
+    chaos_run.add_argument("--seed", type=int, default=1)
+    chaos_run.add_argument("--json", metavar="PATH", default=None,
+                           help="write the annotated run summary as JSON")
+    chaos_run.add_argument("--report", metavar="PATH", default=None,
+                           help="write the HTML degradation report")
+    chaos_run.add_argument("--max-recovery-s", type=float, default=None,
+                           help="exit 1 if any disturbance's recovery time "
+                                "exceeds this bound (CI gate)")
+    chaos_run.add_argument("--min-post-compliance", type=float, default=None,
+                           help="exit 1 unless the post-recovery quality-floor "
+                                "compliance reaches this fraction (CI gate)")
+    chaos_report = chaos_sub.add_parser(
+        "report", help="render a saved chaos JSON summary as HTML"
+    )
+    chaos_report.add_argument("path", help="input JSON (from 'chaos run --json')")
+    chaos_report.add_argument("--out", metavar="PATH", default="chaos-report.html")
+
     rep = sub.add_parser("replicate", help="replicate one scheduler across seeds")
     rep.add_argument("--scheduler", default="GE", choices=sorted(_SCHEDULERS))
     rep.add_argument("--rate", type=float, default=150.0)
@@ -734,6 +764,89 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         nbytes = write_report(summary, args.out)
         print(f"wrote fleet dashboard ({nbytes} bytes) to {args.out}")
+        return 0
+
+    if args.command == "chaos":
+        from repro.experiments.registry import CHAOS_SCENARIOS
+
+        if args.chaos_command == "list":
+            for name in sorted(CHAOS_SCENARIOS):
+                scenario = CHAOS_SCENARIOS[name]
+                print(f"{name:<18} {scenario.description}")
+            return 0
+        if args.chaos_command == "report":
+            import json
+
+            from repro.obs import write_report
+
+            try:
+                summary = json.loads(open(args.path, encoding="utf-8").read())
+            except (OSError, ValueError) as exc:
+                print(f"chaos report: {exc}")
+                return 2
+            nbytes = write_report(summary, args.out)
+            print(f"wrote chaos report ({nbytes} bytes) to {args.out}")
+            return 0
+
+        from repro.experiments.chaos import evaluate_gate, run_chaos_scenario
+
+        try:
+            summary = run_chaos_scenario(
+                args.name, scale=args.scale, seed=args.seed
+            )
+        except KeyError as exc:
+            print(f"chaos: {exc.args[0]}")
+            return 2
+        scenario_meta = summary["scenario"]
+        degradation = summary["degradation"]
+        print(f"scenario {scenario_meta['name']}: "
+              f"{scenario_meta['description']}")
+        for line in scenario_meta["disturbances"]:
+            print(f"  - {line}")
+        quality = degradation["quality"]
+        energy = degradation["energy"]
+        floor = degradation["floor"]
+        post = degradation["post"]
+        print(f"quality: disturbed {quality['disturbed']:.6f} vs twin "
+              f"{quality['twin']:.6f} (delta {quality['delta']:+.6f})")
+        print(f"energy:  disturbed {energy['disturbed']:.1f} J vs twin "
+              f"{energy['twin']:.1f} J (overhead {energy['overhead_j']:+.1f} J)")
+        print(f"floor:   {floor['disturbed_violation_s']:.3f} s below "
+              f"Q_GE={degradation['q_floor']:g} "
+              f"(twin {floor['twin_violation_s']:.3f} s, "
+              f"degradation {floor['degradation_s']:+.3f} s)")
+        for rec in degradation["recoveries"]:
+            recovery = rec["recovery_s"]
+            shown = "never" if recovery is None else f"{recovery:.3f} s"
+            print(f"recovery: {rec['detail']} -> {shown}")
+        if post["compliance"] is not None:
+            print(f"post-recovery compliance: {post['compliance']:.3f} "
+                  f"({post['compliant']}/{post['windows']} windows after "
+                  f"t={post['after_s']:g}s)")
+        if args.json:
+            import json
+
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(summary, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote chaos summary to {args.json}")
+        if args.report:
+            from repro.obs import write_report
+
+            nbytes = write_report(summary, args.report)
+            print(f"wrote chaos report ({nbytes} bytes) to {args.report}")
+        failures = evaluate_gate(
+            degradation,
+            max_recovery_s=args.max_recovery_s,
+            min_post_compliance=args.min_post_compliance,
+        )
+        if failures:
+            print(f"chaos gate FAILED ({len(failures)}):")
+            for failure in failures:
+                print(f"  - {failure}")
+            return 1
+        if args.max_recovery_s is not None or args.min_post_compliance is not None:
+            print("chaos gate passed")
         return 0
 
     if args.command == "replicate":

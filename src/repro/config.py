@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+from repro.chaos.schedule import DisturbanceSchedule
 from repro.errors import ConfigurationError
 from repro.power.dvfs import ContinuousSpeedScale, DiscreteSpeedScale, SpeedScale
 from repro.power.models import PowerModel
@@ -93,6 +94,12 @@ class SimulationConfig:
     counter_threshold: int = 8  # queued requests
     critical_load_fraction: Dimensionless = 0.924  # × equal-share capacity (≈154 r/s)
 
+    # Robustness: deterministic disturbance injection (repro.chaos).
+    # None (the default) means an undisturbed run on the exact pre-chaos
+    # code path; a schedule perturbs the run via seeded event-heap
+    # injection and is content-addressed into the fingerprint.
+    disturbances: Optional[DisturbanceSchedule] = None
+
     # Reproducibility ---------------------------------------------------------
     seed: int = 1
 
@@ -119,6 +126,8 @@ class SimulationConfig:
                 )
             if any(s <= 0 for s in self.core_power_scales):
                 raise ConfigurationError("core_power_scales entries must be positive")
+        if self.disturbances is not None:
+            self.disturbances.validate_for(m=self.m, horizon=self.horizon)
 
     # -- factories --------------------------------------------------------
     def with_overrides(self, **kwargs: object) -> "SimulationConfig":
@@ -134,12 +143,21 @@ class SimulationConfig:
         the whole config.  The digest is the first 12 hex chars of the
         SHA-256 of the canonical (sorted-key, repr-exact) JSON of the
         dataclass fields.
+
+        A ``disturbances`` schedule is part of the payload — two runs
+        differing only in their chaos schedule must never be conflated
+        by the run store or bench/fleet rollups — but the key is dropped
+        entirely when no schedule is set, so every pre-chaos fingerprint
+        is preserved verbatim.
         """
         import hashlib
         import json
         from dataclasses import asdict
 
-        payload = json.dumps(asdict(self), sort_keys=True, default=repr)
+        fields = asdict(self)
+        if fields.get("disturbances") is None:
+            del fields["disturbances"]
+        payload = json.dumps(fields, sort_keys=True, default=repr)
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
 
     def power_model(self) -> PowerModel:
@@ -208,13 +226,22 @@ class SimulationConfig:
         return UniformDeadlineWindow(low=self.window_low, high=self.window_high)
 
     def workload(self) -> PoissonWorkloadGenerator:
-        """The arrival process for this configuration (seeded)."""
+        """The arrival process for this configuration (seeded).
+
+        Arrival-burst and mis-estimation disturbances modulate the
+        generator (superposed Poisson streams / demand inflation
+        windows); with no schedule the generator is parameterized
+        exactly as before, drawing the identical arrival sequence.
+        """
+        sched = self.disturbances
         return PoissonWorkloadGenerator(
             self.arrival_rate,
             demand=self.demand_distribution(),
             window=self.deadline_window(),
             horizon=self.horizon,
             streams=RandomStreams(seed=self.seed),
+            rate_bursts=sched.burst_windows() if sched is not None else (),
+            demand_inflations=sched.misestimate_windows() if sched is not None else (),
         )
 
     # -- derived operating points ---------------------------------------------

@@ -116,6 +116,12 @@ class GEScheduler(Scheduler):
         self._active: List[List[Job]] = []
         self._critical_rate: PerSecond = float("inf")
         self._q_target: QualityFrac = 1.0
+        # Chaos state (repro.chaos): indices of currently-failed cores
+        # and the mean demand used to rescale the critical load when
+        # capacity changes.  Both stay untouched in undisturbed runs, so
+        # the hot path only ever pays `if self._failed_cores:` checks.
+        self._failed_cores: set[int] = set()
+        self._mean_demand: Volume = 0.0
         self._reschedules = 0
         self._last_policy: Optional[str] = None
         # Hot-path caches (sized in bind(); see docs/performance.md).
@@ -142,6 +148,8 @@ class GEScheduler(Scheduler):
         if self._assignment is None:
             self._assignment = CumulativeRoundRobin(cfg.m)
         self._active = [[] for _ in range(cfg.m)]
+        self._failed_cores = set()
+        self._mean_demand = cfg.demand_distribution().mean
         self._waterline_memo = WaterlineMemo()
         self._zero_demands = np.zeros(cfg.m)
         self._plan_keys = [None] * cfg.m
@@ -156,7 +164,10 @@ class GEScheduler(Scheduler):
         harness = self.harness
         if len(harness.queue) >= harness.config.counter_threshold:
             self.reschedule()  # counter trigger
-        elif any(not core.has_work for core in harness.machine.cores):
+        elif any(
+            not core.has_work and not core.failed
+            for core in harness.machine.cores
+        ):
             # A job arrived while at least one core sits idle: treat as
             # the idle-core trigger so short deadlines are not lost
             # waiting for the quantum (see DESIGN.md §5).
@@ -168,6 +179,84 @@ class GEScheduler(Scheduler):
 
     def on_quantum(self) -> None:
         self.reschedule()
+
+    # ------------------------------------------------------------------
+    # Disturbance hooks (repro.chaos)
+    # ------------------------------------------------------------------
+    def on_core_failed(self, core_index: int) -> None:
+        """React to a core failure: forget its jobs, shrink capacity.
+
+        The injector has already killed or re-queued the affected jobs,
+        so the core's active set is stale; C-RR keeps its pinned-forever
+        discipline for every *other* job.  The critical-load threshold
+        is rescaled to the surviving capacity and a round runs now so
+        re-queued jobs land on live cores this instant.
+        """
+        self._failed_cores.add(core_index)
+        self._active[core_index] = []
+        self._plan_keys[core_index] = None
+        self._refresh_critical_rate()
+        self.reschedule()
+
+    def on_core_recovered(self, core_index: int) -> None:
+        self._failed_cores.discard(core_index)
+        self._plan_keys[core_index] = None
+        self._refresh_critical_rate()
+        self.reschedule()
+
+    def on_budget_change(self, budget: float) -> None:
+        """Re-distribute immediately under the new ``H``.
+
+        The reschedule recomputes caps through ES/WF with the machine's
+        current budget, so the instantaneous power drops (or rises) at
+        the dip (or restore) instant, never one quantum later.
+        """
+        self._refresh_critical_rate()
+        self.reschedule()
+
+    def _refresh_critical_rate(self) -> None:
+        """Rescale the light/heavy switch to the current capacity.
+
+        With every core alive at the configured budget this reproduces
+        ``config.critical_load_rate()`` exactly; under chaos the
+        equal-share capacity is recomputed over the surviving cores at
+        the machine's *current* budget.
+        """
+        harness = self.harness
+        assert harness is not None
+        cfg = harness.config
+        machine = harness.machine
+        alive = machine.alive_count
+        if alive == machine.m and machine.budget == cfg.budget:
+            self._critical_rate = cfg.critical_load_rate()
+            return
+        if alive == 0 or self._mean_demand <= 0:
+            self._critical_rate = 0.0
+            return
+        share = machine.budget / alive
+        capacity = sum(
+            machine.models[i].throughput(machine.scales[i].max_speed_at_power(share))
+            for i in range(machine.m)
+            if i not in self._failed_cores
+        )
+        self._critical_rate = (
+            cfg.critical_load_fraction * capacity / self._mean_demand
+        )
+
+    def _redirect(self, core_idx: int) -> int:
+        """Next alive core at/after ``core_idx`` (cyclic).
+
+        Applied to C-RR assignments only while cores are failed, so the
+        undisturbed assignment sequence is untouched.
+        """
+        if core_idx not in self._failed_cores:
+            return core_idx
+        m = self.harness.machine.m  # type: ignore[union-attr]
+        for step in range(1, m):
+            candidate = (core_idx + step) % m
+            if candidate not in self._failed_cores:
+                return candidate
+        return core_idx  # unreachable: the all-dead case parks the batch
 
     # ------------------------------------------------------------------
     # Observability
@@ -234,8 +323,19 @@ class GEScheduler(Scheduler):
         # An empty batch skips the policy call (and the O(m·jobs) load
         # scan feeding it) — no built-in policy acts on zero jobs.
         batch = harness.take_all_queued()
+        if batch and self._failed_cores and len(self._failed_cores) >= machine.m:
+            # Every core is dead (chaos): park the batch back in the
+            # queue until a recovery event restores capacity.
+            for job in batch:
+                harness.requeue_job(job)
+            batch = []
         if batch:
-            for job, core_idx in self._assignment.assign(batch, self._core_loads()):
+            assigned = self._assignment.assign(batch, self._core_loads())
+            if self._failed_cores:
+                # C-RR is blind to failures; bounce dead-core picks to
+                # the next alive core (chaos only — no-op otherwise).
+                assigned = [(job, self._redirect(idx)) for job, idx in assigned]
+            for job, core_idx in assigned:
                 job.assign(core_idx)
                 self._active[core_idx].append(job)
                 if tracing:
@@ -285,16 +385,20 @@ class GEScheduler(Scheduler):
                 demands_w = self._power_demands(per_core, target_of, now, machine)
             else:
                 demands_w = self._zero_demands
-            distribution = policy.distribute(demands_w, machine.budget)
-            caps = distribution.caps
+            if self._failed_cores:
+                caps, dist_policy = self._distribute_alive(policy, demands_w, machine)
+            else:
+                distribution = policy.distribute(demands_w, machine.budget)
+                caps = distribution.caps
+                dist_policy = distribution.policy
 
-        if tracing and self._last_policy not in (None, distribution.policy):
+        if tracing and self._last_policy not in (None, dist_policy):
             tracer.scheduler_event(
                 "policy_flip",
                 now,
-                **{"from": self._last_policy, "to": distribution.policy},
+                **{"from": self._last_policy, "to": dist_policy},
             )
-        self._last_policy = distribution.policy
+        self._last_policy = dist_policy
 
         if self.decision_log is not None or tracing:
             from repro.core.decisions import Decision
@@ -302,7 +406,7 @@ class GEScheduler(Scheduler):
             decision = Decision(
                 time=now,
                 mode=mode.value,
-                policy=distribution.policy,
+                policy=dist_policy,
                 batch_size=len(batch),
                 active_jobs=len(all_jobs),
                 monitor_quality=harness.monitor.quality,
@@ -451,6 +555,26 @@ class GEScheduler(Scheduler):
             extras = [max(0.0, target_of[j.jid] - j.processed) for j in jobs]
             demands_w[idx] = core_power_demand(jobs, extras, now, models[idx])
         return demands_w
+
+    def _distribute_alive(
+        self,
+        policy: PowerDistributionPolicy,
+        demands_w: WattsArray,
+        machine: "MulticoreServer",
+    ) -> Tuple[WattsArray, str]:
+        """Distribute the budget over the *alive* cores only (chaos).
+
+        ES splits ``H`` into ``H/alive`` shares and WF water-fills the
+        surviving demands; dead cores are capped at exactly 0 W.
+        """
+        alive = [i for i in range(machine.m) if i not in self._failed_cores]
+        caps = np.zeros(machine.m)
+        if not alive:
+            return caps, policy.name
+        sub = demands_w[alive] if policy.needs_demands else np.zeros(len(alive))
+        decision = policy.distribute(sub, machine.budget)
+        caps[alive] = decision.caps
+        return caps, decision.policy
 
     def _distribute(self, demands_w: WattsArray, budget: PowerBudget, now: Seconds):
         if self.distribution_mode == "es":

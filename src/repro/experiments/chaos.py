@@ -1,0 +1,260 @@
+"""Degradation analysis for disturbance-injected runs (``repro chaos``).
+
+A chaos run answers the robustness questions ``docs/robustness.md``
+poses: *how far* does quality fall under a disturbance, *how fast* does
+the GE controller recover, and *what does the incident cost* in energy?
+The unit of analysis is the **twin pair**:
+
+* the **disturbed** run — a catalog scenario's configuration
+  (:func:`repro.experiments.registry.chaos_config`) with its
+  :class:`~repro.chaos.schedule.DisturbanceSchedule` armed;
+* the **undisturbed twin** — the *same* configuration with
+  ``disturbances=None``: identical seed, machine and base workload, so
+  every delta between the two runs is attributable to the schedule.
+
+Both runs stream through a :class:`~repro.obs.stream.StreamingTracer`;
+the analysis is computed from the windowed quality series and the
+retained chaos markers, entirely offline:
+
+* **quality-floor violation time** — summed width of quality windows
+  whose mean dips below ``Q_GE``, for each run, and the disturbed
+  excess (the *degradation seconds* the schedule caused);
+* **recovery time per disturbance** — from each disturbance's onset to
+  the start of the first at-or-above-floor window after the first
+  violating one (0 when the floor never breaks, ``None`` when the run
+  ends still degraded);
+* **post-recovery compliance** — fraction of quality windows at/above
+  the floor after the last disturbance window ends (the steady-state
+  health the CI gate checks);
+* **energy overhead** — disturbed minus twin total energy.
+
+:func:`evaluate_gate` turns thresholds on the last two into a pass/fail
+verdict — the exit gate of the ``chaos-smoke`` CI job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.config import SimulationConfig
+from repro.core.ge import make_ge
+from repro.experiments.registry import chaos_config, get_chaos_scenario
+from repro.obs.runs import make_summary
+from repro.obs.stream import StreamingTracer
+from repro.server.harness import SimulationHarness
+
+__all__ = [
+    "CHAOS_SCHEMA",
+    "analyze_degradation",
+    "evaluate_gate",
+    "run_chaos_scenario",
+]
+
+#: Schema tag of the chaos summary layout (a ``repro.run/1`` summary
+#: carrying the extra ``degradation`` / ``scenario`` keys).
+CHAOS_SCHEMA = "repro.chaos/1"
+
+
+def _quality_rows(telemetry: Dict[str, Any]) -> List[Dict[str, Any]]:
+    windows = telemetry.get("windows") or {}
+    return list((windows.get("quality") or {}).get("rows") or [])
+
+
+def _violation_seconds(rows: List[Dict[str, Any]], q_floor: float) -> float:
+    """Summed width of quality windows whose *mean* breaks the floor.
+
+    The window mean, not the minimum: GE deliberately operates right at
+    ``Q_GE`` (good-enough, §III-C), so per-round minima graze the floor
+    even in a healthy run; a window whose mean is below it marks real
+    degradation.
+    """
+    return sum(
+        float(row["end"]) - float(row["start"])
+        for row in rows
+        if float(row["mean"]) < q_floor
+    )
+
+
+def _recovery_for(
+    onset: float, rows: List[Dict[str, Any]], q_floor: float
+) -> Tuple[Optional[float], Optional[float]]:
+    """(recovered_at, recovery_s) for one disturbance onset.
+
+    Scanning quality windows from the onset forward: if the floor never
+    breaks, recovery is instantaneous (0 s); otherwise recovery lands at
+    the start of the first compliant window after the violating
+    stretch, and ``None`` means the run ended still below the floor.
+    """
+    violated = False
+    for row in rows:
+        if float(row["end"]) <= onset:
+            continue
+        if float(row["mean"]) < q_floor:
+            violated = True
+        elif violated:
+            recovered_at = max(float(row["start"]), onset)
+            return recovered_at, recovered_at - onset
+    if not violated:
+        return onset, 0.0
+    return None, None
+
+
+def analyze_degradation(
+    disturbed: Dict[str, Any],
+    twin: Dict[str, Any],
+    *,
+    config: SimulationConfig,
+) -> Dict[str, Any]:
+    """Compare a disturbed ``repro.run/1`` summary against its twin.
+
+    ``config`` is the *disturbed* configuration (its schedule drives
+    the per-disturbance recovery rows and the post-recovery cut).
+    """
+    schedule = config.disturbances
+    if schedule is None:
+        raise ValueError("analyze_degradation needs a disturbed configuration")
+    q_floor = float(config.q_ge)
+    d_rows = _quality_rows(disturbed.get("telemetry") or {})
+    t_rows = _quality_rows(twin.get("telemetry") or {})
+    d_result = disturbed.get("result") or {}
+    t_result = twin.get("result") or {}
+
+    d_violation = _violation_seconds(d_rows, q_floor)
+    t_violation = _violation_seconds(t_rows, q_floor)
+
+    recoveries = []
+    for d in schedule:
+        recovered_at, recovery_s = _recovery_for(float(d.time), d_rows, q_floor)
+        recoveries.append(
+            {
+                "time": float(d.time),
+                "kind": d.kind,
+                "detail": d.describe(),
+                "recovered_at": recovered_at,
+                "recovery_s": recovery_s,
+            }
+        )
+
+    after = float(schedule.last_effect_end() or 0.0)
+    tail = [row for row in d_rows if float(row["start"]) >= after]
+    compliant = sum(1 for row in tail if float(row["mean"]) >= q_floor)
+    compliance = compliant / len(tail) if tail else None
+
+    d_energy = float(d_result.get("energy") or 0.0)
+    t_energy = float(t_result.get("energy") or 0.0)
+    d_quality = float(d_result.get("quality") or 0.0)
+    t_quality = float(t_result.get("quality") or 0.0)
+    return {
+        "q_floor": q_floor,
+        "quality": {
+            "disturbed": d_quality,
+            "twin": t_quality,
+            "delta": d_quality - t_quality,
+        },
+        "energy": {
+            "disturbed": d_energy,
+            "twin": t_energy,
+            "overhead_j": d_energy - t_energy,
+            "overhead_frac": (d_energy - t_energy) / t_energy if t_energy else None,
+        },
+        "floor": {
+            "disturbed_violation_s": d_violation,
+            "twin_violation_s": t_violation,
+            "degradation_s": d_violation - t_violation,
+        },
+        "recoveries": recoveries,
+        "post": {
+            "after_s": after,
+            "windows": len(tail),
+            "compliant": compliant,
+            "compliance": compliance,
+        },
+    }
+
+
+def evaluate_gate(
+    degradation: Dict[str, Any],
+    *,
+    max_recovery_s: Optional[float] = None,
+    min_post_compliance: Optional[float] = None,
+) -> List[str]:
+    """CI gate over a degradation analysis; returns the failures.
+
+    ``max_recovery_s`` bounds every disturbance's recovery time (a run
+    that never recovers fails it by definition);
+    ``min_post_compliance`` floors the post-recovery quality-window
+    compliance fraction.  An empty list means the gate passes.
+    """
+    failures: List[str] = []
+    if max_recovery_s is not None:
+        for rec in degradation.get("recoveries") or []:
+            recovery = rec.get("recovery_s")
+            if recovery is None:
+                failures.append(
+                    f"{rec.get('detail', rec.get('kind'))}: never recovered "
+                    f"above the quality floor"
+                )
+            elif recovery > max_recovery_s:
+                failures.append(
+                    f"{rec.get('detail', rec.get('kind'))}: recovery took "
+                    f"{recovery:.3f} s (bound {max_recovery_s:g} s)"
+                )
+    if min_post_compliance is not None:
+        post = degradation.get("post") or {}
+        compliance = post.get("compliance")
+        if compliance is None:
+            failures.append(
+                "no quality windows after the last disturbance — "
+                "cannot assess post-recovery compliance"
+            )
+        elif compliance < min_post_compliance:
+            failures.append(
+                f"post-recovery compliance {compliance:.3f} below the "
+                f"{min_post_compliance:g} floor "
+                f"({post.get('compliant')}/{post.get('windows')} windows)"
+            )
+    return failures
+
+
+def _run_streamed(config: SimulationConfig) -> Dict[str, Any]:
+    """One GE run under a streaming tracer, as a ``repro.run/1`` summary."""
+    tracer = StreamingTracer()
+    harness = SimulationHarness(config, make_ge(), tracer=tracer)
+    result = harness.run()
+    return make_summary(tracer.summary(), result=asdict(result))
+
+
+def run_chaos_scenario(
+    name: str,
+    *,
+    scale: float = 0.02,
+    seed: int = 1,
+) -> Dict[str, Any]:
+    """Run one catalog scenario and its twin; return the annotated summary.
+
+    The return value is the disturbed run's ``repro.run/1`` summary
+    (storable in the run registry, renderable by ``repro report``)
+    with three extra keys: ``degradation`` (the twin analysis),
+    ``scenario`` (catalog metadata + the twin's run id) and the
+    ``chaos_schema`` tag.
+    """
+    scenario = get_chaos_scenario(name)
+    config = chaos_config(scenario, scale=scale, seed=seed)
+    twin_config = config.with_overrides(disturbances=None)
+    disturbed = _run_streamed(config)
+    twin = _run_streamed(twin_config)
+    degradation = analyze_degradation(disturbed, twin, config=config)
+    disturbed["chaos_schema"] = CHAOS_SCHEMA
+    disturbed["degradation"] = degradation
+    disturbed["scenario"] = {
+        "name": scenario.name,
+        "description": scenario.description,
+        "scale": scale,
+        "seed": seed,
+        "arrival_rate": scenario.arrival_rate,
+        "disturbances": [d.describe() for d in config.disturbances or ()],
+        "twin_run_id": twin.get("run_id"),
+        "twin_fingerprint": twin_config.fingerprint(),
+    }
+    return disturbed

@@ -14,6 +14,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.chaos import (
+    DisturbanceSchedule,
+    arrival_burst,
+    budget_dip,
+    core_fail,
+    misestimate,
+)
+from repro.config import SimulationConfig
 from repro.experiments import (
     fig01_aes_fraction,
     fig02_job_cutting,
@@ -31,10 +39,14 @@ from repro.experiments import (
 from repro.experiments.report import FigureResult
 
 __all__ = [
+    "CHAOS_SCENARIOS",
+    "ChaosScenario",
     "FIGURES",
     "FigureSpec",
     "FleetTask",
+    "chaos_config",
     "fleet_grid",
+    "get_chaos_scenario",
     "get_figure",
     "list_figures",
 ]
@@ -161,3 +173,126 @@ def get_figure(figure_id: str) -> FigureSpec:
 def list_figures() -> List[FigureSpec]:
     """All figures in id order."""
     return [FIGURES[k] for k in sorted(FIGURES)]
+
+
+# ----------------------------------------------------------------------
+# Chaos scenario catalog (repro.chaos)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named disturbance scenario of the chaos catalog.
+
+    ``schedule`` builds the :class:`DisturbanceSchedule` for a given
+    horizon — disturbance times are horizon *fractions*, so the same
+    scenario stresses a 12-second smoke run and the paper's full
+    600-second horizon at the same relative points.
+    """
+
+    name: str
+    description: str
+    schedule: Callable[[float], DisturbanceSchedule]
+    arrival_rate: float = 150.0
+
+
+#: The fixed chaos catalog.  Scenarios cover every disturbance kind,
+#: both core-failure policies, compound faults, and one of everything
+#: at once.  Times assume the default machine (m=16 cores, H=320 W).
+CHAOS_SCENARIOS: Dict[str, ChaosScenario] = {
+    s.name: s
+    for s in (
+        ChaosScenario(
+            name="core_fail_requeue",
+            description="one core dies at 25% of the run for a 30% window; "
+            "its jobs are re-queued and re-planned elsewhere",
+            schedule=lambda T: DisturbanceSchedule.of(
+                core_fail(0.25 * T, 0, duration=0.30 * T, policy="requeue"),
+            ),
+        ),
+        ChaosScenario(
+            name="core_fail_kill",
+            description="a core fails permanently at 25%; in-flight jobs "
+            "settle immediately with whatever progress they had",
+            schedule=lambda T: DisturbanceSchedule.of(
+                core_fail(0.25 * T, 0, policy="kill"),
+            ),
+        ),
+        ChaosScenario(
+            name="double_fault",
+            description="two cores fail in overlapping windows — the "
+            "second fault lands while the first is still down",
+            schedule=lambda T: DisturbanceSchedule.of(
+                core_fail(0.20 * T, 0, duration=0.30 * T),
+                core_fail(0.30 * T, 1, duration=0.30 * T),
+            ),
+        ),
+        ChaosScenario(
+            name="budget_dip",
+            description="the power budget H drops to 60% for a quarter "
+            "of the run (rack-level cap intervention)",
+            schedule=lambda T: DisturbanceSchedule.of(
+                budget_dip(0.30 * T, 0.60, 0.25 * T),
+            ),
+        ),
+        ChaosScenario(
+            name="budget_sawtooth",
+            description="two successive budget dips (70% then 50%) with "
+            "a short recovery between them",
+            schedule=lambda T: DisturbanceSchedule.of(
+                budget_dip(0.20 * T, 0.70, 0.15 * T),
+                budget_dip(0.50 * T, 0.50, 0.15 * T),
+            ),
+        ),
+        ChaosScenario(
+            name="flash_crowd",
+            description="arrivals surge to 2.5x the nominal rate for a "
+            "20% window (flash-crowd burst)",
+            schedule=lambda T: DisturbanceSchedule.of(
+                arrival_burst(0.30 * T, 2.5, 0.20 * T),
+            ),
+        ),
+        ChaosScenario(
+            name="misestimate",
+            description="observed service demands run 1.5x the planned "
+            "p_j for a 30% window (demand mis-estimation)",
+            schedule=lambda T: DisturbanceSchedule.of(
+                misestimate(0.30 * T, 1.5, 0.30 * T),
+            ),
+        ),
+        ChaosScenario(
+            name="perfect_storm",
+            description="compound incident: a core failure, a 60% budget "
+            "dip and a 2x arrival burst all overlapping mid-run",
+            schedule=lambda T: DisturbanceSchedule.of(
+                core_fail(0.30 * T, 0, duration=0.25 * T),
+                budget_dip(0.35 * T, 0.60, 0.20 * T),
+                arrival_burst(0.40 * T, 2.0, 0.15 * T),
+            ),
+        ),
+    )
+}
+
+
+def get_chaos_scenario(name: str) -> ChaosScenario:
+    """Look up a chaos scenario by name."""
+    if name not in CHAOS_SCENARIOS:
+        raise KeyError(
+            f"unknown chaos scenario {name!r}; "
+            f"available: {', '.join(sorted(CHAOS_SCENARIOS))}"
+        )
+    return CHAOS_SCENARIOS[name]
+
+
+def chaos_config(
+    scenario: ChaosScenario, *, scale: float = 0.02, seed: int = 1
+) -> SimulationConfig:
+    """The scenario's disturbed configuration at the given scale/seed.
+
+    The undisturbed *twin* of the returned config is
+    ``cfg.with_overrides(disturbances=None)`` — identical workload,
+    machine and seed, differing only in the schedule (and therefore in
+    the config fingerprint).
+    """
+    from repro.experiments.runner import scaled_config  # local: avoid cycle
+
+    cfg = scaled_config(scale, seed, arrival_rate=scenario.arrival_rate)
+    return cfg.with_overrides(disturbances=scenario.schedule(cfg.horizon))

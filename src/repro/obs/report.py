@@ -272,6 +272,87 @@ def _metrics_table(metrics: Dict[str, Any]) -> str:
     return "".join(rows)
 
 
+def _chaos_table(events: List[Dict[str, Any]], dropped: int) -> str:
+    """Disturbance markers (repro.chaos) as a table."""
+    if not events:
+        return "<p class='nodata'>no disturbances recorded</p>"
+    rows = [
+        "<table><tr><th class='num'>t (s)</th><th>disturbance</th>"
+        "<th>details</th></tr>"
+    ]
+    detail_keys = ("core", "policy", "jobs", "alive", "factor", "budget_w", "edge")
+    for event in events:
+        details = "  ".join(
+            f"{key}={_fmt(event[key], 5)}"
+            for key in detail_keys
+            if event.get(key) is not None
+        )
+        rows.append(
+            f"<tr><td class='num'>{_fmt(event.get('time'), 5)}</td>"
+            f"<td>{escape(str(event.get('disturbance', '?')))}</td>"
+            f"<td>{details}</td></tr>"
+        )
+    rows.append("</table>")
+    if dropped:
+        rows.append(
+            f"<p class='meta'>{dropped} further chaos event(s) not retained</p>"
+        )
+    return "".join(rows)
+
+
+def _degradation_table(degradation: Dict[str, Any]) -> str:
+    """The twin-run degradation analysis (see repro.experiments.chaos)."""
+    if not degradation:
+        return ""
+    quality = degradation.get("quality") or {}
+    energy = degradation.get("energy") or {}
+    floor = degradation.get("floor") or {}
+    post = degradation.get("post") or {}
+    parts = [
+        "<table><tr><th></th><th class='num'>disturbed</th>"
+        "<th class='num'>undisturbed twin</th><th class='num'>delta</th></tr>",
+        f"<tr><td>quality</td><td class='num'>{_fmt(quality.get('disturbed'), 6)}</td>"
+        f"<td class='num'>{_fmt(quality.get('twin'), 6)}</td>"
+        f"<td class='num'>{_fmt(quality.get('delta'), 4)}</td></tr>",
+        f"<tr><td>energy (J)</td><td class='num'>{_fmt(energy.get('disturbed'), 6)}</td>"
+        f"<td class='num'>{_fmt(energy.get('twin'), 6)}</td>"
+        f"<td class='num'>{_fmt(energy.get('overhead_j'), 4)}</td></tr>",
+        f"<tr><td>quality-floor violation (s)</td>"
+        f"<td class='num'>{_fmt(floor.get('disturbed_violation_s'), 5)}</td>"
+        f"<td class='num'>{_fmt(floor.get('twin_violation_s'), 5)}</td>"
+        f"<td class='num'>{_fmt(floor.get('degradation_s'), 5)}</td></tr>",
+        "</table>",
+    ]
+    recoveries = degradation.get("recoveries") or []
+    if recoveries:
+        parts.append(
+            "<table><tr><th class='num'>t (s)</th><th>disturbance</th>"
+            "<th class='num'>recovered at (s)</th>"
+            "<th class='num'>recovery (s)</th></tr>"
+        )
+        for rec in recoveries:
+            recovered = rec.get("recovery_s")
+            cell = (
+                f"<span class='viol'>never</span>" if recovered is None
+                else f"{_fmt(recovered, 5)}"
+            )
+            parts.append(
+                f"<tr><td class='num'>{_fmt(rec.get('time'), 5)}</td>"
+                f"<td>{escape(str(rec.get('kind', '?')))}</td>"
+                f"<td class='num'>{_fmt(rec.get('recovered_at'), 5)}</td>"
+                f"<td class='num'>{cell}</td></tr>"
+            )
+        parts.append("</table>")
+    if post:
+        parts.append(
+            f"<p class='meta'>post-recovery quality-floor compliance: "
+            f"{_fmt(post.get('compliance'), 4)} over "
+            f"{_fmt(post.get('windows'))} window(s) after "
+            f"t={_fmt(post.get('after_s'), 5)}s</p>"
+        )
+    return "".join(parts)
+
+
 def render_report(summary: Dict[str, Any]) -> str:
     """Render one run summary as a self-contained HTML document.
 
@@ -318,6 +399,17 @@ def render_report(summary: Dict[str, Any]) -> str:
     q_ge = meta.get("q_ge")
     budget = meta.get("budget")
 
+    chaos_events = telemetry.get("chaos_events") or []
+    degradation = summary.get("degradation") or {}
+    chaos_card = ""
+    if chaos_events or degradation:
+        chaos_card = (
+            "<div class='card'><h2>Disturbances (repro.chaos)</h2>"
+            + _chaos_table(chaos_events, int(telemetry.get("chaos_dropped") or 0))
+            + _degradation_table(degradation)
+            + "</div>"
+        )
+
     sections = [
         "<!doctype html><html><head><meta charset='utf-8'>",
         f"<title>repro report · {escape(str(meta.get('scheduler', 'run')))}</title>",
@@ -332,6 +424,7 @@ def render_report(summary: Dict[str, Any]) -> str:
         "<p class='legend'>mode"
         f"<span class='swatch' style='background:{_AES_COLOR}'></span>AES"
         f"<span class='swatch' style='background:{_BQ_COLOR}'></span>BQ</p></div>",
+        chaos_card,
         "<div class='card'><h2>Quality (windowed)</h2>",
         _series_svg(
             quality_rows,

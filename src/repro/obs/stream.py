@@ -82,6 +82,12 @@ DEFAULT_WINDOWS = 60
 #: truncated Gantt, never silent truncation.
 MAX_MODE_INTERVALS = 64
 
+#: Chaos (disturbance) events retained verbatim for degradation panels
+#: in reports.  Schedules are hand-written and small, so the cap exists
+#: only as a bounded-memory guarantee; ``chaos_dropped`` counts any
+#: overflow — truncated markers, never silent truncation.
+MAX_CHAOS_EVENTS = 128
+
 
 class WindowSeries:
     """Tumbling/sliding window aggregates of one value stream.
@@ -239,6 +245,8 @@ class StreamAggregator:
             "switches": 0, "aes_s": 0.0, "bq_s": 0.0, "intervals_dropped": 0,
         }
         self.record_counts: Dict[str, int] = {"span": 0, "event": 0, "sample": 0}
+        self.chaos_events: List[Dict[str, Any]] = []
+        self.chaos_dropped = 0
         self._started = False
         self._finished = False
         self._mode: Optional[str] = None
@@ -317,6 +325,13 @@ class StreamAggregator:
             slo.on_decision(time, mode=mode, quality=quality)
         elif kind == "settle":
             slo.on_settle(time, outcome=str(attrs.get("outcome", "")))
+        elif kind == "chaos":
+            # Disturbance markers (repro.chaos): retained verbatim (up
+            # to the cap) so reports can draw degradation windows.
+            if len(self.chaos_events) < MAX_CHAOS_EVENTS:
+                self.chaos_events.append({"time": float(time), **attrs})
+            else:
+                self.chaos_dropped += 1
 
     def on_sample_batch(self, time: Seconds, samples: List[TimelineSample]) -> None:
         """Fold one quantum boundary's core samples (one per core)."""
@@ -411,6 +426,8 @@ class StreamAggregator:
             },
             "slo": self.slo.summary() if self.slo is not None else {},
             "record_counts": dict(self.record_counts),
+            "chaos_events": [dict(e) for e in self.chaos_events],
+            "chaos_dropped": self.chaos_dropped,
         }
 
 

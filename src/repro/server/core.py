@@ -111,6 +111,9 @@ class Core:
         self.on_settle = on_settle
         self.tracer = NULL_TRACER if tracer is None else tracer
         self.speed_timeline = StepTimeline(start_time=sim.now, initial_value=0.0)
+        #: Chaos state: a failed core executes nothing and rejects plans
+        #: until :meth:`recover` (see repro.chaos).
+        self.failed = False
         self._pending: List[Segment] = []
         self._current: Optional[Segment] = None
         self._current_started: Seconds = 0.0
@@ -170,6 +173,10 @@ class Core:
         exactly the paper's "consider a running job as a new one upon a
         new schedule".
         """
+        if self.failed and segments:
+            raise SchedulingError(
+                f"core {self.index} is failed and cannot accept a plan"
+            )
         self._interrupt_current()
         self._pending = list(segments)
         self._start_next(notify_idle_if_empty=notify_idle_if_empty)
@@ -185,9 +192,46 @@ class Core:
 
     def enqueue(self, segment: Segment) -> None:
         """Append one segment to the plan (used by one-job-at-a-time baselines)."""
+        if self.failed:
+            raise SchedulingError(
+                f"core {self.index} is failed and cannot accept work"
+            )
         self._pending.append(segment)
         if not self.busy:
             self._start_next(notify_idle_if_empty=False)
+
+    # ------------------------------------------------------------------
+    # Chaos: failure and recovery (repro.chaos)
+    # ------------------------------------------------------------------
+    def fail(self) -> List[Job]:
+        """Fail the core: stop execution, drop the plan, reject new work.
+
+        The in-flight segment's progress is credited to its job (the
+        work was done before the fault), then every planned job is
+        returned — deduplicated, running job first — so the caller can
+        kill or re-queue them per the disturbance policy.  The core
+        does *not* fire its idle callback: a dead core is not a
+        scheduling opportunity.
+        """
+        if self.failed:
+            return []
+        affected: List[Job] = []
+        running = self._current.job if self._current is not None else None
+        self._interrupt_current()
+        if running is not None:
+            affected.append(running)
+        seen = {job.jid for job in affected}
+        for job in self.pending_jobs():
+            if job.jid not in seen:
+                affected.append(job)
+        self._pending = []
+        self.failed = True
+        self.speed_timeline.set_value(self.sim.now, 0.0)
+        return affected
+
+    def recover(self) -> None:
+        """Bring a failed core back (idle, empty plan)."""
+        self.failed = False
 
     def abort_job(self, job: Job) -> Volume:
         """Remove ``job`` from the plan; returns the volume it had executed.

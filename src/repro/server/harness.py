@@ -23,6 +23,7 @@ from __future__ import annotations
 from functools import partial
 from typing import Dict, List, Optional
 
+from repro.chaos.injector import ChaosInjector, InjectorLike, NULL_INJECTOR
 from repro.config import SimulationConfig
 from repro.errors import SchedulingError
 from repro.metrics.collector import MetricsCollector, RunResult
@@ -103,6 +104,14 @@ class SimulationHarness:
         self._recorded: set[int] = set()
         self._drain_until = 0.0
         self._running = False
+        # Disturbance injection (repro.chaos): armed only when the
+        # config carries a schedule; otherwise the shared null injector
+        # keeps the run on the exact pre-chaos code path.
+        self.injector: InjectorLike = (
+            NULL_INJECTOR
+            if config.disturbances is None
+            else ChaosInjector(self, config.disturbances)
+        )
         scheduler.bind(self)
 
     @property
@@ -134,6 +143,27 @@ class SimulationHarness:
         and Quality-OPT second-cut victims.
         """
         job.settle(outcome)
+        self._record(job)
+
+    def requeue_job(self, job: Job) -> None:
+        """Return an unsettled job to the waiting queue (chaos requeue).
+
+        The core pin is released so the next scheduling round may
+        re-assign the job anywhere; progress already credited is kept
+        (the work was done before the disturbance).
+        """
+        job.core = None
+        self.queue.append(job)
+        self._queued_ids.add(job.jid)
+
+    def kill_job(self, job: Job) -> None:
+        """Settle a job immediately with its progress-implied outcome.
+
+        The chaos ``kill`` core-failure policy: whatever volume the dead
+        core had credited decides COMPLETED/CUT/DROPPED exactly like a
+        deadline expiry would.
+        """
+        job.settle_auto()
         self._record(job)
 
     # ------------------------------------------------------------------
@@ -225,6 +255,11 @@ class SimulationHarness:
                 q_ge=cfg.q_ge,
                 quantum=self.scheduler.quantum,
                 config_fingerprint=cfg.fingerprint(),
+                **(
+                    {"disturbances": len(cfg.disturbances)}
+                    if cfg.disturbances is not None
+                    else {}
+                ),
             )
             self.tracer.sample_cores(self.machine, self.sim.now)
         # Drain until the last deadline so every job settles, even when
@@ -233,6 +268,7 @@ class SimulationHarness:
         last_deadline = max((j.deadline for j in all_jobs), default=cfg.horizon)
         self._drain_until = max(cfg.horizon, last_deadline)
         self._total_jobs = self._workload.install(self.sim, self._job_arrived)
+        self.injector.install(self.sim)
         if self.scheduler.quantum is not None:
             self.sim.schedule(
                 self.scheduler.quantum, self._quantum_tick,

@@ -91,6 +91,33 @@ class MulticoreServer:
         ]
 
     # ------------------------------------------------------------------
+    # Chaos: failures and budget changes (repro.chaos)
+    # ------------------------------------------------------------------
+    @property
+    def alive_count(self) -> int:
+        """Number of non-failed cores (== ``m`` in an undisturbed run)."""
+        return sum(1 for core in self.cores if not core.failed)
+
+    def fail_core(self, index: int) -> List[Job]:
+        """Fail one core; returns the jobs that were planned on it."""
+        return self.cores[index].fail()
+
+    def recover_core(self, index: int) -> None:
+        """Recover a previously failed core (idle, empty plan)."""
+        self.cores[index].recover()
+
+    def set_budget(self, budget: PowerBudget) -> None:
+        """Change the dynamic power budget ``H`` mid-run (chaos dips).
+
+        The new value takes effect at the next power distribution; the
+        caller (the chaos injector) is responsible for triggering a
+        reschedule so caps shrink at the same instant.
+        """
+        if budget <= 0:
+            raise ConfigurationError(f"power budget must be positive, got {budget!r}")
+        self.budget = float(budget)
+
+    # ------------------------------------------------------------------
     # Capacity figures
     # ------------------------------------------------------------------
     @property

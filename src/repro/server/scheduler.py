@@ -68,6 +68,20 @@ class Scheduler(ABC):
     def on_quantum(self) -> None:
         """Periodic trigger; only called when :attr:`quantum` is set."""
 
+    # -- disturbance hooks (repro.chaos) -----------------------------------
+    # Default no-ops: a policy that ignores them keeps working in an
+    # undisturbed run; under chaos the harness/injector has already
+    # killed or re-queued the affected jobs, so reacting is optional
+    # (GE re-plans; see docs/robustness.md for each hook's contract).
+    def on_core_failed(self, core_index: int) -> None:
+        """Core ``core_index`` failed; its jobs were killed/re-queued."""
+
+    def on_core_recovered(self, core_index: int) -> None:
+        """Core ``core_index`` recovered and is idle again."""
+
+    def on_budget_change(self, budget: float) -> None:
+        """The power budget ``H`` changed to ``budget`` watts."""
+
     # -- lifecycle ---------------------------------------------------------
     def on_run_end(self) -> None:
         """Called once after the simulation drains (optional hook)."""

@@ -58,6 +58,19 @@ class PoissonWorkloadGenerator:
     streams:
         Named RNG streams; "arrivals", "demands" and "windows" are used,
         so demand draws are identical across arrival-rate sweeps.
+    rate_bursts:
+        Flash-crowd windows ``(start, duration, factor)`` with
+        ``factor > 1``: inside each window an *independent* Poisson
+        stream at rate ``λ·(factor−1)`` is superposed on the base
+        process (Poisson superposition), so the base draws — and hence
+        every job of the undisturbed run — are untouched.  Each window
+        uses its own named RNG streams (``burst<i>-*``); an empty tuple
+        consumes no randomness at all.
+    demand_inflations:
+        Mis-estimation windows ``(start, duration, factor)``: jobs
+        arriving inside a window carry ``factor`` × the drawn demand
+        (capped at the demand distribution's ``x_max`` so quality stays
+        within [0, 1]), modeling observed ``p_j`` above the planned one.
     """
 
     def __init__(
@@ -68,6 +81,8 @@ class PoissonWorkloadGenerator:
         window: Optional[UniformDeadlineWindow] = None,
         horizon: Seconds = 600.0,
         streams: Optional[RandomStreams] = None,
+        rate_bursts: Sequence[tuple] = (),
+        demand_inflations: Sequence[tuple] = (),
     ) -> None:
         if horizon <= 0:
             raise ConfigurationError(f"horizon must be positive, got {horizon!r}")
@@ -76,6 +91,8 @@ class PoissonWorkloadGenerator:
         self.window = window or UniformDeadlineWindow()
         self.horizon = float(horizon)
         self.streams = streams or RandomStreams(seed=0)
+        self.rate_bursts = tuple(rate_bursts)
+        self.demand_inflations = tuple(demand_inflations)
         self._jobs: Optional[List[Job]] = None
 
     @property
@@ -106,6 +123,13 @@ class PoissonWorkloadGenerator:
         n = arrivals.size
         demands = np.atleast_1d(self.demand.sample(rng_demands, n))
         windows = np.atleast_1d(self.window.sample(rng_windows, n))
+        if self.rate_bursts:
+            arrivals, demands, windows = self._superpose_bursts(
+                arrivals, demands, windows
+            )
+        if self.demand_inflations:
+            demands = self._inflate_demands(arrivals, demands)
+        n = arrivals.size
         self._jobs = [
             Job(
                 jid=i,
@@ -127,6 +151,70 @@ class PoissonWorkloadGenerator:
         for job in jobs:
             sim.at(job.arrival, _Arrival(sink, job), priority=PRIORITY_HIGH, name="arrival")
         return len(jobs)
+
+    # -- disturbance modulation ------------------------------------------
+    def _superpose_bursts(
+        self,
+        arrivals: np.ndarray,
+        demands: np.ndarray,
+        windows: np.ndarray,
+    ) -> tuple:
+        """Merge per-window superposed Poisson arrivals into the base draw.
+
+        Each burst window draws from its own named streams, so the base
+        sequence stays bit-identical and two schedules differing only in
+        window ``i`` leave windows ``j ≠ i`` unchanged.  The merged
+        sequence is re-sorted by arrival time (stable: base jobs first
+        on exact ties) before jids are assigned.
+        """
+        all_t = [arrivals]
+        all_d = [demands]
+        all_w = [windows]
+        for i, (start, duration, factor) in enumerate(self.rate_bursts):
+            extra_rate = self.arrival_rate * (factor - 1.0)
+            end = min(start + duration, self.horizon)
+            span = end - start
+            if extra_rate <= 0 or span <= 0:
+                continue
+            rng_t = self.streams.fresh(f"burst{i}-arrivals")
+            inter = ExponentialInterarrival(extra_rate)
+            expected = max(16, int(extra_rate * span * 1.1) + 64)
+            gaps = inter.sample(rng_t, expected)
+            times = start + np.cumsum(gaps)
+            while times.size == 0 or times[-1] < end:
+                more = inter.sample(rng_t, max(64, expected // 4))
+                offset = times[-1] if times.size else start
+                times = np.concatenate([times, offset + np.cumsum(more)])
+            times = times[times < end]
+            k = times.size
+            if k == 0:
+                continue
+            all_t.append(times)
+            all_d.append(
+                np.atleast_1d(
+                    self.demand.sample(self.streams.fresh(f"burst{i}-demands"), k)
+                )
+            )
+            all_w.append(
+                np.atleast_1d(
+                    self.window.sample(self.streams.fresh(f"burst{i}-windows"), k)
+                )
+            )
+        merged_t = np.concatenate(all_t)
+        merged_d = np.concatenate(all_d)
+        merged_w = np.concatenate(all_w)
+        order = np.argsort(merged_t, kind="stable")
+        return merged_t[order], merged_d[order], merged_w[order]
+
+    def _inflate_demands(
+        self, arrivals: np.ndarray, demands: np.ndarray
+    ) -> np.ndarray:
+        """Scale demands of jobs arriving inside mis-estimation windows."""
+        demands = demands.copy()
+        for start, duration, factor in self.demand_inflations:
+            mask = (arrivals >= start) & (arrivals < start + duration)
+            demands[mask] = np.minimum(demands[mask] * factor, self.demand.x_max)
+        return demands
 
     # -- analytical helpers ----------------------------------------------
     @property

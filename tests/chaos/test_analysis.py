@@ -1,0 +1,162 @@
+"""Degradation analysis, the CI gate, catalog and telemetry plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import DisturbanceSchedule, budget_dip
+from repro.config import SimulationConfig
+from repro.core.ge import make_ge
+from repro.experiments.chaos import (
+    CHAOS_SCHEMA,
+    analyze_degradation,
+    evaluate_gate,
+    run_chaos_scenario,
+)
+from repro.experiments.registry import CHAOS_SCENARIOS, chaos_config, get_chaos_scenario
+from repro.obs import StreamingTracer, Tracer, fold_records
+from repro.obs.report import render_report
+from repro.server.harness import SimulationHarness
+
+
+def _summary(quality_rows, energy, quality=0.9):
+    return {
+        "telemetry": {"windows": {"quality": {"rows": quality_rows}}},
+        "result": {"energy": energy, "quality": quality},
+    }
+
+
+def _row(start, end, mean):
+    return {"start": start, "end": end, "mean": mean, "min": mean, "max": mean}
+
+
+DIP_CFG = SimulationConfig(
+    horizon=10.0, seed=1,
+    disturbances=DisturbanceSchedule.of(budget_dip(2.0, 0.5, 2.0)),
+)
+
+
+class TestAnalyzeDegradation:
+    def test_synthetic_recovery(self):
+        disturbed = _summary(
+            [_row(0, 2, 0.95), _row(2, 4, 0.80), _row(4, 6, 0.85),
+             _row(6, 8, 0.95), _row(8, 10, 0.95)],
+            energy=1100.0, quality=0.88,
+        )
+        twin = _summary([_row(0, 10, 0.95)], energy=1000.0, quality=0.95)
+        deg = analyze_degradation(disturbed, twin, config=DIP_CFG)
+        assert deg["floor"]["disturbed_violation_s"] == pytest.approx(4.0)
+        assert deg["floor"]["twin_violation_s"] == 0.0
+        assert deg["floor"]["degradation_s"] == pytest.approx(4.0)
+        (rec,) = deg["recoveries"]
+        assert rec["recovered_at"] == pytest.approx(6.0)
+        assert rec["recovery_s"] == pytest.approx(4.0)
+        assert deg["energy"]["overhead_j"] == pytest.approx(100.0)
+        # Post-recovery tail starts at the dip's end (t=4).
+        assert deg["post"]["after_s"] == pytest.approx(4.0)
+        assert deg["post"]["compliance"] == pytest.approx(2 / 3)
+
+    def test_no_degradation_means_zero_recovery(self):
+        healthy = _summary([_row(0, 10, 0.95)], energy=1000.0)
+        deg = analyze_degradation(healthy, healthy, config=DIP_CFG)
+        (rec,) = deg["recoveries"]
+        assert rec["recovery_s"] == 0.0
+        assert deg["floor"]["degradation_s"] == 0.0
+
+    def test_never_recovered_is_none(self):
+        stuck = _summary([_row(0, 2, 0.95), _row(2, 10, 0.5)], energy=1000.0)
+        twin = _summary([_row(0, 10, 0.95)], energy=900.0)
+        deg = analyze_degradation(stuck, twin, config=DIP_CFG)
+        (rec,) = deg["recoveries"]
+        assert rec["recovery_s"] is None
+
+    def test_requires_disturbed_config(self):
+        with pytest.raises(ValueError, match="disturbed configuration"):
+            analyze_degradation({}, {}, config=SimulationConfig(horizon=5.0))
+
+
+class TestGate:
+    DEG = {
+        "recoveries": [
+            {"detail": "dip", "recovery_s": 3.0},
+            {"detail": "fail", "recovery_s": None},
+        ],
+        "post": {"compliance": 0.6, "compliant": 6, "windows": 10},
+    }
+
+    def test_gate_disarmed_passes(self):
+        assert evaluate_gate(self.DEG) == []
+
+    def test_recovery_bound(self):
+        failures = evaluate_gate(self.DEG, max_recovery_s=2.0)
+        assert len(failures) == 2  # too slow + never recovered
+        assert any("never" in f for f in failures)
+
+    def test_compliance_floor(self):
+        assert evaluate_gate(self.DEG, min_post_compliance=0.5) == []
+        failures = evaluate_gate(self.DEG, min_post_compliance=0.7)
+        assert len(failures) == 1
+
+    def test_no_tail_windows_fails_compliance_gate(self):
+        deg = {"recoveries": [], "post": {"compliance": None}}
+        assert evaluate_gate(deg, min_post_compliance=0.5)
+
+
+class TestCatalog:
+    def test_catalog_is_large_enough(self):
+        assert len(CHAOS_SCENARIOS) >= 6
+
+    @pytest.mark.parametrize("name", sorted(CHAOS_SCENARIOS))
+    def test_every_scenario_builds_a_valid_config(self, name):
+        cfg = chaos_config(get_chaos_scenario(name), scale=0.02, seed=1)
+        assert cfg.disturbances is not None
+        assert len(cfg.disturbances) >= 1
+        # Twin shares everything but the schedule.
+        twin = cfg.with_overrides(disturbances=None)
+        assert twin.fingerprint() != cfg.fingerprint()
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown chaos scenario"):
+            get_chaos_scenario("meteor_strike")
+
+
+class TestRunChaosScenario:
+    def test_end_to_end_summary(self):
+        summary = run_chaos_scenario("budget_dip", scale=0.01, seed=1)
+        assert summary["chaos_schema"] == CHAOS_SCHEMA
+        assert summary["scenario"]["name"] == "budget_dip"
+        assert summary["scenario"]["twin_fingerprint"] != summary["meta"][
+            "config_fingerprint"
+        ]
+        telemetry = summary["telemetry"]
+        kinds = {e["disturbance"] for e in telemetry["chaos_events"]}
+        assert "budget_dip" in kinds and "budget_restore" in kinds
+        deg = summary["degradation"]
+        assert deg["q_floor"] == pytest.approx(0.9)
+        assert len(deg["recoveries"]) == 1
+        # The annotated summary renders as HTML with the chaos panel.
+        html = render_report(summary)
+        assert "Disturbances (repro.chaos)" in html
+        assert "budget_dip" in html
+
+
+class TestTelemetryPlumbing:
+    def test_stream_fold_matches_online(self):
+        # Online streaming aggregation and the offline fold of the same
+        # run's buffered records agree on the chaos stream too.
+        cfg = SimulationConfig(
+            arrival_rate=120.0, horizon=6.0, seed=7,
+            disturbances=DisturbanceSchedule.of(budget_dip(2.0, 0.5, 2.0)),
+        )
+        stream = StreamingTracer()
+        SimulationHarness(cfg, make_ge(), tracer=stream).run()
+        online = stream.aggregator.snapshot()
+
+        full = Tracer()
+        SimulationHarness(cfg, make_ge(), tracer=full).run()
+        offline = fold_records(full.to_trace()).snapshot()
+
+        assert online["chaos_events"] == offline["chaos_events"]
+        assert online["chaos_events"]
+        assert online["chaos_dropped"] == 0
+        assert online == offline

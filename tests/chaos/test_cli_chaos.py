@@ -1,0 +1,63 @@
+"""The ``repro chaos`` CLI: list/run/report and the exit-code gate."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def test_chaos_list(capsys):
+    assert main(["chaos", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "budget_dip" in out
+    assert "core_fail_requeue" in out
+
+
+def test_chaos_run_unknown_scenario(capsys):
+    assert main(["chaos", "run", "meteor_strike"]) == 2
+    assert "unknown chaos scenario" in capsys.readouterr().out
+
+
+def test_chaos_run_with_artifacts(tmp_path, capsys):
+    json_path = tmp_path / "chaos.json"
+    html_path = tmp_path / "chaos.html"
+    code = main([
+        "chaos", "run", "budget_dip", "--scale", "0.01",
+        "--json", str(json_path), "--report", str(html_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "scenario budget_dip" in out
+    assert "recovery:" in out
+    summary = json.loads(json_path.read_text())
+    assert summary["chaos_schema"] == "repro.chaos/1"
+    assert summary["degradation"]["recoveries"]
+    html = html_path.read_text()
+    assert "Disturbances (repro.chaos)" in html
+
+
+def test_chaos_gate_failure_exit_code(capsys):
+    # An impossibly tight recovery bound must flip the exit code.
+    code = main([
+        "chaos", "run", "perfect_storm", "--scale", "0.01",
+        "--max-recovery-s", "0.0001",
+    ])
+    assert code == 1
+    assert "chaos gate FAILED" in capsys.readouterr().out
+
+
+def test_chaos_report_from_json(tmp_path, capsys):
+    json_path = tmp_path / "chaos.json"
+    assert main([
+        "chaos", "run", "misestimate", "--scale", "0.01", "--json", str(json_path),
+    ]) == 0
+    out_path = tmp_path / "again.html"
+    assert main(["chaos", "report", str(json_path), "--out", str(out_path)]) == 0
+    assert "wrote chaos report" in capsys.readouterr().out
+    assert "Disturbances" in out_path.read_text()
+
+
+def test_chaos_report_missing_file(tmp_path, capsys):
+    assert main(["chaos", "report", str(tmp_path / "nope.json")]) == 2
+    assert "chaos report" in capsys.readouterr().out

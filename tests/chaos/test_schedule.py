@@ -1,0 +1,152 @@
+"""Disturbance schedules: validation and fingerprint content-addressing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import (
+    Disturbance,
+    DisturbanceSchedule,
+    arrival_burst,
+    budget_dip,
+    core_fail,
+    misestimate,
+)
+from repro.config import SimulationConfig
+from repro.errors import ConfigurationError
+from repro.obs.runs import run_id_for
+
+
+class TestDisturbanceValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown disturbance kind"):
+            Disturbance(kind="cosmic_ray", time=1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            core_fail(-1.0, 0)
+
+    def test_core_fail_needs_core(self):
+        with pytest.raises(ConfigurationError, match="core index"):
+            Disturbance(kind="core_fail", time=1.0)
+
+    def test_core_fail_policy_validated(self):
+        with pytest.raises(ConfigurationError, match="policy"):
+            core_fail(1.0, 0, policy="explode")
+
+    def test_budget_dip_factor_bounds(self):
+        with pytest.raises(ConfigurationError, match=r"\(0, 1\)"):
+            budget_dip(1.0, 1.5, 2.0)
+        with pytest.raises(ConfigurationError, match=r"\(0, 1\)"):
+            budget_dip(1.0, 0.0, 2.0)
+
+    def test_burst_factor_must_exceed_one(self):
+        with pytest.raises(ConfigurationError, match="> 1"):
+            arrival_burst(1.0, 0.9, 2.0)
+
+    def test_windowed_kinds_need_duration(self):
+        with pytest.raises(ConfigurationError, match="duration"):
+            Disturbance(kind="budget_dip", time=1.0, factor=0.5)
+        with pytest.raises(ConfigurationError, match="duration"):
+            Disturbance(kind="misestimate", time=1.0, factor=1.5)
+
+    def test_end_and_describe(self):
+        d = budget_dip(2.0, 0.5, 3.0)
+        assert d.end == 5.0
+        assert "budget_dip" in d.describe()
+        permanent = core_fail(1.0, 3, policy="kill")
+        assert permanent.end is None
+        assert "core 3" in permanent.describe()
+
+
+class TestScheduleShape:
+    def test_of_and_iteration(self):
+        sched = DisturbanceSchedule.of(core_fail(1.0, 0), budget_dip(2.0, 0.5, 1.0))
+        assert len(sched) == 2
+        assert [d.kind for d in sched] == ["core_fail", "budget_dip"]
+        assert not sched.is_empty
+        assert DisturbanceSchedule.of().is_empty
+
+    def test_kind_windows(self):
+        sched = DisturbanceSchedule.of(
+            arrival_burst(1.0, 2.0, 3.0), misestimate(2.0, 1.5, 4.0)
+        )
+        assert sched.burst_windows() == ((1.0, 3.0, 2.0),)
+        assert sched.misestimate_windows() == ((2.0, 4.0, 1.5),)
+
+    def test_last_effect_end(self):
+        sched = DisturbanceSchedule.of(
+            budget_dip(1.0, 0.5, 2.0), core_fail(5.0, 0)
+        )
+        assert sched.last_effect_end() == 5.0
+        assert DisturbanceSchedule.of().last_effect_end() is None
+
+    def test_non_disturbance_entries_rejected(self):
+        with pytest.raises(ConfigurationError, match="must be Disturbance"):
+            DisturbanceSchedule(disturbances=("not a disturbance",))
+
+    def test_validate_for_core_index(self):
+        with pytest.raises(ConfigurationError, match="m=2"):
+            SimulationConfig(
+                m=2, horizon=5.0,
+                disturbances=DisturbanceSchedule.of(core_fail(1.0, 2)),
+            )
+
+    def test_validate_for_horizon(self):
+        with pytest.raises(ConfigurationError, match="horizon"):
+            SimulationConfig(
+                horizon=5.0,
+                disturbances=DisturbanceSchedule.of(core_fail(5.0, 0)),
+            )
+
+
+class TestFingerprint:
+    """Schedules are content-addressed; absence is the pre-chaos address."""
+
+    def test_none_schedule_preserves_prechaos_fingerprint(self):
+        # The `disturbances` key is dropped from the payload when None,
+        # so every fingerprint minted before repro.chaos existed stays
+        # valid (bench baselines, stored runs).
+        import hashlib
+        import json
+        from dataclasses import asdict
+
+        cfg = SimulationConfig(horizon=5.0, seed=3)
+        assert cfg.disturbances is None
+        fields = asdict(cfg)
+        assert "disturbances" in fields
+        del fields["disturbances"]
+        payload = json.dumps(fields, sort_keys=True, default=repr)
+        expected = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+        assert cfg.fingerprint() == expected
+
+    def test_schedule_changes_fingerprint(self):
+        plain = SimulationConfig(horizon=5.0, seed=3)
+        disturbed = plain.with_overrides(
+            disturbances=DisturbanceSchedule.of(budget_dip(1.0, 0.5, 1.0))
+        )
+        assert plain.fingerprint() != disturbed.fingerprint()
+
+    def test_armed_empty_schedule_changes_fingerprint(self):
+        # Armed-but-empty is still an explicit choice; only None is the
+        # pre-chaos address.
+        plain = SimulationConfig(horizon=5.0, seed=3)
+        armed = plain.with_overrides(disturbances=DisturbanceSchedule.of())
+        assert plain.fingerprint() != armed.fingerprint()
+
+    def test_distinct_schedules_distinct_run_ids(self):
+        # Regression (runs diff / fleet rollups): two runs differing
+        # only in their schedule must land under different run ids.
+        base = SimulationConfig(horizon=5.0, seed=3)
+        a = base.with_overrides(
+            disturbances=DisturbanceSchedule.of(budget_dip(1.0, 0.5, 1.0))
+        )
+        b = base.with_overrides(
+            disturbances=DisturbanceSchedule.of(budget_dip(1.0, 0.6, 1.0))
+        )
+        ids = {
+            run_id_for({"config_fingerprint": c.fingerprint(), "seed": c.seed,
+                        "scheduler": "GE"})
+            for c in (base, a, b)
+        }
+        assert len(ids) == 3
